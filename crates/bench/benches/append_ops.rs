@@ -1,0 +1,50 @@
+//! Append-path microbenchmarks: MVCC append + materialization at several
+//! batch sizes (the write path of Fig. 10), and partition snapshots.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use dataframe::Context;
+use indexed_df::IndexedDataFrame;
+use rowstore::{Row, Value};
+use sparklet::{Cluster, ClusterConfig};
+use workloads::snb;
+
+fn delta(n: usize) -> Vec<Row> {
+    (0..n as i64)
+        .map(|i| vec![Value::Int64(i % 1000), Value::Int64(i), Value::Int64(0), Value::Float64(0.5)])
+        .collect()
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("append");
+    g.sample_size(10);
+
+    let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+    let base = IndexedDataFrame::from_rows(&ctx, snb::edge_schema(), delta(100_000), "edge_source")
+        .unwrap();
+    base.cache_index();
+
+    for n in [1_000usize, 10_000] {
+        let rows = delta(n);
+        g.bench_function(format!("append_{n}"), |b| {
+            b.iter_batched(
+                || rows.clone(),
+                |rows| {
+                    let v2 = base.append_rows(rows);
+                    v2.cache_index();
+                    black_box(v2)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    g.bench_function("snapshot_partition", |b| {
+        let part = base.partition(0);
+        b.iter(|| black_box(part.snapshot()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_append);
+criterion_main!(benches);

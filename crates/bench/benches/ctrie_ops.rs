@@ -1,0 +1,67 @@
+//! Microbenchmarks of the ctrie (the paper's index structure): insert,
+//! lookup, snapshot, and copy-on-write cost after a snapshot.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ctrie::Ctrie;
+
+fn bench_ctrie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctrie");
+    g.sample_size(20);
+
+    g.bench_function("insert_10k", |b| {
+        b.iter_batched(
+            Ctrie::<u64, u64>::new,
+            |t| {
+                for i in 0..10_000u64 {
+                    t.insert(i, i);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let t = Ctrie::new();
+    for i in 0..100_000u64 {
+        t.insert(i, i);
+    }
+    g.bench_function("lookup_hit_100k", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            black_box(t.lookup(&k))
+        })
+    });
+    g.bench_function("lookup_miss_100k", |b| {
+        let mut k = 100_000u64;
+        b.iter(|| {
+            k += 1;
+            black_box(t.lookup(&k))
+        })
+    });
+
+    g.bench_function("snapshot_100k", |b| b.iter(|| black_box(t.snapshot())));
+
+    g.bench_function("insert_after_snapshot", |b| {
+        // Measures the lazy copy-on-write renewal cost (§III-E).
+        b.iter_batched(
+            || {
+                let t2 = t.snapshot();
+                t2.insert(0, 0); // touch one path
+                t2
+            },
+            |t2| {
+                for i in 0..1_000u64 {
+                    t2.insert(200_000 + i, i);
+                }
+                t2
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ctrie);
+criterion_main!(benches);

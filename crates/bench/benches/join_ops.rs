@@ -1,0 +1,98 @@
+//! Join strategy microbenchmarks: indexed join vs the three vanilla
+//! strategies on a fixed S-scale workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dataframe::{Context, ExecConfig};
+use sparklet::{Cluster, ClusterConfig};
+use workloads::{join_scales, register_columnar, register_indexed, snb};
+
+fn bench_joins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join");
+    g.sample_size(10);
+
+    let w = join_scales::generate(100_000, 0xbe);
+    let probe_rows = w.probes[1].1.clone();
+
+    // Indexed.
+    let ctx_i = Context::new(Cluster::new(ClusterConfig::test_small()));
+    register_indexed(&ctx_i, "edges", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+    register_columnar(&ctx_i, "probe", snb::probe_schema(), probe_rows.clone());
+    g.bench_function("indexed", |b| {
+        b.iter(|| {
+            black_box(
+                ctx_i
+                    .table("edges")
+                    .unwrap()
+                    .join(ctx_i.table("probe").unwrap(), "edge_source", "edge_source")
+                    .count()
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Vanilla broadcast-hash.
+    let ctx_b = Context::new(Cluster::new(ClusterConfig::test_small()));
+    register_columnar(&ctx_b, "edges", snb::edge_schema(), w.data.edges.clone());
+    register_columnar(&ctx_b, "probe", snb::probe_schema(), probe_rows.clone());
+    g.bench_function("broadcast_hash", |b| {
+        b.iter(|| {
+            black_box(
+                ctx_b
+                    .table("edges")
+                    .unwrap()
+                    .join(ctx_b.table("probe").unwrap(), "edge_source", "edge_source")
+                    .count()
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Vanilla shuffled-hash (forced by zero threshold).
+    let ctx_s = Context::with_config(
+        Cluster::new(ClusterConfig::test_small()),
+        ExecConfig { broadcast_threshold_bytes: 0, ..ExecConfig::default() },
+    );
+    register_columnar(&ctx_s, "edges", snb::edge_schema(), w.data.edges.clone());
+    register_columnar(&ctx_s, "probe", snb::probe_schema(), probe_rows.clone());
+    g.bench_function("shuffled_hash", |b| {
+        b.iter(|| {
+            black_box(
+                ctx_s
+                    .table("edges")
+                    .unwrap()
+                    .join(ctx_s.table("probe").unwrap(), "edge_source", "edge_source")
+                    .count()
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Vanilla sort-merge.
+    let ctx_m = Context::with_config(
+        Cluster::new(ClusterConfig::test_small()),
+        ExecConfig {
+            broadcast_threshold_bytes: 0,
+            prefer_sort_merge: true,
+            ..ExecConfig::default()
+        },
+    );
+    register_columnar(&ctx_m, "edges", snb::edge_schema(), w.data.edges.clone());
+    register_columnar(&ctx_m, "probe", snb::probe_schema(), probe_rows);
+    g.bench_function("sort_merge", |b| {
+        b.iter(|| {
+            black_box(
+                ctx_m
+                    .table("edges")
+                    .unwrap()
+                    .join(ctx_m.table("probe").unwrap(), "edge_source", "edge_source")
+                    .count()
+                    .unwrap(),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the row store: append, point read, backward-chain
+//! traversal, snapshot.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rowstore::{DataType, Field, PackedPtr, PartitionStore, Schema, StoreConfig, Value};
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("key", DataType::Int64),
+        Field::new("a", DataType::Int64),
+        Field::new("b", DataType::Float64),
+        Field::new("s", DataType::Utf8),
+    ])
+}
+
+fn row(k: i64) -> Vec<Value> {
+    vec![Value::Int64(k), Value::Int64(k * 3), Value::Float64(k as f64), Value::Utf8("payload".into())]
+}
+
+fn filled(n: i64) -> (PartitionStore, Vec<PackedPtr>) {
+    let mut s = PartitionStore::new(schema(), StoreConfig::default());
+    let ptrs = (0..n).map(|i| s.append_row(&row(i), PackedPtr::NONE).unwrap()).collect();
+    (s, ptrs)
+}
+
+fn bench_rowstore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rowstore");
+    g.sample_size(20);
+
+    g.bench_function("append_10k", |b| {
+        b.iter_batched(
+            || PartitionStore::new(schema(), StoreConfig::default()),
+            |mut s| {
+                for i in 0..10_000 {
+                    s.append_row(&row(i), PackedPtr::NONE).unwrap();
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let (s, ptrs) = filled(100_000);
+    g.bench_function("get_row", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % ptrs.len();
+            black_box(s.get_row(ptrs[i]))
+        })
+    });
+
+    // A 100-row backward chain on one key.
+    let mut chained = PartitionStore::new(schema(), StoreConfig::default());
+    let mut head = PackedPtr::NONE;
+    for i in 0..100 {
+        head = chained.append_row(&row(i), head).unwrap();
+    }
+    g.bench_function("chain_traverse_100", |b| b.iter(|| black_box(chained.get_chain(head))));
+
+    g.bench_function("snapshot_100k", |b| b.iter(|| black_box(s.snapshot())));
+
+    g.bench_function("scan_100k", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            s.for_each_row(|_, bytes| n += bytes.len());
+            black_box(n)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_rowstore);
+criterion_main!(benches);

@@ -1,0 +1,897 @@
+//! The concurrent hash trie with lock-free, constant-time snapshots.
+//!
+//! Algorithm: Prokopec, Bronson, Bagwell, Odersky — *Concurrent Tries with
+//! Efficient Non-Blocking Snapshots*, PPoPP 2012. This is the index
+//! structure of the Indexed DataFrame (§III-C of the reproduced paper): it
+//! provides thread-safe lock-free insert/lookup/remove plus an O(1)
+//! `snapshot` used to implement multi-version appends (§III-E).
+//!
+//! Two protocols make snapshots possible:
+//!
+//! * **GCAS** (generation-compare-and-swap): every update to an I-node's
+//!   `main` pointer links the previous value through a `prev` field and only
+//!   *commits* (clears `prev`) if the trie root generation still matches the
+//!   I-node's generation. A snapshot bumps the root generation, so in-flight
+//!   updates into shared old-generation nodes roll back and retry against
+//!   lazily copied (renewed) paths.
+//! * **RDCSS** on the root: the snapshot atomically swaps the root I-node
+//!   for a copy with a fresh generation, conditional on the root's main
+//!   node being unchanged — a restricted double-compare-single-swap
+//!   implemented with an intermediate descriptor.
+
+use crate::hash::FxBuildHasher;
+use crate::node::{
+    dup_branch, flag_pos, next_gen, release, retain, Branch, CNode, INode, Kind, Main, SNode,
+    MAX_LEVEL, PREV_FAILED, W,
+};
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Root-pointer tag marking an in-flight RDCSS descriptor.
+const ROOT_DESC_TAG: usize = 1;
+
+const DESC_PENDING: u8 = 0;
+const DESC_COMMITTED: u8 = 1;
+const DESC_ABORTED: u8 = 2;
+
+/// RDCSS descriptor installed in the root slot during a snapshot.
+struct Desc<K, V> {
+    old_root: *const INode<K, V>,
+    exp_main: *const Main<K, V>,
+    new_root: *const INode<K, V>,
+    status: AtomicU8,
+}
+
+/// Signal that an operation must restart from the root (after helping with
+/// cleanup or losing a CAS race).
+struct Restart;
+
+/// A concurrent hash trie map with lock-free constant-time snapshots.
+///
+/// * `insert`, `lookup`, `remove` are lock-free and linearizable.
+/// * [`Ctrie::snapshot`] returns a new, fully independent `Ctrie` in O(1):
+///   both tries share structure and lazily copy paths on subsequent writes
+///   (copy-on-write driven by generation stamps).
+///
+/// Values are returned by clone; use cheap-to-clone `V` (the Indexed
+/// DataFrame stores packed 64-bit row pointers).
+///
+/// # Example
+/// ```
+/// let map = ctrie::Ctrie::new();
+/// map.insert(1u64, "a");
+/// let snap = map.snapshot();
+/// map.insert(2u64, "b");
+/// assert_eq!(snap.lookup(&2), None); // snapshot is frozen
+/// assert_eq!(map.lookup(&2), Some("b"));
+/// ```
+pub struct Ctrie<K, V, S = FxBuildHasher> {
+    root: Atomic<INode<K, V>>,
+    hasher: S,
+    len: AtomicUsize,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Send + Sync> Send for Ctrie<K, V, S> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Send + Sync> Sync for Ctrie<K, V, S> {}
+
+impl<K, V> Ctrie<K, V, FxBuildHasher> {
+    /// Create an empty trie with the default (Fx) hasher.
+    pub fn new() -> Self {
+        Self::with_hasher(FxBuildHasher)
+    }
+}
+
+impl<K, V> Default for Ctrie<K, V, FxBuildHasher> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S> Ctrie<K, V, S> {
+    /// Create an empty trie with a custom hasher.
+    pub fn with_hasher(hasher: S) -> Self {
+        let empty = Main::new(Kind::C(CNode {
+            bitmap: 0,
+            array: Vec::new().into_boxed_slice(),
+            gen: 0,
+        }));
+        let g = unsafe { epoch::unprotected() };
+        let main = empty.into_shared(g);
+        let root = Box::into_raw(Box::new(INode::new(main, next_gen())));
+        Ctrie {
+            root: Atomic::from(Shared::from(root as *const INode<K, V>)),
+            hasher,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of entries. Exact when quiescent; may be momentarily stale
+    /// under concurrent mutation (the count is maintained with relaxed
+    /// post-hoc updates, as in `java.util.concurrent` collections).
+    pub fn len(&self) -> usize {
+        self.len.load(SeqCst)
+    }
+
+    /// Whether the trie is empty (same caveat as [`Ctrie::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, V, S> Ctrie<K, V, S>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+    S: BuildHasher,
+{
+    #[inline]
+    fn hash_key(&self, k: &K) -> u64 {
+        self.hasher.hash_one(k)
+    }
+
+    // ------------------------------------------------------------------
+    // Root access (RDCSS)
+    // ------------------------------------------------------------------
+
+    /// Read the root I-node, helping complete any in-flight snapshot RDCSS.
+    fn read_root<'g>(&self, g: &'g Guard) -> Shared<'g, INode<K, V>> {
+        loop {
+            let r = self.root.load(SeqCst, g);
+            if r.tag() != ROOT_DESC_TAG {
+                return r;
+            }
+            self.rdcss_complete(r, g);
+        }
+    }
+
+    /// Read the root I-node, *aborting* any in-flight RDCSS. Used from the
+    /// GCAS commit path to preserve lock-freedom (completing there could
+    /// recurse into GCAS).
+    fn abortable_read_root<'g>(&self, g: &'g Guard) -> Shared<'g, INode<K, V>> {
+        loop {
+            let r = self.root.load(SeqCst, g);
+            if r.tag() != ROOT_DESC_TAG {
+                return r;
+            }
+            let d = unsafe { &*(r.as_raw() as *const Desc<K, V>) };
+            let _ = d
+                .status
+                .compare_exchange(DESC_PENDING, DESC_ABORTED, SeqCst, SeqCst);
+            let target = if d.status.load(SeqCst) == DESC_COMMITTED {
+                d.new_root
+            } else {
+                d.old_root
+            };
+            let _ = self
+                .root
+                .compare_exchange(r, Shared::from(target), SeqCst, SeqCst, g);
+        }
+    }
+
+    /// Drive an installed RDCSS descriptor to resolution and swing the root
+    /// off it.
+    fn rdcss_complete(&self, r_desc: Shared<'_, INode<K, V>>, g: &Guard) {
+        let d = unsafe { &*(r_desc.as_raw() as *const Desc<K, V>) };
+        let old_inode = unsafe { &*d.old_root };
+        let m = self.gcas_read(old_inode, g);
+        if m.as_raw() == d.exp_main {
+            let _ = d
+                .status
+                .compare_exchange(DESC_PENDING, DESC_COMMITTED, SeqCst, SeqCst);
+        } else {
+            let _ = d
+                .status
+                .compare_exchange(DESC_PENDING, DESC_ABORTED, SeqCst, SeqCst);
+        }
+        let target = if d.status.load(SeqCst) == DESC_COMMITTED {
+            d.new_root
+        } else {
+            d.old_root
+        };
+        let _ = self
+            .root
+            .compare_exchange(r_desc, Shared::from(target), SeqCst, SeqCst, g);
+    }
+
+    // ------------------------------------------------------------------
+    // GCAS
+    // ------------------------------------------------------------------
+
+    /// Read the committed main node of `in_`.
+    fn gcas_read<'g>(&self, in_: &INode<K, V>, g: &'g Guard) -> Shared<'g, Main<K, V>> {
+        let m = in_.main.load(SeqCst, g);
+        let prev = unsafe { m.deref() }.prev.load(SeqCst, g);
+        if prev.is_null() {
+            m
+        } else {
+            self.gcas_commit(in_, m, g)
+        }
+    }
+
+    /// Resolve the pending update on `in_` (commit or roll back) and return
+    /// the committed main node.
+    fn gcas_commit<'g>(
+        &self,
+        in_: &INode<K, V>,
+        mut m: Shared<'g, Main<K, V>>,
+        g: &'g Guard,
+    ) -> Shared<'g, Main<K, V>> {
+        loop {
+            let m_ref = unsafe { m.deref() };
+            let prev = m_ref.prev.load(SeqCst, g);
+            if prev.is_null() {
+                return m;
+            }
+            if prev.tag() == PREV_FAILED {
+                // Roll the I-node back to the old main. Exactly one thread
+                // wins this CAS and retires the failed update.
+                let old = prev.with_tag(0);
+                match in_.main.compare_exchange(m, old, SeqCst, SeqCst, g) {
+                    Ok(_) => {
+                        let m_raw = m.as_raw();
+                        unsafe { g.defer_unchecked(move || release(m_raw)) };
+                        return old;
+                    }
+                    Err(e) => {
+                        // Someone else rolled back (to `old`, committed).
+                        m = e.current;
+                        continue;
+                    }
+                }
+            }
+            // Pending: commit iff the root generation still matches.
+            let r = self.abortable_read_root(g);
+            if unsafe { r.deref() }.gen == in_.gen {
+                if m_ref
+                    .prev
+                    .compare_exchange(prev, Shared::null(), SeqCst, SeqCst, g)
+                    .is_ok()
+                {
+                    // Committed: the old main loses the I-node's reference.
+                    let p_raw = prev.as_raw();
+                    unsafe { g.defer_unchecked(move || release(p_raw)) };
+                    return m;
+                }
+                // prev changed under us (nulled or failed): re-examine.
+            } else {
+                // Generation changed (snapshot): mark failed, next loop
+                // iteration rolls back.
+                let _ = m_ref
+                    .prev
+                    .compare_exchange(prev, prev.with_tag(PREV_FAILED), SeqCst, SeqCst, g);
+            }
+        }
+    }
+
+    /// GCAS: attempt to replace the committed main `old` of `in_` with a new
+    /// main holding `new_kind`. Returns `true` iff the update committed.
+    fn gcas(
+        &self,
+        in_: &INode<K, V>,
+        old: Shared<'_, Main<K, V>>,
+        new_kind: Kind<K, V>,
+        g: &Guard,
+    ) -> bool {
+        let new = Owned::new(Main {
+            kind: new_kind,
+            prev: Atomic::from(old),
+            rc: AtomicUsize::new(1),
+        })
+        .into_shared(g);
+        match in_.main.compare_exchange(old, new, SeqCst, SeqCst, g) {
+            Ok(_) => {
+                let committed = self.gcas_commit(in_, new, g);
+                committed.as_raw() == new.as_raw()
+            }
+            Err(_) => {
+                // Never linked: reclaim immediately (we hold its only count).
+                unsafe { release(new.as_raw()) };
+                false
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public operations
+    // ------------------------------------------------------------------
+
+    /// Look up `key`, returning a clone of its value.
+    pub fn lookup(&self, key: &K) -> Option<V> {
+        let g = epoch::pin();
+        let h = self.hash_key(key);
+        loop {
+            let r = self.read_root(&g);
+            let r_ref = unsafe { r.deref() };
+            match self.ilookup(r_ref, key, h, 0, None, &g) {
+                Ok(res) => return res,
+                Err(Restart) => continue,
+            }
+        }
+    }
+
+    /// Alias for [`Ctrie::lookup`], matching `std` map naming.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.lookup(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    /// Insert `key → value`; returns the previous value if the key existed.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let g = epoch::pin();
+        let h = self.hash_key(&key);
+        loop {
+            let r = self.read_root(&g);
+            let r_ref = unsafe { r.deref() };
+            match self.iinsert(r_ref, &key, &value, h, 0, None, r_ref.gen, &g) {
+                Ok(old) => {
+                    if old.is_none() {
+                        self.len.fetch_add(1, SeqCst);
+                    }
+                    return old;
+                }
+                Err(Restart) => continue,
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let g = epoch::pin();
+        let h = self.hash_key(key);
+        loop {
+            let r = self.read_root(&g);
+            let r_ref = unsafe { r.deref() };
+            match self.iremove(r_ref, key, h, 0, None, r_ref.gen, &g) {
+                Ok(old) => {
+                    if old.is_some() {
+                        self.len.fetch_sub(1, SeqCst);
+                    }
+                    return old;
+                }
+                Err(Restart) => continue,
+            }
+        }
+    }
+
+    /// Take a constant-time snapshot: a new independent trie sharing all
+    /// current structure with `self`. Writes to either side copy paths
+    /// lazily and never affect the other (§III-E of the paper relies on this
+    /// for multi-version appends).
+    pub fn snapshot(&self) -> Ctrie<K, V, S>
+    where
+        S: Clone,
+    {
+        let g = epoch::pin();
+        loop {
+            let r = self.read_root(&g);
+            let r_ref = unsafe { r.deref() };
+            let exp_main = self.gcas_read(r_ref, &g);
+
+            // Fresh root for `self` (forces copy-on-write of future writes).
+            unsafe { retain(exp_main) };
+            let new_self_root =
+                Box::into_raw(Box::new(INode::new(exp_main, next_gen()))) as *const INode<K, V>;
+            let desc = Box::into_raw(Box::new(Desc {
+                old_root: r.as_raw(),
+                exp_main: exp_main.as_raw(),
+                new_root: new_self_root,
+                status: AtomicU8::new(DESC_PENDING),
+            }));
+            let desc_shared =
+                Shared::from(desc as *const INode<K, V>).with_tag(ROOT_DESC_TAG);
+
+            match self.root.compare_exchange(r, desc_shared, SeqCst, SeqCst, &g) {
+                Ok(_) => {
+                    // Drive to resolution and swing the root off the
+                    // descriptor before reclaiming it.
+                    loop {
+                        self.rdcss_complete(desc_shared, &g);
+                        if self.root.load(SeqCst, &g).as_raw() != desc as *const INode<K, V> {
+                            break;
+                        }
+                    }
+                    let status = unsafe { (*desc).status.load(SeqCst) };
+                    unsafe {
+                        g.defer_unchecked(move || drop(Box::from_raw(desc)));
+                    }
+                    if status == DESC_COMMITTED {
+                        // Old root unlinked: release after a grace period.
+                        let r_raw = r.as_raw() as *mut INode<K, V>;
+                        unsafe {
+                            g.defer_unchecked(move || drop(Box::from_raw(r_raw)));
+                        }
+                        // Build the returned snapshot around the same main.
+                        unsafe { retain(exp_main) };
+                        let snap_root =
+                            Box::into_raw(Box::new(INode::new(exp_main, next_gen())));
+                        return Ctrie {
+                            root: Atomic::from(Shared::from(snap_root as *const INode<K, V>)),
+                            hasher: self.hasher.clone(),
+                            len: AtomicUsize::new(self.len.load(SeqCst)),
+                        };
+                    }
+                    // Aborted: reclaim the unpublished replacement root
+                    // (dropping it releases our retained count) and retry.
+                    unsafe { drop(Box::from_raw(new_self_root as *mut INode<K, V>)) };
+                }
+                Err(_) => {
+                    unsafe {
+                        drop(Box::from_raw(new_self_root as *mut INode<K, V>));
+                        drop(Box::from_raw(desc));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit every entry. The traversal is lock-free but only a *consistent*
+    /// view when run on a quiescent trie or a [`Ctrie::snapshot`].
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let g = epoch::pin();
+        let r = self.read_root(&g);
+        self.walk(unsafe { r.deref() }, &g, &mut f);
+    }
+
+    /// Collect all entries into a vector (see [`Ctrie::for_each`] caveats).
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+
+    /// Estimate the heap footprint of the trie's *node structure* in bytes
+    /// (I-nodes, C-node arrays, main-node headers, inline keys/values).
+    /// Heap data owned by keys/values (e.g. `String` buffers) is not
+    /// included. Used to reproduce the paper's Fig. 11 index-overhead
+    /// measurement (the JAMM memory-meter analogue).
+    pub fn heap_bytes(&self) -> usize {
+        let g = epoch::pin();
+        let r = self.read_root(&g);
+        std::mem::size_of::<INode<K, V>>() + self.node_bytes(unsafe { r.deref() }, &g)
+    }
+
+    fn node_bytes(&self, in_: &INode<K, V>, g: &Guard) -> usize {
+        let m = self.gcas_read(in_, g);
+        let mut total = std::mem::size_of::<Main<K, V>>();
+        match &unsafe { m.deref() }.kind {
+            Kind::C(cn) => {
+                total += cn.array.len() * std::mem::size_of::<Branch<K, V>>();
+                for b in cn.array.iter() {
+                    if let Branch::I(sub) = b {
+                        total += std::mem::size_of::<INode<K, V>>();
+                        total += self.node_bytes(sub, g);
+                    }
+                }
+            }
+            Kind::T(_) => {}
+            Kind::L(list) => {
+                total += list.len() * std::mem::size_of::<SNode<K, V>>();
+            }
+        }
+        total
+    }
+
+    fn walk(&self, in_: &INode<K, V>, g: &Guard, f: &mut dyn FnMut(&K, &V)) {
+        let m = self.gcas_read(in_, g);
+        match &unsafe { m.deref() }.kind {
+            Kind::C(cn) => {
+                for b in cn.array.iter() {
+                    match b {
+                        Branch::I(sub) => self.walk(sub, g, f),
+                        Branch::S(sn) => f(&sn.key, &sn.val),
+                    }
+                }
+            }
+            Kind::T(sn) => f(&sn.key, &sn.val),
+            Kind::L(list) => {
+                for sn in list {
+                    f(&sn.key, &sn.val)
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal recursive operations
+    // ------------------------------------------------------------------
+
+    fn ilookup(
+        &self,
+        in_: &INode<K, V>,
+        key: &K,
+        h: u64,
+        lev: u32,
+        parent: Option<&INode<K, V>>,
+        g: &Guard,
+    ) -> Result<Option<V>, Restart> {
+        let m = self.gcas_read(in_, g);
+        match &unsafe { m.deref() }.kind {
+            Kind::C(cn) => {
+                let (flag, pos) = flag_pos(h, lev, cn.bitmap);
+                if cn.bitmap & flag == 0 {
+                    return Ok(None);
+                }
+                match &cn.array[pos] {
+                    // Reads descend regardless of generation: committed
+                    // mains in shared old-generation nodes are frozen, so
+                    // the value read is linearizable at the root-read point.
+                    Branch::I(sub) => self.ilookup(sub, key, h, lev + W, Some(in_), g),
+                    Branch::S(sn) => Ok(if sn.hash == h && sn.key == *key {
+                        Some(sn.val.clone())
+                    } else {
+                        None
+                    }),
+                }
+            }
+            Kind::T(_) => {
+                if let Some(p) = parent {
+                    self.clean(p, lev - W, g);
+                }
+                Err(Restart)
+            }
+            Kind::L(list) => Ok(list
+                .iter()
+                .find(|s| s.hash == h && s.key == *key)
+                .map(|s| s.val.clone())),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn iinsert(
+        &self,
+        in_: &INode<K, V>,
+        key: &K,
+        value: &V,
+        h: u64,
+        lev: u32,
+        parent: Option<&INode<K, V>>,
+        startgen: u64,
+        g: &Guard,
+    ) -> Result<Option<V>, Restart> {
+        let m = self.gcas_read(in_, g);
+        match &unsafe { m.deref() }.kind {
+            Kind::C(cn) => {
+                // Lazy copy-on-write: bring the C-node up to the current
+                // generation before modifying anything beneath it.
+                if cn.gen != in_.gen {
+                    let renewed =
+                        cn.renewed(in_.gen, &mut |inode| self.gcas_read(inode, g));
+                    return if self.gcas(in_, m, Kind::C(renewed), g) {
+                        self.iinsert(in_, key, value, h, lev, parent, startgen, g)
+                    } else {
+                        Err(Restart)
+                    };
+                }
+                let (flag, pos) = flag_pos(h, lev, cn.bitmap);
+                if cn.bitmap & flag == 0 {
+                    let ncn = cn.inserted(
+                        flag,
+                        pos,
+                        Branch::S(SNode { hash: h, key: key.clone(), val: value.clone() }),
+                    );
+                    return if self.gcas(in_, m, Kind::C(ncn), g) {
+                        Ok(None)
+                    } else {
+                        Err(Restart)
+                    };
+                }
+                match &cn.array[pos] {
+                    Branch::I(sub) => {
+                        if sub.gen == startgen {
+                            self.iinsert(sub, key, value, h, lev + W, Some(in_), startgen, g)
+                        } else {
+                            // Renew this level, then retry it.
+                            let renewed =
+                                cn.renewed(startgen, &mut |inode| self.gcas_read(inode, g));
+                            if self.gcas(in_, m, Kind::C(renewed), g) {
+                                self.iinsert(in_, key, value, h, lev, parent, startgen, g)
+                            } else {
+                                Err(Restart)
+                            }
+                        }
+                    }
+                    Branch::S(sn) => {
+                        if sn.hash == h && sn.key == *key {
+                            let old = sn.val.clone();
+                            let ncn = cn.updated(
+                                pos,
+                                Branch::S(SNode {
+                                    hash: h,
+                                    key: key.clone(),
+                                    val: value.clone(),
+                                }),
+                            );
+                            if self.gcas(in_, m, Kind::C(ncn), g) {
+                                Ok(Some(old))
+                            } else {
+                                Err(Restart)
+                            }
+                        } else {
+                            // Two distinct keys in one slot: expand downward.
+                            let sub_main = self.dual(
+                                sn.duplicate(),
+                                SNode { hash: h, key: key.clone(), val: value.clone() },
+                                lev + W,
+                                startgen,
+                                g,
+                            );
+                            let nin = Arc::new(INode::new(sub_main, startgen));
+                            let ncn = cn.updated(pos, Branch::I(nin));
+                            if self.gcas(in_, m, Kind::C(ncn), g) {
+                                Ok(None)
+                            } else {
+                                Err(Restart)
+                            }
+                        }
+                    }
+                }
+            }
+            Kind::T(_) => {
+                if let Some(p) = parent {
+                    self.clean(p, lev - W, g);
+                }
+                Err(Restart)
+            }
+            Kind::L(list) => {
+                let mut nl: Vec<SNode<K, V>> = list.iter().map(|s| s.duplicate()).collect();
+                let mut old = None;
+                if let Some(s) = nl.iter_mut().find(|s| s.hash == h && s.key == *key) {
+                    old = Some(std::mem::replace(&mut s.val, value.clone()));
+                } else {
+                    nl.push(SNode { hash: h, key: key.clone(), val: value.clone() });
+                }
+                if self.gcas(in_, m, Kind::L(nl), g) {
+                    Ok(old)
+                } else {
+                    Err(Restart)
+                }
+            }
+        }
+    }
+
+    /// Build the main node for two colliding leaves below level `lev`.
+    fn dual<'g>(
+        &self,
+        x: SNode<K, V>,
+        y: SNode<K, V>,
+        lev: u32,
+        gen: u64,
+        g: &'g Guard,
+    ) -> Shared<'g, Main<K, V>> {
+        if lev >= MAX_LEVEL {
+            return Main::new(Kind::L(vec![x, y])).into_shared(g);
+        }
+        let xidx = (x.hash >> lev) & 0x3f;
+        let yidx = (y.hash >> lev) & 0x3f;
+        let xflag = 1u64 << xidx;
+        let yflag = 1u64 << yidx;
+        if xidx != yidx {
+            let bitmap = xflag | yflag;
+            let array = if xidx < yidx {
+                vec![Branch::S(x), Branch::S(y)]
+            } else {
+                vec![Branch::S(y), Branch::S(x)]
+            };
+            Main::new(Kind::C(CNode { bitmap, array: array.into_boxed_slice(), gen }))
+                .into_shared(g)
+        } else {
+            let sub = self.dual(x, y, lev + W, gen, g);
+            let inner = Arc::new(INode::new(sub, gen));
+            Main::new(Kind::C(CNode {
+                bitmap: xflag,
+                array: vec![Branch::I(inner)].into_boxed_slice(),
+                gen,
+            }))
+            .into_shared(g)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn iremove(
+        &self,
+        in_: &INode<K, V>,
+        key: &K,
+        h: u64,
+        lev: u32,
+        parent: Option<&INode<K, V>>,
+        startgen: u64,
+        g: &Guard,
+    ) -> Result<Option<V>, Restart> {
+        let m = self.gcas_read(in_, g);
+        match &unsafe { m.deref() }.kind {
+            Kind::C(cn) => {
+                if cn.gen != in_.gen {
+                    let renewed =
+                        cn.renewed(in_.gen, &mut |inode| self.gcas_read(inode, g));
+                    return if self.gcas(in_, m, Kind::C(renewed), g) {
+                        self.iremove(in_, key, h, lev, parent, startgen, g)
+                    } else {
+                        Err(Restart)
+                    };
+                }
+                let (flag, pos) = flag_pos(h, lev, cn.bitmap);
+                if cn.bitmap & flag == 0 {
+                    return Ok(None);
+                }
+                let res = match &cn.array[pos] {
+                    Branch::I(sub) => {
+                        if sub.gen == startgen {
+                            self.iremove(sub, key, h, lev + W, Some(in_), startgen, g)?
+                        } else {
+                            let renewed =
+                                cn.renewed(startgen, &mut |inode| self.gcas_read(inode, g));
+                            return if self.gcas(in_, m, Kind::C(renewed), g) {
+                                self.iremove(in_, key, h, lev, parent, startgen, g)
+                            } else {
+                                Err(Restart)
+                            };
+                        }
+                    }
+                    Branch::S(sn) => {
+                        if sn.hash == h && sn.key == *key {
+                            let ncn = cn.removed(flag, pos);
+                            let contracted = self.to_contracted(ncn, lev);
+                            if self.gcas(in_, m, contracted, g) {
+                                Some(sn.val.clone())
+                            } else {
+                                return Err(Restart);
+                            }
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if res.is_some() {
+                    if let Some(p) = parent {
+                        let n = self.gcas_read(in_, g);
+                        if matches!(&unsafe { n.deref() }.kind, Kind::T(_)) {
+                            self.clean_parent(p, in_, h, lev - W, startgen, g);
+                        }
+                    }
+                }
+                Ok(res)
+            }
+            Kind::T(_) => {
+                if let Some(p) = parent {
+                    self.clean(p, lev - W, g);
+                }
+                Err(Restart)
+            }
+            Kind::L(list) => {
+                let old = list
+                    .iter()
+                    .find(|s| s.hash == h && s.key == *key)
+                    .map(|s| s.val.clone());
+                if old.is_none() {
+                    return Ok(None);
+                }
+                let nl: Vec<SNode<K, V>> = list
+                    .iter()
+                    .filter(|s| !(s.hash == h && s.key == *key))
+                    .map(|s| s.duplicate())
+                    .collect();
+                let new_kind = if nl.len() == 1 {
+                    Kind::T(nl.into_iter().next().unwrap())
+                } else {
+                    Kind::L(nl)
+                };
+                if self.gcas(in_, m, new_kind, g) {
+                    Ok(old)
+                } else {
+                    Err(Restart)
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Contraction / cleanup
+    // ------------------------------------------------------------------
+
+    /// Entomb a single-leaf C-node (below the root) into a tomb node.
+    fn to_contracted(&self, cn: CNode<K, V>, lev: u32) -> Kind<K, V> {
+        if lev > 0 && cn.array.len() == 1 {
+            if let Branch::S(sn) = &cn.array[0] {
+                return Kind::T(sn.duplicate());
+            }
+        }
+        Kind::C(cn)
+    }
+
+    /// Compress a C-node: resurrect child tombs into leaves, then contract.
+    fn to_compressed(&self, cn: &CNode<K, V>, lev: u32, g: &Guard) -> Kind<K, V> {
+        let arr: Vec<Branch<K, V>> = cn
+            .array
+            .iter()
+            .map(|b| match b {
+                Branch::I(sub) => {
+                    let sm = self.gcas_read(sub, g);
+                    match &unsafe { sm.deref() }.kind {
+                        Kind::T(sn) => Branch::S(sn.duplicate()),
+                        _ => dup_branch(b),
+                    }
+                }
+                Branch::S(_) => dup_branch(b),
+            })
+            .collect();
+        self.to_contracted(
+            CNode { bitmap: cn.bitmap, array: arr.into_boxed_slice(), gen: cn.gen },
+            lev,
+        )
+    }
+
+    /// Replace a C-node containing tombed children with its compression.
+    fn clean(&self, in_: &INode<K, V>, lev: u32, g: &Guard) {
+        let m = self.gcas_read(in_, g);
+        if let Kind::C(cn) = &unsafe { m.deref() }.kind {
+            let compressed = self.to_compressed(cn, lev, g);
+            let _ = self.gcas(in_, m, compressed, g);
+        }
+    }
+
+    /// After a removal leaves `in_sub` holding a tomb, pull the tombed leaf
+    /// up into `parent`.
+    fn clean_parent(
+        &self,
+        parent: &INode<K, V>,
+        in_sub: &INode<K, V>,
+        h: u64,
+        lev: u32,
+        startgen: u64,
+        g: &Guard,
+    ) {
+        loop {
+            let m = self.gcas_read(parent, g);
+            if let Kind::C(cn) = &unsafe { m.deref() }.kind {
+                let (flag, pos) = flag_pos(h, lev, cn.bitmap);
+                if cn.bitmap & flag == 0 {
+                    return;
+                }
+                if let Branch::I(sub) = &cn.array[pos] {
+                    if !std::ptr::eq(sub.as_ref(), in_sub) {
+                        return;
+                    }
+                    let sm = self.gcas_read(in_sub, g);
+                    if let Kind::T(sn) = &unsafe { sm.deref() }.kind {
+                        let ncn = cn.updated(pos, Branch::S(sn.duplicate()));
+                        let contracted = self.to_contracted(ncn, lev);
+                        if !self.gcas(parent, m, contracted, g) {
+                            let r = self.read_root(g);
+                            if unsafe { r.deref() }.gen == startgen {
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+    }
+}
+
+impl<K, V, S> Drop for Ctrie<K, V, S> {
+    fn drop(&mut self) {
+        // Exclusive access: no concurrent operations can exist (`&mut self`).
+        // Snapshot resolves its descriptor before returning, so the root can
+        // never hold one here.
+        let g = unsafe { epoch::unprotected() };
+        let r = self.root.load(SeqCst, g);
+        debug_assert_eq!(r.tag(), 0, "descriptor present at drop");
+        if r.tag() == 0 && !r.is_null() {
+            unsafe { drop(Box::from_raw(r.as_raw() as *mut INode<K, V>)) };
+        }
+    }
+}
+
+impl<K, V, S> fmt::Debug for Ctrie<K, V, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctrie").field("len", &self.len()).finish()
+    }
+}

@@ -1,0 +1,118 @@
+//! A fast, deterministic hasher (the FxHash algorithm used by rustc).
+//!
+//! The ctrie needs a cheap 64-bit hash because every operation re-derives the
+//! trie path from the key hash; SipHash would dominate lookup cost for the
+//! integer keys the Indexed DataFrame recommends (§III-A of the paper).
+
+use std::hash::{BuildHasher, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash: multiply-xor-rotate, deterministic across runs.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; the default hasher of [`crate::Ctrie`].
+#[derive(Default, Clone, Copy, Debug)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        
+        
+        FxBuildHasher.hash_one(&v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("abc"), hash_of("abc"));
+    }
+
+    #[test]
+    fn distinct_inputs_differ() {
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+        assert_ne!(hash_of("a"), hash_of("b"));
+    }
+
+    #[test]
+    fn spreads_small_integers() {
+        // The trie branches on the low 6 bits first; consecutive integers must
+        // not all collide in their low bits after hashing.
+        let buckets: std::collections::HashSet<u64> =
+            (0u64..64).map(|i| hash_of(i) & 0x3f).collect();
+        assert!(buckets.len() > 16, "low bits poorly distributed");
+    }
+
+    #[test]
+    fn handles_unaligned_tails() {
+        assert_ne!(hash_of([1u8, 2, 3].as_slice()), hash_of([1u8, 2, 4].as_slice()));
+        assert_ne!(
+            hash_of([1u8, 2, 3, 4, 5, 6, 7, 8, 9].as_slice()),
+            hash_of([1u8, 2, 3, 4, 5, 6, 7, 8, 10].as_slice())
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Node types of the concurrent hash trie.
+//!
+//! The layout follows Prokopec et al., "Concurrent Tries with Efficient
+//! Non-Blocking Snapshots" (PPoPP'12):
+//!
+//! * [`INode`] — an *indirection* node holding an atomic pointer to a
+//!   [`Main`] node; the only mutable cell in the trie. Every I-node is
+//!   stamped with the generation it was created in, which drives the
+//!   copy-on-write renewal that makes O(1) snapshots possible. I-nodes are
+//!   shared by reference (`Arc`) between C-node copies, exactly like object
+//!   references on the JVM: a CAS through any copy is visible through all.
+//! * [`Main`] — the GCAS-managed payload: a branching [`CNode`], a tombed
+//!   singleton (`TNode`), or a hash-collision list (`LNode`). Each `Main`
+//!   carries the GCAS `prev` field and a reference count.
+//! * [`Branch`] — array slots of a `CNode`: either a shared `INode` or a
+//!   key/value `SNode`.
+//!
+//! # Memory management
+//!
+//! The JVM original relies on garbage collection; snapshots share arbitrary
+//! subtrees across tries, so neither pure epoch reclamation nor unique
+//! ownership suffices. We combine reference counting with epochs: every
+//! `Main` is reference counted (one count per I-node or trie root pointing
+//! at it), and counts are only ever *decremented after an epoch grace
+//! period* (or from provably exclusive contexts such as `Drop`). Readers
+//! traverse under an epoch guard and never touch the counts, so reads stay
+//! lock-free and reclamation-safe: a reader that can still see a pointer is
+//! covered either by a count (the pointer is still linked) or by its guard
+//! (the unlink's deferred decrement cannot run until the guard drops).
+
+use crossbeam_epoch::{Atomic, Owned, Shared};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Bits consumed per trie level (64-way branching).
+pub(crate) const W: u32 = 6;
+/// Levels at or beyond this depth store collisions in an `LNode`.
+pub(crate) const MAX_LEVEL: u32 = 60;
+
+static GEN_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh, globally unique generation stamp.
+pub(crate) fn next_gen() -> u64 {
+    GEN_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A key/value leaf together with the cached key hash.
+pub(crate) struct SNode<K, V> {
+    pub hash: u64,
+    pub key: K,
+    pub val: V,
+}
+
+impl<K: Clone, V: Clone> SNode<K, V> {
+    pub(crate) fn duplicate(&self) -> Self {
+        SNode { hash: self.hash, key: self.key.clone(), val: self.val.clone() }
+    }
+}
+
+/// Indirection node: the single mutable cell of the trie.
+///
+/// Holds exactly one reference count on whatever `main` currently points to;
+/// the count is transferred by the GCAS protocol on updates and released in
+/// `Drop` (which runs only once the I-node is unreachable).
+pub(crate) struct INode<K, V> {
+    pub main: Atomic<Main<K, V>>,
+    pub gen: u64,
+}
+
+impl<K, V> INode<K, V> {
+    /// Create an I-node owning one count on `main` (the count must already
+    /// be accounted to the caller, typically via `Main::new` or `retain`).
+    pub(crate) fn new(main: Shared<'_, Main<K, V>>, gen: u64) -> INode<K, V> {
+        INode { main: Atomic::from(main), gen }
+    }
+}
+
+impl<K, V> Drop for INode<K, V> {
+    fn drop(&mut self) {
+        // Safe: an I-node is dropped only when its last owner (a destroyed
+        // C-node, a replaced trie root, or an aborted allocation) releases
+        // it, which by construction happens after a grace period or from an
+        // exclusive context.
+        unsafe {
+            let m = self.main.load(Ordering::Relaxed, crossbeam_epoch::unprotected());
+            release(m.as_raw());
+        }
+    }
+}
+
+/// A slot in a `CNode`'s branch array.
+pub(crate) enum Branch<K, V> {
+    I(Arc<INode<K, V>>),
+    S(SNode<K, V>),
+}
+
+/// Branching node: a bitmap plus a dense array of populated branches.
+pub(crate) struct CNode<K, V> {
+    pub bitmap: u64,
+    pub array: Box<[Branch<K, V>]>,
+    pub gen: u64,
+}
+
+/// The payload variants a `Main` node can hold.
+pub(crate) enum Kind<K, V> {
+    C(CNode<K, V>),
+    /// Tomb node: a single entombed leaf awaiting contraction into its parent.
+    T(SNode<K, V>),
+    /// Collision list for keys whose hashes are equal through `MAX_LEVEL` bits.
+    L(Vec<SNode<K, V>>),
+}
+
+/// GCAS `prev`-field tag marking a failed (to-be-rolled-back) update.
+pub(crate) const PREV_FAILED: usize = 1;
+
+/// Reference-counted, GCAS-managed main node.
+pub(crate) struct Main<K, V> {
+    pub kind: Kind<K, V>,
+    /// GCAS bookkeeping: null once committed; tagged `PREV_FAILED` when the
+    /// update must be rolled back. Holds **no** reference count.
+    pub prev: Atomic<Main<K, V>>,
+    /// Number of I-nodes / trie roots referencing this node.
+    pub rc: AtomicUsize,
+}
+
+impl<K, V> Main<K, V> {
+    /// Allocate a committed-from-birth main node with count 1.
+    pub(crate) fn new(kind: Kind<K, V>) -> Owned<Main<K, V>> {
+        Owned::new(Main { kind, prev: Atomic::null(), rc: AtomicUsize::new(1) })
+    }
+}
+
+/// Increment the reference count of a main node.
+///
+/// # Safety
+/// `m` must point to a live `Main` reachable under the caller's epoch guard
+/// or via an owned reference.
+pub(crate) unsafe fn retain<K, V>(m: Shared<'_, Main<K, V>>) {
+    debug_assert!(!m.is_null());
+    m.deref().rc.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Drop one reference to `m`, destroying it (and transitively its children,
+/// via `INode::drop`) when the count reaches zero.
+///
+/// # Safety
+/// Must only be called after an epoch grace period has passed since `m`
+/// became unreachable through the reference being dropped, or from a context
+/// with exclusive access (e.g. `Drop`). `m` must be a valid pointer obtained
+/// from `Owned::into_shared` / `Atomic`, or null.
+pub(crate) unsafe fn release<K, V>(m: *const Main<K, V>) {
+    if m.is_null() {
+        return;
+    }
+    let node = &*m;
+    if node.rc.fetch_sub(1, Ordering::Release) == 1 {
+        std::sync::atomic::fence(Ordering::Acquire);
+        // Dropping the box drops `kind`; embedded Arc<INode> branches whose
+        // count reaches zero run `INode::drop`, releasing child mains.
+        // `prev` is intentionally not released (it holds no count).
+        drop(Box::from_raw(m as *mut Main<K, V>));
+    }
+}
+
+/// Compute the branch flag and dense-array position for `hash` at `lev`.
+#[inline]
+pub(crate) fn flag_pos(hash: u64, lev: u32, bitmap: u64) -> (u64, usize) {
+    let idx = (hash >> lev) & 0x3f;
+    let flag = 1u64 << idx;
+    let pos = (bitmap & (flag.wrapping_sub(1))).count_ones() as usize;
+    (flag, pos)
+}
+
+/// Duplicate a branch for inclusion in a copied C-node. I-nodes are shared
+/// (`Arc::clone`): a copy must observe future CASes through the original.
+pub(crate) fn dup_branch<K: Clone, V: Clone>(b: &Branch<K, V>) -> Branch<K, V> {
+    match b {
+        Branch::S(sn) => Branch::S(sn.duplicate()),
+        Branch::I(inode) => Branch::I(Arc::clone(inode)),
+    }
+}
+
+impl<K: Clone, V: Clone> CNode<K, V> {
+    /// Copy of this C-node with `branch` inserted at `flag`.
+    pub(crate) fn inserted(&self, flag: u64, pos: usize, branch: Branch<K, V>) -> CNode<K, V> {
+        let mut arr: Vec<Branch<K, V>> = Vec::with_capacity(self.array.len() + 1);
+        arr.extend(self.array[..pos].iter().map(dup_branch));
+        arr.push(branch);
+        arr.extend(self.array[pos..].iter().map(dup_branch));
+        CNode { bitmap: self.bitmap | flag, array: arr.into_boxed_slice(), gen: self.gen }
+    }
+
+    /// Copy of this C-node with the branch at `pos` replaced.
+    pub(crate) fn updated(&self, pos: usize, branch: Branch<K, V>) -> CNode<K, V> {
+        let mut arr: Vec<Branch<K, V>> = Vec::with_capacity(self.array.len());
+        arr.extend(self.array[..pos].iter().map(dup_branch));
+        arr.push(branch);
+        arr.extend(self.array[pos + 1..].iter().map(dup_branch));
+        CNode { bitmap: self.bitmap, array: arr.into_boxed_slice(), gen: self.gen }
+    }
+
+    /// Copy of this C-node with the branch at `pos`/`flag` removed.
+    pub(crate) fn removed(&self, flag: u64, pos: usize) -> CNode<K, V> {
+        let mut arr: Vec<Branch<K, V>> = Vec::with_capacity(self.array.len().saturating_sub(1));
+        for (i, b) in self.array.iter().enumerate() {
+            if i != pos {
+                arr.push(dup_branch(b));
+            }
+        }
+        CNode { bitmap: self.bitmap & !flag, array: arr.into_boxed_slice(), gen: self.gen }
+    }
+
+    /// Copy of this C-node with every embedded I-node re-created at `gen`,
+    /// pointing at the same committed main nodes (one retained count each).
+    /// This is the lazy copy-on-write step behind O(1) snapshots.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn renewed<'g>(
+        &self,
+        gen: u64,
+        committed_child: &mut dyn FnMut(&INode<K, V>) -> Shared<'g, Main<K, V>>,
+    ) -> CNode<K, V> {
+        let arr: Vec<Branch<K, V>> = self
+            .array
+            .iter()
+            .map(|b| match b {
+                Branch::S(sn) => Branch::S(sn.duplicate()),
+                Branch::I(inode) => {
+                    let m = committed_child(inode);
+                    unsafe { retain(m) };
+                    Branch::I(Arc::new(INode::new(m, gen)))
+                }
+            })
+            .collect();
+        CNode { bitmap: self.bitmap, array: arr.into_boxed_slice(), gen }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_pos_dense_packing() {
+        // bitmap with bits 1, 3, 5 set; hash selecting index 3 at level 0.
+        let bitmap = 0b101010u64;
+        let (flag, pos) = flag_pos(3, 0, bitmap);
+        assert_eq!(flag, 1 << 3);
+        assert_eq!(pos, 1); // one set bit (bit 1) below bit 3
+
+        let (_, pos5) = flag_pos(5, 0, bitmap);
+        assert_eq!(pos5, 2);
+        let (_, pos0) = flag_pos(0, 0, bitmap);
+        assert_eq!(pos0, 0);
+    }
+
+    #[test]
+    fn flag_pos_uses_level_shift() {
+        let h = 0b000001_000010u64; // idx 2 at lev 0, idx 1 at lev 6
+        let (f0, _) = flag_pos(h, 0, u64::MAX);
+        let (f6, _) = flag_pos(h, 6, u64::MAX);
+        assert_eq!(f0, 1 << 2);
+        assert_eq!(f6, 1 << 1);
+    }
+
+    #[test]
+    fn cnode_insert_update_remove_shapes() {
+        let g = crossbeam_epoch::pin();
+        let _ = &g;
+        let sn = |k: u64| Branch::S(SNode { hash: k, key: k, val: k });
+        let cn = CNode::<u64, u64> { bitmap: 0, array: Vec::new().into_boxed_slice(), gen: 0 };
+        let cn = cn.inserted(1 << 4, 0, sn(4));
+        let cn = cn.inserted(1 << 9, 1, sn(9));
+        assert_eq!(cn.array.len(), 2);
+        assert_eq!(cn.bitmap, (1 << 4) | (1 << 9));
+        let cn2 = cn.updated(0, sn(40));
+        assert_eq!(cn2.array.len(), 2);
+        match &cn2.array[0] {
+            Branch::S(s) => assert_eq!(s.key, 40),
+            _ => panic!("expected SNode"),
+        }
+        let cn3 = cn2.removed(1 << 4, 0);
+        assert_eq!(cn3.array.len(), 1);
+        assert_eq!(cn3.bitmap, 1 << 9);
+    }
+}

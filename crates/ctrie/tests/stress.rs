@@ -1,0 +1,235 @@
+//! Concurrency stress tests and property-based model checks for the
+//! ctrie. The PPoPP'12 algorithm is subtle (GCAS, RDCSS, generation
+//! renewal); these tests hammer the interleavings the unit tests cannot.
+
+use ctrie::Ctrie;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Writers keep inserting/removing while snapshotters continuously take
+/// and verify snapshots: every snapshot must contain exactly the stable
+/// prefix plus some subset of in-flight keys, each with a valid value.
+#[test]
+fn snapshots_under_churn_are_consistent() {
+    let trie: Arc<Ctrie<u64, u64>> = Arc::new(Ctrie::new());
+    // Stable keys that never change: every snapshot must contain them.
+    for k in 0..500u64 {
+        trie.insert(k, k * 7);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..4u64)
+        .map(|w| {
+            let trie = Arc::clone(&trie);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = 1_000 + (w * 10_000) + (i % 2_000);
+                    if i % 3 == 2 {
+                        trie.remove(&k);
+                    } else {
+                        trie.insert(k, k);
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let mut verified = 0;
+    for _ in 0..30 {
+        let snap = trie.snapshot();
+        let mut seen = HashMap::new();
+        snap.for_each(|k, v| {
+            seen.insert(*k, *v);
+        });
+        // Stable prefix present and correct.
+        for k in 0..500u64 {
+            assert_eq!(seen.get(&k), Some(&(k * 7)), "stable key {k} corrupted");
+        }
+        // Churn keys, when present, carry the exact value their writer used.
+        for (k, v) in &seen {
+            if *k >= 1_000 {
+                assert_eq!(v, k, "churn key {k} has foreign value {v}");
+            }
+        }
+        // And the snapshot stays frozen while churn continues.
+        let before = seen.len();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let mut after = 0;
+        snap.for_each(|_, _| after += 1);
+        assert_eq!(before, after, "snapshot changed under churn");
+        verified += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_eq!(verified, 30);
+}
+
+/// Concurrent removes and inserts on overlapping ranges never lose
+/// unrelated keys (checks tomb/contraction races).
+#[test]
+fn concurrent_remove_insert_interleaving() {
+    let trie: Arc<Ctrie<u64, u64>> = Arc::new(Ctrie::new());
+    for k in 0..2_000u64 {
+        trie.insert(k, 1);
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let trie = Arc::clone(&trie);
+            std::thread::spawn(move || {
+                for round in 0..200u64 {
+                    for k in (t * 500..(t + 1) * 500).step_by(7) {
+                        trie.remove(&k);
+                        trie.insert(k, round);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Keys not divisible by 7-steps from each thread's base were untouched.
+    let mut count = 0;
+    trie.for_each(|_, _| count += 1);
+    assert_eq!(count, trie.len());
+    for k in 0..2_000u64 {
+        let touched = (0..4).any(|t| {
+            let base = t * 500;
+            k >= base && k < base + 500 && (k - base) % 7 == 0
+        });
+        if touched {
+            assert!(trie.lookup(&k).is_some(), "touched key {k} must end present");
+        } else {
+            assert_eq!(trie.lookup(&k), Some(1), "untouched key {k} lost");
+        }
+    }
+}
+
+/// Deep snapshot chains with interleaved writes: each version sees exactly
+/// its own prefix of the history.
+#[test]
+fn long_snapshot_chain() {
+    let mut versions: Vec<Ctrie<u64, u64>> = vec![Ctrie::new()];
+    for gen in 0..40u64 {
+        let next = versions.last().unwrap().snapshot();
+        next.insert(gen, gen);
+        versions.push(next);
+    }
+    for (i, v) in versions.iter().enumerate() {
+        assert_eq!(v.len(), i, "version {i} size");
+        for gen in 0..40u64 {
+            let expect = if (gen as usize) < i { Some(gen) } else { None };
+            assert_eq!(v.lookup(&gen), expect, "version {i}, key {gen}");
+        }
+    }
+}
+
+/// Memory-reclamation smoke test: high-churn workload with snapshots
+/// dropped at random points must not crash or corrupt (run under
+/// AddressSanitizer to catch double frees / use-after-free).
+#[test]
+fn churn_with_dropped_snapshots() {
+    let trie: Arc<Ctrie<u64, Vec<u8>>> = Arc::new(Ctrie::new());
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let trie = Arc::clone(&trie);
+            std::thread::spawn(move || {
+                let mut snaps = Vec::new();
+                for i in 0..3_000u64 {
+                    let k = (t * 3_000) + (i % 600);
+                    trie.insert(k, vec![t as u8; 16]);
+                    if i % 500 == 0 {
+                        snaps.push(trie.snapshot());
+                    }
+                    if i % 900 == 0 {
+                        snaps.clear(); // drop snapshots mid-churn
+                    }
+                    if i % 5 == 0 {
+                        trie.remove(&k);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut total = 0;
+    trie.for_each(|_, v| {
+        assert_eq!(v.len(), 16);
+        total += 1;
+    });
+    assert!(total > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Sequential ops with interleaved snapshot/restore cycles match a
+    /// model that forks alongside.
+    #[test]
+    fn forked_histories_match_model(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 1..300)
+    ) {
+        let mut tries = vec![(Ctrie::<u16, u16>::new(), HashMap::<u16, u16>::new())];
+        for (action, key) in ops {
+            let idx = (action as usize / 8) % tries.len();
+            match action % 8 {
+                0..=3 => {
+                    let (t, m) = &mut tries[idx];
+                    prop_assert_eq!(t.insert(key, key), m.insert(key, key));
+                }
+                4..=5 => {
+                    let (t, m) = &mut tries[idx];
+                    prop_assert_eq!(t.remove(&key), m.remove(&key));
+                }
+                6 => {
+                    let (t, m) = &tries[idx];
+                    prop_assert_eq!(t.lookup(&key), m.get(&key).copied());
+                }
+                _ => {
+                    if tries.len() < 5 {
+                        let (t, m) = &tries[idx];
+                        let fork = (t.snapshot(), m.clone());
+                        tries.push(fork);
+                    }
+                }
+            }
+        }
+        // All forks remain internally consistent.
+        for (t, m) in &tries {
+            let mut seen = HashMap::new();
+            t.for_each(|k, v| { seen.insert(*k, *v); });
+            prop_assert_eq!(&seen, m);
+        }
+    }
+
+    /// Insert-then-remove-everything always yields an empty trie (checks
+    /// contraction down to the root in every shape).
+    #[test]
+    fn drain_leaves_empty(keys in proptest::collection::hash_set(any::<u32>(), 1..200)) {
+        let trie = Ctrie::new();
+        for k in &keys {
+            trie.insert(*k, ());
+        }
+        prop_assert_eq!(trie.len(), keys.len());
+        let keys_vec: HashSet<u32> = keys;
+        for k in &keys_vec {
+            prop_assert_eq!(trie.remove(k), Some(()));
+        }
+        prop_assert_eq!(trie.len(), 0);
+        let mut any = false;
+        trie.for_each(|_, _| any = true);
+        prop_assert!(!any, "drained trie still has entries");
+        // Reusable after drain.
+        trie.insert(1, ());
+        prop_assert_eq!(trie.lookup(&1), Some(()));
+    }
+}

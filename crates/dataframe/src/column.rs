@@ -1,0 +1,333 @@
+//! Columnar in-memory cache — the paper's performance baseline.
+//!
+//! "The Indexed DataFrame is an in-memory table, thus our performance
+//! baseline is the default in-memory (columnar) caching mechanism provided
+//! by Spark" (§IV-A). Vanilla tables are cached as typed column vectors per
+//! partition; scans, filters and projections operate directly on columns,
+//! which is why projections beat the Indexed DataFrame's row-wise storage
+//! in Fig. 8 / SQ5–SQ6 of Fig. 13.
+
+use rowstore::{DataType, Row, Schema, Value};
+use std::sync::Arc;
+
+/// A typed column vector with a validity mask.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    Int32 { values: Vec<i32>, nulls: Vec<bool> },
+    Int64 { values: Vec<i64>, nulls: Vec<bool> },
+    Float64 { values: Vec<f64>, nulls: Vec<bool> },
+    Bool { values: Vec<bool>, nulls: Vec<bool> },
+    Utf8 { values: Vec<String>, nulls: Vec<bool> },
+}
+
+impl ColumnVec {
+    /// An empty column of the given type.
+    pub fn empty(dtype: DataType) -> ColumnVec {
+        match dtype {
+            DataType::Int32 => ColumnVec::Int32 { values: Vec::new(), nulls: Vec::new() },
+            DataType::Int64 => ColumnVec::Int64 { values: Vec::new(), nulls: Vec::new() },
+            DataType::Float64 => ColumnVec::Float64 { values: Vec::new(), nulls: Vec::new() },
+            DataType::Bool => ColumnVec::Bool { values: Vec::new(), nulls: Vec::new() },
+            DataType::Utf8 => ColumnVec::Utf8 { values: Vec::new(), nulls: Vec::new() },
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int32 { values, .. } => values.len(),
+            ColumnVec::Int64 { values, .. } => values.len(),
+            ColumnVec::Float64 { values, .. } => values.len(),
+            ColumnVec::Bool { values, .. } => values.len(),
+            ColumnVec::Utf8 { values, .. } => values.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one dynamic value (must match the column type or be null).
+    pub fn push(&mut self, v: &Value) {
+        match (self, v) {
+            (ColumnVec::Int32 { values, nulls }, Value::Int32(x)) => {
+                values.push(*x);
+                nulls.push(false);
+            }
+            (ColumnVec::Int32 { values, nulls }, Value::Null) => {
+                values.push(0);
+                nulls.push(true);
+            }
+            (ColumnVec::Int64 { values, nulls }, Value::Int64(x)) => {
+                values.push(*x);
+                nulls.push(false);
+            }
+            (ColumnVec::Int64 { values, nulls }, Value::Null) => {
+                values.push(0);
+                nulls.push(true);
+            }
+            (ColumnVec::Float64 { values, nulls }, Value::Float64(x)) => {
+                values.push(*x);
+                nulls.push(false);
+            }
+            (ColumnVec::Float64 { values, nulls }, Value::Null) => {
+                values.push(0.0);
+                nulls.push(true);
+            }
+            (ColumnVec::Bool { values, nulls }, Value::Bool(x)) => {
+                values.push(*x);
+                nulls.push(false);
+            }
+            (ColumnVec::Bool { values, nulls }, Value::Null) => {
+                values.push(false);
+                nulls.push(true);
+            }
+            (ColumnVec::Utf8 { values, nulls }, Value::Utf8(x)) => {
+                values.push(x.clone());
+                nulls.push(false);
+            }
+            (ColumnVec::Utf8 { values, nulls }, Value::Null) => {
+                values.push(String::new());
+                nulls.push(true);
+            }
+            (col, v) => panic!("type mismatch pushing {v:?} into {:?} column", col.dtype()),
+        }
+    }
+
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnVec::Int32 { .. } => DataType::Int32,
+            ColumnVec::Int64 { .. } => DataType::Int64,
+            ColumnVec::Float64 { .. } => DataType::Float64,
+            ColumnVec::Bool { .. } => DataType::Bool,
+            ColumnVec::Utf8 { .. } => DataType::Utf8,
+        }
+    }
+
+    /// Materialize the value at `i`.
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Int32 { values, nulls } => {
+                if nulls[i] { Value::Null } else { Value::Int32(values[i]) }
+            }
+            ColumnVec::Int64 { values, nulls } => {
+                if nulls[i] { Value::Null } else { Value::Int64(values[i]) }
+            }
+            ColumnVec::Float64 { values, nulls } => {
+                if nulls[i] { Value::Null } else { Value::Float64(values[i]) }
+            }
+            ColumnVec::Bool { values, nulls } => {
+                if nulls[i] { Value::Null } else { Value::Bool(values[i]) }
+            }
+            ColumnVec::Utf8 { values, nulls } => {
+                if nulls[i] { Value::Null } else { Value::Utf8(values[i].clone()) }
+            }
+        }
+    }
+
+    /// Integer view without allocation (filter/join fast path).
+    #[inline]
+    pub fn i64_at(&self, i: usize) -> Option<i64> {
+        match self {
+            ColumnVec::Int32 { values, nulls } => (!nulls[i]).then(|| values[i] as i64),
+            ColumnVec::Int64 { values, nulls } => (!nulls[i]).then(|| values[i]),
+            _ => None,
+        }
+    }
+
+    /// Borrowed string view without allocation.
+    #[inline]
+    pub fn str_at(&self, i: usize) -> Option<&str> {
+        match self {
+            ColumnVec::Utf8 { values, nulls } => (!nulls[i]).then(|| values[i].as_str()),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap bytes held by this column.
+    pub fn heap_bytes(&self) -> usize {
+        let n = self.len();
+        match self {
+            ColumnVec::Int32 { .. } => n * 5,
+            ColumnVec::Int64 { .. } | ColumnVec::Float64 { .. } => n * 9,
+            ColumnVec::Bool { .. } => n * 2,
+            ColumnVec::Utf8 { values, .. } => {
+                n + values.iter().map(|s| s.len() + std::mem::size_of::<String>()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// One cached partition: columns of equal length.
+#[derive(Debug, Clone)]
+pub struct ColumnarPartition {
+    columns: Vec<ColumnVec>,
+    rows: usize,
+}
+
+impl ColumnarPartition {
+    /// An empty partition shaped like `schema`.
+    pub fn empty(schema: &Schema) -> ColumnarPartition {
+        ColumnarPartition {
+            columns: schema.fields().iter().map(|f| ColumnVec::empty(f.dtype)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Build from materialized rows.
+    pub fn from_rows(schema: &Schema, rows: &[Row]) -> ColumnarPartition {
+        let mut p = ColumnarPartition::empty(schema);
+        for r in rows {
+            p.push_row(r);
+        }
+        p
+    }
+
+    pub fn push_row(&mut self, row: &Row) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        for (c, v) in self.columns.iter_mut().zip(row.iter()) {
+            c.push(v);
+        }
+        self.rows += 1;
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column(&self, i: usize) -> &ColumnVec {
+        &self.columns[i]
+    }
+
+    /// Materialize row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Materialize only `cols` of row `i` — the columnar projection fast
+    /// path (touches just the projected columns).
+    pub fn row_projected(&self, i: usize, cols: &[usize]) -> Row {
+        cols.iter().map(|&c| self.columns[c].value(i)).collect()
+    }
+
+    /// Approximate heap bytes of this partition.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.heap_bytes()).sum()
+    }
+}
+
+/// A distributed columnar table: one cached partition per engine partition.
+#[derive(Clone)]
+pub struct ColumnarTable {
+    pub schema: Arc<Schema>,
+    pub partitions: Vec<Arc<ColumnarPartition>>,
+}
+
+impl ColumnarTable {
+    /// Partition `rows` round-robin into `num_partitions` cached partitions.
+    pub fn from_rows(schema: Arc<Schema>, rows: Vec<Row>, num_partitions: usize) -> ColumnarTable {
+        assert!(num_partitions > 0);
+        let mut parts: Vec<ColumnarPartition> =
+            (0..num_partitions).map(|_| ColumnarPartition::empty(&schema)).collect();
+        for (i, r) in rows.iter().enumerate() {
+            parts[i % num_partitions].push_row(r);
+        }
+        ColumnarTable { schema, partitions: parts.into_iter().map(Arc::new).collect() }
+    }
+
+    /// Wrap pre-partitioned rows.
+    pub fn from_partitions(schema: Arc<Schema>, parts: Vec<Vec<Row>>) -> ColumnarTable {
+        let partitions = parts
+            .iter()
+            .map(|rows| Arc::new(ColumnarPartition::from_rows(&schema, rows)))
+            .collect();
+        ColumnarTable { schema, partitions }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.num_rows()).sum()
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    pub fn heap_bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowstore::Field;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::nullable("name", DataType::Utf8),
+            Field::nullable("score", DataType::Float64),
+        ])
+    }
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int64(1), Value::Utf8("a".into()), Value::Float64(0.5)],
+            vec![Value::Int64(2), Value::Null, Value::Float64(1.5)],
+            vec![Value::Int64(3), Value::Utf8("c".into()), Value::Null],
+        ]
+    }
+
+    #[test]
+    fn roundtrip_rows() {
+        let p = ColumnarPartition::from_rows(&schema(), &rows());
+        assert_eq!(p.num_rows(), 3);
+        for (i, r) in rows().iter().enumerate() {
+            assert_eq!(&p.row(i), r);
+        }
+    }
+
+    #[test]
+    fn projection_touches_selected_columns() {
+        let p = ColumnarPartition::from_rows(&schema(), &rows());
+        assert_eq!(p.row_projected(1, &[2, 0]), vec![Value::Float64(1.5), Value::Int64(2)]);
+    }
+
+    #[test]
+    fn fast_accessors() {
+        let p = ColumnarPartition::from_rows(&schema(), &rows());
+        assert_eq!(p.column(0).i64_at(2), Some(3));
+        assert_eq!(p.column(1).str_at(0), Some("a"));
+        assert_eq!(p.column(1).str_at(1), None, "null yields None");
+        assert_eq!(p.column(2).i64_at(0), None, "float is not an int");
+    }
+
+    #[test]
+    fn table_partitioning_spreads_rows() {
+        let many: Vec<Row> = (0..100)
+            .map(|i| vec![Value::Int64(i), Value::Utf8(format!("n{i}")), Value::Float64(0.0)])
+            .collect();
+        let t = ColumnarTable::from_rows(schema(), many, 4);
+        assert_eq!(t.num_partitions(), 4);
+        assert_eq!(t.num_rows(), 100);
+        for p in &t.partitions {
+            assert_eq!(p.num_rows(), 25);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn push_wrong_type_panics() {
+        let mut c = ColumnVec::empty(DataType::Int64);
+        c.push(&Value::Utf8("no".into()));
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        let t = ColumnarTable::from_rows(schema(), rows(), 2);
+        assert!(t.heap_bytes() > 0);
+    }
+}

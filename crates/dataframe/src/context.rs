@@ -1,0 +1,245 @@
+//! The session context: catalog, execution config, and the rule registry
+//! that lets extension libraries (the Indexed DataFrame) inject their own
+//! physical planning — the analogue of registering Catalyst optimization
+//! rules and strategies from an external jar (§III-B, Fig. 2).
+
+use crate::column::ColumnarTable;
+use crate::expr::PlanError;
+use crate::plan::LogicalPlan;
+use crate::physical::ExecPlan;
+use crate::planner::Planner;
+use parking_lot::{Mutex, RwLock};
+use rowstore::{Row, Schema};
+use sparklet::Cluster;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execution tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Number of shuffle partitions for distributed joins/aggregations.
+    pub shuffle_partitions: usize,
+    /// Relations estimated below this size are broadcast instead of
+    /// shuffled (Spark's `autoBroadcastJoinThreshold`; the paper quotes
+    /// 10 MB, §IV-C).
+    pub broadcast_threshold_bytes: usize,
+    /// Prefer sort-merge join over shuffled-hash join for large joins
+    /// (Spark's default; the paper's production runs use broadcast-hash,
+    /// "faster than the notoriously slow SortMerge Join", §IV-E).
+    pub prefer_sort_merge: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            shuffle_partitions: 0, // 0 → derive from cluster geometry
+            broadcast_threshold_bytes: 10 << 20,
+            prefer_sort_merge: false,
+        }
+    }
+}
+
+/// A table registered in the catalog. Implemented by the built-in columnar
+/// cache and by the Indexed DataFrame's Indexed Batch RDD.
+pub trait TableProvider: Send + Sync + 'static {
+    fn schema(&self) -> Arc<Schema>;
+    fn num_partitions(&self) -> usize;
+    /// Materialize one partition as rows — the universal fallback path
+    /// ("an Indexed Batch RDD can always fall back to a regular Spark Row
+    /// RDD", Fig. 2).
+    fn scan_partition(&self, partition: usize) -> Vec<Row>;
+    /// Total rows (exact).
+    fn num_rows(&self) -> usize;
+    /// Estimated in-memory size, used for broadcast decisions.
+    fn estimated_bytes(&self) -> usize;
+    fn as_any(&self) -> &dyn Any;
+
+    /// Scan one partition with a pushed-down predicate and/or projection.
+    /// The default materializes and then filters/projects; providers that
+    /// can evaluate on their native representation (the Indexed Batch
+    /// RDD's binary rows) override this to skip materializing rejected
+    /// rows and unused columns.
+    fn scan_partition_pushdown(
+        &self,
+        partition: usize,
+        predicate: Option<&crate::expr::BoundExpr>,
+        projection: Option<&[usize]>,
+    ) -> Vec<Row> {
+        let rows = self.scan_partition(partition);
+        rows.into_iter()
+            .filter(|r| {
+                predicate
+                    .map(|p| crate::expr::BoundExpr::is_true(&p.eval_row(r)))
+                    .unwrap_or(true)
+            })
+            .map(|r| match projection {
+                Some(cols) => cols.iter().map(|&c| r[c].clone()).collect(),
+                None => r,
+            })
+            .collect()
+    }
+}
+
+impl TableProvider for ColumnarTable {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.num_partitions()
+    }
+
+    fn scan_partition(&self, partition: usize) -> Vec<Row> {
+        let p = &self.partitions[partition];
+        (0..p.num_rows()).map(|i| p.row(i)).collect()
+    }
+
+    fn num_rows(&self) -> usize {
+        self.num_rows()
+    }
+
+    fn estimated_bytes(&self) -> usize {
+        self.heap_bytes()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// An extension hook consulted before default physical planning. The first
+/// rule returning `Some` wins. This is how the Indexed DataFrame library
+/// triggers indexed lookups/joins without modifying engine code.
+pub trait PlannerRule: Send + Sync {
+    /// A short name for `explain` output.
+    fn name(&self) -> &str;
+    /// Try to plan `plan` (including its children) yourself.
+    fn plan(
+        &self,
+        plan: &LogicalPlan,
+        ctx: &Arc<Context>,
+        planner: &Planner,
+    ) -> Option<Result<Arc<dyn ExecPlan>, PlanError>>;
+}
+
+/// The session: cluster handle, catalog, config, and extension rules.
+pub struct Context {
+    cluster: Arc<Cluster>,
+    config: ExecConfig,
+    catalog: Mutex<HashMap<String, Arc<dyn TableProvider>>>,
+    rules: RwLock<Vec<Arc<dyn PlannerRule>>>,
+}
+
+impl Context {
+    pub fn new(cluster: Arc<Cluster>) -> Arc<Context> {
+        Self::with_config(cluster, ExecConfig::default())
+    }
+
+    pub fn with_config(cluster: Arc<Cluster>, config: ExecConfig) -> Arc<Context> {
+        Arc::new(Context {
+            cluster,
+            config,
+            catalog: Mutex::new(HashMap::new()),
+            rules: RwLock::new(Vec::new()),
+        })
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Effective shuffle partition count.
+    pub fn shuffle_partitions(&self) -> usize {
+        if self.config.shuffle_partitions > 0 {
+            self.config.shuffle_partitions
+        } else {
+            self.cluster.config().default_partitions()
+        }
+    }
+
+    /// Register (or replace) a named table.
+    pub fn register_table(&self, name: impl Into<String>, provider: Arc<dyn TableProvider>) {
+        self.catalog.lock().insert(name.into(), provider);
+    }
+
+    /// Remove a table from the catalog.
+    pub fn deregister_table(&self, name: &str) -> Option<Arc<dyn TableProvider>> {
+        self.catalog.lock().remove(name)
+    }
+
+    /// Resolve a table by name.
+    pub fn provider(&self, name: &str) -> Result<Arc<dyn TableProvider>, PlanError> {
+        self.catalog
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PlanError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of registered tables (sorted, for diagnostics).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalog.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Install an extension planning rule (consulted in registration order).
+    pub fn register_rule(&self, rule: Arc<dyn PlannerRule>) {
+        self.rules.write().push(rule);
+    }
+
+    pub fn rules(&self) -> Vec<Arc<dyn PlannerRule>> {
+        self.rules.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowstore::{DataType, Field, Value};
+    use sparklet::ClusterConfig;
+
+    fn table() -> ColumnarTable {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        let rows: Vec<Row> = (0..10).map(|i| vec![Value::Int64(i)]).collect();
+        ColumnarTable::from_rows(schema, rows, 2)
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        ctx.register_table("t", Arc::new(table()));
+        let p = ctx.provider("t").unwrap();
+        assert_eq!(p.num_rows(), 10);
+        assert_eq!(p.num_partitions(), 2);
+        assert_eq!(ctx.table_names(), vec!["t".to_string()]);
+        assert!(ctx.provider("missing").is_err());
+        assert!(ctx.deregister_table("t").is_some());
+        assert!(ctx.provider("t").is_err());
+    }
+
+    #[test]
+    fn provider_scan_matches_rows() {
+        let t = table();
+        let all: Vec<Row> =
+            (0..2).flat_map(|p| TableProvider::scan_partition(&t, p)).collect();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn shuffle_partitions_defaults_from_cluster() {
+        let cluster = Cluster::new(ClusterConfig::test_small()); // 2 workers × 2 cores
+        let ctx = Context::new(Arc::clone(&cluster));
+        assert_eq!(ctx.shuffle_partitions(), cluster.config().default_partitions());
+        let ctx2 = Context::with_config(
+            cluster,
+            ExecConfig { shuffle_partitions: 7, ..ExecConfig::default() },
+        );
+        assert_eq!(ctx2.shuffle_partitions(), 7);
+    }
+}

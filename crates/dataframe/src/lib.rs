@@ -1,0 +1,57 @@
+//! # dataframe — Spark SQL / Catalyst substrate
+//!
+//! The query layer of the Indexed DataFrame reproduction (*In-Memory
+//! Indexed Caching for Distributed Data Processing*, IPPS 2022, §III-B,
+//! Fig. 2): a DataFrame API and small SQL front-end, logical plans, a
+//! rule-based optimizer, and distributed physical operators executing on
+//! [`sparklet`] — including the vanilla join baselines the paper compares
+//! against (broadcast-hash, shuffled-hash, sort-merge) and Spark's default
+//! **columnar in-memory cache**.
+//!
+//! Extension libraries register [`PlannerRule`]s and [`TableProvider`]s to
+//! add new physical operators without touching this crate — exactly how the
+//! paper's library injects indexed lookups and joins into Catalyst.
+//!
+//! ## Example
+//!
+//! ```
+//! use dataframe::{col, lit, ColumnarTable, Context};
+//! use rowstore::{DataType, Field, Schema, Value};
+//! use sparklet::{Cluster, ClusterConfig};
+//! use std::sync::Arc;
+//!
+//! let cluster = Cluster::new(ClusterConfig::test_small());
+//! let ctx = Context::new(cluster);
+//!
+//! let schema = Schema::new(vec![Field::new("id", DataType::Int64)]);
+//! let rows = (0..100i64).map(|i| vec![Value::Int64(i)]).collect();
+//! ctx.register_table("t", Arc::new(ColumnarTable::from_rows(schema, rows, 4)));
+//!
+//! let n = ctx.sql("SELECT * FROM t WHERE id < 10").unwrap().count().unwrap();
+//! assert_eq!(n, 10);
+//!
+//! let n = ctx.table("t").unwrap().filter(col("id").gt_eq(lit(90i64))).count().unwrap();
+//! assert_eq!(n, 10);
+//! ```
+
+mod api;
+mod column;
+mod context;
+mod expr;
+mod optimizer;
+pub mod physical;
+mod plan;
+mod planner;
+mod rows_table;
+mod sql;
+
+pub use api::{DataFrame, GroupedFrame};
+pub use column::{ColumnVec, ColumnarPartition, ColumnarTable};
+pub use context::{Context, ExecConfig, PlannerRule, TableProvider};
+pub use expr::{col, eval_binary, lit, BinOp, BoundExpr, Expr, PlanError};
+pub use optimizer::optimize;
+pub use physical::{gather, ExecPlan, GroupKey, KeyWrap, Partitions};
+pub use plan::{infer_type, AggFunc, AggSpec, LogicalPlan};
+pub use planner::{estimate_bytes, Planner};
+pub use rows_table::RowsTable;
+pub use sql::parse_query;

@@ -1,0 +1,330 @@
+//! Logical plan optimizer.
+//!
+//! The stock rewrite rules that run before physical planning (Catalyst's
+//! logical optimization phase, §III-B): constant folding, filter merging,
+//! and trivially-true/false filter elimination. Index-aware rewrites are
+//! *not* here — they are physical-planning rules registered by the
+//! `indexed-df` crate, mirroring how the paper ships them in an external
+//! library.
+
+use crate::expr::Expr;
+use crate::plan::LogicalPlan;
+use rowstore::Value;
+
+/// Apply all logical rewrites until fixpoint (the rules here only shrink
+/// the tree, so one bottom-up pass suffices).
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    
+    rewrite_bottom_up(plan)
+}
+
+fn rewrite_bottom_up(plan: LogicalPlan) -> LogicalPlan {
+    // Recurse first.
+    let plan = match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(rewrite_bottom_up(*input)),
+            predicate: predicate.fold(),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(rewrite_bottom_up(*input)),
+            exprs: exprs.into_iter().map(|(e, n)| (e.fold(), n)).collect(),
+        },
+        LogicalPlan::Join { left, right, left_key, right_key } => LogicalPlan::Join {
+            left: Box::new(rewrite_bottom_up(*left)),
+            right: Box::new(rewrite_bottom_up(*right)),
+            left_key,
+            right_key,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite_bottom_up(*input)),
+            group_by,
+            aggs,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(rewrite_bottom_up(*input)), keys }
+        }
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(rewrite_bottom_up(*input)), n }
+        }
+        leaf => leaf,
+    };
+
+    // Then rewrite this node.
+    match plan {
+        // Filter(TRUE) → input.
+        LogicalPlan::Filter { input, predicate: Expr::Lit(Value::Bool(true)) } => *input,
+        // Filter(Filter(x, p2), p1) → Filter(x, p2 AND p1).
+        LogicalPlan::Filter { input, predicate } => match *input {
+            LogicalPlan::Filter { input: inner, predicate: inner_pred } => LogicalPlan::Filter {
+                input: inner,
+                predicate: inner_pred.and(predicate),
+            },
+            LogicalPlan::Join { left, right, left_key, right_key } => {
+                push_through_join(predicate, *left, *right, left_key, right_key)
+            }
+            other => LogicalPlan::Filter { input: Box::new(other), predicate },
+        },
+        // Limit(Limit(x, m), n) → Limit(x, min(m, n)).
+        LogicalPlan::Limit { input, n } => match *input {
+            LogicalPlan::Limit { input: inner, n: m } => {
+                LogicalPlan::Limit { input: inner, n: n.min(m) }
+            }
+            other => LogicalPlan::Limit { input: Box::new(other), n },
+        },
+        other => other,
+    }
+}
+
+/// Push filter conjuncts below a join when they reference only one side —
+/// the predicate-pushdown rule that makes selective joins cheap (and lets
+/// the indexed-join rule see a bare indexed scan under the join). Conjuncts
+/// referencing columns of both sides (or unresolvable ones) stay above.
+fn push_through_join(
+    predicate: Expr,
+    left: LogicalPlan,
+    right: LogicalPlan,
+    left_key: String,
+    right_key: String,
+) -> LogicalPlan {
+    let (Ok(left_schema), Ok(right_schema)) = (left.schema(), right.schema()) else {
+        // Schemas unresolvable (error surfaces later in planning): bail out.
+        return LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_key,
+                right_key,
+            }),
+            predicate,
+        };
+    };
+
+    let mut left_preds: Vec<Expr> = Vec::new();
+    let mut right_preds: Vec<Expr> = Vec::new();
+    let mut remaining: Vec<Expr> = Vec::new();
+    for conjunct in split_conjuncts(predicate) {
+        let mut refs = Vec::new();
+        conjunct.referenced(&mut refs);
+        // A column named `right.x` in the join output refers to the right
+        // side's `x`; bare names resolve left-first (matching the join
+        // output schema construction).
+        let all_left = refs.iter().all(|r| left_schema.index_of(r).is_some());
+        let all_right = refs.iter().all(|r| {
+            let bare = r.strip_prefix("right.").unwrap_or(r);
+            right_schema.index_of(bare).is_some()
+                && (r.starts_with("right.") || left_schema.index_of(r).is_none())
+        });
+        if all_left {
+            left_preds.push(conjunct);
+        } else if all_right {
+            right_preds.push(strip_right_prefix(conjunct));
+        } else {
+            remaining.push(conjunct);
+        }
+    }
+
+    let apply = |plan: LogicalPlan, preds: Vec<Expr>| -> LogicalPlan {
+        match preds.into_iter().reduce(|a, b| a.and(b)) {
+            Some(p) => LogicalPlan::Filter { input: Box::new(plan), predicate: p },
+            None => plan,
+        }
+    };
+    let joined = LogicalPlan::Join {
+        left: Box::new(apply(left, left_preds)),
+        right: Box::new(apply(right, right_preds)),
+        left_key,
+        right_key,
+    };
+    apply(joined, remaining)
+}
+
+/// Split a predicate at top-level ANDs.
+fn split_conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary { left, op: crate::expr::BinOp::And, right } => {
+            let mut out = split_conjuncts(*left);
+            out.extend(split_conjuncts(*right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Rewrite `right.x` column references to `x` for evaluation against the
+/// right input's own schema.
+fn strip_right_prefix(e: Expr) -> Expr {
+    match e {
+        Expr::Col(name) => {
+            Expr::Col(name.strip_prefix("right.").unwrap_or(&name).to_string())
+        }
+        Expr::Lit(v) => Expr::Lit(v),
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(strip_right_prefix(*left)),
+            op,
+            right: Box::new(strip_right_prefix(*right)),
+        },
+        Expr::Not(inner) => Expr::Not(Box::new(strip_right_prefix(*inner))),
+        Expr::IsNull(inner) => Expr::IsNull(Box::new(strip_right_prefix(*inner))),
+        Expr::IsNotNull(inner) => Expr::IsNotNull(Box::new(strip_right_prefix(*inner))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use rowstore::{DataType, Field, Schema};
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(vec![Field::new("x", DataType::Int64)]),
+        }
+    }
+
+    #[test]
+    fn true_filter_removed() {
+        let p = LogicalPlan::Filter { input: Box::new(scan()), predicate: lit(true) };
+        assert_eq!(optimize(p), scan());
+    }
+
+    #[test]
+    fn constant_predicate_folded_then_removed() {
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: lit(1i64).lt(lit(2i64)),
+        };
+        assert_eq!(optimize(p), scan());
+    }
+
+    #[test]
+    fn nested_filters_merged() {
+        let p = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan()),
+                predicate: col("x").gt(lit(0i64)),
+            }),
+            predicate: col("x").lt(lit(10i64)),
+        };
+        match optimize(p) {
+            LogicalPlan::Filter { input, predicate } => {
+                assert_eq!(*input, scan());
+                assert_eq!(
+                    predicate,
+                    col("x").gt(lit(0i64)).and(col("x").lt(lit(10i64)))
+                );
+            }
+            other => panic!("expected merged filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_limits_take_min() {
+        let p = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Limit { input: Box::new(scan()), n: 5 }),
+            n: 10,
+        };
+        assert_eq!(optimize(p), LogicalPlan::Limit { input: Box::new(scan()), n: 5 });
+    }
+
+    fn two_table_join() -> (LogicalPlan, LogicalPlan) {
+        let l = LogicalPlan::Scan {
+            table: "l".into(),
+            schema: Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("lv", DataType::Int64),
+            ]),
+        };
+        let r = LogicalPlan::Scan {
+            table: "r".into(),
+            schema: Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("rv", DataType::Int64),
+            ]),
+        };
+        (l, r)
+    }
+
+    #[test]
+    fn filter_pushdown_splits_sides() {
+        let (l, r) = two_table_join();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+                left_key: "k".into(),
+                right_key: "k".into(),
+            }),
+            predicate: col("lv")
+                .gt(lit(1i64))
+                .and(col("rv").lt(lit(9i64)))
+                .and(col("lv").eq(col("rv"))),
+        };
+        match optimize(plan) {
+            LogicalPlan::Filter { input, predicate } => {
+                // Cross-side conjunct stays above.
+                assert_eq!(predicate, col("lv").eq(col("rv")));
+                let LogicalPlan::Join { left, right, .. } = *input else {
+                    panic!("expected join")
+                };
+                assert_eq!(
+                    *left,
+                    LogicalPlan::Filter {
+                        input: Box::new(l),
+                        predicate: col("lv").gt(lit(1i64))
+                    }
+                );
+                assert_eq!(
+                    *right,
+                    LogicalPlan::Filter {
+                        input: Box::new(r),
+                        predicate: col("rv").lt(lit(9i64))
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_pushdown_right_prefixed_columns() {
+        let (l, r) = two_table_join();
+        // `right.k` refers to the right side's key; bare `k` resolves left.
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+                left_key: "k".into(),
+                right_key: "k".into(),
+            }),
+            predicate: col("right.k").gt(lit(5i64)).and(col("k").lt(lit(100i64))),
+        };
+        match optimize(plan) {
+            LogicalPlan::Join { left, right, .. } => {
+                assert_eq!(
+                    *left,
+                    LogicalPlan::Filter { input: Box::new(l), predicate: col("k").lt(lit(100i64)) }
+                );
+                assert_eq!(
+                    *right,
+                    LogicalPlan::Filter { input: Box::new(r), predicate: col("k").gt(lit(5i64)) }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folding_reaches_projections() {
+        let p = LogicalPlan::Project {
+            input: Box::new(scan()),
+            exprs: vec![(lit(2i64).mul(lit(3i64)), "six".into())],
+        };
+        match optimize(p) {
+            LogicalPlan::Project { exprs, .. } => {
+                assert_eq!(exprs[0].0, lit(6i64));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Hash aggregation: per-partition partial aggregation on the cluster,
+//! followed by a driver-side final merge (Spark's partial/final two-phase
+//! aggregate).
+
+use crate::context::Context;
+use crate::physical::{describe_node, ExecPlan, GroupKey, Partitions};
+use crate::plan::AggFunc;
+use rowstore::{Row, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A bound aggregate: function plus input column index (None = COUNT(*)).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundAgg {
+    pub func: AggFunc,
+    pub input: Option<usize>,
+}
+
+/// Mergeable accumulator state.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum { int: i64, float: f64, any_float: bool, seen: bool },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: i64 },
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum { int: 0, float: 0.0, any_float: false, seen: false },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) {
+        match self {
+            Acc::Count(n) => {
+                // COUNT(*) counts rows; COUNT(col) counts non-nulls.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            Acc::Sum { int, float, any_float, seen } => {
+                if let Some(val) = v {
+                    match val {
+                        Value::Float64(f) => {
+                            *float += f;
+                            *any_float = true;
+                            *seen = true;
+                        }
+                        Value::Int32(_) | Value::Int64(_) => {
+                            *int += val.as_i64().unwrap();
+                            *seen = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Acc::Min(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| val.sql_cmp(c) == Some(std::cmp::Ordering::Less))
+                    {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Max(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| val.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
+                    {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Avg { sum, count } => {
+                if let Some(val) = v {
+                    if let Some(f) = val.as_f64() {
+                        *sum += f;
+                        *count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &Acc) {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (
+                Acc::Sum { int: ai, float: af, any_float: aaf, seen: asn },
+                Acc::Sum { int: bi, float: bf, any_float: baf, seen: bsn },
+            ) => {
+                *ai += bi;
+                *af += bf;
+                *aaf |= baf;
+                *asn |= bsn;
+            }
+            (Acc::Min(a), Acc::Min(Some(b))) => {
+                if a.as_ref().is_none_or(|c| b.sql_cmp(c) == Some(std::cmp::Ordering::Less)) {
+                    *a = Some(b.clone());
+                }
+            }
+            (Acc::Max(a), Acc::Max(Some(b))) => {
+                if a.as_ref().is_none_or(|c| b.sql_cmp(c) == Some(std::cmp::Ordering::Greater)) {
+                    *a = Some(b.clone());
+                }
+            }
+            (Acc::Min(_), Acc::Min(None)) | (Acc::Max(_), Acc::Max(None)) => {}
+            (Acc::Avg { sum: asum, count: ac }, Acc::Avg { sum: bsum, count: bc }) => {
+                *asum += bsum;
+                *ac += bc;
+            }
+            _ => unreachable!("merging mismatched accumulators"),
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int64(*n),
+            Acc::Sum { int, float, any_float, seen } => {
+                if !*seen {
+                    Value::Null
+                } else if *any_float {
+                    Value::Float64(*float + *int as f64)
+                } else {
+                    Value::Int64(*int)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.clone().unwrap_or(Value::Null),
+            Acc::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+pub struct HashAggExec {
+    pub input: Arc<dyn ExecPlan>,
+    /// Indices of group-by columns in the input schema.
+    pub group_by: Vec<usize>,
+    pub aggs: Vec<BoundAgg>,
+    pub out_schema: Arc<Schema>,
+}
+
+impl ExecPlan for HashAggExec {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+        let inputs = Arc::new(self.input.execute(ctx));
+        let group_by = self.group_by.clone();
+        let aggs = self.aggs.clone();
+        let inputs2 = Arc::clone(&inputs);
+
+        // Phase 1: partial aggregation per partition, in parallel.
+        let partials: Vec<HashMap<GroupKey, Vec<Acc>>> =
+            ctx.cluster().run_partitions(inputs.len(), move |tc| {
+                let mut table: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
+                for row in &inputs2[tc.partition] {
+                    let key = GroupKey(group_by.iter().map(|&i| row[i].clone()).collect());
+                    let accs = table
+                        .entry(key)
+                        .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.func)).collect());
+                    for (acc, spec) in accs.iter_mut().zip(&aggs) {
+                        acc.update(spec.input.map(|i| &row[i]));
+                    }
+                }
+                table
+            });
+
+        // Phase 2: final merge on the driver.
+        let mut merged: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
+        for partial in partials {
+            for (key, accs) in partial {
+                match merged.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(accs);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        for (a, b) in e.get_mut().iter_mut().zip(&accs) {
+                            a.merge(b);
+                        }
+                    }
+                }
+            }
+        }
+
+        let rows: Vec<Row> = merged
+            .into_iter()
+            .map(|(key, accs)| {
+                let mut row = key.0;
+                row.extend(accs.iter().map(|a| a.finish()));
+                row
+            })
+            .collect();
+        vec![rows]
+    }
+
+    fn describe(&self, indent: usize) -> String {
+        describe_node(
+            indent,
+            &format!("HashAggregate [{} groups cols, {} aggs]", self.group_by.len(), self.aggs.len()),
+            &[self.input.as_ref()],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnarTable;
+    use crate::physical::gather;
+    use crate::physical::scan::ColumnarScanExec;
+    use rowstore::{DataType, Field};
+    use sparklet::{Cluster, ClusterConfig};
+
+    fn setup() -> (Arc<Context>, Arc<dyn ExecPlan>, Arc<Schema>) {
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Int64),
+            Field::nullable("v", DataType::Int64),
+            Field::new("f", DataType::Float64),
+        ]);
+        // 30 rows: groups 0,1,2; v = i (null when i % 5 == 0); f = i as f64.
+        let rows: Vec<Row> = (0..30)
+            .map(|i| {
+                vec![
+                    Value::Int64(i % 3),
+                    if i % 5 == 0 { Value::Null } else { Value::Int64(i) },
+                    Value::Float64(i as f64),
+                ]
+            })
+            .collect();
+        let table = Arc::new(ColumnarTable::from_rows(Arc::clone(&schema), rows, 3));
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let scan: Arc<dyn ExecPlan> = Arc::new(ColumnarScanExec::new(table, None, None));
+        (ctx, scan, schema)
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let (ctx, scan, _) = setup();
+        let out_schema = Schema::new(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("cnt", DataType::Int64),
+            Field::new("cnt_v", DataType::Int64),
+            Field::nullable("sum_v", DataType::Int64),
+            Field::nullable("min_v", DataType::Int64),
+            Field::nullable("max_v", DataType::Int64),
+            Field::nullable("avg_f", DataType::Float64),
+        ]);
+        let agg = HashAggExec {
+            input: scan,
+            group_by: vec![0],
+            aggs: vec![
+                BoundAgg { func: AggFunc::Count, input: None },
+                BoundAgg { func: AggFunc::Count, input: Some(1) },
+                BoundAgg { func: AggFunc::Sum, input: Some(1) },
+                BoundAgg { func: AggFunc::Min, input: Some(1) },
+                BoundAgg { func: AggFunc::Max, input: Some(1) },
+                BoundAgg { func: AggFunc::Avg, input: Some(2) },
+            ],
+            out_schema,
+        };
+        let mut rows = gather(agg.execute(&ctx));
+        rows.sort_by_key(|r| r[0].as_i64().unwrap());
+        assert_eq!(rows.len(), 3);
+        // Group 0: i in {0,3,..,27}, 10 rows; nulls at i=0,15 → count_v=8.
+        assert_eq!(rows[0][1], Value::Int64(10));
+        assert_eq!(rows[0][2], Value::Int64(8));
+        let expected_sum: i64 = (0..30).filter(|i| i % 3 == 0 && i % 5 != 0).sum();
+        assert_eq!(rows[0][3], Value::Int64(expected_sum));
+        assert_eq!(rows[0][4], Value::Int64(3)); // min non-null in group 0
+        assert_eq!(rows[0][5], Value::Int64(27));
+        let expected_avg = (0..30).filter(|i| i % 3 == 0).sum::<i64>() as f64 / 10.0;
+        assert_eq!(rows[0][6], Value::Float64(expected_avg));
+    }
+
+    #[test]
+    fn global_aggregation_no_groups() {
+        let (ctx, scan, _) = setup();
+        let out_schema = Schema::new(vec![Field::new("cnt", DataType::Int64)]);
+        let agg = HashAggExec {
+            input: scan,
+            group_by: vec![],
+            aggs: vec![BoundAgg { func: AggFunc::Count, input: None }],
+            out_schema,
+        };
+        let rows = gather(agg.execute(&ctx));
+        assert_eq!(rows, vec![vec![Value::Int64(30)]]);
+    }
+
+    #[test]
+    fn empty_input_with_groups_yields_no_rows() {
+        let schema = Schema::new(vec![Field::new("g", DataType::Int64)]);
+        let table = Arc::new(ColumnarTable::from_rows(Arc::clone(&schema), Vec::new(), 2));
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let scan: Arc<dyn ExecPlan> = Arc::new(ColumnarScanExec::new(table, None, None));
+        let agg = HashAggExec {
+            input: scan,
+            group_by: vec![0],
+            aggs: vec![BoundAgg { func: AggFunc::Count, input: None }],
+            out_schema: Schema::new(vec![
+                Field::new("g", DataType::Int64),
+                Field::new("n", DataType::Int64),
+            ]),
+        };
+        assert!(gather(agg.execute(&ctx)).is_empty());
+    }
+}

@@ -1,0 +1,470 @@
+//! Vanilla Spark join strategies — the paper's baselines (§II, §IV-C).
+//!
+//! * [`BroadcastHashJoinExec`]: build a hash table from the small side,
+//!   replicate it to every worker, probe locally ("BroadcastHash Join").
+//! * [`ShuffledHashJoinExec`]: shuffle both sides by key hash, build and
+//!   probe per co-located partition.
+//! * [`SortMergeJoinExec`]: shuffle both sides, sort each partition by key,
+//!   merge ("the notoriously slow SortMerge Join", §IV-E).
+//!
+//! All are inner equi-joins with null-rejecting keys; output columns are
+//! the left schema followed by the right schema. Every strategy re-builds
+//! its hash table (or re-sorts) on *every* execution — the per-query cost
+//! the Indexed DataFrame amortizes away (Fig. 1).
+
+use crate::context::Context;
+use crate::physical::{describe_node, ExecPlan, KeyWrap, Partitions};
+use rowstore::{Row, Schema, Value};
+use sparklet::metrics::Metrics;
+use sparklet::ShuffleItem;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build a key → rows multimap, dropping null keys.
+fn build_table(rows: impl IntoIterator<Item = Row>, key: usize) -> HashMap<KeyWrap, Vec<Row>> {
+    let mut table: HashMap<KeyWrap, Vec<Row>> = HashMap::new();
+    for row in rows {
+        if row[key].is_null() {
+            continue;
+        }
+        table.entry(KeyWrap(row[key].clone())).or_default().push(row);
+    }
+    table
+}
+
+/// Concatenate a left row and a right row.
+#[inline]
+fn joined(left: &Row, right: &Row) -> Row {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out
+}
+
+/// Broadcast-hash join: the build side is collected, hashed once on the
+/// driver, and replicated to all workers; the probe side streams locally.
+pub struct BroadcastHashJoinExec {
+    pub build: Arc<dyn ExecPlan>,
+    pub probe: Arc<dyn ExecPlan>,
+    pub build_key: usize,
+    pub probe_key: usize,
+    /// Whether the build side is the *left* input of the logical join
+    /// (controls output column order).
+    pub build_is_left: bool,
+    pub out_schema: Arc<Schema>,
+}
+
+impl ExecPlan for BroadcastHashJoinExec {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+        let metrics = ctx.cluster().metrics();
+
+        // Build phase: collect + hash the build side.
+        let build_parts = self.build.execute(ctx);
+        let build_key = self.build_key;
+        let table = Metrics::timed(&metrics.build_ns, || {
+            Arc::new(build_table(build_parts.into_iter().flatten(), build_key))
+        });
+
+        // Broadcast: account one copy of the table per alive worker.
+        let table_bytes: u64 = table
+            .values()
+            .flat_map(|rows| rows.iter().map(|r| r.approx_bytes() as u64))
+            .sum();
+        let alive = ctx.cluster().alive_workers().len() as u64;
+        metrics
+            .broadcast_bytes
+            .fetch_add(table_bytes * alive, std::sync::atomic::Ordering::Relaxed);
+
+        // Probe phase: local hash lookups per probe partition.
+        let probe_parts = Arc::new(self.probe.execute(ctx));
+        let probe_key = self.probe_key;
+        let build_is_left = self.build_is_left;
+        let probe_parts2 = Arc::clone(&probe_parts);
+        let table2 = Arc::clone(&table);
+        Metrics::timed(&metrics.probe_ns, || {
+            ctx.cluster().run_partitions(probe_parts.len(), move |tc| {
+                let mut out = Vec::new();
+                for probe_row in &probe_parts2[tc.partition] {
+                    let k = &probe_row[probe_key];
+                    if k.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = table2.get(&KeyWrap(k.clone())) {
+                        for build_row in matches {
+                            out.push(if build_is_left {
+                                joined(build_row, probe_row)
+                            } else {
+                                joined(probe_row, build_row)
+                            });
+                        }
+                    }
+                }
+                out
+            })
+        })
+    }
+
+    fn describe(&self, indent: usize) -> String {
+        describe_node(
+            indent,
+            &format!("BroadcastHashJoin [build={}]", if self.build_is_left { "left" } else { "right" }),
+            &[self.build.as_ref(), self.probe.as_ref()],
+        )
+    }
+}
+
+/// Shuffled-hash join: both sides are hash-partitioned on the key; each
+/// output partition builds a table from the build side and probes it.
+pub struct ShuffledHashJoinExec {
+    pub left: Arc<dyn ExecPlan>,
+    pub right: Arc<dyn ExecPlan>,
+    pub left_key: usize,
+    pub right_key: usize,
+    /// Build the hash table on the left side (else right).
+    pub build_left: bool,
+    pub out_schema: Arc<Schema>,
+}
+
+/// Key rows by their join-key hash for the exchange; null keys dropped.
+fn keyed(parts: Partitions, key: usize) -> Vec<Vec<(u64, Row)>> {
+    parts
+        .into_iter()
+        .map(|rows| {
+            rows.into_iter()
+                .filter(|r| !r[key].is_null())
+                .map(|r| (r[key].key_hash(), r))
+                .collect()
+        })
+        .collect()
+}
+
+impl ExecPlan for ShuffledHashJoinExec {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+        let p = ctx.shuffle_partitions();
+        let left_parts = self.left.execute(ctx);
+        let right_parts = self.right.execute(ctx);
+        let left_shuffled =
+            Arc::new(sparklet::exchange(ctx.cluster(), keyed(left_parts, self.left_key), p));
+        let right_shuffled =
+            Arc::new(sparklet::exchange(ctx.cluster(), keyed(right_parts, self.right_key), p));
+
+        let (left_key, right_key, build_left) = (self.left_key, self.right_key, self.build_left);
+        let metrics = ctx.cluster().metrics();
+        Metrics::timed(&metrics.probe_ns, || {
+            let ls = Arc::clone(&left_shuffled);
+            let rs = Arc::clone(&right_shuffled);
+            ctx.cluster().run_partitions(p, move |tc| {
+                let (build_rows, probe_rows, build_key, probe_key) = if build_left {
+                    (&ls[tc.partition], &rs[tc.partition], left_key, right_key)
+                } else {
+                    (&rs[tc.partition], &ls[tc.partition], right_key, left_key)
+                };
+                let table = build_table(build_rows.iter().cloned(), build_key);
+                let mut out = Vec::new();
+                for probe_row in probe_rows {
+                    if let Some(matches) = table.get(&KeyWrap(probe_row[probe_key].clone())) {
+                        for build_row in matches {
+                            // Output is always left ++ right.
+                            out.push(if build_left {
+                                joined(build_row, probe_row)
+                            } else {
+                                joined(probe_row, build_row)
+                            });
+                        }
+                    }
+                }
+                out
+            })
+        })
+    }
+
+    fn describe(&self, indent: usize) -> String {
+        describe_node(
+            indent,
+            &format!("ShuffledHashJoin [build={}]", if self.build_left { "left" } else { "right" }),
+            &[self.left.as_ref(), self.right.as_ref()],
+        )
+    }
+}
+
+/// Sort-merge join: shuffle, sort both sides per partition, merge equal
+/// key runs.
+pub struct SortMergeJoinExec {
+    pub left: Arc<dyn ExecPlan>,
+    pub right: Arc<dyn ExecPlan>,
+    pub left_key: usize,
+    pub right_key: usize,
+    pub out_schema: Arc<Schema>,
+}
+
+fn cmp_vals(a: &Value, b: &Value) -> std::cmp::Ordering {
+    a.sql_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+impl ExecPlan for SortMergeJoinExec {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.out_schema)
+    }
+
+    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+        let p = ctx.shuffle_partitions();
+        let left_parts = self.left.execute(ctx);
+        let right_parts = self.right.execute(ctx);
+        let left_shuffled =
+            Arc::new(sparklet::exchange(ctx.cluster(), keyed(left_parts, self.left_key), p));
+        let right_shuffled =
+            Arc::new(sparklet::exchange(ctx.cluster(), keyed(right_parts, self.right_key), p));
+
+        let (left_key, right_key) = (self.left_key, self.right_key);
+        let metrics = ctx.cluster().metrics();
+        Metrics::timed(&metrics.probe_ns, || {
+            let ls = Arc::clone(&left_shuffled);
+            let rs = Arc::clone(&right_shuffled);
+            ctx.cluster().run_partitions(p, move |tc| {
+                // Sort both sides by key (the "build" analogue).
+                let mut left: Vec<&Row> = ls[tc.partition].iter().collect();
+                let mut right: Vec<&Row> = rs[tc.partition].iter().collect();
+                left.sort_by(|a, b| cmp_vals(&a[left_key], &b[left_key]));
+                right.sort_by(|a, b| cmp_vals(&a[right_key], &b[right_key]));
+
+                // Merge equal runs.
+                let mut out = Vec::new();
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < left.len() && j < right.len() {
+                    match cmp_vals(&left[i][left_key], &right[j][right_key]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            // Find the extent of the equal run on both sides.
+                            let key = &left[i][left_key];
+                            let i_end = (i..left.len())
+                                .find(|&x| !left[x][left_key].sql_eq(key))
+                                .unwrap_or(left.len());
+                            let j_end = (j..right.len())
+                                .find(|&x| !right[x][right_key].sql_eq(key))
+                                .unwrap_or(right.len());
+                            for l in &left[i..i_end] {
+                                for r in &right[j..j_end] {
+                                    out.push(joined(l, r));
+                                }
+                            }
+                            i = i_end;
+                            j = j_end;
+                        }
+                    }
+                }
+                out
+            })
+        })
+    }
+
+    fn describe(&self, indent: usize) -> String {
+        describe_node(indent, "SortMergeJoin", &[self.left.as_ref(), self.right.as_ref()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnarTable;
+    use crate::physical::gather;
+    use crate::physical::scan::ColumnarScanExec;
+    use rowstore::{DataType, Field};
+    use sparklet::{Cluster, ClusterConfig};
+
+    fn left_schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::nullable("k", DataType::Int64),
+            Field::new("lval", DataType::Utf8),
+        ])
+    }
+
+    fn right_schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::nullable("k", DataType::Int64),
+            Field::new("rval", DataType::Int64),
+        ])
+    }
+
+    /// Left: keys 0..20 twice (40 rows) plus a null-key row.
+    fn left_rows() -> Vec<Row> {
+        let mut rows: Vec<Row> = (0..40)
+            .map(|i| vec![Value::Int64(i % 20), Value::Utf8(format!("L{i}"))])
+            .collect();
+        rows.push(vec![Value::Null, Value::Utf8("null-key".into())]);
+        rows
+    }
+
+    /// Right: keys 10..30 (20 rows) plus a null-key row.
+    fn right_rows() -> Vec<Row> {
+        let mut rows: Vec<Row> =
+            (10..30).map(|k| vec![Value::Int64(k), Value::Int64(k * 100)]).collect();
+        rows.push(vec![Value::Null, Value::Int64(-1)]);
+        rows
+    }
+
+    /// Reference nested-loop join.
+    fn expected() -> Vec<Row> {
+        let mut out = Vec::new();
+        for l in left_rows() {
+            for r in right_rows() {
+                if l[0].sql_eq(&r[0]) {
+                    out.push(joined(&l, &r));
+                }
+            }
+        }
+        out
+    }
+
+    fn setup() -> (Arc<Context>, Arc<dyn ExecPlan>, Arc<dyn ExecPlan>, Arc<Schema>) {
+        let lt = Arc::new(ColumnarTable::from_rows(left_schema(), left_rows(), 3));
+        let rt = Arc::new(ColumnarTable::from_rows(right_schema(), right_rows(), 2));
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let ls: Arc<dyn ExecPlan> = Arc::new(ColumnarScanExec::new(lt, None, None));
+        let rs: Arc<dyn ExecPlan> = Arc::new(ColumnarScanExec::new(rt, None, None));
+        let out_schema = left_schema().join(&right_schema());
+        (ctx, ls, rs, out_schema)
+    }
+
+    fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort_by(|a, b| {
+            format!("{a:?}").cmp(&format!("{b:?}"))
+        });
+        rows
+    }
+
+    #[test]
+    fn broadcast_hash_join_matches_reference() {
+        let (ctx, ls, rs, schema) = setup();
+        // Build on the right (smaller) side.
+        let j = BroadcastHashJoinExec {
+            build: rs,
+            probe: ls,
+            build_key: 0,
+            probe_key: 0,
+            build_is_left: false,
+            out_schema: schema,
+        };
+        let got = gather(j.execute(&ctx));
+        assert_eq!(got.len(), 20, "10..20 twice on the left");
+        assert_eq!(sorted(got), sorted(expected()));
+        let m = ctx.cluster().metrics().snapshot();
+        assert!(m.build_ns > 0 && m.probe_ns > 0);
+        assert!(m.broadcast_bytes > 0);
+    }
+
+    #[test]
+    fn broadcast_join_build_left_order() {
+        let (ctx, ls, rs, schema) = setup();
+        let j = BroadcastHashJoinExec {
+            build: ls,
+            probe: rs,
+            build_key: 0,
+            probe_key: 0,
+            build_is_left: true,
+            out_schema: schema,
+        };
+        let got = gather(j.execute(&ctx));
+        assert_eq!(sorted(got), sorted(expected()), "column order is left++right");
+    }
+
+    #[test]
+    fn shuffled_hash_join_matches_reference() {
+        let (ctx, ls, rs, schema) = setup();
+        let j = ShuffledHashJoinExec {
+            left: ls,
+            right: rs,
+            left_key: 0,
+            right_key: 0,
+            build_left: false,
+            out_schema: schema,
+        };
+        let got = gather(j.execute(&ctx));
+        assert_eq!(sorted(got), sorted(expected()));
+        let m = ctx.cluster().metrics().snapshot();
+        assert!(m.shuffle_rows > 0, "shuffled join must shuffle");
+    }
+
+    #[test]
+    fn shuffled_hash_join_build_left() {
+        let (ctx, ls, rs, schema) = setup();
+        let j = ShuffledHashJoinExec {
+            left: ls,
+            right: rs,
+            left_key: 0,
+            right_key: 0,
+            build_left: true,
+            out_schema: schema,
+        };
+        assert_eq!(sorted(gather(j.execute(&ctx))), sorted(expected()));
+    }
+
+    #[test]
+    fn sort_merge_join_matches_reference() {
+        let (ctx, ls, rs, schema) = setup();
+        let j = SortMergeJoinExec {
+            left: ls,
+            right: rs,
+            left_key: 0,
+            right_key: 0,
+            out_schema: schema,
+        };
+        assert_eq!(sorted(gather(j.execute(&ctx))), sorted(expected()));
+    }
+
+    #[test]
+    fn duplicate_keys_on_both_sides_cross_product() {
+        // 3 left × 2 right rows with the same key → 6 output rows.
+        let ls_rows: Vec<Row> =
+            (0..3).map(|i| vec![Value::Int64(7), Value::Utf8(format!("l{i}"))]).collect();
+        let rs_rows: Vec<Row> = (0..2).map(|i| vec![Value::Int64(7), Value::Int64(i)]).collect();
+        let lt = Arc::new(ColumnarTable::from_rows(left_schema(), ls_rows, 2));
+        let rt = Arc::new(ColumnarTable::from_rows(right_schema(), rs_rows, 1));
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let schema = left_schema().join(&right_schema());
+        for exec in [
+            Box::new(SortMergeJoinExec {
+                left: Arc::new(ColumnarScanExec::new(lt.clone(), None, None)),
+                right: Arc::new(ColumnarScanExec::new(rt.clone(), None, None)),
+                left_key: 0,
+                right_key: 0,
+                out_schema: schema.clone(),
+            }) as Box<dyn ExecPlan>,
+            Box::new(ShuffledHashJoinExec {
+                left: Arc::new(ColumnarScanExec::new(lt.clone(), None, None)),
+                right: Arc::new(ColumnarScanExec::new(rt.clone(), None, None)),
+                left_key: 0,
+                right_key: 0,
+                build_left: false,
+                out_schema: schema.clone(),
+            }),
+        ] {
+            assert_eq!(gather(exec.execute(&ctx)).len(), 6);
+        }
+    }
+
+    #[test]
+    fn empty_sides() {
+        let lt = Arc::new(ColumnarTable::from_rows(left_schema(), Vec::new(), 2));
+        let rt = Arc::new(ColumnarTable::from_rows(right_schema(), right_rows(), 2));
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let schema = left_schema().join(&right_schema());
+        let j = ShuffledHashJoinExec {
+            left: Arc::new(ColumnarScanExec::new(lt, None, None)),
+            right: Arc::new(ColumnarScanExec::new(rt, None, None)),
+            left_key: 0,
+            right_key: 0,
+            build_left: false,
+            out_schema: schema,
+        };
+        assert!(gather(j.execute(&ctx)).is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! LIMIT: take the first `n` rows across partitions (in partition order).
+
+use crate::context::Context;
+use crate::physical::{describe_node, ExecPlan, Partitions};
+use rowstore::Schema;
+use std::sync::Arc;
+
+pub struct LimitExec {
+    pub input: Arc<dyn ExecPlan>,
+    pub n: usize,
+}
+
+impl ExecPlan for LimitExec {
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+        let parts = self.input.execute(ctx);
+        let mut remaining = self.n;
+        let mut out = Vec::with_capacity(parts.len());
+        for mut p in parts {
+            if remaining == 0 {
+                out.push(Vec::new());
+                continue;
+            }
+            if p.len() > remaining {
+                p.truncate(remaining);
+            }
+            remaining -= p.len();
+            out.push(p);
+        }
+        out
+    }
+
+    fn describe(&self, indent: usize) -> String {
+        describe_node(indent, &format!("Limit {}", self.n), &[self.input.as_ref()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnarTable;
+    use crate::physical::gather;
+    use crate::physical::scan::ColumnarScanExec;
+    use rowstore::{DataType, Field, Row, Value};
+    use sparklet::{Cluster, ClusterConfig};
+
+    fn run_limit(n: usize) -> usize {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        let rows: Vec<Row> = (0..30).map(|i| vec![Value::Int64(i)]).collect();
+        let table = Arc::new(ColumnarTable::from_rows(schema, rows, 4));
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let scan = Arc::new(ColumnarScanExec::new(table, None, None));
+        gather(LimitExec { input: scan, n }.execute(&ctx)).len()
+    }
+
+    #[test]
+    fn limits_row_count() {
+        assert_eq!(run_limit(0), 0);
+        assert_eq!(run_limit(7), 7);
+        assert_eq!(run_limit(30), 30);
+        assert_eq!(run_limit(100), 30, "limit larger than input returns all");
+    }
+}

@@ -1,0 +1,136 @@
+//! Physical execution plans.
+//!
+//! An [`ExecPlan`] executes against the cluster and returns materialized
+//! row partitions. Operators are trait objects so extension libraries can
+//! add their own (the Indexed DataFrame's indexed lookup/join operators
+//! plug in exactly here — the "strategies" of §III-B).
+
+pub mod agg;
+pub mod filter;
+pub mod join;
+pub mod limit;
+pub mod project;
+pub mod scan;
+pub mod sort;
+
+use crate::context::Context;
+use rowstore::{Row, Schema, Value};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Output of a physical operator: one `Vec<Row>` per partition.
+pub type Partitions = Vec<Vec<Row>>;
+
+/// A physical operator.
+pub trait ExecPlan: Send + Sync {
+    /// Output schema.
+    fn schema(&self) -> Arc<Schema>;
+    /// Execute on the cluster, returning materialized partitions.
+    fn execute(&self, ctx: &Arc<Context>) -> Partitions;
+    /// One-line description plus indented children (for `explain`).
+    fn describe(&self, indent: usize) -> String;
+}
+
+/// Flatten partitions into a single row vector (driver-side collect).
+pub fn gather(parts: Partitions) -> Vec<Row> {
+    let total = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// A join/grouping key wrapper giving [`Value`] hash-consistent equality
+/// (Int32/Int64 cross-width equality, byte-wise strings). Null keys never
+/// equal anything — callers must filter them out before building tables,
+/// matching inner equi-join semantics.
+#[derive(Debug, Clone)]
+pub struct KeyWrap(pub Value);
+
+impl PartialEq for KeyWrap {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.sql_eq(&other.0)
+    }
+}
+impl Eq for KeyWrap {}
+
+impl Hash for KeyWrap {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.key_hash());
+    }
+}
+
+/// A multi-column grouping key.
+#[derive(Debug, Clone)]
+pub struct GroupKey(pub Vec<Value>);
+
+impl PartialEq for GroupKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| {
+                // Group-by treats NULL as its own group (unlike joins).
+                (a.is_null() && b.is_null()) || a.sql_eq(b)
+            })
+    }
+}
+impl Eq for GroupKey {}
+
+impl Hash for GroupKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(rowstore::rows_key_hash(&self.0));
+    }
+}
+
+/// Format helper shared by operator `describe` implementations (public so
+/// extension crates can render their own operators consistently).
+pub fn describe_node(indent: usize, line: &str, children: &[&dyn ExecPlan]) -> String {
+    let mut out = format!("{}{}\n", "  ".repeat(indent), line);
+    for c in children {
+        out.push_str(&c.describe(indent + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywrap_cross_width_equality() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(KeyWrap(Value::Int32(7)), "seven");
+        assert_eq!(m.get(&KeyWrap(Value::Int64(7))), Some(&"seven"));
+        assert_eq!(m.get(&KeyWrap(Value::Int64(8))), None);
+    }
+
+    #[test]
+    fn keywrap_null_never_matches() {
+        assert_ne!(KeyWrap(Value::Null), KeyWrap(Value::Null));
+    }
+
+    #[test]
+    fn groupkey_null_is_a_group() {
+        assert_eq!(
+            GroupKey(vec![Value::Null, Value::Int64(1)]),
+            GroupKey(vec![Value::Null, Value::Int64(1)])
+        );
+        assert_ne!(
+            GroupKey(vec![Value::Null]),
+            GroupKey(vec![Value::Int64(0)])
+        );
+    }
+
+    #[test]
+    fn gather_flattens_in_order() {
+        let parts: Partitions = vec![
+            vec![vec![Value::Int64(1)]],
+            vec![],
+            vec![vec![Value::Int64(2)], vec![Value::Int64(3)]],
+        ];
+        let rows = gather(parts);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2][0], Value::Int64(3));
+    }
+}

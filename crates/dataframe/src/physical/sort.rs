@@ -1,0 +1,123 @@
+//! ORDER BY: gather and sort on the driver.
+//!
+//! Spark performs a range-partitioned distributed sort; at this
+//! reproduction's scale a driver-side sort preserves semantics (total
+//! order across the single output partition) without the sampling
+//! machinery. Nulls sort last regardless of direction, as in Spark's
+//! default `NULLS LAST` for ascending order.
+
+use crate::context::Context;
+use crate::physical::{describe_node, ExecPlan, Partitions};
+use rowstore::{Schema, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+pub struct SortExec {
+    pub input: Arc<dyn ExecPlan>,
+    /// Column index and descending flag per sort key.
+    pub keys: Vec<(usize, bool)>,
+}
+
+fn cmp_nulls_last(a: &Value, b: &Value) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.sql_cmp(b).unwrap_or(Ordering::Equal),
+    }
+}
+
+impl ExecPlan for SortExec {
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+        let parts = self.input.execute(ctx);
+        let mut rows: Vec<rowstore::Row> = parts.into_iter().flatten().collect();
+        let keys = self.keys.clone();
+        rows.sort_by(|a, b| {
+            for (col, desc) in &keys {
+                let ord = cmp_nulls_last(&a[*col], &b[*col]);
+                // Descending reverses value order but keeps nulls last.
+                let ord = if *desc && !a[*col].is_null() && !b[*col].is_null() {
+                    ord.reverse()
+                } else {
+                    ord
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        vec![rows]
+    }
+
+    fn describe(&self, indent: usize) -> String {
+        describe_node(
+            indent,
+            &format!("Sort [{} keys]", self.keys.len()),
+            &[self.input.as_ref()],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnarTable;
+    use crate::physical::gather;
+    use crate::physical::scan::ColumnarScanExec;
+    use rowstore::{DataType, Field, Row};
+    use sparklet::{Cluster, ClusterConfig};
+
+    fn run_sort(rows: Vec<Row>, keys: Vec<(usize, bool)>) -> Vec<Row> {
+        let schema = Schema::new(vec![
+            Field::nullable("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ]);
+        let table = Arc::new(ColumnarTable::from_rows(schema, rows, 3));
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let scan = Arc::new(ColumnarScanExec::new(table, None, None));
+        gather(SortExec { input: scan, keys }.execute(&ctx))
+    }
+
+    #[test]
+    fn ascending_with_nulls_last() {
+        let rows = vec![
+            vec![Value::Int64(3), Value::Utf8("c".into())],
+            vec![Value::Null, Value::Utf8("n".into())],
+            vec![Value::Int64(1), Value::Utf8("a".into())],
+            vec![Value::Int64(2), Value::Utf8("b".into())],
+        ];
+        let sorted = run_sort(rows, vec![(0, false)]);
+        let got: Vec<Option<i64>> = sorted.iter().map(|r| r[0].as_i64()).collect();
+        assert_eq!(got, vec![Some(1), Some(2), Some(3), None]);
+    }
+
+    #[test]
+    fn descending_keeps_nulls_last() {
+        let rows = vec![
+            vec![Value::Int64(3), Value::Utf8("c".into())],
+            vec![Value::Null, Value::Utf8("n".into())],
+            vec![Value::Int64(1), Value::Utf8("a".into())],
+        ];
+        let sorted = run_sort(rows, vec![(0, true)]);
+        let got: Vec<Option<i64>> = sorted.iter().map(|r| r[0].as_i64()).collect();
+        assert_eq!(got, vec![Some(3), Some(1), None]);
+    }
+
+    #[test]
+    fn multi_key_tiebreak() {
+        let rows = vec![
+            vec![Value::Int64(1), Value::Utf8("z".into())],
+            vec![Value::Int64(1), Value::Utf8("a".into())],
+            vec![Value::Int64(0), Value::Utf8("m".into())],
+        ];
+        let sorted = run_sort(rows, vec![(0, false), (1, false)]);
+        assert_eq!(sorted[0][1], Value::Utf8("m".into()));
+        assert_eq!(sorted[1][1], Value::Utf8("a".into()));
+        assert_eq!(sorted[2][1], Value::Utf8("z".into()));
+    }
+}

@@ -1,0 +1,344 @@
+//! Logical query plans.
+//!
+//! Queries — whether written through the DataFrame API or parsed from SQL —
+//! become [`LogicalPlan`] trees: high-level operator descriptions with no
+//! execution strategy ("logical plans provide high-level representations of
+//! each operator without defining how to perform the computation", §III-B).
+//! The planner, together with registered rules (the Catalyst-extension
+//! analogue), lowers them to physical `ExecPlan`s.
+
+use crate::expr::{BinOp, Expr, PlanError};
+use rowstore::{DataType, Field, Schema};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Aggregate functions supported by `GROUP BY` queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One aggregate output: function, input column (None for `COUNT(*)`), and
+/// output column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub input: Option<String>,
+    pub out_name: String,
+}
+
+/// A logical operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a catalog table. The schema is resolved at plan-construction
+    /// time so downstream operators can bind expressions.
+    Scan { table: String, schema: Arc<Schema> },
+    /// Keep rows satisfying `predicate`.
+    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    /// Compute output columns (projection).
+    Project { input: Box<LogicalPlan>, exprs: Vec<(Expr, String)> },
+    /// Inner equi-join on `left_key = right_key`.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        left_key: String,
+        right_key: String,
+    },
+    /// Hash aggregation.
+    Aggregate { input: Box<LogicalPlan>, group_by: Vec<String>, aggs: Vec<AggSpec> },
+    /// Sort by columns; `true` = descending. Nulls sort last.
+    Sort { input: Box<LogicalPlan>, keys: Vec<(String, bool)> },
+    /// Take the first `n` rows.
+    Limit { input: Box<LogicalPlan>, n: usize },
+}
+
+/// Infer the type an expression produces against `schema`.
+pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<(DataType, bool), PlanError> {
+    Ok(match expr {
+        Expr::Col(name) => {
+            let i = schema.index_of(name).ok_or_else(|| PlanError::UnknownColumn(name.clone()))?;
+            let f = schema.field(i);
+            (f.dtype, f.nullable)
+        }
+        Expr::Lit(v) => (v.dtype().unwrap_or(DataType::Int64), v.is_null()),
+        Expr::Binary { left, op, right } => match op {
+            BinOp::Eq
+            | BinOp::NotEq
+            | BinOp::Lt
+            | BinOp::LtEq
+            | BinOp::Gt
+            | BinOp::GtEq
+            | BinOp::And
+            | BinOp::Or => (DataType::Bool, true),
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let (lt, ln) = infer_type(left, schema)?;
+                let (rt, rn) = infer_type(right, schema)?;
+                let t = if lt == DataType::Float64 || rt == DataType::Float64 {
+                    DataType::Float64
+                } else {
+                    DataType::Int64
+                };
+                (t, ln || rn)
+            }
+        },
+        Expr::Not(_) | Expr::IsNull(_) | Expr::IsNotNull(_) => (DataType::Bool, false),
+    })
+}
+
+impl LogicalPlan {
+    /// The output schema of this plan.
+    pub fn schema(&self) -> Result<Arc<Schema>, PlanError> {
+        Ok(match self {
+            LogicalPlan::Scan { schema, .. } => Arc::clone(schema),
+            LogicalPlan::Filter { input, .. } => input.schema()?,
+            LogicalPlan::Project { input, exprs } => {
+                let in_schema = input.schema()?;
+                let fields = exprs
+                    .iter()
+                    .map(|(e, name)| {
+                        let (dtype, nullable) = infer_type(e, &in_schema)?;
+                        Ok(Field { name: name.clone(), dtype, nullable })
+                    })
+                    .collect::<Result<Vec<_>, PlanError>>()?;
+                Schema::new(fields)
+            }
+            LogicalPlan::Join { left, right, left_key, right_key } => {
+                let ls = left.schema()?;
+                let rs = right.schema()?;
+                if ls.index_of(left_key).is_none() {
+                    return Err(PlanError::UnknownColumn(left_key.clone()));
+                }
+                if rs.index_of(right_key).is_none() {
+                    return Err(PlanError::UnknownColumn(right_key.clone()));
+                }
+                ls.join(&rs)
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::new();
+                for g in group_by {
+                    let i = in_schema
+                        .index_of(g)
+                        .ok_or_else(|| PlanError::UnknownColumn(g.clone()))?;
+                    fields.push(in_schema.field(i).clone());
+                }
+                for a in aggs {
+                    let dtype = match (a.func, &a.input) {
+                        (AggFunc::Count, _) => DataType::Int64,
+                        (AggFunc::Avg, _) => DataType::Float64,
+                        (f, Some(c)) => {
+                            let i = in_schema
+                                .index_of(c)
+                                .ok_or_else(|| PlanError::UnknownColumn(c.clone()))?;
+                            match (f, in_schema.field(i).dtype) {
+                                (AggFunc::Sum, DataType::Float64) => DataType::Float64,
+                                (AggFunc::Sum, _) => DataType::Int64,
+                                (_, t) => t,
+                            }
+                        }
+                        (f, None) => {
+                            return Err(PlanError::Unsupported(format!(
+                                "{} requires a column argument",
+                                f.name()
+                            )))
+                        }
+                    };
+                    fields.push(Field::nullable(a.out_name.clone(), dtype));
+                }
+                Schema::new(fields)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let schema = input.schema()?;
+                for (k, _) in keys {
+                    if schema.index_of(k).is_none() {
+                        return Err(PlanError::UnknownColumn(k.clone()));
+                    }
+                }
+                schema
+            }
+            LogicalPlan::Limit { input, .. } => input.schema()?,
+        })
+    }
+
+    /// Render the plan tree, one operator per line (for `explain`).
+    pub fn display_indent(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { table, schema } => {
+                let _ = writeln!(out, "{pad}Scan: {table} [{} cols]", schema.arity());
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter: {predicate}");
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let cols: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let _ = writeln!(out, "{pad}Project: {}", cols.join(", "));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Join { left, right, left_key, right_key } => {
+                let _ = writeln!(out, "{pad}Join: {left_key} = {right_key}");
+                left.fmt_indent(out, depth + 1);
+                right.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let aggs: Vec<String> = aggs
+                    .iter()
+                    .map(|a| {
+                        format!(
+                            "{}({}) AS {}",
+                            a.func.name(),
+                            a.input.as_deref().unwrap_or("*"),
+                            a.out_name
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate: group=[{}] aggs=[{}]",
+                    group_by.join(", "),
+                    aggs.join(", ")
+                );
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let keys: Vec<String> = keys
+                    .iter()
+                    .map(|(k, desc)| format!("{k} {}", if *desc { "DESC" } else { "ASC" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort: {}", keys.join(", "));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit: {n}");
+                input.fmt_indent(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+                Field::new("score", DataType::Float64),
+            ]),
+        }
+    }
+
+    #[test]
+    fn filter_preserves_schema() {
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: col("id").gt(lit(1i64)),
+        };
+        assert_eq!(p.schema().unwrap().arity(), 3);
+    }
+
+    #[test]
+    fn project_infers_types() {
+        let p = LogicalPlan::Project {
+            input: Box::new(scan()),
+            exprs: vec![
+                (col("name"), "name".into()),
+                (col("id").add(lit(1i64)), "id_plus".into()),
+                (col("score").mul(lit(2i64)), "dbl".into()),
+                (col("id").gt(lit(0i64)), "pos".into()),
+            ],
+        };
+        let s = p.schema().unwrap();
+        assert_eq!(s.field(0).dtype, DataType::Utf8);
+        assert_eq!(s.field(1).dtype, DataType::Int64);
+        assert_eq!(s.field(2).dtype, DataType::Float64);
+        assert_eq!(s.field(3).dtype, DataType::Bool);
+    }
+
+    #[test]
+    fn join_schema_concatenates() {
+        let p = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            left_key: "id".into(),
+            right_key: "id".into(),
+        };
+        let s = p.schema().unwrap();
+        assert_eq!(s.arity(), 6);
+        assert_eq!(s.field(3).name, "right.id");
+    }
+
+    #[test]
+    fn join_unknown_key_fails() {
+        let p = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            left_key: "nope".into(),
+            right_key: "id".into(),
+        };
+        assert!(p.schema().is_err());
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let p = LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group_by: vec!["name".into()],
+            aggs: vec![
+                AggSpec { func: AggFunc::Count, input: None, out_name: "n".into() },
+                AggSpec { func: AggFunc::Sum, input: Some("score".into()), out_name: "total".into() },
+                AggSpec { func: AggFunc::Avg, input: Some("id".into()), out_name: "avg_id".into() },
+                AggSpec { func: AggFunc::Max, input: Some("id".into()), out_name: "max_id".into() },
+            ],
+        };
+        let s = p.schema().unwrap();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.field(1).dtype, DataType::Int64); // count
+        assert_eq!(s.field(2).dtype, DataType::Float64); // sum of float
+        assert_eq!(s.field(3).dtype, DataType::Float64); // avg
+        assert_eq!(s.field(4).dtype, DataType::Int64); // max of int
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let p = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan()),
+                predicate: col("id").eq(lit(3i64)),
+            }),
+            n: 10,
+        };
+        let text = p.display_indent();
+        assert!(text.contains("Limit: 10"));
+        assert!(text.contains("Filter: (id = 3)"));
+        assert!(text.contains("Scan: t"));
+    }
+}

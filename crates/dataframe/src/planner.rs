@@ -1,0 +1,402 @@
+//! The physical planner: lowers logical plans to executable operators.
+//!
+//! Before default planning of any node, all registered [`PlannerRule`]s are
+//! consulted — this is the seam where the Indexed DataFrame injects its
+//! indexed operators (§III-B: "optimization rules transform the logical
+//! plan into a physical plan"). Default planning fuses filters and
+//! column-only projections into columnar scans and picks join strategies
+//! the way Spark does: broadcast-hash below the size threshold, otherwise
+//! shuffled-hash or sort-merge.
+
+use crate::column::ColumnarTable;
+use crate::context::Context;
+use crate::expr::{BoundExpr, Expr, PlanError};
+use crate::physical::agg::{BoundAgg, HashAggExec};
+use crate::physical::filter::FilterExec;
+use crate::physical::join::{BroadcastHashJoinExec, ShuffledHashJoinExec, SortMergeJoinExec};
+use crate::physical::limit::LimitExec;
+use crate::physical::project::ProjectExec;
+use crate::physical::scan::{ColumnarScanExec, ProviderScanExec};
+use crate::physical::ExecPlan;
+use crate::plan::LogicalPlan;
+use std::sync::Arc;
+
+/// Stateless physical planner.
+#[derive(Default)]
+pub struct Planner;
+
+impl Planner {
+    pub fn new() -> Planner {
+        Planner
+    }
+
+    /// Plan `plan`, consulting extension rules first.
+    pub fn plan(
+        &self,
+        plan: &LogicalPlan,
+        ctx: &Arc<Context>,
+    ) -> Result<Arc<dyn ExecPlan>, PlanError> {
+        for rule in ctx.rules() {
+            if let Some(result) = rule.plan(plan, ctx, self) {
+                return result;
+            }
+        }
+        self.plan_default(plan, ctx)
+    }
+
+    /// Plan without extension rules (used by rules to plan children they do
+    /// not handle, avoiding infinite recursion into themselves is the
+    /// rule's own responsibility — they normally call `plan`, which is fine
+    /// because their match will no longer fire on the child shape).
+    pub fn plan_default(
+        &self,
+        plan: &LogicalPlan,
+        ctx: &Arc<Context>,
+    ) -> Result<Arc<dyn ExecPlan>, PlanError> {
+        match plan {
+            LogicalPlan::Scan { table, .. } => self.plan_scan(table, None, None, ctx),
+
+            LogicalPlan::Filter { input, predicate } => {
+                // Fuse Filter(Scan) into the scan.
+                if let LogicalPlan::Scan { table, .. } = input.as_ref() {
+                    return self.plan_scan(table, Some(predicate), None, ctx);
+                }
+                let child = self.plan(input, ctx)?;
+                let predicate = BoundExpr::bind(predicate, &child.schema())?;
+                Ok(Arc::new(FilterExec { input: child, predicate }))
+            }
+
+            LogicalPlan::Project { input, exprs } => {
+                // Fuse column-only projections over (filtered) scans.
+                if let Some(cols) = plain_columns(exprs) {
+                    // Give extension rules a chance at the child shape
+                    // first (e.g. an indexed lookup under a projection).
+                    for rule in ctx.rules() {
+                        if let Some(result) = rule.plan(input, ctx, self) {
+                            let child = result?;
+                            let in_schema = child.schema();
+                            let idx = resolve_cols(&cols, &in_schema)?;
+                            let bound = idx.iter().map(|&i| BoundExpr::Col(i)).collect();
+                            let out_schema = in_schema.project(&idx);
+                            return Ok(Arc::new(ProjectExec {
+                                input: child,
+                                exprs: bound,
+                                out_schema,
+                            }));
+                        }
+                    }
+                    match input.as_ref() {
+                        LogicalPlan::Scan { table, schema } => {
+                            let idx = resolve_cols(&cols, schema)?;
+                            return self.plan_scan(table, None, Some(idx), ctx);
+                        }
+                        LogicalPlan::Filter { input: inner, predicate } => {
+                            if let LogicalPlan::Scan { table, schema } = inner.as_ref() {
+                                let idx = resolve_cols(&cols, schema)?;
+                                return self.plan_scan(table, Some(predicate), Some(idx), ctx);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let child = self.plan(input, ctx)?;
+                let in_schema = child.schema();
+                let bound = exprs
+                    .iter()
+                    .map(|(e, _)| BoundExpr::bind(e, &in_schema))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Arc::new(ProjectExec { input: child, exprs: bound, out_schema: plan.schema()? }))
+            }
+
+            LogicalPlan::Join { left, right, left_key, right_key } => {
+                self.plan_join(left, right, left_key, right_key, ctx)
+            }
+
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let child = self.plan(input, ctx)?;
+                let in_schema = child.schema();
+                let group_idx = resolve_cols(group_by, &in_schema)?;
+                let bound_aggs = aggs
+                    .iter()
+                    .map(|a| {
+                        let input = match &a.input {
+                            None => None,
+                            Some(c) => Some(
+                                in_schema
+                                    .index_of(c)
+                                    .ok_or_else(|| PlanError::UnknownColumn(c.clone()))?,
+                            ),
+                        };
+                        Ok(BoundAgg { func: a.func, input })
+                    })
+                    .collect::<Result<Vec<_>, PlanError>>()?;
+                Ok(Arc::new(HashAggExec {
+                    input: child,
+                    group_by: group_idx,
+                    aggs: bound_aggs,
+                    out_schema: plan.schema()?,
+                }))
+            }
+
+            LogicalPlan::Sort { input, keys } => {
+                let child = self.plan(input, ctx)?;
+                let schema = child.schema();
+                let keys = keys
+                    .iter()
+                    .map(|(k, desc)| {
+                        schema
+                            .index_of(k)
+                            .map(|i| (i, *desc))
+                            .ok_or_else(|| PlanError::UnknownColumn(k.clone()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Arc::new(crate::physical::sort::SortExec { input: child, keys }))
+            }
+
+            LogicalPlan::Limit { input, n } => {
+                let child = self.plan(input, ctx)?;
+                Ok(Arc::new(LimitExec { input: child, n: *n }))
+            }
+        }
+    }
+
+    /// Plan a base-table scan with optional pushed-down predicate and
+    /// projection.
+    pub fn plan_scan(
+        &self,
+        table: &str,
+        predicate: Option<&Expr>,
+        projection: Option<Vec<usize>>,
+        ctx: &Arc<Context>,
+    ) -> Result<Arc<dyn ExecPlan>, PlanError> {
+        let provider = ctx.provider(table)?;
+        let schema = provider.schema();
+        if let Some(columnar) = provider.as_any().downcast_ref::<ColumnarTable>() {
+            let predicate = predicate.map(|p| BoundExpr::bind(p, &schema)).transpose()?;
+            return Ok(Arc::new(ColumnarScanExec::new(
+                Arc::new(columnar.clone()),
+                predicate,
+                projection,
+            )));
+        }
+        // Generic provider: row scan with pushdown delegated to the
+        // provider (the Indexed Batch RDD filters on encoded rows).
+        let predicate = predicate.map(|p| BoundExpr::bind(p, &schema)).transpose()?;
+        Ok(Arc::new(ProviderScanExec::with_pushdown(provider, table, predicate, projection)))
+    }
+
+    fn plan_join(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        left_key: &str,
+        right_key: &str,
+        ctx: &Arc<Context>,
+    ) -> Result<Arc<dyn ExecPlan>, PlanError> {
+        let left_phys = self.plan(left, ctx)?;
+        let right_phys = self.plan(right, ctx)?;
+        let ls = left_phys.schema();
+        let rs = right_phys.schema();
+        let lk = ls.index_of(left_key).ok_or_else(|| PlanError::UnknownColumn(left_key.into()))?;
+        let rk = rs.index_of(right_key).ok_or_else(|| PlanError::UnknownColumn(right_key.into()))?;
+        let out_schema = ls.join(&rs);
+
+        let lsize = estimate_bytes(left, ctx).unwrap_or(usize::MAX);
+        let rsize = estimate_bytes(right, ctx).unwrap_or(usize::MAX);
+        let threshold = ctx.config().broadcast_threshold_bytes;
+
+        if lsize.min(rsize) <= threshold {
+            // Broadcast the smaller side (the build relation, §IV-C).
+            let build_is_left = lsize <= rsize;
+            let (build, probe, build_key, probe_key) = if build_is_left {
+                (left_phys, right_phys, lk, rk)
+            } else {
+                (right_phys, left_phys, rk, lk)
+            };
+            return Ok(Arc::new(BroadcastHashJoinExec {
+                build,
+                probe,
+                build_key,
+                probe_key,
+                build_is_left,
+                out_schema,
+            }));
+        }
+        if ctx.config().prefer_sort_merge {
+            return Ok(Arc::new(SortMergeJoinExec {
+                left: left_phys,
+                right: right_phys,
+                left_key: lk,
+                right_key: rk,
+                out_schema,
+            }));
+        }
+        Ok(Arc::new(ShuffledHashJoinExec {
+            left: left_phys,
+            right: right_phys,
+            left_key: lk,
+            right_key: rk,
+            build_left: lsize <= rsize,
+            out_schema,
+        }))
+    }
+}
+
+/// If every projection expression is a bare column, return the names.
+fn plain_columns(exprs: &[(Expr, String)]) -> Option<Vec<String>> {
+    exprs
+        .iter()
+        .map(|(e, name)| match e {
+            Expr::Col(c) if c == name => Some(c.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn resolve_cols(names: &[String], schema: &rowstore::Schema) -> Result<Vec<usize>, PlanError> {
+    names
+        .iter()
+        .map(|n| schema.index_of(n).ok_or_else(|| PlanError::UnknownColumn(n.clone())))
+        .collect()
+}
+
+/// Size estimation for join-strategy selection. `None` = unknown.
+pub fn estimate_bytes(plan: &LogicalPlan, ctx: &Arc<Context>) -> Option<usize> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            ctx.provider(table).ok().map(|p| p.estimated_bytes())
+        }
+        // Filters and projections only shrink their input: the input size
+        // is a safe upper bound.
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            estimate_bytes(input, ctx)
+        }
+        LogicalPlan::Sort { input, .. } => estimate_bytes(input, ctx),
+        LogicalPlan::Limit { input, n } => {
+            estimate_bytes(input, ctx).map(|b| b.min(n.saturating_mul(64)))
+        }
+        LogicalPlan::Join { .. } | LogicalPlan::Aggregate { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecConfig;
+    use crate::expr::{col, lit};
+    use rowstore::{DataType, Field, Row, Schema, Value};
+    use sparklet::{Cluster, ClusterConfig};
+
+    fn ctx_with_tables(threshold: usize) -> Arc<Context> {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let ctx = Context::with_config(
+            cluster,
+            ExecConfig { broadcast_threshold_bytes: threshold, ..ExecConfig::default() },
+        );
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Utf8),
+        ]);
+        let big: Vec<Row> =
+            (0..1000).map(|i| vec![Value::Int64(i % 50), Value::Utf8(format!("b{i}"))]).collect();
+        let small: Vec<Row> =
+            (0..10).map(|i| vec![Value::Int64(i), Value::Utf8(format!("s{i}"))]).collect();
+        ctx.register_table("big", Arc::new(ColumnarTable::from_rows(Arc::clone(&schema), big, 4)));
+        ctx.register_table("small", Arc::new(ColumnarTable::from_rows(schema, small, 2)));
+        ctx
+    }
+
+    fn scan(ctx: &Arc<Context>, t: &str) -> LogicalPlan {
+        LogicalPlan::Scan { table: t.into(), schema: ctx.provider(t).unwrap().schema() }
+    }
+
+    #[test]
+    fn join_below_threshold_uses_broadcast() {
+        let ctx = ctx_with_tables(1 << 20);
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan(&ctx, "big")),
+            right: Box::new(scan(&ctx, "small")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        assert!(phys.describe(0).contains("BroadcastHashJoin"));
+    }
+
+    #[test]
+    fn join_above_threshold_uses_shuffled_hash() {
+        let ctx = ctx_with_tables(1); // nothing broadcasts
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan(&ctx, "big")),
+            right: Box::new(scan(&ctx, "small")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        assert!(phys.describe(0).contains("ShuffledHashJoin"), "{}", phys.describe(0));
+    }
+
+    #[test]
+    fn sort_merge_when_preferred() {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let ctx = Context::with_config(
+            cluster,
+            ExecConfig {
+                broadcast_threshold_bytes: 1,
+                prefer_sort_merge: true,
+                ..ExecConfig::default()
+            },
+        );
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        let rows: Vec<Row> = (0..10).map(|i| vec![Value::Int64(i)]).collect();
+        ctx.register_table("t", Arc::new(ColumnarTable::from_rows(schema, rows, 2)));
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan(&ctx, "t")),
+            right: Box::new(scan(&ctx, "t")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        assert!(phys.describe(0).contains("SortMergeJoin"));
+    }
+
+    #[test]
+    fn filter_over_scan_is_fused() {
+        let ctx = ctx_with_tables(1 << 20);
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(&ctx, "big")),
+            predicate: col("k").eq(lit(3i64)),
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        let desc = phys.describe(0);
+        assert!(desc.contains("ColumnarScan") && desc.contains("+filter"), "{desc}");
+        assert!(!desc.contains("Filter\n"), "no separate FilterExec: {desc}");
+    }
+
+    #[test]
+    fn column_projection_over_filtered_scan_is_fused() {
+        let ctx = ctx_with_tables(1 << 20);
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan(&ctx, "big")),
+                predicate: col("k").lt(lit(5i64)),
+            }),
+            exprs: vec![(col("v"), "v".into())],
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        let desc = phys.describe(0);
+        assert!(desc.contains("+filter") && desc.contains("+project"), "{desc}");
+        assert_eq!(phys.schema().arity(), 1);
+    }
+
+    #[test]
+    fn computed_projection_not_fused() {
+        let ctx = ctx_with_tables(1 << 20);
+        let plan = LogicalPlan::Project {
+            input: Box::new(scan(&ctx, "big")),
+            exprs: vec![(col("k").add(lit(1i64)), "k1".into())],
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        assert!(phys.describe(0).contains("Project"), "{}", phys.describe(0));
+    }
+}

@@ -1,0 +1,886 @@
+//! A small SQL front-end.
+//!
+//! "Users write SQL queries or use the Dataframe API" (Fig. 2). This
+//! module covers the query shapes of the paper's workloads (Table II):
+//! single-table selects, two-table equi-joins, point predicates, grouped
+//! aggregation and limits:
+//!
+//! ```sql
+//! SELECT cols | agg(col) [AS name] ...
+//! FROM table [alias]
+//! [JOIN table2 [alias] ON a.x = b.y]
+//! [WHERE predicate]
+//! [GROUP BY cols]
+//! [LIMIT n]
+//! ```
+
+use crate::context::Context;
+use crate::expr::{BinOp, Expr, PlanError};
+use crate::plan::{AggFunc, AggSpec, LogicalPlan};
+use rowstore::Value;
+use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Slash,
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, PlanError> {
+    let mut toks = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Tok::NotEq);
+                    i += 2;
+                } else {
+                    return Err(PlanError::Parse("lone '!'".into()));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Tok::LtEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    toks.push(Tok::NotEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Tok::GtEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(PlanError::Parse("unterminated string literal".into()));
+                }
+                toks.push(Tok::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && j + 1 < bytes.len()
+                            && (bytes[j + 1] as char).is_ascii_digit()))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                if is_float {
+                    toks.push(Tok::Float(
+                        text.parse().map_err(|_| PlanError::Parse(format!("bad number {text}")))?,
+                    ));
+                } else {
+                    toks.push(Tok::Int(
+                        text.parse().map_err(|_| PlanError::Parse(format!("bad number {text}")))?,
+                    ));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                toks.push(Tok::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => return Err(PlanError::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    toks.push(Tok::Eof);
+    Ok(toks)
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    ctx: &'a Arc<Context>,
+}
+
+#[derive(Debug)]
+enum SelectItem {
+    Wildcard,
+    Expr { expr: Expr, name: String },
+    Agg { func: AggFunc, input: Option<String>, name: String },
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Tok::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), PlanError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(PlanError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), PlanError> {
+        if *self.peek() == tok {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(PlanError::Parse(format!("expected {tok:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, PlanError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(PlanError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Possibly-qualified column name; the qualifier is dropped (schemas
+    /// disambiguate duplicates with a `right.` prefix at join time).
+    fn column_name(&mut self) -> Result<String, PlanError> {
+        let first = self.ident()?;
+        if *self.peek() == Tok::Dot {
+            self.pos += 1;
+            let second = self.ident()?;
+            Ok(second.to_string()).inspect(|_s| {
+                let _ = &first;
+            })
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn query(&mut self) -> Result<LogicalPlan, PlanError> {
+        self.expect_keyword("SELECT")?;
+        let items = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let (table, _alias) = self.table_ref()?;
+        let provider = self.ctx.provider(&table)?;
+        let mut plan = LogicalPlan::Scan { table: table.clone(), schema: provider.schema() };
+
+        // Optional JOIN.
+        if self.eat_keyword("JOIN") {
+            let (right_table, _ralias) = self.table_ref()?;
+            let right_provider = self.ctx.provider(&right_table)?;
+            self.expect_keyword("ON")?;
+            let k1 = self.column_name()?;
+            self.expect(Tok::Eq)?;
+            let k2 = self.column_name()?;
+            // Assign keys to sides by schema membership.
+            let left_schema = plan.schema()?;
+            let (left_key, right_key) = if left_schema.index_of(&k1).is_some()
+                && right_provider.schema().index_of(&k2).is_some()
+            {
+                (k1, k2)
+            } else if left_schema.index_of(&k2).is_some()
+                && right_provider.schema().index_of(&k1).is_some()
+            {
+                (k2, k1)
+            } else {
+                return Err(PlanError::Parse(format!(
+                    "join keys {k1}/{k2} not found on respective sides"
+                )));
+            };
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(LogicalPlan::Scan {
+                    table: right_table,
+                    schema: right_provider.schema(),
+                }),
+                left_key,
+                right_key,
+            };
+        }
+
+        // Optional WHERE.
+        if self.eat_keyword("WHERE") {
+            let predicate = self.expr()?;
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        }
+
+        // Optional GROUP BY.
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let mut cols = vec![self.column_name()?];
+            while *self.peek() == Tok::Comma {
+                self.pos += 1;
+                cols.push(self.column_name()?);
+            }
+            Some(cols)
+        } else {
+            None
+        };
+
+        // Shape the output from the select list.
+        let has_agg = items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
+        if has_agg || group_by.is_some() {
+            let group_by = group_by.unwrap_or_default();
+            let mut aggs = Vec::new();
+            let mut out_order: Vec<String> = Vec::new();
+            for item in &items {
+                match item {
+                    SelectItem::Wildcard => {
+                        return Err(PlanError::Parse("SELECT * with GROUP BY".into()))
+                    }
+                    SelectItem::Expr { expr: Expr::Col(c), .. } => {
+                        if !group_by.contains(c) {
+                            return Err(PlanError::Parse(format!(
+                                "column {c} must appear in GROUP BY"
+                            )));
+                        }
+                        out_order.push(c.clone());
+                    }
+                    SelectItem::Expr { .. } => {
+                        return Err(PlanError::Parse(
+                            "computed expressions over groups are not supported".into(),
+                        ))
+                    }
+                    SelectItem::Agg { func, input, name } => {
+                        aggs.push(AggSpec {
+                            func: *func,
+                            input: input.clone(),
+                            out_name: name.clone(),
+                        });
+                        out_order.push(name.clone());
+                    }
+                }
+            }
+            plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by, aggs };
+            // Re-project to the select-list order.
+            let exprs = out_order.into_iter().map(|n| (Expr::Col(n.clone()), n)).collect();
+            plan = LogicalPlan::Project { input: Box::new(plan), exprs };
+        } else if !matches!(items.as_slice(), [SelectItem::Wildcard]) {
+            let exprs = items
+                .into_iter()
+                .map(|i| match i {
+                    SelectItem::Expr { expr, name } => Ok((expr, name)),
+                    SelectItem::Wildcard => {
+                        Err(PlanError::Parse("mixed * and columns".into()))
+                    }
+                    SelectItem::Agg { .. } => unreachable!(),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            plan = LogicalPlan::Project { input: Box::new(plan), exprs };
+        }
+
+        // Optional ORDER BY.
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let mut keys = Vec::new();
+            loop {
+                let col = self.column_name()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    let _ = self.eat_keyword("ASC");
+                    false
+                };
+                keys.push((col, desc));
+                if *self.peek() != Tok::Comma {
+                    break;
+                }
+                self.pos += 1;
+            }
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        }
+
+        // Optional LIMIT.
+        if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Tok::Int(n) if n >= 0 => {
+                    plan = LogicalPlan::Limit { input: Box::new(plan), n: n as usize };
+                }
+                other => return Err(PlanError::Parse(format!("bad LIMIT {other:?}"))),
+            }
+        }
+
+        self.expect(Tok::Eof)?;
+        Ok(plan)
+    }
+
+    fn table_ref(&mut self) -> Result<(String, Option<String>), PlanError> {
+        let name = self.ident()?;
+        // Optional alias (bare ident not followed by a clause keyword).
+        if let Tok::Ident(s) = self.peek() {
+            let is_clause = ["JOIN", "ON", "WHERE", "GROUP", "ORDER", "LIMIT"]
+                .iter()
+                .any(|k| s.eq_ignore_ascii_case(k));
+            if !is_clause {
+                let alias = self.ident()?;
+                return Ok((name, Some(alias)));
+            }
+        }
+        Ok((name, None))
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, PlanError> {
+        let mut items = vec![self.select_item()?];
+        while *self.peek() == Tok::Comma {
+            self.pos += 1;
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, PlanError> {
+        if *self.peek() == Tok::Star {
+            self.pos += 1;
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate function?
+        if let Tok::Ident(name) = self.peek().clone() {
+            let func = match name.to_ascii_lowercase().as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                "avg" => Some(AggFunc::Avg),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if self.toks.get(self.pos + 1) == Some(&Tok::LParen) {
+                    self.pos += 2; // func (
+                    let input = if *self.peek() == Tok::Star {
+                        self.pos += 1;
+                        None
+                    } else {
+                        Some(self.column_name()?)
+                    };
+                    self.expect(Tok::RParen)?;
+                    let default = format!(
+                        "{}({})",
+                        func.name(),
+                        input.as_deref().unwrap_or("*")
+                    );
+                    let out = if self.eat_keyword("AS") { self.ident()? } else { default };
+                    return Ok(SelectItem::Agg { func, input, name: out });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let name = if self.eat_keyword("AS") {
+            self.ident()?
+        } else {
+            match &expr {
+                Expr::Col(c) => c.clone(),
+                other => format!("{other}"),
+            }
+        };
+        Ok(SelectItem::Expr { expr, name })
+    }
+
+    // Expression grammar: or → and → not → comparison → additive →
+    // multiplicative → primary.
+    fn expr(&mut self) -> Result<Expr, PlanError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, PlanError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, PlanError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, PlanError> {
+        if self.eat_keyword("NOT") {
+            return Ok(self.not_expr()?.not());
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, PlanError> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Tok::Eq => Some(BinOp::Eq),
+            Tok::NotEq => Some(BinOp::NotEq),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::LtEq => Some(BinOp::LtEq),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::GtEq => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+        }
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(if negated { left.is_not_null() } else { left.is_null() });
+        }
+        // BETWEEN lo AND hi → (left >= lo) AND (left <= hi).
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_keyword("AND")?;
+            let hi = self.additive()?;
+            return Ok(left.clone().gt_eq(lo).and(left.lt_eq(hi)));
+        }
+        // [NOT] IN (v1, v2, ...) → OR chain of equalities.
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect(Tok::LParen)?;
+            let mut alternatives: Option<Expr> = None;
+            loop {
+                let item = self.additive()?;
+                let eq = left.clone().eq(item);
+                alternatives = Some(match alternatives {
+                    None => eq,
+                    Some(acc) => acc.or(eq),
+                });
+                if *self.peek() == Tok::Comma {
+                    self.pos += 1;
+                    continue;
+                }
+                break;
+            }
+            self.expect(Tok::RParen)?;
+            let e = alternatives.ok_or_else(|| PlanError::Parse("empty IN list".into()))?;
+            return Ok(if negated { e.not() } else { e });
+        }
+        if negated {
+            return Err(PlanError::Parse("expected IN after NOT".into()));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, PlanError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, PlanError> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.primary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<Expr, PlanError> {
+        match self.next() {
+            Tok::Int(n) => Ok(Expr::Lit(Value::Int64(n))),
+            Tok::Float(f) => Ok(Expr::Lit(Value::Float64(f))),
+            Tok::Str(s) => Ok(Expr::Lit(Value::Utf8(s))),
+            Tok::Minus => {
+                // Negative literal.
+                match self.next() {
+                    Tok::Int(n) => Ok(Expr::Lit(Value::Int64(-n))),
+                    Tok::Float(f) => Ok(Expr::Lit(Value::Float64(-f))),
+                    other => Err(PlanError::Parse(format!("cannot negate {other:?}"))),
+                }
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Lit(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Lit(Value::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("null") {
+                    return Ok(Expr::Lit(Value::Null));
+                }
+                // Qualified column?
+                if *self.peek() == Tok::Dot {
+                    self.pos += 1;
+                    let col = self.ident()?;
+                    return Ok(Expr::Col(col));
+                }
+                Ok(Expr::Col(name))
+            }
+            other => Err(PlanError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parse a SQL query into a logical plan, resolving tables in `ctx`.
+pub fn parse_query(query: &str, ctx: &Arc<Context>) -> Result<LogicalPlan, PlanError> {
+    let toks = lex(query)?;
+    let mut p = Parser { toks, pos: 0, ctx };
+    p.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnarTable;
+    use rowstore::{DataType, Field, Row, Schema};
+    use sparklet::{Cluster, ClusterConfig};
+
+    fn ctx() -> Arc<Context> {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let flights = Schema::new(vec![
+            Field::new("flightNum", DataType::Int64),
+            Field::new("tailNum", DataType::Utf8),
+            Field::new("delay", DataType::Float64),
+        ]);
+        let rows: Vec<Row> = (0..60)
+            .map(|i| {
+                vec![
+                    Value::Int64(i),
+                    Value::Utf8(format!("N{}", i % 10)),
+                    Value::Float64((i % 7) as f64),
+                ]
+            })
+            .collect();
+        ctx.register_table("flights", Arc::new(ColumnarTable::from_rows(flights, rows, 3)));
+
+        let planes = Schema::new(vec![
+            Field::new("tailNum", DataType::Utf8),
+            Field::new("year", DataType::Int64),
+        ]);
+        let prows: Vec<Row> = (0..10)
+            .map(|i| vec![Value::Utf8(format!("N{i}")), Value::Int64(1990 + i)])
+            .collect();
+        ctx.register_table("planes", Arc::new(ColumnarTable::from_rows(planes, prows, 2)));
+        ctx
+    }
+
+    #[test]
+    fn select_star() {
+        let ctx = ctx();
+        let rows = ctx.sql("SELECT * FROM flights").unwrap().collect().unwrap();
+        assert_eq!(rows.len(), 60);
+        assert_eq!(rows[0].len(), 3);
+    }
+
+    #[test]
+    fn select_columns_where() {
+        let ctx = ctx();
+        let rows = ctx
+            .sql("SELECT tailNum FROM flights WHERE flightNum < 10")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].len(), 1);
+    }
+
+    #[test]
+    fn string_equality() {
+        let ctx = ctx();
+        let rows = ctx
+            .sql("SELECT * FROM flights WHERE tailNum = 'N3'")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn complex_predicate() {
+        let ctx = ctx();
+        let df = ctx
+            .sql("SELECT * FROM flights WHERE flightNum >= 10 AND flightNum < 20 OR delay = 0.0")
+            .unwrap();
+        let n = df.count().unwrap();
+        let expected = (0..60)
+            .filter(|i| (*i >= 10 && *i < 20) || (i % 7 == 0))
+            .count();
+        assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn join_on_qualified_keys() {
+        let ctx = ctx();
+        let rows = ctx
+            .sql("SELECT * FROM flights JOIN planes ON flights.tailNum = planes.tailNum")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 60, "every flight has a plane");
+        assert_eq!(rows[0].len(), 5);
+    }
+
+    #[test]
+    fn join_keys_reversed_in_on_clause() {
+        let ctx = ctx();
+        let n = ctx
+            .sql("SELECT * FROM flights JOIN planes ON planes.tailNum = flights.tailNum")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 60);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let ctx = ctx();
+        let mut rows = ctx
+            .sql("SELECT tailNum, count(*) AS n, max(delay) AS md FROM flights GROUP BY tailNum")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        rows.sort_by(|a, b| a[0].as_str().unwrap().cmp(b[0].as_str().unwrap()));
+        assert_eq!(rows[0][1], Value::Int64(6));
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let ctx = ctx();
+        let rows = ctx
+            .sql("SELECT count(*) AS n, avg(delay) AS ad FROM flights")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int64(60));
+    }
+
+    #[test]
+    fn limit_clause() {
+        let ctx = ctx();
+        let rows = ctx.sql("SELECT * FROM flights LIMIT 5").unwrap().collect().unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn arithmetic_in_select() {
+        let ctx = ctx();
+        let rows = ctx
+            .sql("SELECT flightNum * 2 + 1 AS x FROM flights WHERE flightNum = 3")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int64(7)]]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let ctx = ctx();
+        assert!(ctx.sql("SELEKT * FROM flights").is_err());
+        assert!(ctx.sql("SELECT * FROM missing_table").is_err());
+        assert!(ctx.sql("SELECT * FROM flights WHERE").is_err());
+        assert!(ctx.sql("SELECT * FROM flights WHERE tailNum = 'unterminated").is_err());
+        assert!(ctx.sql("SELECT nonsense( FROM flights").is_err());
+    }
+
+    #[test]
+    fn negative_literals_and_parens() {
+        let ctx = ctx();
+        let n = ctx
+            .sql("SELECT * FROM flights WHERE (flightNum - 100) < -50")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn order_by_clause() {
+        let ctx = ctx();
+        let rows = ctx
+            .sql("SELECT flightNum FROM flights WHERE flightNum < 10 ORDER BY flightNum DESC LIMIT 3")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int64(9)],
+                vec![Value::Int64(8)],
+                vec![Value::Int64(7)]
+            ]
+        );
+        // Multi-key with mixed directions parses and runs.
+        let n = ctx
+            .sql("SELECT * FROM flights ORDER BY tailNum ASC, flightNum DESC LIMIT 5")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn between_predicate() {
+        let ctx = ctx();
+        let n = ctx
+            .sql("SELECT * FROM flights WHERE flightNum BETWEEN 10 AND 19")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn in_predicate() {
+        let ctx = ctx();
+        let n = ctx
+            .sql("SELECT * FROM flights WHERE flightNum IN (1, 2, 3)")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 3);
+        let n = ctx
+            .sql("SELECT * FROM flights WHERE tailNum IN ('N1', 'N2')")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 12);
+        let n = ctx
+            .sql("SELECT * FROM flights WHERE flightNum NOT IN (0)")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 59);
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let ctx = ctx();
+        assert_eq!(
+            ctx.sql("SELECT * FROM flights WHERE tailNum IS NULL").unwrap().count().unwrap(),
+            0
+        );
+        assert_eq!(
+            ctx.sql("SELECT * FROM flights WHERE tailNum IS NOT NULL")
+                .unwrap()
+                .count()
+                .unwrap(),
+            60
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests: the distributed engine agrees with a naive
+//! single-threaded reference interpreter on generated predicates and data.
+
+use dataframe::{BoundExpr, ColumnarTable, Context, Expr};
+use proptest::prelude::*;
+use rowstore::{DataType, Field, Row, Schema, Value};
+use sparklet::{Cluster, ClusterConfig};
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("a", DataType::Int64),
+        Field::nullable("b", DataType::Int64),
+        Field::new("s", DataType::Utf8),
+        Field::nullable("f", DataType::Float64),
+    ])
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        -50i64..50,
+        proptest::option::of(-20i64..20),
+        "[a-d]{0,3}",
+        proptest::option::of(-5.0f64..5.0),
+    )
+        .prop_map(|(a, b, s, f)| {
+            vec![
+                Value::Int64(a),
+                b.map(Value::Int64).unwrap_or(Value::Null),
+                Value::Utf8(s),
+                f.map(Value::Float64).unwrap_or(Value::Null),
+            ]
+        })
+}
+
+/// Generated predicate expressions over the schema above.
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    use dataframe::{col, lit};
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(|v| col("a").gt(lit(v))),
+        (-50i64..50).prop_map(|v| col("a").lt_eq(lit(v))),
+        (-20i64..20).prop_map(|v| col("b").eq(lit(v))),
+        "[a-d]{0,3}".prop_map(|s| col("s").eq(lit(s.as_str()))),
+        (-5.0f64..5.0).prop_map(|v| col("f").gt_eq(lit(v))),
+        Just(col("b").is_null()),
+        Just(col("f").is_not_null()),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
+            inner.prop_map(|e| e.not()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Distributed filter == row-at-a-time reference evaluation.
+    #[test]
+    fn filter_matches_reference(
+        rows in proptest::collection::vec(arb_row(), 0..120),
+        pred in arb_predicate(),
+        partitions in 1usize..5,
+    ) {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        ctx.register_table(
+            "t",
+            Arc::new(ColumnarTable::from_rows(schema(), rows.clone(), partitions)),
+        );
+        let got = ctx.table("t").unwrap().filter(pred.clone()).collect().unwrap();
+
+        let bound = BoundExpr::bind(&pred, &schema()).unwrap();
+        let expected: Vec<Row> = rows
+            .into_iter()
+            .filter(|r| BoundExpr::is_true(&bound.eval_row(r)))
+            .collect();
+        let canon = |mut v: Vec<Row>| {
+            let mut s: Vec<String> = v.drain(..).map(|r| format!("{r:?}")).collect();
+            s.sort();
+            s
+        };
+        prop_assert_eq!(canon(got), canon(expected));
+    }
+
+    /// COUNT(*) equals the collected length for any filter.
+    #[test]
+    fn count_equals_collect_len(
+        rows in proptest::collection::vec(arb_row(), 0..80),
+        pred in arb_predicate(),
+    ) {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        ctx.register_table("t", Arc::new(ColumnarTable::from_rows(schema(), rows, 3)));
+        let df = ctx.table("t").unwrap().filter(pred);
+        prop_assert_eq!(df.count().unwrap(), df.collect().unwrap().len());
+    }
+
+    /// Sorting is a permutation and is correctly ordered (nulls last).
+    #[test]
+    fn sort_orders_and_preserves(
+        rows in proptest::collection::vec(arb_row(), 0..80),
+        desc in any::<bool>(),
+    ) {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        ctx.register_table("t", Arc::new(ColumnarTable::from_rows(schema(), rows.clone(), 3)));
+        let sorted = ctx.table("t").unwrap().sort(&[("b", desc)]).collect().unwrap();
+        prop_assert_eq!(sorted.len(), rows.len());
+        // Check ordering of the sort key.
+        let keys: Vec<Option<i64>> = sorted.iter().map(|r| r[1].as_i64()).collect();
+        for w in keys.windows(2) {
+            match (w[0], w[1]) {
+                (Some(x), Some(y)) => {
+                    if desc {
+                        prop_assert!(x >= y, "descending violated: {x} then {y}");
+                    } else {
+                        prop_assert!(x <= y, "ascending violated: {x} then {y}");
+                    }
+                }
+                (None, Some(_)) => prop_assert!(false, "null before non-null"),
+                _ => {}
+            }
+        }
+    }
+
+    /// LIMIT n returns min(n, len) rows that are all members of the input.
+    #[test]
+    fn limit_bounds(rows in proptest::collection::vec(arb_row(), 0..60), n in 0usize..80) {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        ctx.register_table("t", Arc::new(ColumnarTable::from_rows(schema(), rows.clone(), 4)));
+        let got = ctx.table("t").unwrap().limit(n).collect().unwrap();
+        prop_assert_eq!(got.len(), n.min(rows.len()));
+        let pool: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+        for r in &got {
+            let key = format!("{r:?}");
+            prop_assert!(pool.contains(&key));
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The Indexed DataFrame: a distributed, multi-versioned, indexed
+//! in-memory cache (§III of the paper).
+//!
+//! An [`IndexedDataFrame`] is **hash partitioned on its index column**;
+//! every partition is an [`IndexedPartition`] cached in the cluster's block
+//! store on its preferred worker. Versions are immutable: `append_rows`
+//! returns a *new* Indexed DataFrame (with a bumped version number and its
+//! own cache identity) whose partitions are O(1) snapshots of the parent's
+//! plus the appended delta — so divergent appends on one parent coexist
+//! (Listing 2 / §III-E). The append itself is lazy: it materializes when
+//! the new frame is first used, exactly as in the paper.
+//!
+//! Fault tolerance follows Spark's lineage model (§III-D): a partition
+//! lost to a worker failure is rebuilt by replaying the (replayable) base
+//! source and re-applying the append chain.
+
+use crate::partition::IndexedPartition;
+use crate::source::{InMemorySource, ReplayableSource};
+use dataframe::{Context, DataFrame, PlanError};
+use rowstore::{Row, Schema, StoreConfig, Value};
+use sparklet::metrics::Metrics;
+use sparklet::{partition_of, BlockId, TaskSpec};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+/// How an Indexed DataFrame version came to be (its lineage).
+pub(crate) enum Provenance {
+    /// Built directly from a replayable source (HDFS/Kafka stand-in).
+    Base { source: Arc<dyn ReplayableSource> },
+    /// Parent version plus appended rows.
+    Append { parent: Arc<IdfInner>, rows: Arc<Vec<Row>> },
+}
+
+pub(crate) struct IdfInner {
+    pub(crate) ctx: Arc<Context>,
+    pub(crate) schema: Arc<Schema>,
+    pub(crate) index_col: usize,
+    pub(crate) num_partitions: usize,
+    pub(crate) store_config: StoreConfig,
+    /// Unique cache identity of this version.
+    pub(crate) dataset_id: u64,
+    /// Version number (§III-D), bumped on every append.
+    pub(crate) version: u64,
+    pub(crate) provenance: Provenance,
+}
+
+impl IdfInner {
+    /// Preferred worker of a partition, falling back deterministically to
+    /// an alive worker when the preferred one is down.
+    fn home_worker(&self, p: usize) -> usize {
+        let cluster = self.ctx.cluster();
+        let preferred = cluster.worker_for_partition(p);
+        if cluster.is_alive(preferred) {
+            preferred
+        } else {
+            let alive = cluster.alive_workers();
+            alive[p % alive.len()]
+        }
+    }
+
+    /// Fetch (or lazily rebuild) partition `p`.
+    pub(crate) fn get_partition(self: &Arc<Self>, p: usize) -> Arc<IndexedPartition> {
+        let cluster = self.ctx.cluster();
+        let worker = self.home_worker(p);
+        let id = BlockId { dataset: self.dataset_id, partition: p };
+        if let Some(block) = cluster.get_block_min_version(worker, id, self.version) {
+            if let Ok(part) = block.data.downcast::<IndexedPartition>() {
+                return part;
+            }
+        }
+        // Lost or never built: recompute from lineage (Fig. 12's recovery).
+        let metrics = cluster.metrics();
+        let part = Metrics::timed(&metrics.recompute_ns, || Arc::new(self.build_partition(p)));
+        cluster.put_block(worker, id, self.version, Arc::clone(&part) as _);
+        part
+    }
+
+    /// Rebuild one partition from lineage: replay the base source filtered
+    /// to this partition, or snapshot the parent partition and replay the
+    /// appended delta.
+    fn build_partition(self: &Arc<Self>, p: usize) -> IndexedPartition {
+        match &self.provenance {
+            Provenance::Base { source } => {
+                let mut part =
+                    IndexedPartition::new(Arc::clone(&self.schema), self.index_col, self.store_config);
+                let rows: Vec<Row> = source
+                    .replay()
+                    .into_iter()
+                    .filter(|r| self.partition_of_row(r) == p)
+                    .collect();
+                part.insert_rows(&rows).expect("replayed rows insert");
+                part
+            }
+            Provenance::Append { parent, rows } => {
+                let parent_part = parent.get_partition(p);
+                let mut part = parent_part.snapshot();
+                let delta: Vec<Row> =
+                    rows.iter().filter(|r| self.partition_of_row(r) == p).cloned().collect();
+                part.insert_rows(&delta).expect("appended rows insert");
+                part
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn partition_of_row(&self, row: &Row) -> usize {
+        partition_of(row[self.index_col].key_hash(), self.num_partitions)
+    }
+
+    /// Whether every partition of this version is currently cached.
+    fn fully_cached(&self) -> bool {
+        let cluster = self.ctx.cluster();
+        (0..self.num_partitions).all(|p| {
+            let id = BlockId { dataset: self.dataset_id, partition: p };
+            cluster
+                .get_block_min_version(self.home_worker(p), id, self.version)
+                .is_some()
+        })
+    }
+
+    /// Exact row count, computable from lineage without materializing.
+    pub(crate) fn num_rows(&self) -> usize {
+        match &self.provenance {
+            Provenance::Base { source } => source.len(),
+            Provenance::Append { parent, rows } => parent.num_rows() + rows.len(),
+        }
+    }
+
+    /// Materialize every partition in parallel on the cluster, shuffling
+    /// rows to their hash partitions (index creation / append execution,
+    /// §III-C "Index Creation, Append"; the shuffle dominates write time,
+    /// Fig. 10).
+    pub(crate) fn materialize(self: &Arc<Self>) {
+        let cluster = self.ctx.cluster();
+        let metrics = cluster.metrics();
+        let p = self.num_partitions;
+
+        let missing: Vec<usize> = (0..p)
+            .filter(|&i| {
+                let id = BlockId { dataset: self.dataset_id, partition: i };
+                cluster
+                    .get_block_min_version(self.home_worker(i), id, self.version)
+                    .is_none()
+            })
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        if missing.len() < p {
+            // Partial recovery (a worker died, §III-D): rebuild only the
+            // lost partitions from lineage, in parallel on their new homes.
+            let inner = Arc::clone(self);
+            let tasks: Vec<TaskSpec> = missing
+                .iter()
+                .map(|&i| TaskSpec { partition: i, preferred_worker: Some(self.home_worker(i)) })
+                .collect();
+            cluster.run_tasks(&tasks, move |tc| {
+                let _ = inner.get_partition(tc.partition);
+            });
+            return;
+        }
+
+        // Rows that must move: the base source or the appended delta.
+        let rows: Vec<Row> = match &self.provenance {
+            Provenance::Base { source } => source.replay(),
+            Provenance::Append { rows, .. } => rows.as_ref().clone(),
+        };
+
+        // Map side: chunk the incoming rows as the "source partitions" and
+        // key them by index-column hash.
+        let chunk = rows.len().div_ceil(p.max(1)).max(1);
+        let index_col = self.index_col;
+        let inputs: Vec<Vec<(u64, Row)>> = rows
+            .chunks(chunk)
+            .map(|c| c.iter().map(|r| (r[index_col].key_hash(), r.clone())).collect())
+            .collect();
+        let shuffled = Arc::new(sparklet::exchange(cluster, inputs, p));
+
+        // Build side: one task per partition, on its home worker.
+        let inner = Arc::clone(self);
+        let shuffled2 = Arc::clone(&shuffled);
+        let tasks: Vec<TaskSpec> = (0..p)
+            .map(|i| TaskSpec { partition: i, preferred_worker: Some(self.home_worker(i)) })
+            .collect();
+        Metrics::timed(&metrics.build_ns, || {
+            cluster.run_tasks(&tasks, move |tc| {
+                let pidx = tc.partition;
+                let part = match &inner.provenance {
+                    Provenance::Base { .. } => {
+                        let mut part = IndexedPartition::new(
+                            Arc::clone(&inner.schema),
+                            inner.index_col,
+                            inner.store_config,
+                        );
+                        part.insert_rows(&shuffled2[pidx]).expect("shuffled rows insert");
+                        part
+                    }
+                    Provenance::Append { parent, .. } => {
+                        let parent_part = parent.get_partition(pidx);
+                        let mut part = parent_part.snapshot();
+                        part.insert_rows(&shuffled2[pidx]).expect("appended rows insert");
+                        part
+                    }
+                };
+                let id = BlockId { dataset: inner.dataset_id, partition: pidx };
+                inner.ctx.cluster().put_block(tc.worker, id, inner.version, Arc::new(part) as _);
+            })
+        });
+    }
+}
+
+/// A distributed, indexed, multi-versioned in-memory table (Listing 1 of
+/// the paper).
+///
+/// ```
+/// # use indexed_df::IndexedDataFrame;
+/// # use dataframe::Context;
+/// # use rowstore::{DataType, Field, Schema, Value};
+/// # use sparklet::{Cluster, ClusterConfig};
+/// let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+/// let schema = Schema::new(vec![
+///     Field::new("user", DataType::Int64),
+///     Field::new("event", DataType::Utf8),
+/// ]);
+/// let rows = (0..100i64).map(|i| vec![Value::Int64(i % 10), "seen".into()]).collect();
+/// let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "user").unwrap();
+/// idf.cache_index();
+/// assert_eq!(idf.get_rows(&Value::Int64(3)).len(), 10);
+///
+/// // Appends create a new version; the parent is untouched.
+/// let v2 = idf.append_rows(vec![vec![Value::Int64(3), "new".into()]]);
+/// assert_eq!(v2.get_rows(&Value::Int64(3)).len(), 11);
+/// assert_eq!(idf.get_rows(&Value::Int64(3)).len(), 10);
+/// ```
+#[derive(Clone)]
+pub struct IndexedDataFrame {
+    pub(crate) inner: Arc<IdfInner>,
+}
+
+impl IndexedDataFrame {
+    /// Build an Indexed DataFrame from rows, indexing `index_col` (by
+    /// name). Partition count defaults to the cluster's recommendation.
+    pub fn from_rows(
+        ctx: &Arc<Context>,
+        schema: Arc<Schema>,
+        rows: Vec<Row>,
+        index_col: &str,
+    ) -> Result<IndexedDataFrame, PlanError> {
+        Self::builder(ctx, schema, index_col)?.rows(rows).build()
+    }
+
+    /// Start a builder for finer control (partitions, store config, custom
+    /// replayable source).
+    pub fn builder(
+        ctx: &Arc<Context>,
+        schema: Arc<Schema>,
+        index_col: &str,
+    ) -> Result<IdfBuilder, PlanError> {
+        let col = schema
+            .index_of(index_col)
+            .ok_or_else(|| PlanError::UnknownColumn(index_col.to_string()))?;
+        Ok(IdfBuilder {
+            ctx: Arc::clone(ctx),
+            schema,
+            index_col: col,
+            num_partitions: None,
+            store_config: StoreConfig::default(),
+            source: None,
+        })
+    }
+
+    /// `createIndex` of Listing 1: index an existing DataFrame's rows on
+    /// `index_col`. The collected rows become the replayable source.
+    pub fn create_index(df: &DataFrame, index_col: &str) -> Result<IndexedDataFrame, PlanError> {
+        let schema = df.schema()?;
+        let rows = df.collect()?;
+        Self::from_rows(df.context(), schema, rows, index_col)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.inner.schema
+    }
+
+    pub fn index_col(&self) -> usize {
+        self.inner.index_col
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.inner.num_partitions
+    }
+
+    /// The version number of this frame (bumped on every append, §III-D).
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+
+    pub fn context(&self) -> &Arc<Context> {
+        &self.inner.ctx
+    }
+
+    /// Exact row count (from lineage; does not force materialization).
+    pub fn num_rows(&self) -> usize {
+        self.inner.num_rows()
+    }
+
+    // ------------------------------------------------------------------
+    // Listing 1 operations
+    // ------------------------------------------------------------------
+
+    /// `cacheIndex`: build and pin every partition on its worker now.
+    pub fn cache_index(&self) {
+        self.inner.materialize();
+    }
+
+    /// Whether every partition is materialized in the block cache.
+    pub fn is_cached(&self) -> bool {
+        self.inner.fully_cached()
+    }
+
+    /// `getRows`: point lookup. Routed to the single partition owning the
+    /// key's hash; returns matching rows newest-appended first.
+    pub fn get_rows(&self, key: &Value) -> Vec<Row> {
+        let p = partition_of(key.key_hash(), self.inner.num_partitions);
+        let cluster = self.inner.ctx.cluster();
+        let metrics = cluster.metrics();
+        let inner = Arc::clone(&self.inner);
+        let key = key.clone();
+        let task = TaskSpec { partition: p, preferred_worker: Some(self.inner.home_worker(p)) };
+        Metrics::timed(&metrics.probe_ns, || {
+            cluster
+                .run_tasks(&[task], move |tc| {
+                    let _ = tc;
+                    inner.get_partition(p).lookup(&key)
+                })
+                .pop()
+                .unwrap_or_default()
+        })
+    }
+
+    /// `getRows` with the paper's exact signature (Listing 1 returns a
+    /// *DataFrame*): the matching rows wrapped as a queryable literal
+    /// table.
+    pub fn get_rows_df(&self, key: &Value) -> DataFrame {
+        let rows = self.get_rows(key);
+        let provider = Arc::new(dataframe::RowsTable::single(
+            Arc::clone(&self.inner.schema),
+            rows,
+        ));
+        let name = format!(
+            "__idf_lookup_{}_{}",
+            self.inner.dataset_id,
+            self.inner.ctx.cluster().new_dataset_id()
+        );
+        self.inner.ctx.register_table(&name, provider);
+        self.inner.ctx.table(&name).expect("just registered")
+    }
+
+    /// `appendRows`: create the next version containing `rows` in addition
+    /// to everything in `self`. Lazy: the new version materializes on first
+    /// use (or explicit [`IndexedDataFrame::cache_index`]).
+    pub fn append_rows(&self, rows: Vec<Row>) -> IndexedDataFrame {
+        let ctx = &self.inner.ctx;
+        IndexedDataFrame {
+            inner: Arc::new(IdfInner {
+                ctx: Arc::clone(ctx),
+                schema: Arc::clone(&self.inner.schema),
+                index_col: self.inner.index_col,
+                num_partitions: self.inner.num_partitions,
+                store_config: self.inner.store_config,
+                dataset_id: ctx.cluster().new_dataset_id(),
+                version: self.inner.version + 1,
+                provenance: Provenance::Append {
+                    parent: Arc::clone(&self.inner),
+                    rows: Arc::new(rows),
+                },
+            }),
+        }
+    }
+
+    /// Append every row of a DataFrame (batch-oriented append mode).
+    pub fn append_df(&self, df: &DataFrame) -> Result<IndexedDataFrame, PlanError> {
+        Ok(self.append_rows(df.collect()?))
+    }
+
+    /// Register this frame in the catalog so SQL and the DataFrame API can
+    /// query it; installs the indexed Catalyst rules on first use and
+    /// returns a DataFrame scanning this table.
+    pub fn register(&self, name: &str) -> Result<DataFrame, PlanError> {
+        crate::rule::install(&self.inner.ctx);
+        self.inner.ctx.register_table(name, Arc::new(self.clone()));
+        self.inner.ctx.table(name)
+    }
+
+    /// Materialize all partitions and return every row (test helper; the
+    /// production path is query execution through the provider).
+    pub fn collect(&self) -> Vec<Row> {
+        self.cache_index();
+        let mut out = Vec::new();
+        for p in 0..self.inner.num_partitions {
+            out.extend(self.inner.get_partition(p).scan());
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (Fig. 11)
+    // ------------------------------------------------------------------
+
+    /// Per-partition `(index_bytes, data_bytes)` (forces materialization).
+    pub fn partition_stats(&self) -> Vec<(usize, usize)> {
+        self.cache_index();
+        (0..self.inner.num_partitions)
+            .map(|p| {
+                let part = self.inner.get_partition(p);
+                (part.index_bytes(), part.data_bytes())
+            })
+            .collect()
+    }
+
+    /// Total cTrie index bytes across partitions.
+    pub fn index_bytes(&self) -> usize {
+        self.partition_stats().iter().map(|(i, _)| i).sum()
+    }
+
+    /// Total row-data bytes across partitions.
+    pub fn data_bytes(&self) -> usize {
+        self.partition_stats().iter().map(|(_, d)| d).sum()
+    }
+
+    /// Direct partition access for benchmarks/tests.
+    pub fn partition(&self, p: usize) -> Arc<IndexedPartition> {
+        self.inner.get_partition(p)
+    }
+}
+
+/// Builder for [`IndexedDataFrame`].
+pub struct IdfBuilder {
+    ctx: Arc<Context>,
+    schema: Arc<Schema>,
+    index_col: usize,
+    num_partitions: Option<usize>,
+    store_config: StoreConfig,
+    source: Option<Arc<dyn ReplayableSource>>,
+}
+
+impl IdfBuilder {
+    /// Use these rows (wrapped in an in-memory replayable source).
+    pub fn rows(mut self, rows: Vec<Row>) -> IdfBuilder {
+        self.source = Some(Arc::new(InMemorySource::new(rows)));
+        self
+    }
+
+    /// Use a custom replayable source (Kafka/HDFS stand-ins).
+    pub fn source(mut self, source: Arc<dyn ReplayableSource>) -> IdfBuilder {
+        self.source = Some(source);
+        self
+    }
+
+    pub fn partitions(mut self, n: usize) -> IdfBuilder {
+        assert!(n > 0);
+        self.num_partitions = Some(n);
+        self
+    }
+
+    pub fn store_config(mut self, cfg: StoreConfig) -> IdfBuilder {
+        self.store_config = cfg;
+        self
+    }
+
+    pub fn build(self) -> Result<IndexedDataFrame, PlanError> {
+        let source = self
+            .source
+            .unwrap_or_else(|| Arc::new(InMemorySource::new(Vec::new())));
+        let num_partitions = self
+            .num_partitions
+            .unwrap_or_else(|| self.ctx.cluster().config().default_partitions());
+        let dataset_id = self.ctx.cluster().new_dataset_id();
+        Ok(IndexedDataFrame {
+            inner: Arc::new(IdfInner {
+                ctx: self.ctx,
+                schema: self.schema,
+                index_col: self.index_col,
+                num_partitions,
+                store_config: self.store_config,
+                dataset_id,
+                version: 1,
+                provenance: Provenance::Base { source },
+            }),
+        })
+    }
+}
+
+/// Force all partition builds to count as recompute (used by the
+/// fault-tolerance figure to separate recovery time).
+pub fn recompute_ns(ctx: &Arc<Context>) -> u64 {
+    ctx.cluster().metrics().recompute_ns.load(Relaxed)
+}

@@ -1,0 +1,269 @@
+//! One partition of the Indexed Batch RDD (Fig. 3 of the paper).
+//!
+//! Each partition combines the three structures of §III-C:
+//!
+//! 1. a **cTrie** mapping each index key to the packed pointer of the most
+//!    recently appended row with that key;
+//! 2. **row batches** storing the rows in binary form;
+//! 3. **backward pointers** chaining rows that share a key (stored inline
+//!    in the row records; see [`rowstore`]).
+//!
+//! Partitions are multi-versioned: [`IndexedPartition::snapshot`] is O(1)
+//! (ctrie snapshot + batch-directory snapshot) and produces an
+//! independently appendable copy — the substrate for the Indexed
+//! DataFrame's divergent appends (§III-E).
+
+use dataframe::KeyWrap;
+use rowstore::{PackedPtr, PartitionStore, Row, Schema, StoreConfig, StoreError, Value};
+use std::sync::Arc;
+
+/// A single indexed partition: cTrie index over a binary row store.
+pub struct IndexedPartition {
+    index: ctrie::Ctrie<KeyWrap, u64>,
+    store: PartitionStore,
+    index_col: usize,
+    /// Version number (§III-D): bumped on every snapshot-for-append so the
+    /// scheduler can refuse stale copies.
+    version: u64,
+}
+
+impl IndexedPartition {
+    /// Create an empty partition indexing `index_col`.
+    pub fn new(schema: Arc<Schema>, index_col: usize, config: StoreConfig) -> IndexedPartition {
+        assert!(index_col < schema.arity(), "index column out of range");
+        IndexedPartition {
+            index: ctrie::Ctrie::new(),
+            store: PartitionStore::new(schema, config),
+            index_col,
+            version: 1,
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.store.schema()
+    }
+
+    pub fn index_col(&self) -> usize {
+        self.index_col
+    }
+
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub fn row_count(&self) -> u64 {
+        self.store.row_count()
+    }
+
+    /// Number of distinct index keys.
+    pub fn key_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Insert one row: append to the row batches and point the cTrie entry
+    /// at it, chaining any previous row with the same key through the
+    /// backward pointer.
+    pub fn insert_row(&mut self, values: &[Value]) -> Result<(), StoreError> {
+        let key = KeyWrap(values[self.index_col].clone());
+        let prev = match self.index.lookup(&key) {
+            Some(bits) => PackedPtr(bits),
+            None => PackedPtr::NONE,
+        };
+        let ptr = self.store.append_row(values, prev)?;
+        self.index.insert(key, ptr.0);
+        Ok(())
+    }
+
+    /// Bulk insert with a storage size hint (one batch allocation).
+    pub fn insert_rows(&mut self, rows: &[Row]) -> Result<(), StoreError> {
+        // Rough size hint: 16 bytes per cell plus headers.
+        let hint = rows.len() * (self.schema().arity() * 16 + rowstore::RECORD_HEADER);
+        self.store.reserve_hint(hint);
+        for r in rows {
+            self.insert_row(r)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup: all rows whose index key equals `key`, newest first
+    /// (a cTrie search followed by a backward-pointer traversal, §III-C).
+    pub fn lookup(&self, key: &Value) -> Vec<Row> {
+        match self.index.lookup(&KeyWrap(key.clone())) {
+            None => Vec::new(),
+            Some(bits) => self.store.get_chain(PackedPtr(bits)),
+        }
+    }
+
+    /// Probe with a visitor, avoiding row materialization when `f` works on
+    /// encoded bytes. Returns the number of matching rows.
+    pub fn probe(&self, key: &Value, mut f: impl FnMut(&[u8])) -> usize {
+        let mut n = 0;
+        if let Some(bits) = self.index.lookup(&KeyWrap(key.clone())) {
+            self.store.for_each_in_chain(PackedPtr(bits), |bytes| {
+                f(bytes);
+                n += 1;
+                true
+            });
+        }
+        n
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        self.index.contains_key(&KeyWrap(key.clone()))
+    }
+
+    /// Full scan of all visible rows.
+    pub fn scan(&self) -> Vec<Row> {
+        self.store.all_rows()
+    }
+
+    /// Scan visiting encoded rows without materialization.
+    pub fn for_each_row(&self, f: impl FnMut(PackedPtr, &[u8])) {
+        self.store.for_each_row(f)
+    }
+
+    /// O(1) snapshot: shares all data with `self`; appends to either side
+    /// never affect the other. The snapshot's version is bumped.
+    pub fn snapshot(&self) -> IndexedPartition {
+        IndexedPartition {
+            index: self.index.snapshot(),
+            store: self.store.snapshot(),
+            index_col: self.index_col,
+            version: self.version + 1,
+        }
+    }
+
+    /// Heap bytes held by the cTrie index structure (Fig. 11 numerator).
+    pub fn index_bytes(&self) -> usize {
+        self.index.heap_bytes()
+    }
+
+    /// Bytes of row data visible to this version (Fig. 11 denominator).
+    pub fn data_bytes(&self) -> usize {
+        self.store.data_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowstore::{DataType, Field};
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::new("key", DataType::Int64),
+            Field::new("payload", DataType::Utf8),
+        ])
+    }
+
+    fn part() -> IndexedPartition {
+        IndexedPartition::new(schema(), 0, StoreConfig::default())
+    }
+
+    fn row(k: i64, p: &str) -> Row {
+        vec![Value::Int64(k), Value::Utf8(p.into())]
+    }
+
+    #[test]
+    fn insert_and_lookup_unique_keys() {
+        let mut p = part();
+        for i in 0..100 {
+            p.insert_row(&row(i, &format!("v{i}"))).unwrap();
+        }
+        assert_eq!(p.row_count(), 100);
+        assert_eq!(p.key_count(), 100);
+        assert_eq!(p.lookup(&Value::Int64(42)), vec![row(42, "v42")]);
+        assert!(p.lookup(&Value::Int64(1000)).is_empty());
+        assert!(p.contains_key(&Value::Int64(0)));
+        assert!(!p.contains_key(&Value::Int64(-1)));
+    }
+
+    #[test]
+    fn non_unique_keys_chain_newest_first() {
+        let mut p = part();
+        for i in 0..5 {
+            p.insert_row(&row(7, &format!("v{i}"))).unwrap();
+        }
+        let rows = p.lookup(&Value::Int64(7));
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], row(7, "v4"), "newest first");
+        assert_eq!(rows[4], row(7, "v0"));
+        assert_eq!(p.key_count(), 1);
+    }
+
+    #[test]
+    fn probe_counts_without_materializing() {
+        let mut p = part();
+        for i in 0..10 {
+            p.insert_row(&row(i % 3, &format!("v{i}"))).unwrap();
+        }
+        let mut seen = 0;
+        let n = p.probe(&Value::Int64(0), |_| seen += 1);
+        assert_eq!(n, 4); // keys 0,3,6,9
+        assert_eq!(seen, 4);
+        assert_eq!(p.probe(&Value::Int64(99), |_| {}), 0);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_and_divergent() {
+        let mut parent = part();
+        for i in 0..10 {
+            parent.insert_row(&row(i, "base")).unwrap();
+        }
+        let mut a = parent.snapshot();
+        let mut b = parent.snapshot();
+        assert_eq!(a.version(), 2);
+        assert_eq!(b.version(), 2);
+        a.insert_row(&row(100, "a")).unwrap();
+        b.insert_row(&row(5, "b-newer")).unwrap();
+
+        assert_eq!(parent.row_count(), 10);
+        assert!(parent.lookup(&Value::Int64(100)).is_empty());
+        assert_eq!(a.lookup(&Value::Int64(100)), vec![row(100, "a")]);
+        assert!(a.lookup(&Value::Int64(5)).len() == 1);
+        // b sees both versions of key 5, newest first, chained across the
+        // snapshot boundary.
+        let b5 = b.lookup(&Value::Int64(5));
+        assert_eq!(b5, vec![row(5, "b-newer"), row(5, "base")]);
+    }
+
+    #[test]
+    fn string_index_column() {
+        let mut p = IndexedPartition::new(schema(), 1, StoreConfig::default());
+        p.insert_row(&row(1, "alpha")).unwrap();
+        p.insert_row(&row(2, "beta")).unwrap();
+        p.insert_row(&row(3, "alpha")).unwrap();
+        let rows = p.lookup(&Value::Utf8("alpha".into()));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int64(3));
+    }
+
+    #[test]
+    fn scan_matches_inserts() {
+        let mut p = part();
+        for i in 0..50 {
+            p.insert_row(&row(i % 10, &format!("v{i}"))).unwrap();
+        }
+        assert_eq!(p.scan().len(), 50);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut p = part();
+        for i in 0..1000 {
+            p.insert_row(&row(i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")).unwrap();
+        }
+        let overhead = p.index_bytes() as f64 / p.data_bytes() as f64;
+        assert!(overhead > 0.0);
+        // The paper reports < 2% overhead for its 30 GB table; at this tiny
+        // scale the ratio is larger but must stay within the same order.
+        assert!(overhead < 2.0, "index overhead ratio {overhead}");
+    }
+
+    #[test]
+    #[should_panic(expected = "index column out of range")]
+    fn bad_index_column_panics() {
+        let _ = IndexedPartition::new(schema(), 9, StoreConfig::default());
+    }
+}

@@ -1,0 +1,207 @@
+//! Replayable data sources.
+//!
+//! Fault tolerance for appends relies "on either a replayable data source,
+//! such as Apache Kafka, or a persistent (distributed) file system, such as
+//! HDFS" (§III-D). This module provides that abstraction: a source that can
+//! re-deliver the exact base rows of an Indexed DataFrame so lost
+//! partitions can be rebuilt from lineage.
+
+use rowstore::Row;
+use std::sync::Arc;
+
+/// A source of record that can replay its rows deterministically.
+pub trait ReplayableSource: Send + Sync + 'static {
+    /// Re-deliver every row, in the original order.
+    fn replay(&self) -> Vec<Row>;
+    /// Number of rows (cheap).
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Human-readable description for lineage diagnostics.
+    fn describe(&self) -> String;
+}
+
+/// An in-memory stand-in for HDFS/Kafka: the rows are pinned in the driver
+/// and can always be replayed.
+pub struct InMemorySource {
+    rows: Arc<Vec<Row>>,
+    label: String,
+}
+
+impl InMemorySource {
+    pub fn new(rows: Vec<Row>) -> InMemorySource {
+        InMemorySource { rows: Arc::new(rows), label: "in-memory".to_string() }
+    }
+
+    pub fn with_label(rows: Vec<Row>, label: impl Into<String>) -> InMemorySource {
+        InMemorySource { rows: Arc::new(rows), label: label.into() }
+    }
+}
+
+impl ReplayableSource for InMemorySource {
+    fn replay(&self) -> Vec<Row> {
+        self.rows.as_ref().clone()
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn describe(&self) -> String {
+        format!("{} source ({} rows)", self.label, self.rows.len())
+    }
+}
+
+/// A disk-backed replayable source: rows are persisted in the binary codec
+/// format (`[len: u32][row bytes]` records) and re-read on every replay —
+/// the closest in-process analogue of the paper's "persistent (distributed)
+/// file system, such as HDFS" (§III-D). Surviving a full cache loss (or a
+/// process restart) only needs this file.
+pub struct FileSource {
+    path: std::path::PathBuf,
+    schema: Arc<rowstore::Schema>,
+    rows: usize,
+}
+
+impl FileSource {
+    /// Persist `rows` to `path` and return a source reading them back.
+    pub fn create(
+        path: impl Into<std::path::PathBuf>,
+        schema: Arc<rowstore::Schema>,
+        rows: &[Row],
+    ) -> std::io::Result<FileSource> {
+        use std::io::Write;
+        let path = path.into();
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        let mut buf = Vec::new();
+        for row in rows {
+            buf.clear();
+            let n = rowstore::codec::encode_row(&schema, row, &mut buf)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            file.write_all(&(n as u32).to_le_bytes())?;
+            file.write_all(&buf[..n])?;
+        }
+        file.flush()?;
+        Ok(FileSource { path, schema, rows: rows.len() })
+    }
+
+    /// Open an existing file, validating and counting its records.
+    pub fn open(
+        path: impl Into<std::path::PathBuf>,
+        schema: Arc<rowstore::Schema>,
+    ) -> std::io::Result<FileSource> {
+        let path = path.into();
+        let mut src = FileSource { path, schema, rows: 0 };
+        src.rows = src.read_all()?.len();
+        Ok(src)
+    }
+
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    fn read_all(&self) -> std::io::Result<Vec<Row>> {
+        let bytes = std::fs::read(&self.path)?;
+        let mut rows = Vec::new();
+        let mut off = 0usize;
+        while off + 4 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            if off + len > bytes.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated record",
+                ));
+            }
+            let row = rowstore::codec::decode_row(&self.schema, &bytes[off..off + len])
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            rows.push(row);
+            off += len;
+        }
+        Ok(rows)
+    }
+}
+
+impl ReplayableSource for FileSource {
+    fn replay(&self) -> Vec<Row> {
+        self.read_all().expect("replayable file source must stay readable")
+    }
+
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn describe(&self) -> String {
+        format!("file source {} ({} rows)", self.path.display(), self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowstore::{DataType, Field, Schema, Value};
+
+    #[test]
+    fn replay_is_deterministic() {
+        let rows: Vec<Row> = (0..10).map(|i| vec![Value::Int64(i)]).collect();
+        let src = InMemorySource::new(rows.clone());
+        assert_eq!(src.replay(), rows);
+        assert_eq!(src.replay(), rows, "second replay identical");
+        assert_eq!(src.len(), 10);
+        assert!(!src.is_empty());
+        assert!(src.describe().contains("10 rows"));
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("idf-src-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn file_source_roundtrip() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::nullable("s", DataType::Utf8),
+        ]);
+        let rows: Vec<Row> = (0..100)
+            .map(|i| {
+                vec![
+                    Value::Int64(i),
+                    if i % 7 == 0 { Value::Null } else { Value::Utf8(format!("v{i}")) },
+                ]
+            })
+            .collect();
+        let path = tmp("roundtrip");
+        let src = FileSource::create(&path, Arc::clone(&schema), &rows).unwrap();
+        assert_eq!(src.len(), 100);
+        assert_eq!(src.replay(), rows);
+        // Re-open from disk.
+        let reopened = FileSource::open(&path, schema).unwrap();
+        assert_eq!(reopened.len(), 100);
+        assert_eq!(reopened.replay(), rows);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn file_source_empty() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        let path = tmp("empty");
+        let src = FileSource::create(&path, schema, &[]).unwrap();
+        assert_eq!(src.len(), 0);
+        assert!(src.replay().is_empty());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn file_source_detects_truncation() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        let rows: Vec<Row> = (0..5).map(|i| vec![Value::Int64(i)]).collect();
+        let path = tmp("trunc");
+        FileSource::create(&path, Arc::clone(&schema), &rows).unwrap();
+        // Chop the file mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(FileSource::open(&path, schema).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,71 @@
+//! The `IndexedTable` abstraction: what the index-aware planner rules need
+//! from an indexed relation, independent of its storage layout.
+//!
+//! The paper stores rows row-wise but notes the representation "could
+//! seamlessly be changed to columnar formats ... based on the type of
+//! workload the user needs to support" (§III-C, footnote 2). This trait is
+//! the seam that makes that true here: both the row-wise
+//! [`crate::IndexedDataFrame`] and the columnar
+//! [`crate::ColumnarIndexedTable`] implement it, and the
+//! [`crate::rule::IndexedRule`] operators work against either.
+
+use rowstore::{Row, Schema, Value};
+use std::sync::Arc;
+
+/// A read handle on one materialized indexed partition.
+pub trait PartitionHandle: Send + Sync {
+    /// All rows whose index key equals `key`, newest first.
+    fn lookup(&self, key: &Value) -> Vec<Row>;
+}
+
+/// An indexed relation usable by the indexed physical operators.
+pub trait IndexedTable: Send + Sync + 'static {
+    fn schema(&self) -> Arc<Schema>;
+    /// Position of the index column.
+    fn index_col(&self) -> usize;
+    fn num_partitions(&self) -> usize;
+    /// Materialize (or fetch) partition `p` for probing.
+    fn partition_handle(&self, p: usize) -> Arc<dyn PartitionHandle>;
+    /// Ensure every partition is built/cached (called once per join).
+    fn ensure_cached(&self);
+    /// Point lookup routed to the owning partition.
+    fn lookup_routed(&self, key: &Value) -> Vec<Row>;
+    /// Short label for `explain` output.
+    fn layout_name(&self) -> &'static str;
+}
+
+impl PartitionHandle for crate::IndexedPartition {
+    fn lookup(&self, key: &Value) -> Vec<Row> {
+        crate::IndexedPartition::lookup(self, key)
+    }
+}
+
+impl IndexedTable for crate::IndexedDataFrame {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(crate::IndexedDataFrame::schema(self))
+    }
+
+    fn index_col(&self) -> usize {
+        crate::IndexedDataFrame::index_col(self)
+    }
+
+    fn num_partitions(&self) -> usize {
+        crate::IndexedDataFrame::num_partitions(self)
+    }
+
+    fn partition_handle(&self, p: usize) -> Arc<dyn PartitionHandle> {
+        self.partition(p)
+    }
+
+    fn ensure_cached(&self) {
+        self.cache_index();
+    }
+
+    fn lookup_routed(&self, key: &Value) -> Vec<Row> {
+        self.get_rows(key)
+    }
+
+    fn layout_name(&self) -> &'static str {
+        "row"
+    }
+}

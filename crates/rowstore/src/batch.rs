@@ -1,0 +1,189 @@
+//! Row batches: fixed-capacity, append-only binary buffers.
+//!
+//! A batch is written by exactly one partition-store version (the one that
+//! allocated it) and read by arbitrarily many versions/threads. Readers see
+//! a consistent prefix through the `used` watermark (release/acquire), and
+//! because the buffer never reallocates, previously published bytes are
+//! stable for the lifetime of the batch — this is what makes packed row
+//! pointers safe to share across MVCC snapshots (§III-E of the paper).
+//!
+//! This mirrors the paper's off-heap `Unsafe` allocations: raw,
+//! fixed-capacity byte arenas outside any GC's purview (trivially so in
+//! Rust).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-capacity append-only byte arena holding encoded rows.
+pub struct RowBatch {
+    ptr: *mut u8,
+    cap: usize,
+    /// Committed byte count; bytes below this are immutable and readable.
+    used: AtomicUsize,
+}
+
+// Safety: writes happen only below `cap` and are published via the `used`
+// release store; readers only access bytes below their acquired `used`.
+// The single-writer discipline is enforced by `PartitionStore` (a batch is
+// only written through `&mut PartitionStore` by the version that owns it).
+unsafe impl Send for RowBatch {}
+unsafe impl Sync for RowBatch {}
+
+impl RowBatch {
+    /// Allocate a zeroed batch of `cap` bytes.
+    pub fn new(cap: usize) -> RowBatch {
+        let boxed = vec![0u8; cap].into_boxed_slice();
+        let ptr = Box::into_raw(boxed) as *mut u8;
+        RowBatch { ptr, cap, used: AtomicUsize::new(0) }
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Committed (readable) byte count.
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Acquire)
+    }
+
+    /// Bytes still available for appends.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.cap - self.used.load(Ordering::Relaxed)
+    }
+
+    /// Append `bytes`, returning the offset they were written at, or `None`
+    /// if the batch is full.
+    ///
+    /// Must only be called by the single owning writer (enforced by
+    /// `PartitionStore`); concurrent readers are safe.
+    pub fn append(&self, bytes: &[u8]) -> Option<usize> {
+        let offset = self.used.load(Ordering::Relaxed);
+        if offset + bytes.len() > self.cap {
+            return None;
+        }
+        // Safety: [offset, offset+len) is within capacity and unpublished;
+        // no reader can observe it until the release store below.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.ptr.add(offset), bytes.len());
+        }
+        self.used.store(offset + bytes.len(), Ordering::Release);
+        Some(offset)
+    }
+
+    /// Read `len` committed bytes starting at `offset`.
+    ///
+    /// Panics if the range extends past the committed watermark.
+    #[inline]
+    pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        let used = self.used();
+        assert!(offset + len <= used, "read past committed watermark ({offset}+{len} > {used})");
+        // Safety: committed bytes are immutable and within the allocation.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(offset), len) }
+    }
+
+    /// Read committed bytes without bounds assertion against a caller-known
+    /// watermark (used by scans that carry their own MVCC visibility limit).
+    ///
+    /// # Panics
+    /// If the range exceeds the capacity.
+    #[inline]
+    pub fn slice_to(&self, offset: usize, len: usize, visible: usize) -> &[u8] {
+        assert!(offset + len <= visible.min(self.cap), "read past visibility watermark");
+        unsafe { std::slice::from_raw_parts(self.ptr.add(offset), len) }
+    }
+}
+
+impl Drop for RowBatch {
+    fn drop(&mut self) {
+        // Safety: reconstruct the boxed slice allocated in `new`.
+        unsafe {
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(self.ptr, self.cap)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn append_and_read_back() {
+        let b = RowBatch::new(64);
+        let o1 = b.append(b"hello").unwrap();
+        let o2 = b.append(b"world").unwrap();
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 5);
+        assert_eq!(b.slice(0, 5), b"hello");
+        assert_eq!(b.slice(5, 5), b"world");
+        assert_eq!(b.used(), 10);
+        assert_eq!(b.remaining(), 54);
+    }
+
+    #[test]
+    fn append_full_returns_none() {
+        let b = RowBatch::new(8);
+        assert!(b.append(b"12345678").is_some());
+        assert!(b.append(b"x").is_none());
+        assert_eq!(b.used(), 8);
+    }
+
+    #[test]
+    fn append_exact_boundary() {
+        let b = RowBatch::new(10);
+        assert!(b.append(b"12345").is_some());
+        assert!(b.append(b"67890").is_some());
+        assert!(b.append(b"").is_some(), "zero-length append at full capacity is fine");
+    }
+
+    #[test]
+    #[should_panic(expected = "read past committed watermark")]
+    fn read_past_watermark_panics() {
+        let b = RowBatch::new(64);
+        b.append(b"abc");
+        let _ = b.slice(0, 4);
+    }
+
+    #[test]
+    fn concurrent_readers_see_committed_prefix() {
+        let b = Arc::new(RowBatch::new(1 << 16));
+        let writer = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    b.append(&i.to_le_bytes()).unwrap();
+                }
+            })
+        };
+        let reader = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                // Whatever is committed must decode to the sequence 0..n.
+                for _ in 0..100 {
+                    let used = b.used();
+                    let n = used / 4;
+                    for i in 0..n {
+                        let bytes = b.slice(i * 4, 4);
+                        assert_eq!(u32::from_le_bytes(bytes.try_into().unwrap()), i as u32);
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(b.used(), 4000);
+    }
+
+    #[test]
+    fn visibility_watermark_limits_reads() {
+        let b = RowBatch::new(64);
+        b.append(b"0123456789").unwrap();
+        // A snapshot that saw only 5 committed bytes must not read beyond.
+        assert_eq!(b.slice_to(0, 5, 5), b"01234");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.slice_to(0, 6, 5)));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Binary row codec.
+//!
+//! Rows are stored in row-wise binary form inside row batches (§III-C of the
+//! paper; the prototype stores "binary, unsafe arrays"). Layout per row:
+//!
+//! ```text
+//! [ null bitmap: ceil(n/8) bytes ]
+//! [ fixed slots: 8 bytes per column ]
+//! [ variable-length data (UTF-8 bytes for strings) ]
+//! ```
+//!
+//! Fixed slots hold the value for primitive columns, or `(offset:u32 |
+//! len:u32)` into the row's variable section for strings. Offsets are
+//! relative to the row start, so rows are relocatable — a row batch can be
+//! shipped through a shuffle as raw bytes.
+
+use crate::types::{DataType, Schema, Value};
+
+/// Number of bytes in a row's null bitmap.
+#[inline]
+pub fn null_bitmap_len(arity: usize) -> usize {
+    arity.div_ceil(8)
+}
+
+/// Byte offset of column `col`'s fixed slot within a row of `arity` columns.
+#[inline]
+fn slot_offset(arity: usize, col: usize) -> usize {
+    null_bitmap_len(arity) + col * 8
+}
+
+/// Errors produced by the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    ArityMismatch { expected: usize, got: usize },
+    TypeMismatch { column: usize, expected: DataType },
+    NullInNonNullable { column: usize },
+    Truncated,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values, schema expects {expected}")
+            }
+            CodecError::TypeMismatch { column, expected } => {
+                write!(f, "column {column} expects type {expected}")
+            }
+            CodecError::NullInNonNullable { column } => {
+                write!(f, "null value in non-nullable column {column}")
+            }
+            CodecError::Truncated => f.write_str("row bytes truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode `values` according to `schema`, appending to `out`.
+/// Returns the number of bytes written.
+pub fn encode_row(schema: &Schema, values: &[Value], out: &mut Vec<u8>) -> Result<usize, CodecError> {
+    let arity = schema.arity();
+    if values.len() != arity {
+        return Err(CodecError::ArityMismatch { expected: arity, got: values.len() });
+    }
+    let start = out.len();
+    let bitmap_len = null_bitmap_len(arity);
+    out.resize(start + bitmap_len + arity * 8, 0);
+
+    let mut var_cursor = bitmap_len + arity * 8; // relative to row start
+
+    for (col, value) in values.iter().enumerate() {
+        let field = schema.field(col);
+        let slot = start + slot_offset(arity, col);
+        match value {
+            Value::Null => {
+                if !field.nullable {
+                    out.truncate(start);
+                    return Err(CodecError::NullInNonNullable { column: col });
+                }
+                out[start + col / 8] |= 1 << (col % 8);
+            }
+            Value::Int32(v) if field.dtype == DataType::Int32 => {
+                out[slot..slot + 8].copy_from_slice(&(*v as i64).to_le_bytes());
+            }
+            Value::Int64(v) if field.dtype == DataType::Int64 => {
+                out[slot..slot + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            Value::Float64(v) if field.dtype == DataType::Float64 => {
+                out[slot..slot + 8].copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Value::Bool(v) if field.dtype == DataType::Bool => {
+                out[slot..slot + 8].copy_from_slice(&(*v as i64).to_le_bytes());
+            }
+            Value::Utf8(s) if field.dtype == DataType::Utf8 => {
+                let off = var_cursor as u32;
+                let len = s.len() as u32;
+                out[slot..slot + 4].copy_from_slice(&off.to_le_bytes());
+                out[slot + 4..slot + 8].copy_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+                var_cursor += s.len();
+            }
+            _ => {
+                out.truncate(start);
+                return Err(CodecError::TypeMismatch { column: col, expected: field.dtype });
+            }
+        }
+    }
+    Ok(out.len() - start)
+}
+
+/// Decode a full row from `bytes` (one encoded row, exactly as produced by
+/// [`encode_row`]).
+pub fn decode_row(schema: &Schema, bytes: &[u8]) -> Result<Vec<Value>, CodecError> {
+    let arity = schema.arity();
+    let mut values = Vec::with_capacity(arity);
+    for col in 0..arity {
+        values.push(decode_column(schema, bytes, col)?);
+    }
+    Ok(values)
+}
+
+/// Whether column `col` is null in the encoded row.
+#[inline]
+pub fn is_null(bytes: &[u8], col: usize) -> bool {
+    bytes[col / 8] & (1 << (col % 8)) != 0
+}
+
+/// Decode a single column without materializing the rest of the row. This
+/// is the fast path used by filters and join-key extraction on the row
+/// store.
+pub fn decode_column(schema: &Schema, bytes: &[u8], col: usize) -> Result<Value, CodecError> {
+    let arity = schema.arity();
+    let slot = slot_offset(arity, col);
+    if bytes.len() < slot + 8 {
+        return Err(CodecError::Truncated);
+    }
+    if is_null(bytes, col) {
+        return Ok(Value::Null);
+    }
+    let raw = i64::from_le_bytes(bytes[slot..slot + 8].try_into().unwrap());
+    Ok(match schema.field(col).dtype {
+        DataType::Int32 => Value::Int32(raw as i32),
+        DataType::Int64 => Value::Int64(raw),
+        DataType::Float64 => Value::Float64(f64::from_bits(raw as u64)),
+        DataType::Bool => Value::Bool(raw != 0),
+        DataType::Utf8 => {
+            let off = u32::from_le_bytes(bytes[slot..slot + 4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(bytes[slot + 4..slot + 8].try_into().unwrap()) as usize;
+            if bytes.len() < off + len {
+                return Err(CodecError::Truncated);
+            }
+            let s = std::str::from_utf8(&bytes[off..off + len])
+                .map_err(|_| CodecError::Truncated)?;
+            Value::Utf8(s.to_string())
+        }
+    })
+}
+
+/// Read an integer column (Int32 or Int64) directly as `i64`, skipping the
+/// `Value` allocation entirely. Returns `None` for nulls.
+#[inline]
+pub fn read_i64(schema: &Schema, bytes: &[u8], col: usize) -> Option<i64> {
+    if is_null(bytes, col) {
+        return None;
+    }
+    let slot = slot_offset(schema.arity(), col);
+    let raw = i64::from_le_bytes(bytes[slot..slot + 8].try_into().unwrap());
+    match schema.field(col).dtype {
+        DataType::Int32 => Some(raw as i32 as i64),
+        DataType::Int64 => Some(raw),
+        _ => None,
+    }
+}
+
+/// Borrow a string column directly from the encoded row bytes.
+#[inline]
+pub fn read_str<'a>(schema: &Schema, bytes: &'a [u8], col: usize) -> Option<&'a str> {
+    if is_null(bytes, col) || schema.field(col).dtype != DataType::Utf8 {
+        return None;
+    }
+    let slot = slot_offset(schema.arity(), col);
+    let off = u32::from_le_bytes(bytes[slot..slot + 4].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes(bytes[slot + 4..slot + 8].try_into().unwrap()) as usize;
+    std::str::from_utf8(&bytes[off..off + len]).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Field;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("code", DataType::Int32),
+            Field::new("ratio", DataType::Float64),
+            Field::new("ok", DataType::Bool),
+            Field::new("tag", DataType::Utf8),
+            Field::nullable("opt", DataType::Int64),
+        ])
+    }
+
+    fn sample_row() -> Vec<Value> {
+        vec![
+            Value::Int64(-42),
+            Value::Int32(7),
+            Value::Float64(2.5),
+            Value::Bool(true),
+            Value::Utf8("hello".into()),
+            Value::Null,
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = schema();
+        let mut buf = Vec::new();
+        let n = encode_row(&s, &sample_row(), &mut buf).unwrap();
+        assert_eq!(n, buf.len());
+        let decoded = decode_row(&s, &buf).unwrap();
+        assert_eq!(decoded, sample_row());
+    }
+
+    #[test]
+    fn roundtrip_multiple_rows_in_one_buffer() {
+        let s = schema();
+        let mut buf = Vec::new();
+        let n1 = encode_row(&s, &sample_row(), &mut buf).unwrap();
+        let mut row2 = sample_row();
+        row2[0] = Value::Int64(99);
+        row2[4] = Value::Utf8("world!".into());
+        let n2 = encode_row(&s, &row2, &mut buf).unwrap();
+        assert_eq!(decode_row(&s, &buf[..n1]).unwrap(), sample_row());
+        assert_eq!(decode_row(&s, &buf[n1..n1 + n2]).unwrap(), row2);
+    }
+
+    #[test]
+    fn single_column_access() {
+        let s = schema();
+        let mut buf = Vec::new();
+        encode_row(&s, &sample_row(), &mut buf).unwrap();
+        assert_eq!(decode_column(&s, &buf, 0).unwrap(), Value::Int64(-42));
+        assert_eq!(decode_column(&s, &buf, 4).unwrap(), Value::Utf8("hello".into()));
+        assert_eq!(decode_column(&s, &buf, 5).unwrap(), Value::Null);
+        assert_eq!(read_i64(&s, &buf, 0), Some(-42));
+        assert_eq!(read_i64(&s, &buf, 1), Some(7));
+        assert_eq!(read_i64(&s, &buf, 5), None);
+        assert_eq!(read_str(&s, &buf, 4), Some("hello"));
+        assert_eq!(read_str(&s, &buf, 0), None);
+    }
+
+    #[test]
+    fn empty_string_roundtrip() {
+        let s = Schema::new(vec![Field::new("t", DataType::Utf8)]);
+        let mut buf = Vec::new();
+        encode_row(&s, &[Value::Utf8(String::new())], &mut buf).unwrap();
+        assert_eq!(decode_row(&s, &buf).unwrap(), vec![Value::Utf8(String::new())]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = schema();
+        let mut buf = Vec::new();
+        let err = encode_row(&s, &[Value::Int64(1)], &mut buf).unwrap_err();
+        assert!(matches!(err, CodecError::ArityMismatch { expected: 6, got: 1 }));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_rejected_and_buffer_restored() {
+        let s = schema();
+        let mut buf = vec![0xAA];
+        let mut row = sample_row();
+        row[1] = Value::Utf8("oops".into());
+        let err = encode_row(&s, &row, &mut buf).unwrap_err();
+        assert!(matches!(err, CodecError::TypeMismatch { column: 1, .. }));
+        assert_eq!(buf, vec![0xAA]);
+    }
+
+    #[test]
+    fn null_in_non_nullable_rejected() {
+        let s = schema();
+        let mut buf = Vec::new();
+        let mut row = sample_row();
+        row[0] = Value::Null;
+        let err = encode_row(&s, &row, &mut buf).unwrap_err();
+        assert!(matches!(err, CodecError::NullInNonNullable { column: 0 }));
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let s = Schema::new(vec![Field::new("t", DataType::Utf8)]);
+        let mut buf = Vec::new();
+        let row = vec![Value::Utf8("héllo wörld — 日本語".into())];
+        encode_row(&s, &row, &mut buf).unwrap();
+        assert_eq!(decode_row(&s, &buf).unwrap(), row);
+    }
+
+    #[test]
+    fn wide_schema_bitmap() {
+        // More than 8 columns exercises multi-byte null bitmaps.
+        let fields: Vec<Field> =
+            (0..20).map(|i| Field::nullable(format!("c{i}"), DataType::Int64)).collect();
+        let s = Schema::new(fields);
+        let row: Vec<Value> = (0..20)
+            .map(|i| if i % 3 == 0 { Value::Null } else { Value::Int64(i) })
+            .collect();
+        let mut buf = Vec::new();
+        encode_row(&s, &row, &mut buf).unwrap();
+        assert_eq!(decode_row(&s, &buf).unwrap(), row);
+    }
+}

@@ -1,0 +1,51 @@
+//! # rowstore — binary row batches with packed pointers and MVCC snapshots
+//!
+//! The storage substrate of the Indexed DataFrame (*In-Memory Indexed
+//! Caching for Distributed Data Processing*, IPPS 2022, §III-C, Fig. 3).
+//! Each partition of the Indexed Batch RDD stores its tabular data here:
+//!
+//! * [`RowBatch`] — fixed-capacity append-only binary arenas (default 4 MB),
+//!   the paper's off-heap "unsafe arrays";
+//! * [`PackedPtr`] / [`PtrLayout`] — dense 64-bit row pointers packing
+//!   `(batch number, offset, previous-row size)`;
+//! * backward-pointer chains linking rows that share an index key;
+//! * [`PartitionStore`] — the per-partition store with O(1) MVCC
+//!   [`PartitionStore::snapshot`] built on a secondary [`ctrie::Ctrie`]
+//!   batch directory (§III-E);
+//! * [`Schema`] / [`Value`] / the binary row [`codec`] shared by the whole
+//!   workspace.
+//!
+//! ## Example
+//!
+//! ```
+//! use rowstore::{DataType, Field, PackedPtr, PartitionStore, Schema, StoreConfig, Value};
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("user_id", DataType::Int64),
+//!     Field::new("action", DataType::Utf8),
+//! ]);
+//! let mut store = PartitionStore::new(schema, StoreConfig::default());
+//!
+//! // Rows with the same key are chained through backward pointers.
+//! let p1 = store.append_row(&[Value::Int64(7), "login".into()], PackedPtr::NONE).unwrap();
+//! let p2 = store.append_row(&[Value::Int64(7), "post".into()], p1).unwrap();
+//! assert_eq!(store.get_chain(p2).len(), 2);
+//!
+//! // Snapshots are O(1) and independently writable.
+//! let frozen = store.snapshot();
+//! store.append_row(&[Value::Int64(8), "like".into()], PackedPtr::NONE).unwrap();
+//! assert_eq!(frozen.row_count(), 2);
+//! assert_eq!(store.row_count(), 3);
+//! ```
+
+mod batch;
+pub mod codec;
+mod ptr;
+mod store;
+mod types;
+
+pub use batch::RowBatch;
+pub use codec::CodecError;
+pub use ptr::{PackedPtr, PtrLayout};
+pub use store::{PartitionStore, StoreConfig, StoreError, RECORD_HEADER};
+pub use types::{rows_key_hash, DataType, Field, Row, Schema, Value};

@@ -1,0 +1,184 @@
+//! Packed 64-bit row pointers.
+//!
+//! Per §III-C of the paper: "The pointers stored both in the cTrie and in
+//! the backward pointer data structure are packed in dense 64-bit integers,
+//! each containing the row batch number, an offset within a row batch, and
+//! the size of the previous row indexed on the same key."
+//!
+//! The default layout matches the paper's maxima — up to 2³¹ row batches of
+//! up to 4 MB holding rows of up to 1 KB:
+//!
+//! ```text
+//!  63 ........ 33 | 32 ......... 11 | 10 ........ 0
+//!  batch (31 bits)| offset (22 bits)| prev size (11 bits)
+//! ```
+//!
+//! Both the batch size and the row-size bound are configurable (the Fig. 5
+//! experiment sweeps batch sizes from 4 KB to 128 MB), so the layout is
+//! parameterized and validated at pack time.
+
+/// Bit layout of a [`PackedPtr`], derived from the configured batch size and
+/// maximum row size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtrLayout {
+    pub offset_bits: u32,
+    pub size_bits: u32,
+}
+
+impl PtrLayout {
+    /// The paper's defaults: 4 MB batches, 1 KB rows.
+    pub const DEFAULT: PtrLayout = PtrLayout { offset_bits: 22, size_bits: 11 };
+
+    /// Derive a layout for the given batch capacity and maximum encoded row
+    /// size (both in bytes). Panics if the layout cannot fit in 64 bits with
+    /// at least one batch bit.
+    pub fn for_config(batch_size: usize, max_row_size: usize) -> PtrLayout {
+        let offset_bits = bits_for(batch_size as u64);
+        let size_bits = bits_for(max_row_size as u64);
+        assert!(
+            offset_bits + size_bits < 64,
+            "batch size {batch_size} and row size {max_row_size} cannot be packed in 64 bits"
+        );
+        PtrLayout { offset_bits, size_bits }
+    }
+
+    #[inline]
+    pub fn batch_bits(&self) -> u32 {
+        64 - self.offset_bits - self.size_bits
+    }
+
+    #[inline]
+    pub fn max_batches(&self) -> u64 {
+        // One batch index is reserved for the NONE sentinel.
+        (1u64 << self.batch_bits()) - 1
+    }
+
+    #[inline]
+    pub fn max_offset(&self) -> u64 {
+        (1u64 << self.offset_bits) - 1
+    }
+
+    #[inline]
+    pub fn max_size(&self) -> u64 {
+        (1u64 << self.size_bits) - 1
+    }
+
+    /// Pack a pointer. `prev_size` is the total stored size of the previous
+    /// row indexed on the same key (0 when there is none).
+    #[inline]
+    pub fn pack(&self, batch: u32, offset: u32, prev_size: u32) -> PackedPtr {
+        debug_assert!((batch as u64) < self.max_batches(), "batch {batch} overflows layout");
+        debug_assert!((offset as u64) <= self.max_offset(), "offset {offset} overflows layout");
+        debug_assert!(
+            (prev_size as u64) <= self.max_size(),
+            "prev size {prev_size} overflows layout"
+        );
+        PackedPtr(
+            ((batch as u64) << (self.offset_bits + self.size_bits))
+                | ((offset as u64) << self.size_bits)
+                | prev_size as u64,
+        )
+    }
+
+    #[inline]
+    pub fn batch(&self, p: PackedPtr) -> u32 {
+        (p.0 >> (self.offset_bits + self.size_bits)) as u32
+    }
+
+    #[inline]
+    pub fn offset(&self, p: PackedPtr) -> u32 {
+        ((p.0 >> self.size_bits) & self.max_offset()) as u32
+    }
+
+    #[inline]
+    pub fn prev_size(&self, p: PackedPtr) -> u32 {
+        (p.0 & self.max_size()) as u32
+    }
+}
+
+/// Smallest number of bits that can represent values `0..=n-1` *and* the
+/// boundary value `n` itself (offsets may equal the batch size).
+fn bits_for(n: u64) -> u32 {
+    64 - n.leading_zeros()
+}
+
+/// A dense 64-bit pointer to a row in a partition's row batches.
+///
+/// `PackedPtr::NONE` (all ones) marks the end of a backward-pointer chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedPtr(pub u64);
+
+impl PackedPtr {
+    /// Chain terminator / absent pointer.
+    pub const NONE: PackedPtr = PackedPtr(u64::MAX);
+
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == PackedPtr::NONE
+    }
+
+    #[inline]
+    pub fn is_some(self) -> bool {
+        !self.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_matches_paper() {
+        let l = PtrLayout::DEFAULT;
+        assert_eq!(l.batch_bits(), 31, "paper allows 2^31 batches");
+        assert_eq!(l.max_offset(), (1 << 22) - 1, "4 MB offsets");
+        assert_eq!(l.max_size(), 2047, "1 KB rows plus header");
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let l = PtrLayout::DEFAULT;
+        for (b, o, s) in [(0, 0, 0), (1, 4_194_303, 2047), (2_000_000_000, 12_345, 999)] {
+            let p = l.pack(b, o, s);
+            assert_eq!(l.batch(p), b);
+            assert_eq!(l.offset(p), o);
+            assert_eq!(l.prev_size(p), s);
+            assert!(p.is_some());
+        }
+    }
+
+    #[test]
+    fn none_is_distinct_from_all_valid_pointers() {
+        let l = PtrLayout::DEFAULT;
+        // The max batch index is reserved, so the all-ones bit pattern can
+        // never be produced by pack().
+        let p = l.pack((l.max_batches() - 1) as u32, l.max_offset() as u32, l.max_size() as u32);
+        assert!(p.is_some());
+        assert_ne!(p, PackedPtr::NONE);
+    }
+
+    #[test]
+    fn layout_for_large_batches() {
+        // Fig. 5 sweeps batch sizes up to 128 MB.
+        let l = PtrLayout::for_config(128 << 20, 1024);
+        assert!(l.offset_bits >= 27);
+        let p = l.pack(5, (128 << 20) - 1, 1000);
+        assert_eq!(l.batch(p), 5);
+        assert_eq!(l.offset(p), (128 << 20) - 1);
+    }
+
+    #[test]
+    fn layout_for_tiny_batches() {
+        let l = PtrLayout::for_config(4096, 1024);
+        let p = l.pack(123_456, 4095, 512);
+        assert_eq!(l.batch(p), 123_456);
+        assert_eq!(l.offset(p), 4095);
+        assert_eq!(l.prev_size(p), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be packed")]
+    fn impossible_layout_panics() {
+        let _ = PtrLayout::for_config(usize::MAX, usize::MAX);
+    }
+}

@@ -1,0 +1,587 @@
+//! The per-partition row store of the Indexed Batch RDD.
+//!
+//! Each Indexed DataFrame partition owns one `PartitionStore` (Fig. 3 of the
+//! paper): a collection of fixed-size row batches holding binary rows, plus
+//! the backward-pointer chains connecting rows that share an index key. The
+//! key → newest-row mapping itself (the cTrie) lives one layer up in the
+//! `indexed-df` crate; this module stores rows and follows chains.
+//!
+//! Records are self-delimiting: `[prev: u64][len: u16][row bytes]`, where
+//! `prev` is the packed pointer to the previous row with the same key
+//! (`PackedPtr::NONE` terminates the chain).
+//!
+//! # Multi-versioning (§III-E)
+//!
+//! `snapshot()` is O(1): the batch *directory* is itself a [`ctrie::Ctrie`]
+//! ("we use a secondary cTrie that stores pointers to the row batches"), so
+//! a child version shares all parent batches and records a visibility
+//! watermark for the parent's tail batch. Each version appends only into
+//! batches it allocated itself, so divergent children never conflict.
+
+use crate::batch::RowBatch;
+use crate::codec::{self, CodecError};
+use crate::ptr::{PackedPtr, PtrLayout};
+use crate::types::{Row, Schema, Value};
+use ctrie::Ctrie;
+use std::sync::Arc;
+
+/// Record header: `[prev: u64][len: u16]`.
+pub const RECORD_HEADER: usize = 10;
+
+/// Configuration of a partition store.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Capacity of a full row batch in bytes (paper default: 4 MB).
+    pub batch_size: usize,
+    /// Maximum encoded row size in bytes (paper default: 1 KB).
+    pub max_row_size: usize,
+    /// Initial capacity for a version's first owned batch; batches grow
+    /// geometrically up to `batch_size` so small MVCC appends do not
+    /// allocate full batches.
+    pub initial_batch_size: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { batch_size: 4 << 20, max_row_size: 1024, initial_batch_size: 64 << 10 }
+    }
+}
+
+impl StoreConfig {
+    /// A config with a fixed batch size (used by the Fig. 5 batch-size
+    /// sweep, which always allocates full batches).
+    pub fn fixed_batch(batch_size: usize) -> StoreConfig {
+        StoreConfig { batch_size, max_row_size: 1024.min(batch_size), initial_batch_size: batch_size }
+    }
+}
+
+/// Errors from the partition store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    Codec(CodecError),
+    RowTooLarge { size: usize, max: usize },
+    TooManyBatches,
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::RowTooLarge { size, max } => {
+                write!(f, "encoded row of {size} bytes exceeds maximum {max}")
+            }
+            StoreError::TooManyBatches => f.write_str("row batch count exceeds pointer layout"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A batch plus the number of bytes visible to the owning version.
+/// `usize::MAX` means "live": the owning version reads the batch's own
+/// committed watermark.
+#[derive(Clone)]
+struct BatchView {
+    batch: Arc<RowBatch>,
+    visible: usize,
+}
+
+const LIVE: usize = usize::MAX;
+
+/// One version of a partition's row storage. Writers need `&mut`; any
+/// number of threads may read concurrently through shared references.
+pub struct PartitionStore {
+    schema: Arc<Schema>,
+    config: StoreConfig,
+    layout: PtrLayout,
+    /// Secondary ctrie: batch index → batch view (§III-E).
+    dir: Ctrie<u32, BatchView>,
+    num_batches: u32,
+    /// Whether this version allocated the current tail batch (and may
+    /// therefore keep appending into it).
+    owns_tail: bool,
+    /// Capacity to use for the next allocated batch (geometric growth).
+    next_batch_cap: usize,
+    /// Number of rows visible to this version.
+    rows: u64,
+    /// Scratch encode buffer, reused across appends.
+    scratch: Vec<u8>,
+}
+
+impl PartitionStore {
+    /// Create an empty store.
+    pub fn new(schema: Arc<Schema>, config: StoreConfig) -> PartitionStore {
+        let layout = PtrLayout::for_config(config.batch_size, config.max_row_size + RECORD_HEADER);
+        PartitionStore {
+            schema,
+            config,
+            layout,
+            dir: Ctrie::new(),
+            num_batches: 0,
+            owns_tail: false,
+            next_batch_cap: config.initial_batch_size.min(config.batch_size),
+            rows: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    pub fn layout(&self) -> PtrLayout {
+        self.layout
+    }
+
+    /// Number of rows visible to this version.
+    pub fn row_count(&self) -> u64 {
+        self.rows
+    }
+
+    /// Hint the store that roughly `bytes` of row data are about to be
+    /// appended, so the next batch allocation is sized accordingly.
+    pub fn reserve_hint(&mut self, bytes: usize) {
+        if !self.owns_tail {
+            self.next_batch_cap = bytes
+                .next_power_of_two()
+                .clamp(self.config.initial_batch_size.min(self.config.batch_size), self.config.batch_size);
+        }
+    }
+
+    /// Append one row whose backward pointer is `prev` (the previous row
+    /// with the same index key, or `PackedPtr::NONE`). Returns the packed
+    /// pointer of the stored row.
+    pub fn append_row(&mut self, values: &[Value], prev: PackedPtr) -> Result<PackedPtr, StoreError> {
+        self.scratch.clear();
+        // Encode off-buffer first so a failed encode leaves no trace.
+        let mut buf = std::mem::take(&mut self.scratch);
+        let encode = codec::encode_row(&self.schema, values, &mut buf);
+        self.scratch = buf;
+        let row_len = encode?;
+        self.append_encoded(prev, row_len)
+    }
+
+    /// Append a row that is already encoded in an external buffer (the
+    /// shuffle fast path: rows arrive from the wire in codec format).
+    pub fn append_row_bytes(&mut self, row: &[u8], prev: PackedPtr) -> Result<PackedPtr, StoreError> {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(row);
+        self.append_encoded(prev, row.len())
+    }
+
+    fn append_encoded(&mut self, prev: PackedPtr, row_len: usize) -> Result<PackedPtr, StoreError> {
+        if row_len > self.config.max_row_size {
+            return Err(StoreError::RowTooLarge { size: row_len, max: self.config.max_row_size });
+        }
+        let record_len = RECORD_HEADER + row_len;
+        let prev_size = if prev.is_none() { 0 } else { self.record_size(prev) as u32 };
+
+        // Build the record: [prev][len][row].
+        let mut record = Vec::with_capacity(record_len);
+        record.extend_from_slice(&prev.0.to_le_bytes());
+        record.extend_from_slice(&(row_len as u16).to_le_bytes());
+        record.extend_from_slice(&self.scratch[..row_len]);
+
+        // Find or allocate a batch with room.
+        let (batch_idx, view) = self.writable_batch(record_len)?;
+        let offset = view
+            .batch
+            .append(&record)
+            .expect("writable_batch guaranteed room");
+        self.rows += 1;
+        Ok(self.layout.pack(batch_idx, offset as u32, prev_size))
+    }
+
+    /// Return the tail batch if owned and roomy, else allocate a new one.
+    fn writable_batch(&mut self, needed: usize) -> Result<(u32, BatchView), StoreError> {
+        if self.owns_tail && self.num_batches > 0 {
+            let idx = self.num_batches - 1;
+            let view = self.dir.lookup(&idx).expect("tail batch present");
+            if view.batch.remaining() >= needed {
+                return Ok((idx, view));
+            }
+        }
+        // Allocate a new batch (geometric growth up to the configured size).
+        if self.num_batches as u64 >= self.layout.max_batches() {
+            return Err(StoreError::TooManyBatches);
+        }
+        let cap = self.next_batch_cap.max(needed).min(self.config.batch_size.max(needed));
+        self.next_batch_cap = (self.next_batch_cap * 2).min(self.config.batch_size);
+        let idx = self.num_batches;
+        let batch = Arc::new(RowBatch::new(cap));
+        let view = BatchView { batch, visible: LIVE };
+        self.dir.insert(idx, view.clone());
+        self.num_batches += 1;
+        self.owns_tail = true;
+        Ok((idx, view))
+    }
+
+    /// O(1) snapshot: the child shares all batches, sealed at the current
+    /// watermarks, and will allocate its own batches on first append.
+    pub fn snapshot(&self) -> PartitionStore {
+        let dir = self.dir.snapshot();
+        if self.num_batches > 0 {
+            let tail_idx = self.num_batches - 1;
+            if let Some(view) = dir.lookup(&tail_idx) {
+                if view.visible == LIVE {
+                    dir.insert(
+                        tail_idx,
+                        BatchView { visible: view.batch.used(), batch: view.batch },
+                    );
+                }
+            }
+        }
+        PartitionStore {
+            schema: Arc::clone(&self.schema),
+            config: self.config,
+            layout: self.layout,
+            dir,
+            num_batches: self.num_batches,
+            owns_tail: false,
+            next_batch_cap: self.config.initial_batch_size.min(self.config.batch_size),
+            rows: self.rows,
+            scratch: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    fn view(&self, batch_idx: u32) -> BatchView {
+        self.dir.lookup(&batch_idx).expect("dangling packed pointer: unknown batch")
+    }
+
+    /// Total stored size (header + row) of the record at `ptr`.
+    pub fn record_size(&self, ptr: PackedPtr) -> usize {
+        let view = self.view(self.layout.batch(ptr));
+        let off = self.layout.offset(ptr) as usize;
+        let len_bytes = view.batch.slice(off + 8, 2);
+        RECORD_HEADER + u16::from_le_bytes(len_bytes.try_into().unwrap()) as usize
+    }
+
+    /// Backward pointer of the record at `ptr`.
+    pub fn prev_of(&self, ptr: PackedPtr) -> PackedPtr {
+        let view = self.view(self.layout.batch(ptr));
+        let off = self.layout.offset(ptr) as usize;
+        PackedPtr(u64::from_le_bytes(view.batch.slice(off, 8).try_into().unwrap()))
+    }
+
+    /// Run `f` over the encoded row bytes at `ptr`.
+    pub fn with_row<R>(&self, ptr: PackedPtr, f: impl FnOnce(&[u8]) -> R) -> R {
+        let view = self.view(self.layout.batch(ptr));
+        let off = self.layout.offset(ptr) as usize;
+        let len = u16::from_le_bytes(view.batch.slice(off + 8, 2).try_into().unwrap()) as usize;
+        f(view.batch.slice(off + RECORD_HEADER, len))
+    }
+
+    /// Materialize the row at `ptr`.
+    pub fn get_row(&self, ptr: PackedPtr) -> Row {
+        self.with_row(ptr, |bytes| codec::decode_row(&self.schema, bytes).expect("stored row decodes"))
+    }
+
+    /// Materialize the full backward chain starting at `ptr` (newest first):
+    /// all rows sharing the same index key (§III-C "Non-unique Keys").
+    pub fn get_chain(&self, ptr: PackedPtr) -> Vec<Row> {
+        let mut out = Vec::new();
+        let mut cur = ptr;
+        while cur.is_some() {
+            out.push(self.get_row(cur));
+            cur = self.prev_of(cur);
+        }
+        out
+    }
+
+    /// Walk the backward chain, invoking `f` on each encoded row (newest
+    /// first); stop early when `f` returns `false`.
+    pub fn for_each_in_chain(&self, ptr: PackedPtr, mut f: impl FnMut(&[u8]) -> bool) {
+        let mut cur = ptr;
+        while cur.is_some() {
+            let keep_going = self.with_row(cur, |bytes| f(bytes));
+            if !keep_going {
+                return;
+            }
+            cur = self.prev_of(cur);
+        }
+    }
+
+    /// Scan every row visible to this version, in storage order, invoking
+    /// `f` with the packed pointer and encoded row bytes.
+    pub fn for_each_row(&self, mut f: impl FnMut(PackedPtr, &[u8])) {
+        for batch_idx in 0..self.num_batches {
+            let view = self.view(batch_idx);
+            let visible = view.visible.min(view.batch.used());
+            let mut off = 0usize;
+            while off + RECORD_HEADER <= visible {
+                let len = u16::from_le_bytes(
+                    view.batch.slice_to(off + 8, 2, visible).try_into().unwrap(),
+                ) as usize;
+                let row = view.batch.slice_to(off + RECORD_HEADER, len, visible);
+                let prev_size_hint = 0; // scans do not reconstruct chains
+                let ptr = self.layout.pack(batch_idx, off as u32, prev_size_hint);
+                f(ptr, row);
+                off += RECORD_HEADER + len;
+            }
+        }
+    }
+
+    /// Materialize every visible row (tests / small partitions).
+    pub fn all_rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.rows as usize);
+        self.for_each_row(|_, bytes| {
+            out.push(codec::decode_row(&self.schema, bytes).expect("stored row decodes"));
+        });
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Bytes of row data visible to this version.
+    pub fn data_bytes(&self) -> usize {
+        let mut total = 0;
+        for batch_idx in 0..self.num_batches {
+            let view = self.view(batch_idx);
+            total += view.visible.min(view.batch.used());
+        }
+        total
+    }
+
+    /// Bytes of allocated batch capacity reachable from this version.
+    pub fn capacity_bytes(&self) -> usize {
+        let mut total = 0;
+        for batch_idx in 0..self.num_batches {
+            total += self.view(batch_idx).batch.capacity();
+        }
+        total
+    }
+
+    /// Number of batches visible to this version.
+    pub fn batch_count(&self) -> u32 {
+        self.num_batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DataType, Field};
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::new("key", DataType::Int64),
+            Field::new("payload", DataType::Utf8),
+        ])
+    }
+
+    fn row(key: i64, payload: &str) -> Row {
+        vec![Value::Int64(key), Value::Utf8(payload.into())]
+    }
+
+    #[test]
+    fn append_and_get() {
+        let mut s = PartitionStore::new(schema(), StoreConfig::default());
+        let p1 = s.append_row(&row(1, "a"), PackedPtr::NONE).unwrap();
+        let p2 = s.append_row(&row(2, "b"), PackedPtr::NONE).unwrap();
+        assert_eq!(s.get_row(p1), row(1, "a"));
+        assert_eq!(s.get_row(p2), row(2, "b"));
+        assert_eq!(s.row_count(), 2);
+    }
+
+    #[test]
+    fn backward_chain_newest_first() {
+        let mut s = PartitionStore::new(schema(), StoreConfig::default());
+        let p1 = s.append_row(&row(7, "v1"), PackedPtr::NONE).unwrap();
+        let p2 = s.append_row(&row(7, "v2"), p1).unwrap();
+        let p3 = s.append_row(&row(7, "v3"), p2).unwrap();
+        let chain = s.get_chain(p3);
+        assert_eq!(chain, vec![row(7, "v3"), row(7, "v2"), row(7, "v1")]);
+        assert_eq!(s.prev_of(p1), PackedPtr::NONE);
+        // prev_size packed into the pointer matches the actual record size.
+        assert_eq!(s.layout().prev_size(p2) as usize, s.record_size(p1));
+        assert_eq!(s.layout().prev_size(p3) as usize, s.record_size(p2));
+    }
+
+    #[test]
+    fn chain_early_stop() {
+        let mut s = PartitionStore::new(schema(), StoreConfig::default());
+        let mut prev = PackedPtr::NONE;
+        for i in 0..10 {
+            prev = s.append_row(&row(1, &format!("v{i}")), prev).unwrap();
+        }
+        let mut seen = 0;
+        s.for_each_in_chain(prev, |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn rows_spill_across_batches() {
+        let cfg = StoreConfig { batch_size: 256, max_row_size: 128, initial_batch_size: 256 };
+        let mut s = PartitionStore::new(schema(), cfg);
+        let mut ptrs = Vec::new();
+        for i in 0..100 {
+            ptrs.push(s.append_row(&row(i, "xxxxxxxxxxxxxxxx"), PackedPtr::NONE).unwrap());
+        }
+        assert!(s.batch_count() > 1, "expected multiple batches");
+        for (i, p) in ptrs.iter().enumerate() {
+            assert_eq!(s.get_row(*p), row(i as i64, "xxxxxxxxxxxxxxxx"));
+        }
+    }
+
+    #[test]
+    fn scan_visits_all_rows_in_order() {
+        let cfg = StoreConfig { batch_size: 512, max_row_size: 128, initial_batch_size: 512 };
+        let mut s = PartitionStore::new(schema(), cfg);
+        for i in 0..50 {
+            s.append_row(&row(i, "p"), PackedPtr::NONE).unwrap();
+        }
+        let rows = s.all_rows();
+        assert_eq!(rows.len(), 50);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r[0], Value::Int64(i as i64));
+        }
+    }
+
+    #[test]
+    fn row_too_large_rejected() {
+        let cfg = StoreConfig { batch_size: 4096, max_row_size: 64, initial_batch_size: 4096 };
+        let mut s = PartitionStore::new(schema(), cfg);
+        let big = "x".repeat(100);
+        let err = s.append_row(&row(1, &big), PackedPtr::NONE).unwrap_err();
+        assert!(matches!(err, StoreError::RowTooLarge { .. }));
+        assert_eq!(s.row_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_while_parent_appends() {
+        let mut s = PartitionStore::new(schema(), StoreConfig::default());
+        for i in 0..10 {
+            s.append_row(&row(i, "base"), PackedPtr::NONE).unwrap();
+        }
+        let snap = s.snapshot();
+        // Parent keeps appending into its owned tail.
+        for i in 10..20 {
+            s.append_row(&row(i, "post"), PackedPtr::NONE).unwrap();
+        }
+        assert_eq!(snap.row_count(), 10);
+        assert_eq!(snap.all_rows().len(), 10);
+        assert_eq!(s.all_rows().len(), 20);
+    }
+
+    #[test]
+    fn snapshot_appends_go_to_new_batches() {
+        let mut s = PartitionStore::new(schema(), StoreConfig::default());
+        for i in 0..10 {
+            s.append_row(&row(i, "base"), PackedPtr::NONE).unwrap();
+        }
+        let parent_batches = s.batch_count();
+        let mut child = s.snapshot();
+        child.append_row(&row(100, "child"), PackedPtr::NONE).unwrap();
+        assert!(child.batch_count() > parent_batches, "child must not write shared batches");
+        assert_eq!(child.all_rows().len(), 11);
+        assert_eq!(s.all_rows().len(), 10);
+    }
+
+    #[test]
+    fn divergent_children_coexist() {
+        // Listing 2 of the paper: two appends on the same parent.
+        let mut parent = PartitionStore::new(schema(), StoreConfig::default());
+        for i in 0..5 {
+            parent.append_row(&row(i, "p"), PackedPtr::NONE).unwrap();
+        }
+        let mut a = parent.snapshot();
+        let mut b = parent.snapshot();
+        a.append_row(&row(100, "a"), PackedPtr::NONE).unwrap();
+        b.append_row(&row(200, "b"), PackedPtr::NONE).unwrap();
+        b.append_row(&row(201, "b2"), PackedPtr::NONE).unwrap();
+
+        assert_eq!(parent.all_rows().len(), 5);
+        let a_rows = a.all_rows();
+        let b_rows = b.all_rows();
+        assert_eq!(a_rows.len(), 6);
+        assert_eq!(b_rows.len(), 7);
+        assert!(a_rows.iter().any(|r| r[0] == Value::Int64(100)));
+        assert!(!a_rows.iter().any(|r| r[0] == Value::Int64(200)));
+        assert!(b_rows.iter().any(|r| r[0] == Value::Int64(201)));
+    }
+
+    #[test]
+    fn chains_survive_snapshots() {
+        let mut parent = PartitionStore::new(schema(), StoreConfig::default());
+        let p1 = parent.append_row(&row(7, "v1"), PackedPtr::NONE).unwrap();
+        let mut child = parent.snapshot();
+        let p2 = child.append_row(&row(7, "v2"), p1).unwrap();
+        // The child's chain crosses from its own batch into the shared one.
+        assert_eq!(child.get_chain(p2), vec![row(7, "v2"), row(7, "v1")]);
+    }
+
+    #[test]
+    fn append_row_bytes_matches_append_row() {
+        let mut a = PartitionStore::new(schema(), StoreConfig::default());
+        let mut b = PartitionStore::new(schema(), StoreConfig::default());
+        let r = row(5, "hello");
+        let mut buf = Vec::new();
+        codec::encode_row(&schema(), &r, &mut buf).unwrap();
+        let pa = a.append_row(&r, PackedPtr::NONE).unwrap();
+        let pb = b.append_row_bytes(&buf, PackedPtr::NONE).unwrap();
+        assert_eq!(a.get_row(pa), b.get_row(pb));
+    }
+
+    #[test]
+    fn accounting_tracks_growth() {
+        let mut s = PartitionStore::new(schema(), StoreConfig::default());
+        assert_eq!(s.data_bytes(), 0);
+        s.append_row(&row(1, "abc"), PackedPtr::NONE).unwrap();
+        let d1 = s.data_bytes();
+        assert!(d1 > 0);
+        s.append_row(&row(2, "defg"), PackedPtr::NONE).unwrap();
+        assert!(s.data_bytes() > d1);
+        assert!(s.capacity_bytes() >= s.data_bytes());
+    }
+
+    #[test]
+    fn reserve_hint_limits_first_allocation() {
+        let cfg = StoreConfig { batch_size: 4 << 20, max_row_size: 1024, initial_batch_size: 64 << 10 };
+        let mut s = PartitionStore::new(schema(), cfg);
+        s.reserve_hint(1 << 10);
+        s.append_row(&row(1, "x"), PackedPtr::NONE).unwrap();
+        assert!(s.capacity_bytes() <= 64 << 10, "tiny hint keeps the first batch small");
+    }
+
+    #[test]
+    fn concurrent_readers_during_parent_appends() {
+        let mut s = PartitionStore::new(schema(), StoreConfig::default());
+        for i in 0..1000 {
+            s.append_row(&row(i, "seed"), PackedPtr::NONE).unwrap();
+        }
+        let snap = Arc::new(s.snapshot());
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let snap = Arc::clone(&snap);
+                std::thread::spawn(move || {
+                    assert_eq!(snap.all_rows().len(), 1000);
+                })
+            })
+            .collect();
+        for i in 1000..2000 {
+            s.append_row(&row(i, "more"), PackedPtr::NONE).unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Schema and dynamic value types shared by the whole workspace.
+//!
+//! The Indexed DataFrame recommends primitive index columns (§III-A); we
+//! support 32/64-bit integers, 64-bit floats, booleans and UTF-8 strings,
+//! matching the columns used by the paper's workloads (Table II).
+
+use std::fmt;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Column data types supported by the row codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int32,
+    Int64,
+    Float64,
+    Bool,
+    Utf8,
+}
+
+impl DataType {
+    /// Whether this is one of the primitive fixed-width types the paper
+    /// recommends for index columns.
+    pub fn is_primitive(self) -> bool {
+        !matches!(self, DataType::Utf8)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int32 => "INT",
+            DataType::Int64 => "BIGINT",
+            DataType::Float64 => "DOUBLE",
+            DataType::Bool => "BOOLEAN",
+            DataType::Utf8 => "STRING",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed, possibly-nullable column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype, nullable: false }
+    }
+
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype, nullable: true }
+    }
+}
+
+/// An ordered collection of fields describing a table's rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Arc<Self> {
+        Arc::new(Schema { fields })
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Position of the column named `name`, if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Schema of the concatenation of two rows (used by joins). Duplicate
+    /// names from the right side are prefixed to stay unambiguous.
+    pub fn join(&self, right: &Schema) -> Arc<Schema> {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let name = if self.index_of(&f.name).is_some() {
+                format!("right.{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field { name, dtype: f.dtype, nullable: f.nullable });
+        }
+        Schema::new(fields)
+    }
+
+    /// Schema containing only the columns at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Arc<Schema> {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+/// A dynamically typed cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Int32(i32),
+    Int64(i64),
+    Float64(f64),
+    Bool(bool),
+    Utf8(String),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int32(_) => Some(DataType::Int32),
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Utf8(_) => Some(DataType::Utf8),
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int32(v) => Some(*v as i64),
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            Value::Int32(v) => Some(*v as f64),
+            Value::Int64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-style three-valued comparison: `None` when either side is null or
+    /// the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int32(a), Int32(b)) => Some(a.cmp(b)),
+            (Int64(a), Int64(b)) => Some(a.cmp(b)),
+            (Int32(a), Int64(b)) => Some((*a as i64).cmp(b)),
+            (Int64(a), Int32(b)) => Some(a.cmp(&(*b as i64))),
+            (Float64(a), Float64(b)) => a.partial_cmp(b),
+            (Float64(a), Int32(b)) => a.partial_cmp(&(*b as f64)),
+            (Float64(a), Int64(b)) => a.partial_cmp(&(*b as f64)),
+            (Int32(a), Float64(b)) => (*a as f64).partial_cmp(b),
+            (Int64(a), Float64(b)) => (*a as f64).partial_cmp(b),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Utf8(a), Utf8(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality (null-rejecting).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.sql_cmp(other) == Some(std::cmp::Ordering::Equal)
+    }
+
+    /// A stable 64-bit hash suitable for hash partitioning and join keys.
+    /// Integer-typed values of equal numeric value hash identically
+    /// (`Int32(7)` and `Int64(7)` land in the same partition). Strings are
+    /// hashed byte-wise — the paper notes string keys pay a hashing penalty
+    /// relative to integer keys (§IV-E), which this reproduces.
+    pub fn key_hash(&self) -> u64 {
+        use std::hash::BuildHasher;
+        let mut h = ctrie::FxBuildHasher.build_hasher();
+        match self {
+            Value::Null => h.write_u64(0x6e75_6c6c),
+            Value::Int32(v) => h.write_u64(*v as i64 as u64),
+            Value::Int64(v) => h.write_u64(*v as u64),
+            Value::Float64(v) => h.write_u64(v.to_bits()),
+            Value::Bool(b) => h.write_u64(*b as u64),
+            Value::Utf8(s) => h.write(s.as_bytes()),
+        }
+        h.finish()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Utf8(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+
+/// A materialized row: one [`Value`] per schema field.
+pub type Row = Vec<Value>;
+
+/// Hash a row key for grouping (multi-column group-by keys).
+pub fn rows_key_hash(values: &[Value]) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        acc = acc.rotate_left(13) ^ v.key_hash();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::nullable("score", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn index_of_and_arity() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn join_schema_renames_duplicates() {
+        let s = schema();
+        let joined = s.join(&s);
+        assert_eq!(joined.arity(), 6);
+        assert_eq!(joined.field(3).name, "right.id");
+        assert_eq!(joined.index_of("id"), Some(0));
+    }
+
+    #[test]
+    fn project_selects_in_order() {
+        let s = schema();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.field(0).name, "score");
+        assert_eq!(p.field(1).name, "id");
+    }
+
+    #[test]
+    fn sql_cmp_mixed_numeric() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int32(3).sql_cmp(&Value::Int64(3)), Some(Equal));
+        assert_eq!(Value::Int64(4).sql_cmp(&Value::Float64(4.5)), Some(Less));
+        assert_eq!(Value::Utf8("b".into()).sql_cmp(&Value::Utf8("a".into())), Some(Greater));
+        assert_eq!(Value::Null.sql_cmp(&Value::Int32(0)), None);
+        assert_eq!(Value::Int32(1).sql_cmp(&Value::Utf8("1".into())), None);
+    }
+
+    #[test]
+    fn key_hash_consistent_across_int_widths() {
+        assert_eq!(Value::Int32(42).key_hash(), Value::Int64(42).key_hash());
+        assert_ne!(Value::Int64(42).key_hash(), Value::Int64(43).key_hash());
+    }
+
+    #[test]
+    fn key_hash_strings() {
+        assert_eq!(Value::Utf8("N123".into()).key_hash(), Value::Utf8("N123".into()).key_hash());
+        assert_ne!(Value::Utf8("N123".into()).key_hash(), Value::Utf8("N124".into()).key_hash());
+    }
+
+    #[test]
+    fn row_key_hash_order_sensitive() {
+        let a = [Value::Int64(1), Value::Int64(2)];
+        let b = [Value::Int64(2), Value::Int64(1)];
+        assert_ne!(rows_key_hash(&a), rows_key_hash(&b));
+    }
+}

@@ -1,0 +1,387 @@
+//! The simulated cluster: workers, executors, scheduling, block cache,
+//! failure injection.
+//!
+//! A `Cluster` stands in for a Spark deployment. Each worker is a
+//! "machine" holding one or more *executors* (independent thread pools) and
+//! a block cache of materialized partitions. Tasks carry a preferred worker
+//! (data locality, §III-D); the scheduler honors it while the worker is
+//! alive and falls back to another worker otherwise — the situation that
+//! motivates the paper's partition *version numbers*, which the block cache
+//! implements.
+//!
+//! Substitution note (see DESIGN.md): workers are thread pools in one
+//! process, not machines. Failure injection drops a worker's cache and
+//! marks it unschedulable, which exercises exactly the recovery path the
+//! paper measures in Fig. 12 (lineage recomputation of lost indexed
+//! partitions).
+
+use crate::config::ClusterConfig;
+use crate::metrics::Metrics;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Identifies a cached partition of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId {
+    pub dataset: u64,
+    pub partition: usize,
+}
+
+/// A cached, versioned partition payload.
+#[derive(Clone)]
+pub struct Block {
+    /// Version number, bumped on every append (§III-D): the scheduler must
+    /// not use blocks older than the dataset's current version.
+    pub version: u64,
+    pub data: Arc<dyn Any + Send + Sync>,
+}
+
+struct WorkerState {
+    executors: Vec<rayon::ThreadPool>,
+    alive: AtomicBool,
+    cache: Mutex<HashMap<BlockId, Block>>,
+    /// Round-robin cursor over executors.
+    next_executor: AtomicUsize,
+}
+
+/// A task to schedule: its index in the stage and its locality preference.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskSpec {
+    pub partition: usize,
+    pub preferred_worker: Option<usize>,
+}
+
+/// Where and how a task actually ran.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskContext {
+    pub partition: usize,
+    pub worker: usize,
+    pub executor: usize,
+    /// Whether the task missed its locality preference.
+    pub non_local: bool,
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    workers: Vec<WorkerState>,
+    metrics: Metrics,
+    next_dataset: AtomicU64,
+    /// Round-robin fallback cursor for non-local scheduling.
+    fallback: AtomicUsize,
+}
+
+impl Cluster {
+    /// Spin up a cluster with the given geometry.
+    pub fn new(config: ClusterConfig) -> Arc<Cluster> {
+        assert!(config.workers > 0 && config.executors_per_worker > 0 && config.cores_per_executor > 0);
+        let workers = (0..config.workers)
+            .map(|_| WorkerState {
+                executors: (0..config.executors_per_worker)
+                    .map(|_| {
+                        rayon::ThreadPoolBuilder::new()
+                            .num_threads(config.cores_per_executor)
+                            .build()
+                            .expect("failed to build executor pool")
+                    })
+                    .collect(),
+                alive: AtomicBool::new(true),
+                cache: Mutex::new(HashMap::new()),
+                next_executor: AtomicUsize::new(0),
+            })
+            .collect();
+        Arc::new(Cluster {
+            config,
+            workers,
+            metrics: Metrics::new(),
+            next_dataset: AtomicU64::new(1),
+            fallback: AtomicUsize::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Allocate a fresh dataset id for block-cache keys.
+    pub fn new_dataset_id(&self) -> u64 {
+        self.next_dataset.fetch_add(1, Relaxed)
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub fn is_alive(&self, worker: usize) -> bool {
+        self.workers[worker].alive.load(Relaxed)
+    }
+
+    pub fn alive_workers(&self) -> Vec<usize> {
+        (0..self.workers.len()).filter(|&w| self.is_alive(w)).collect()
+    }
+
+    /// Default placement: partitions round-robin over workers (Spark's hash
+    /// placement of shuffle outputs).
+    pub fn worker_for_partition(&self, partition: usize) -> usize {
+        partition % self.workers.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection
+    // ------------------------------------------------------------------
+
+    /// Kill a worker: drop its cached blocks and stop scheduling onto it.
+    /// Models the executor kill of Fig. 12.
+    pub fn kill_worker(&self, worker: usize) {
+        self.workers[worker].alive.store(false, Relaxed);
+        self.workers[worker].cache.lock().clear();
+    }
+
+    /// Bring a worker back (empty-cached, as a restarted executor).
+    pub fn restart_worker(&self, worker: usize) {
+        self.workers[worker].alive.store(true, Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Block cache
+    // ------------------------------------------------------------------
+
+    /// Cache `data` for `id` on `worker` at `version`. Overwrites stale
+    /// entries; refuses to go backwards in version.
+    pub fn put_block(&self, worker: usize, id: BlockId, version: u64, data: Arc<dyn Any + Send + Sync>) {
+        let mut cache = self.workers[worker].cache.lock();
+        match cache.get(&id) {
+            Some(existing) if existing.version > version => {}
+            _ => {
+                cache.insert(id, Block { version, data });
+            }
+        }
+    }
+
+    /// Fetch a block from a worker's cache regardless of version.
+    pub fn get_block(&self, worker: usize, id: BlockId) -> Option<Block> {
+        self.workers[worker].cache.lock().get(&id).cloned()
+    }
+
+    /// Fetch a block only if it is at least `min_version` — the staleness
+    /// guard of §III-D: after an append bumps the version, older copies on
+    /// other workers must not serve tasks.
+    pub fn get_block_min_version(&self, worker: usize, id: BlockId, min_version: u64) -> Option<Block> {
+        self.get_block(worker, id).filter(|b| b.version >= min_version)
+    }
+
+    /// Drop one block (tests / manual eviction).
+    pub fn evict_block(&self, worker: usize, id: BlockId) {
+        self.workers[worker].cache.lock().remove(&id);
+    }
+
+    /// Which workers currently cache `id` (any version).
+    pub fn block_locations(&self, id: BlockId) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&w| self.workers[w].cache.lock().contains_key(&id))
+            .collect()
+    }
+
+    /// Total cached blocks on a worker.
+    pub fn cached_block_count(&self, worker: usize) -> usize {
+        self.workers[worker].cache.lock().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Task execution
+    // ------------------------------------------------------------------
+
+    /// Pick the worker a task should run on.
+    fn schedule(&self, spec: &TaskSpec) -> (usize, bool) {
+        if let Some(w) = spec.preferred_worker {
+            if self.is_alive(w) {
+                return (w, false);
+            }
+        }
+        // Fall back to any alive worker, round-robin.
+        let alive = self.alive_workers();
+        assert!(!alive.is_empty(), "no alive workers");
+        let w = alive[self.fallback.fetch_add(1, Relaxed) % alive.len()];
+        (w, spec.preferred_worker.is_some())
+    }
+
+    /// Run one stage: every task executes on its scheduled worker's next
+    /// executor pool; results are returned in task order.
+    ///
+    /// `f` must be cheap to share (it is called concurrently from many
+    /// executor threads).
+    pub fn run_tasks<R, F>(&self, tasks: &[TaskSpec], f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(TaskContext) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let n = tasks.len();
+        for (idx, spec) in tasks.iter().enumerate() {
+            let (worker, non_local) = self.schedule(spec);
+            let ws = &self.workers[worker];
+            let executor = ws.next_executor.fetch_add(1, Relaxed) % ws.executors.len();
+            let ctx = TaskContext { partition: spec.partition, worker, executor, non_local };
+            self.metrics.tasks.fetch_add(1, Relaxed);
+            if non_local {
+                self.metrics.non_local_tasks.fetch_add(1, Relaxed);
+            }
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            ws.executors[executor].spawn(move || {
+                let r = f(ctx);
+                // Receiver hung up only if the stage panicked elsewhere.
+                let _ = tx.send((idx, r));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, r) = rx.recv().expect("task panicked");
+            slots[idx] = Some(r);
+        }
+        slots.into_iter().map(|s| s.expect("missing task result")).collect()
+    }
+
+    /// Convenience: one task per partition `0..n`, placed by
+    /// [`Cluster::worker_for_partition`].
+    pub fn run_partitions<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(TaskContext) -> R + Send + Sync + 'static,
+    {
+        let tasks: Vec<TaskSpec> = (0..n)
+            .map(|p| TaskSpec { partition: p, preferred_worker: Some(self.worker_for_partition(p)) })
+            .collect();
+        self.run_tasks(&tasks, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Arc<Cluster> {
+        Cluster::new(ClusterConfig { workers: 3, executors_per_worker: 2, cores_per_executor: 2 })
+    }
+
+    #[test]
+    fn runs_tasks_in_order() {
+        let c = cluster();
+        let out = c.run_partitions(16, |ctx| ctx.partition * 10);
+        assert_eq!(out, (0..16).map(|p| p * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_respect_locality() {
+        let c = cluster();
+        let out = c.run_partitions(12, |ctx| (ctx.partition, ctx.worker, ctx.non_local));
+        for (p, w, non_local) in out {
+            assert_eq!(w, p % 3);
+            assert!(!non_local);
+        }
+        assert_eq!(c.metrics().snapshot().non_local_tasks, 0);
+        assert_eq!(c.metrics().snapshot().tasks, 12);
+    }
+
+    #[test]
+    fn dead_worker_falls_back() {
+        let c = cluster();
+        c.kill_worker(1);
+        let out = c.run_partitions(12, |ctx| (ctx.partition, ctx.worker, ctx.non_local));
+        for (p, w, non_local) in out {
+            assert_ne!(w, 1, "dead worker must not run tasks");
+            if p % 3 == 1 {
+                assert!(non_local);
+            }
+        }
+        assert!(c.metrics().snapshot().non_local_tasks >= 4);
+    }
+
+    #[test]
+    fn restart_worker_schedulable_again() {
+        let c = cluster();
+        c.kill_worker(0);
+        c.restart_worker(0);
+        let out = c.run_partitions(3, |ctx| ctx.worker);
+        assert!(out.contains(&0));
+    }
+
+    #[test]
+    fn block_cache_roundtrip() {
+        let c = cluster();
+        let id = BlockId { dataset: c.new_dataset_id(), partition: 0 };
+        c.put_block(0, id, 1, Arc::new(vec![1u64, 2, 3]));
+        let b = c.get_block(0, id).unwrap();
+        assert_eq!(b.version, 1);
+        let data = b.data.downcast_ref::<Vec<u64>>().unwrap();
+        assert_eq!(data, &vec![1, 2, 3]);
+        assert_eq!(c.get_block(1, id).map(|_| ()), None);
+        assert_eq!(c.block_locations(id), vec![0]);
+    }
+
+    #[test]
+    fn version_guard_rejects_stale_blocks() {
+        // §III-D: a stale copy left on another worker must not serve tasks
+        // after an append bumped the dataset version.
+        let c = cluster();
+        let id = BlockId { dataset: 9, partition: 0 };
+        c.put_block(0, id, 1, Arc::new(1u32));
+        c.put_block(1, id, 2, Arc::new(2u32)); // replayed copy after append
+        assert!(c.get_block_min_version(0, id, 2).is_none(), "stale block served");
+        assert_eq!(
+            c.get_block_min_version(1, id, 2).unwrap().data.downcast_ref::<u32>(),
+            Some(&2)
+        );
+    }
+
+    #[test]
+    fn put_block_never_downgrades() {
+        let c = cluster();
+        let id = BlockId { dataset: 5, partition: 3 };
+        c.put_block(0, id, 4, Arc::new(4u32));
+        c.put_block(0, id, 2, Arc::new(2u32));
+        assert_eq!(c.get_block(0, id).unwrap().version, 4);
+    }
+
+    #[test]
+    fn kill_worker_clears_cache() {
+        let c = cluster();
+        let id = BlockId { dataset: 1, partition: 0 };
+        c.put_block(2, id, 1, Arc::new(0u8));
+        c.kill_worker(2);
+        assert_eq!(c.cached_block_count(2), 0);
+        c.restart_worker(2);
+        assert!(c.get_block(2, id).is_none(), "restarted worker starts cold");
+    }
+
+    #[test]
+    fn parallelism_actually_happens() {
+        // With 3 workers × 2 executors × 2 cores there are 12 slots; 12
+        // sleeping tasks should take ~1 sleep, not 12.
+        let c = cluster();
+        let start = std::time::Instant::now();
+        c.run_partitions(12, |_| std::thread::sleep(std::time::Duration::from_millis(50)));
+        let elapsed = start.elapsed();
+        assert!(elapsed < std::time::Duration::from_millis(400), "tasks serialized: {elapsed:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no alive workers")]
+    fn all_workers_dead_panics() {
+        let c = cluster();
+        for w in 0..3 {
+            c.kill_worker(w);
+        }
+        c.run_partitions(1, |_| ());
+    }
+}

@@ -1,0 +1,40 @@
+//! # sparklet — a miniature Spark-like execution substrate
+//!
+//! The distributed-engine substrate for the Indexed DataFrame reproduction
+//! (*In-Memory Indexed Caching for Distributed Data Processing*, IPPS 2022).
+//! The paper embeds its index into Apache Spark; this crate provides the
+//! parts of Spark the paper's design actually interacts with, simulated in
+//! one process:
+//!
+//! * a [`Cluster`] of workers, each a set of executor thread pools
+//!   (configurable geometry — Fig. 4 and Fig. 6 sweep it);
+//! * locality-aware task scheduling with fallback when a worker is dead or
+//!   busy (§III-D);
+//! * hash-partitioned [`shuffle::exchange`] and [`shuffle::broadcast`]
+//!   (§III-C "Scheduling Physical Operators");
+//! * a per-worker **versioned block cache** — the partition version numbers
+//!   that keep appends consistent when stale copies exist (§III-D);
+//! * failure injection ([`Cluster::kill_worker`]) for the Fig. 12
+//!   fault-tolerance experiment;
+//! * phase [`metrics::Metrics`] (shuffle/build/probe) replacing the paper's
+//!   flame graphs (Fig. 1).
+//!
+//! ## Example
+//!
+//! ```
+//! use sparklet::{Cluster, ClusterConfig};
+//!
+//! let cluster = Cluster::new(ClusterConfig::test_small());
+//! let doubled = cluster.run_partitions(8, |ctx| ctx.partition * 2);
+//! assert_eq!(doubled[3], 6);
+//! ```
+
+mod cluster;
+mod config;
+pub mod metrics;
+pub mod shuffle;
+
+pub use cluster::{Block, BlockId, Cluster, TaskContext, TaskSpec};
+pub use config::ClusterConfig;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use shuffle::{broadcast, exchange, partition_of, ShuffleItem};

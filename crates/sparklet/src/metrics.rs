@@ -1,0 +1,138 @@
+//! Execution metrics: the flame-graph substitute.
+//!
+//! The paper's Fig. 1 contrasts where vanilla Spark and the Indexed
+//! DataFrame spend time across repeated joins (hash-table building and
+//! shuffles vs. local probes). Without a JVM profiler we reproduce the
+//! breakdown with explicit phase counters that every operator feeds.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Thread-safe phase and volume counters for one cluster.
+#[derive(Default)]
+pub struct Metrics {
+    /// Nanoseconds spent moving data between partitions (the "network").
+    pub shuffle_ns: AtomicU64,
+    /// Bytes that crossed partition boundaries in shuffles.
+    pub shuffle_bytes: AtomicU64,
+    /// Rows that crossed partition boundaries in shuffles.
+    pub shuffle_rows: AtomicU64,
+    /// Nanoseconds spent building join hash tables / indexes.
+    pub build_ns: AtomicU64,
+    /// Nanoseconds spent probing (the actual join/lookup work).
+    pub probe_ns: AtomicU64,
+    /// Bytes replicated to workers by broadcasts.
+    pub broadcast_bytes: AtomicU64,
+    /// Nanoseconds spent recomputing lost partitions from lineage.
+    pub recompute_ns: AtomicU64,
+    /// Tasks that ran on a worker other than their preferred one.
+    pub non_local_tasks: AtomicU64,
+    /// Total tasks executed.
+    pub tasks: AtomicU64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn reset(&self) {
+        self.shuffle_ns.store(0, Relaxed);
+        self.shuffle_bytes.store(0, Relaxed);
+        self.shuffle_rows.store(0, Relaxed);
+        self.build_ns.store(0, Relaxed);
+        self.probe_ns.store(0, Relaxed);
+        self.broadcast_bytes.store(0, Relaxed);
+        self.recompute_ns.store(0, Relaxed);
+        self.non_local_tasks.store(0, Relaxed);
+        self.tasks.store(0, Relaxed);
+    }
+
+    /// Immutable copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            shuffle_ns: self.shuffle_ns.load(Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Relaxed),
+            shuffle_rows: self.shuffle_rows.load(Relaxed),
+            build_ns: self.build_ns.load(Relaxed),
+            probe_ns: self.probe_ns.load(Relaxed),
+            broadcast_bytes: self.broadcast_bytes.load(Relaxed),
+            recompute_ns: self.recompute_ns.load(Relaxed),
+            non_local_tasks: self.non_local_tasks.load(Relaxed),
+            tasks: self.tasks.load(Relaxed),
+        }
+    }
+
+    /// Time `f` and add the elapsed nanoseconds to `counter`.
+    pub fn timed<R>(counter: &AtomicU64, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        counter.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+        r
+    }
+}
+
+/// Plain-value copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub shuffle_ns: u64,
+    pub shuffle_bytes: u64,
+    pub shuffle_rows: u64,
+    pub build_ns: u64,
+    pub probe_ns: u64,
+    pub broadcast_bytes: u64,
+    pub recompute_ns: u64,
+    pub non_local_tasks: u64,
+    pub tasks: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference since an earlier snapshot (per-query deltas for Fig. 1).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            shuffle_ns: self.shuffle_ns - earlier.shuffle_ns,
+            shuffle_bytes: self.shuffle_bytes - earlier.shuffle_bytes,
+            shuffle_rows: self.shuffle_rows - earlier.shuffle_rows,
+            build_ns: self.build_ns - earlier.build_ns,
+            probe_ns: self.probe_ns - earlier.probe_ns,
+            broadcast_bytes: self.broadcast_bytes - earlier.broadcast_bytes,
+            recompute_ns: self.recompute_ns - earlier.recompute_ns,
+            non_local_tasks: self.non_local_tasks - earlier.non_local_tasks,
+            tasks: self.tasks - earlier.tasks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let m = Metrics::new();
+        let out = Metrics::timed(&m.build_ns, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(m.snapshot().build_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = Metrics::new();
+        m.shuffle_bytes.fetch_add(100, Relaxed);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_since() {
+        let m = Metrics::new();
+        m.shuffle_rows.fetch_add(10, Relaxed);
+        let s1 = m.snapshot();
+        m.shuffle_rows.fetch_add(5, Relaxed);
+        let d = m.snapshot().delta_since(&s1);
+        assert_eq!(d.shuffle_rows, 5);
+    }
+}

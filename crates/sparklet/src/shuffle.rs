@@ -1,0 +1,208 @@
+//! Shuffle: hash-partitioned data exchange between partitions.
+//!
+//! The paper's Indexed DataFrame is hash partitioned on the index column;
+//! index creation, appends and indexed joins all shuffle rows to the
+//! partition responsible for their key (§III-C). Fig. 10 shows append time
+//! is dominated by exactly this shuffle. Here the "network" is cross-thread
+//! buffer movement: the map side buckets items by key hash in parallel on
+//! the cluster, and the exchange concatenates bucket `j` from every input
+//! into output partition `j`, counting rows/bytes/time in the cluster
+//! metrics.
+
+use crate::cluster::Cluster;
+use crate::metrics::Metrics;
+use rowstore::{Row, Value};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Items that can cross the simulated network (for byte accounting).
+pub trait ShuffleItem: Send + 'static {
+    fn approx_bytes(&self) -> usize;
+}
+
+impl ShuffleItem for Vec<u8> {
+    fn approx_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl ShuffleItem for Row {
+    fn approx_bytes(&self) -> usize {
+        self.iter()
+            .map(|v| match v {
+                Value::Utf8(s) => 8 + s.len(),
+                _ => 8,
+            })
+            .sum()
+    }
+}
+
+impl<T: ShuffleItem> ShuffleItem for (u64, T) {
+    fn approx_bytes(&self) -> usize {
+        8 + self.1.approx_bytes()
+    }
+}
+
+/// Deterministically map a key hash to an output partition.
+#[inline]
+pub fn partition_of(key_hash: u64, num_partitions: usize) -> usize {
+    // Multiply-shift avoids the pathologies of `hash % n` for power-of-two n
+    // combined with low-entropy hashes.
+    ((key_hash as u128 * num_partitions as u128) >> 64) as usize
+}
+
+/// Hash-partition each input partition's `(key_hash, item)` pairs into
+/// `num_out` output partitions and exchange them.
+///
+/// The bucketing runs as one cluster task per input partition (map side);
+/// the exchange is the reduce-side regroup. Returns `num_out` vectors.
+pub fn exchange<T: ShuffleItem>(
+    cluster: &Cluster,
+    inputs: Vec<Vec<(u64, T)>>,
+    num_out: usize,
+) -> Vec<Vec<T>> {
+    assert!(num_out > 0);
+    let start = Instant::now();
+    let inputs: Vec<_> = inputs.into_iter().map(|p| Arc::new(parking_lot::Mutex::new(Some(p)))).collect();
+    let inputs_shared = Arc::new(inputs);
+
+    // Map side: bucket each input partition in parallel on the cluster.
+    let inputs_for_tasks = Arc::clone(&inputs_shared);
+    let buckets: Vec<Vec<Vec<T>>> = cluster.run_partitions(inputs_shared.len(), move |ctx| {
+        let input = inputs_for_tasks[ctx.partition]
+            .lock()
+            .take()
+            .expect("input partition consumed twice");
+        let mut out: Vec<Vec<T>> = (0..num_out).map(|_| Vec::new()).collect();
+        for (h, item) in input {
+            out[partition_of(h, num_out)].push(item);
+        }
+        out
+    });
+
+    // Exchange: concatenate bucket j of every map output ("the network").
+    let mut outputs: Vec<Vec<T>> = (0..num_out).map(|_| Vec::new()).collect();
+    let mut rows = 0u64;
+    let mut bytes = 0u64;
+    for map_out in buckets {
+        for (j, bucket) in map_out.into_iter().enumerate() {
+            rows += bucket.len() as u64;
+            bytes += bucket.iter().map(|i| i.approx_bytes() as u64).sum::<u64>();
+            outputs[j].extend(bucket);
+        }
+    }
+    let m = cluster.metrics();
+    m.shuffle_ns.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+    m.shuffle_rows.fetch_add(rows, Relaxed);
+    m.shuffle_bytes.fetch_add(bytes, Relaxed);
+    outputs
+}
+
+/// Replicate `data` to every alive worker (a broadcast variable). Returns
+/// one deep copy per worker, modelling the memory traffic of Spark's
+/// torrent broadcast; the bytes are counted in the cluster metrics.
+pub fn broadcast<T: Clone + ShuffleItem>(cluster: &Cluster, data: &[T]) -> Vec<Arc<Vec<T>>> {
+    let bytes: u64 = data.iter().map(|i| i.approx_bytes() as u64).sum();
+    let copies: Vec<Arc<Vec<T>>> = (0..cluster.num_workers())
+        .map(|w| {
+            if cluster.is_alive(w) {
+                cluster
+                    .metrics()
+                    .broadcast_bytes
+                    .fetch_add(bytes, Relaxed);
+                Arc::new(data.to_vec())
+            } else {
+                Arc::new(Vec::new())
+            }
+        })
+        .collect();
+    copies
+}
+
+/// Time a closure into the shuffle counter (for operators that move data
+/// outside `exchange`, e.g. collecting results to the driver).
+pub fn timed_shuffle<R>(metrics: &Metrics, f: impl FnOnce() -> R) -> R {
+    Metrics::timed(&metrics.shuffle_ns, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    #[test]
+    fn partition_of_is_stable_and_in_range() {
+        for n in [1usize, 3, 7, 16, 64] {
+            for h in [0u64, 1, u64::MAX, 0xdeadbeef, 42] {
+                let p = partition_of(h, n);
+                assert!(p < n);
+                assert_eq!(p, partition_of(h, n));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_spreads_hashes() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for i in 0..10_000u64 {
+            let h = rowstore::Value::Int64(i as i64).key_hash();
+            counts[partition_of(h, n)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c > 500, "partition {i} underfilled: {c}");
+        }
+    }
+
+    #[test]
+    fn exchange_groups_by_key() {
+        let c = Cluster::new(ClusterConfig::test_small());
+        let num_out = 4;
+        // Two input partitions with interleaved keys.
+        let inputs: Vec<Vec<(u64, Vec<u8>)>> = vec![
+            (0..100u64).map(|k| (k, vec![k as u8])).collect(),
+            (0..100u64).map(|k| (k, vec![k as u8])).collect(),
+        ];
+        let out = exchange(&c, inputs, num_out);
+        assert_eq!(out.len(), num_out);
+        assert_eq!(out.iter().map(|p| p.len()).sum::<usize>(), 200);
+        // Same key must land in the same output partition from both inputs.
+        for k in 0..100u64 {
+            let p = partition_of(k, num_out);
+            let count = out[p].iter().filter(|b| b[0] == k as u8).count();
+            assert_eq!(count, 2, "key {k} not co-located");
+        }
+        let m = c.metrics().snapshot();
+        assert_eq!(m.shuffle_rows, 200);
+        assert!(m.shuffle_bytes >= 200);
+        assert!(m.shuffle_ns > 0);
+    }
+
+    #[test]
+    fn exchange_single_output() {
+        let c = Cluster::new(ClusterConfig::test_small());
+        let inputs: Vec<Vec<(u64, Vec<u8>)>> =
+            vec![vec![(1, vec![1]), (2, vec![2])], vec![(3, vec![3])]];
+        let out = exchange(&c, inputs, 1);
+        assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn broadcast_replicates_to_alive_workers() {
+        let c = Cluster::new(ClusterConfig { workers: 3, executors_per_worker: 1, cores_per_executor: 1 });
+        c.kill_worker(1);
+        let copies = broadcast(&c, &[vec![1u8, 2, 3], vec![4u8]]);
+        assert_eq!(copies.len(), 3);
+        assert_eq!(copies[0].len(), 2);
+        assert!(copies[1].is_empty(), "dead worker gets nothing");
+        assert_eq!(copies[2].len(), 2);
+        assert_eq!(c.metrics().snapshot().broadcast_bytes, 8); // 4 bytes × 2 workers
+    }
+
+    #[test]
+    fn row_shuffle_item_accounts_strings() {
+        let row: Row = vec![Value::Int64(1), Value::Utf8("abcde".into())];
+        assert_eq!(row.approx_bytes(), 8 + 8 + 5);
+    }
+}

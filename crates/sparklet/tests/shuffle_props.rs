@@ -1,0 +1,106 @@
+//! Property-based tests of the shuffle exchange and scheduling invariants.
+
+use proptest::prelude::*;
+use sparklet::{exchange, partition_of, Cluster, ClusterConfig, TaskSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Exchange is a permutation: no items lost, none duplicated, and each
+    /// lands in exactly the partition its hash owns.
+    #[test]
+    fn exchange_is_a_keyed_permutation(
+        parts in proptest::collection::vec(
+            proptest::collection::vec((any::<u64>(), any::<u32>()), 0..60),
+            1..6,
+        ),
+        num_out in 1usize..9,
+    ) {
+        let cluster = Cluster::new(ClusterConfig::test_small());
+        let mut expected: HashMap<u32, u64> = HashMap::new();
+        let mut dup_guard = 0u64;
+        let inputs: Vec<Vec<(u64, Vec<u8>)>> = parts
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .map(|(h, v)| {
+                        dup_guard += 1;
+                        expected.insert(*v, *h);
+                        (*h, v.to_le_bytes().to_vec())
+                    })
+                    .collect()
+            })
+            .collect();
+        let total_in: usize = inputs.iter().map(Vec::len).sum();
+        let out = exchange(&cluster, inputs, num_out);
+        prop_assert_eq!(out.len(), num_out);
+        let total_out: usize = out.iter().map(Vec::len).sum();
+        prop_assert_eq!(total_out, total_in);
+        for (j, bucket) in out.iter().enumerate() {
+            for item in bucket {
+                let v = u32::from_le_bytes(item[..4].try_into().unwrap());
+                if let Some(h) = expected.get(&v) {
+                    prop_assert_eq!(partition_of(*h, num_out), j, "item in wrong partition");
+                }
+            }
+        }
+    }
+
+    /// partition_of spreads arbitrary u64 hashes into valid range and is a
+    /// pure function.
+    #[test]
+    fn partition_of_pure_and_bounded(h in any::<u64>(), n in 1usize..1000) {
+        let p = partition_of(h, n);
+        prop_assert!(p < n);
+        prop_assert_eq!(p, partition_of(h, n));
+    }
+
+    /// Scheduling always lands tasks on alive workers and honors locality
+    /// when the preferred worker lives.
+    #[test]
+    fn scheduler_respects_liveness(
+        dead in proptest::collection::hash_set(0usize..4, 0..3),
+        prefs in proptest::collection::vec(proptest::option::of(0usize..4), 1..30),
+    ) {
+        let cluster = Cluster::new(ClusterConfig {
+            workers: 4,
+            executors_per_worker: 1,
+            cores_per_executor: 1,
+        });
+        for w in &dead {
+            cluster.kill_worker(*w);
+        }
+        let tasks: Vec<TaskSpec> = prefs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TaskSpec { partition: i, preferred_worker: *p })
+            .collect();
+        let dead2 = Arc::new(dead.clone());
+        let placements = cluster.run_tasks(&tasks, move |tc| (tc.worker, tc.non_local));
+        for (spec, (worker, non_local)) in tasks.iter().zip(&placements) {
+            prop_assert!(!dead2.contains(worker), "task ran on dead worker {worker}");
+            if let Some(p) = spec.preferred_worker {
+                if !dead2.contains(&p) {
+                    prop_assert_eq!(*worker, p, "alive preference ignored");
+                    prop_assert!(!non_local);
+                }
+            }
+        }
+    }
+}
+
+/// Exchange under concurrent metric readers stays consistent.
+#[test]
+fn exchange_metrics_account_rows_and_bytes() {
+    let cluster = Cluster::new(ClusterConfig::test_small());
+    let inputs: Vec<Vec<(u64, Vec<u8>)>> = (0..4)
+        .map(|p| (0..250u64).map(|i| (i * 31 + p, vec![0u8; 10])).collect())
+        .collect();
+    let out = exchange(&cluster, inputs, 8);
+    assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 1000);
+    let m = cluster.metrics().snapshot();
+    assert_eq!(m.shuffle_rows, 1000);
+    assert_eq!(m.shuffle_bytes, 10_000);
+}

@@ -1,0 +1,214 @@
+//! US-Flights-like workload.
+//!
+//! A synthetic analogue of the US DoT on-time dataset the paper evaluates
+//! in §IV-E (Table II, Fig. 15): a wide `flights` fact table (the real one
+//! is 120 GB) and a tiny `planes` dimension (420 KB). Queries Q1–Q7 follow
+//! Table II exactly:
+//!
+//! * Q1 — `flights JOIN planes ON tailNum` (string key);
+//! * Q2 — `SELECT * WHERE tailNum = x` (string point query);
+//! * Q3 — join flights with selected flights (`flightNum < 200`);
+//! * Q4 — join flights with selected flights (`flightNum < 400`);
+//! * Q5/Q6/Q7 — integer point queries with 10 / 100 / 1000 matches.
+//!
+//! Point-query selectivities are controlled by construction: flight
+//! numbers `MATCH10_KEY`, `MATCH100_KEY` and `MATCH1000_KEY` appear
+//! exactly 10/100/1000 times.
+
+use dataframe::{col, lit, Context, DataFrame, PlanError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rowstore::{DataType, Field, Row, Schema, Value};
+use std::sync::Arc;
+
+/// Flight numbers with pinned multiplicities for Q5–Q7.
+pub const MATCH10_KEY: i64 = 900_010;
+pub const MATCH100_KEY: i64 = 900_100;
+pub const MATCH1000_KEY: i64 = 901_000;
+
+#[derive(Debug, Clone, Copy)]
+pub struct FlightsConfig {
+    /// Number of flight rows (excluding the pinned-multiplicity rows).
+    pub flights: u64,
+    /// Number of distinct aircraft (plane table rows).
+    pub planes: u64,
+    pub seed: u64,
+}
+
+impl Default for FlightsConfig {
+    fn default() -> Self {
+        FlightsConfig { flights: 200_000, planes: 2_000, seed: 0xf17 }
+    }
+}
+
+impl FlightsConfig {
+    pub fn scaled(factor: u64) -> FlightsConfig {
+        FlightsConfig { flights: 200_000 * factor.max(1), ..FlightsConfig::default() }
+    }
+}
+
+pub fn flights_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("flightNum", DataType::Int64),
+        Field::new("tailNum", DataType::Utf8),
+        Field::new("year", DataType::Int32),
+        Field::new("month", DataType::Int32),
+        Field::new("day", DataType::Int32),
+        Field::nullable("depDelay", DataType::Float64),
+        Field::nullable("arrDelay", DataType::Float64),
+        Field::new("origin", DataType::Utf8),
+        Field::new("dest", DataType::Utf8),
+        Field::new("distance", DataType::Int64),
+    ])
+}
+
+pub fn planes_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("tailNum", DataType::Utf8),
+        Field::new("manufacturer", DataType::Utf8),
+        Field::new("model", DataType::Utf8),
+        Field::new("plane_year", DataType::Int32),
+    ])
+}
+
+pub struct FlightsData {
+    pub flights: Vec<Row>,
+    pub planes: Vec<Row>,
+    pub config: FlightsConfig,
+}
+
+const AIRPORTS: [&str; 12] =
+    ["JFK", "LAX", "ORD", "ATL", "DFW", "DEN", "SFO", "SEA", "MIA", "BOS", "PHX", "IAH"];
+const MAKERS: [&str; 5] = ["BOEING", "AIRBUS", "EMBRAER", "BOMBARDIER", "CESSNA"];
+
+fn flight_row(rng: &mut StdRng, flight_num: i64, planes: u64) -> Row {
+    let tail = format!("N{:05}", rng.gen_range(0..planes));
+    let dep: f64 = rng.gen_range(-10.0..120.0);
+    vec![
+        Value::Int64(flight_num),
+        Value::Utf8(tail),
+        Value::Int32(rng.gen_range(2015..2023)),
+        Value::Int32(rng.gen_range(1..13)),
+        Value::Int32(rng.gen_range(1..29)),
+        if rng.gen_bool(0.02) { Value::Null } else { Value::Float64(dep) },
+        if rng.gen_bool(0.02) { Value::Null } else { Value::Float64(dep + rng.gen_range(-20.0..20.0)) },
+        Value::Utf8(AIRPORTS[rng.gen_range(0..AIRPORTS.len())].to_string()),
+        Value::Utf8(AIRPORTS[rng.gen_range(0..AIRPORTS.len())].to_string()),
+        Value::Int64(rng.gen_range(100..3000)),
+    ]
+}
+
+pub fn generate(config: FlightsConfig) -> FlightsData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let planes: Vec<Row> = (0..config.planes)
+        .map(|i| {
+            vec![
+                Value::Utf8(format!("N{i:05}")),
+                Value::Utf8(MAKERS[rng.gen_range(0..MAKERS.len())].to_string()),
+                Value::Utf8(format!("M-{}", rng.gen_range(100..999))),
+                Value::Int32(rng.gen_range(1985..2022)),
+            ]
+        })
+        .collect();
+
+    let mut flights: Vec<Row> = Vec::with_capacity(config.flights as usize + 1110);
+    for _ in 0..config.flights {
+        // Regular flight numbers stay below the pinned keys.
+        let num = rng.gen_range(0..10_000);
+        flights.push(flight_row(&mut rng, num, config.planes));
+    }
+    for _ in 0..10 {
+        flights.push(flight_row(&mut rng, MATCH10_KEY, config.planes));
+    }
+    for _ in 0..100 {
+        flights.push(flight_row(&mut rng, MATCH100_KEY, config.planes));
+    }
+    for _ in 0..1000 {
+        flights.push(flight_row(&mut rng, MATCH1000_KEY, config.planes));
+    }
+    FlightsData { flights, planes, config }
+}
+
+/// Build query Q1–Q7 (Table II) against registered tables.
+///
+/// `flights_int` is a registration of the flights table indexed/keyed on
+/// `flightNum` (integer queries Q3–Q7); `flights_str` on `tailNum`
+/// (string queries Q1–Q2). Vanilla runs may pass the same table for both.
+pub fn query(
+    ctx: &Arc<Context>,
+    q: usize,
+    flights_str: &str,
+    flights_int: &str,
+    planes: &str,
+) -> Result<DataFrame, PlanError> {
+    match q {
+        1 => Ok(ctx.table(flights_str)?.join(ctx.table(planes)?, "tailNum", "tailNum")),
+        2 => Ok(ctx.table(flights_str)?.filter(col("tailNum").eq(lit("N00042")))),
+        3 => {
+            let selected = ctx.table(flights_int)?.filter(col("flightNum").lt(lit(200i64)));
+            Ok(ctx.table(flights_int)?.join(selected, "flightNum", "flightNum"))
+        }
+        4 => {
+            let selected = ctx.table(flights_int)?.filter(col("flightNum").lt(lit(400i64)));
+            Ok(ctx.table(flights_int)?.join(selected, "flightNum", "flightNum"))
+        }
+        5 => Ok(ctx.table(flights_int)?.filter(col("flightNum").eq(lit(MATCH10_KEY)))),
+        6 => Ok(ctx.table(flights_int)?.filter(col("flightNum").eq(lit(MATCH100_KEY)))),
+        7 => Ok(ctx.table(flights_int)?.filter(col("flightNum").eq(lit(MATCH1000_KEY)))),
+        other => Err(PlanError::Unsupported(format!("flights Q{other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataframe::ColumnarTable;
+    use sparklet::{Cluster, ClusterConfig};
+
+    fn tiny() -> FlightsData {
+        generate(FlightsConfig { flights: 3_000, planes: 100, seed: 5 })
+    }
+
+    #[test]
+    fn pinned_multiplicities() {
+        let d = tiny();
+        let count = |k: i64| d.flights.iter().filter(|r| r[0] == Value::Int64(k)).count();
+        assert_eq!(count(MATCH10_KEY), 10);
+        assert_eq!(count(MATCH100_KEY), 100);
+        assert_eq!(count(MATCH1000_KEY), 1000);
+    }
+
+    #[test]
+    fn every_tail_number_has_a_plane() {
+        let d = tiny();
+        let tails: std::collections::HashSet<&str> =
+            d.planes.iter().map(|r| r[0].as_str().unwrap()).collect();
+        for f in d.flights.iter().take(300) {
+            assert!(tails.contains(f[1].as_str().unwrap()));
+        }
+    }
+
+    #[test]
+    fn queries_run_and_match_expected_sizes() {
+        let d = tiny();
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        ctx.register_table(
+            "flights",
+            Arc::new(ColumnarTable::from_rows(flights_schema(), d.flights.clone(), 4)),
+        );
+        ctx.register_table(
+            "planes",
+            Arc::new(ColumnarTable::from_rows(planes_schema(), d.planes.clone(), 1)),
+        );
+        let run = |q: usize| {
+            query(&ctx, q, "flights", "flights", "planes").unwrap().count().unwrap()
+        };
+        assert_eq!(run(1), d.flights.len(), "Q1: every flight joins its plane");
+        assert_eq!(run(5), 10);
+        assert_eq!(run(6), 100);
+        assert_eq!(run(7), 1000);
+        // Q3 ⊆ Q4 result sizes (wider selection joins more).
+        assert!(run(3) <= run(4));
+        assert!(query(&ctx, 9, "flights", "flights", "planes").is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Join-scale configurations (Table III of the paper).
+//!
+//! The paper's join experiments probe a 1 B-row indexed build side with
+//! probe relations of 10 K / 100 K / 1 M / 10 M rows (scales S/M/L/XL),
+//! producing 1.5 M – 1 B result rows (≈150 build rows per probed key on
+//! average). This module reproduces the *ratios* at laptop scale: the
+//! build side defaults to 2 M rows and probe sizes keep the paper's
+//! 1:10:100:1000 progression relative to the build size.
+
+use crate::snb::{self, SnbData};
+use rowstore::Row;
+
+/// One probe scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinScale {
+    S,
+    M,
+    L,
+    XL,
+}
+
+impl JoinScale {
+    pub const ALL: [JoinScale; 4] = [JoinScale::S, JoinScale::M, JoinScale::L, JoinScale::XL];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinScale::S => "S",
+            JoinScale::M => "M",
+            JoinScale::L => "L",
+            JoinScale::XL => "XL",
+        }
+    }
+
+    /// Paper probe size at 1 B build rows.
+    pub fn paper_probe_rows(self) -> u64 {
+        match self {
+            JoinScale::S => 10_000,
+            JoinScale::M => 100_000,
+            JoinScale::L => 1_000_000,
+            JoinScale::XL => 10_000_000,
+        }
+    }
+
+    /// Probe size scaled to our build size: the paper's probe:build ratio
+    /// is 1:100_000 for S, growing ×10 per scale.
+    pub fn probe_rows(self, build_rows: u64) -> usize {
+        let ratio = match self {
+            JoinScale::S => 100_000,
+            JoinScale::M => 10_000,
+            JoinScale::L => 1_000,
+            JoinScale::XL => 100,
+        };
+        ((build_rows / ratio).max(1)) as usize
+    }
+}
+
+/// The build-side table plus the four probe relations.
+pub struct JoinWorkload {
+    pub data: SnbData,
+    pub probes: [(JoinScale, Vec<Row>); 4],
+}
+
+/// Generate the Table III workload: the SNB edge table as the (indexed)
+/// build side and sampled probe subsets at the four scales.
+pub fn generate(build_rows: u64, seed: u64) -> JoinWorkload {
+    // avg_degree controls rows-per-key; the paper's S join returns ~150
+    // rows per probed key. Keep ~20 at laptop scale (see DESIGN.md).
+    let avg_degree = 20;
+    let persons = (build_rows / avg_degree).max(1);
+    let data = snb::generate(snb::SnbConfig {
+        persons,
+        avg_degree,
+        theta: 0.8,
+        seed,
+    });
+    let probes = [
+        (JoinScale::S, snb::sample_probe(&data, JoinScale::S.probe_rows(build_rows), seed + 1)),
+        (JoinScale::M, snb::sample_probe(&data, JoinScale::M.probe_rows(build_rows), seed + 2)),
+        (JoinScale::L, snb::sample_probe(&data, JoinScale::L.probe_rows(build_rows), seed + 3)),
+        (JoinScale::XL, snb::sample_probe(&data, JoinScale::XL.probe_rows(build_rows), seed + 4)),
+    ];
+    JoinWorkload { data, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_ratios_follow_table_iii() {
+        // At the paper's 1 B build size the probe sizes are exact.
+        assert_eq!(JoinScale::S.probe_rows(1_000_000_000), 10_000);
+        assert_eq!(JoinScale::M.probe_rows(1_000_000_000), 100_000);
+        assert_eq!(JoinScale::L.probe_rows(1_000_000_000), 1_000_000);
+        assert_eq!(JoinScale::XL.probe_rows(1_000_000_000), 10_000_000);
+    }
+
+    #[test]
+    fn scaled_probes_preserve_progression() {
+        let b = 2_000_000;
+        let sizes: Vec<usize> = JoinScale::ALL.iter().map(|s| s.probe_rows(b)).collect();
+        assert_eq!(sizes, vec![20, 200, 2_000, 20_000]);
+    }
+
+    #[test]
+    fn workload_generates_all_scales() {
+        let w = generate(20_000, 11);
+        assert_eq!(w.data.edges.len(), 20_000);
+        for (scale, probe) in &w.probes {
+            assert_eq!(probe.len(), scale.probe_rows(20_000));
+        }
+    }
+}

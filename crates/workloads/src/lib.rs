@@ -1,0 +1,82 @@
+//! # workloads — synthetic datasets and queries of the paper's evaluation
+//!
+//! Generators and query builders reproducing Table II of *In-Memory
+//! Indexed Caching for Distributed Data Processing* (IPPS 2022):
+//!
+//! * [`snb`] — an LDBC-SNB-like social network (power-law `knows` edges +
+//!   `persons`) with the SQ1–SQ7 short-read analogues (Fig. 13);
+//! * [`tpcds`] — a TPC-DS-like star schema (`store_sales ⋈ date_dim`,
+//!   Fig. 14);
+//! * [`flights`] — a US-Flights-like fact/dimension pair with queries
+//!   Q1–Q7 (Fig. 15);
+//! * [`join_scales`] — the S/M/L/XL probe-size progression of Table III;
+//! * [`zipf`] — the power-law sampler behind the graph generator.
+//!
+//! The real datasets are 33 GB–1 TB; generation is scaled down but keeps
+//! key distributions, schema shapes and query access patterns (see
+//! DESIGN.md "Substitutions").
+
+pub mod flights;
+pub mod join_scales;
+pub mod snb;
+pub mod tpcds;
+pub mod zipf;
+
+pub use join_scales::JoinScale;
+pub use zipf::Zipf;
+
+use dataframe::{ColumnarTable, Context};
+use indexed_df::IndexedDataFrame;
+use rowstore::{Row, Schema};
+use std::sync::Arc;
+
+/// Register `rows` as a vanilla columnar-cached table (the paper's
+/// baseline), partitioned per the cluster's recommendation.
+pub fn register_columnar(
+    ctx: &Arc<Context>,
+    name: &str,
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+) -> Arc<ColumnarTable> {
+    let parts = ctx.cluster().config().default_partitions();
+    let table = Arc::new(ColumnarTable::from_rows(schema, rows, parts));
+    ctx.register_table(name, Arc::clone(&table) as _);
+    table
+}
+
+/// Register `rows` as an Indexed DataFrame on `index_col` and cache it.
+pub fn register_indexed(
+    ctx: &Arc<Context>,
+    name: &str,
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+    index_col: &str,
+) -> IndexedDataFrame {
+    let idf = IndexedDataFrame::from_rows(ctx, schema, rows, index_col)
+        .expect("index column exists");
+    idf.cache_index();
+    idf.register(name).expect("registration succeeds");
+    idf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowstore::{DataType, Field, Value};
+    use sparklet::{Cluster, ClusterConfig};
+
+    #[test]
+    fn register_helpers_roundtrip() {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        let rows: Vec<Row> = (0..100).map(|i| vec![Value::Int64(i % 10)]).collect();
+        register_columnar(&ctx, "plain", Arc::clone(&schema), rows.clone());
+        let idf = register_indexed(&ctx, "indexed", schema, rows, "k");
+        assert!(idf.is_cached());
+        assert_eq!(ctx.sql("SELECT * FROM plain").unwrap().count().unwrap(), 100);
+        assert_eq!(
+            ctx.sql("SELECT * FROM indexed WHERE k = 3").unwrap().count().unwrap(),
+            10
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! TPC-DS-like star-schema workload.
+//!
+//! The paper runs `store_sales JOIN date_dim ON ss_sold_date_sk` across
+//! scale factors 1–1000 (Table II, Fig. 14). We generate the two tables
+//! with the same shape: a large fact table referencing a small, fixed-size
+//! date dimension (TPC-DS's date_dim has ~73 k rows at every scale factor;
+//! store_sales grows with SF).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rowstore::{DataType, Field, Row, Schema, Value};
+use std::sync::Arc;
+
+/// Rows of `store_sales` per unit of scale factor. The real TPC-DS SF-1
+/// has ~2.88 M fact rows; the default here is scaled down 100× to stay
+/// laptop-sized (see DESIGN.md substitutions).
+pub const ROWS_PER_SF: u64 = 28_800;
+
+/// Fixed size of the date dimension (5 years of days, paper-faithful
+/// shape: small build-side dimension).
+pub const DATE_DIM_ROWS: u64 = 1_826;
+
+#[derive(Debug, Clone, Copy)]
+pub struct TpcdsConfig {
+    pub scale_factor: u64,
+    pub seed: u64,
+}
+
+impl TpcdsConfig {
+    pub fn new(scale_factor: u64) -> TpcdsConfig {
+        TpcdsConfig { scale_factor, seed: 0x7dc }
+    }
+
+    pub fn fact_rows(&self) -> u64 {
+        ROWS_PER_SF * self.scale_factor
+    }
+}
+
+pub fn store_sales_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("ss_sold_date_sk", DataType::Int64),
+        Field::new("ss_item_sk", DataType::Int64),
+        Field::new("ss_customer_sk", DataType::Int64),
+        Field::new("ss_quantity", DataType::Int32),
+        Field::new("ss_sales_price", DataType::Float64),
+    ])
+}
+
+pub fn date_dim_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("d_date_sk", DataType::Int64),
+        Field::new("d_year", DataType::Int32),
+        Field::new("d_moy", DataType::Int32),
+        Field::new("d_dom", DataType::Int32),
+    ])
+}
+
+pub struct TpcdsData {
+    pub store_sales: Vec<Row>,
+    pub date_dim: Vec<Row>,
+    pub config: TpcdsConfig,
+}
+
+pub fn generate(config: TpcdsConfig) -> TpcdsData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let date_dim: Vec<Row> = (0..DATE_DIM_ROWS as i64)
+        .map(|sk| {
+            let year = 2018 + (sk / 365) as i32;
+            let doy = (sk % 365) as i32;
+            vec![
+                Value::Int64(sk),
+                Value::Int32(year),
+                Value::Int32(doy / 31 + 1),
+                Value::Int32(doy % 31 + 1),
+            ]
+        })
+        .collect();
+
+    let store_sales: Vec<Row> = (0..config.fact_rows())
+        .map(|_| {
+            vec![
+                Value::Int64(rng.gen_range(0..DATE_DIM_ROWS) as i64),
+                Value::Int64(rng.gen_range(0..200_000)),
+                Value::Int64(rng.gen_range(0..100_000)),
+                Value::Int32(rng.gen_range(1..100)),
+                Value::Float64(rng.gen_range(0.5..500.0)),
+            ]
+        })
+        .collect();
+    TpcdsData { store_sales, date_dim, config }
+}
+
+/// The paper's Fig. 14 join: `store_sales JOIN date_dim ON
+/// ss_sold_date_sk = d_date_sk`, expressed over registered table names.
+pub fn join_query(sales_table: &str, dates_table: &str) -> String {
+    format!(
+        "SELECT * FROM {sales_table} JOIN {dates_table} ON \
+         {sales_table}.ss_sold_date_sk = {dates_table}.d_date_sk"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataframe::{ColumnarTable, Context};
+    use sparklet::{Cluster, ClusterConfig};
+
+    #[test]
+    fn generation_shapes() {
+        let d = generate(TpcdsConfig { scale_factor: 1, seed: 1 });
+        assert_eq!(d.store_sales.len() as u64, ROWS_PER_SF);
+        assert_eq!(d.date_dim.len() as u64, DATE_DIM_ROWS);
+        assert_eq!(d.store_sales[0].len(), store_sales_schema().arity());
+        assert_eq!(d.date_dim[0].len(), date_dim_schema().arity());
+    }
+
+    #[test]
+    fn every_fact_row_has_a_date() {
+        let d = generate(TpcdsConfig { scale_factor: 1, seed: 2 });
+        for r in d.store_sales.iter().take(500) {
+            let sk = r[0].as_i64().unwrap();
+            assert!((0..DATE_DIM_ROWS as i64).contains(&sk));
+        }
+    }
+
+    #[test]
+    fn join_query_runs() {
+        let scaled = TpcdsConfig { scale_factor: 1, seed: 3 };
+        let mut d = generate(scaled);
+        d.store_sales.truncate(2_000); // keep the unit test fast
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        ctx.register_table(
+            "store_sales",
+            std::sync::Arc::new(ColumnarTable::from_rows(
+                store_sales_schema(),
+                d.store_sales.clone(),
+                4,
+            )),
+        );
+        ctx.register_table(
+            "date_dim",
+            std::sync::Arc::new(ColumnarTable::from_rows(date_dim_schema(), d.date_dim, 2)),
+        );
+        let n = ctx
+            .sql(&join_query("store_sales", "date_dim"))
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 2_000, "every fact row joins exactly one date row");
+    }
+}

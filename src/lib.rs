@@ -1,0 +1,7 @@
+//! Re-exports of the workspace crates for integration tests and examples.
+pub use ctrie;
+pub use dataframe;
+pub use indexed_df;
+pub use rowstore;
+pub use sparklet;
+pub use workloads;

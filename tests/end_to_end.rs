@@ -1,0 +1,351 @@
+//! Cross-crate integration tests: SQL → optimizer → indexed rules →
+//! distributed execution, compared against vanilla execution and naive
+//! reference implementations.
+
+use dataframe::{col, lit, AggFunc, ColumnarTable, Context, ExecConfig};
+use indexed_df::IndexedDataFrame;
+use rowstore::{DataType, Field, Row, Schema, Value};
+use sparklet::{Cluster, ClusterConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use workloads::{flights, snb, tpcds};
+
+fn ctx() -> Arc<Context> {
+    Context::new(Cluster::new(ClusterConfig { workers: 2, executors_per_worker: 2, cores_per_executor: 2 }))
+}
+
+fn canon(mut rows: Vec<Row>) -> Vec<String> {
+    let mut out: Vec<String> = rows.drain(..).map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+/// The same query must produce identical results through the vanilla
+/// columnar path and the indexed path, across query shapes.
+#[test]
+fn indexed_and_vanilla_agree_on_snb() {
+    let data = snb::generate(snb::SnbConfig { persons: 500, avg_degree: 10, theta: 0.8, seed: 42 });
+
+    let ctx_v = ctx();
+    workloads::register_columnar(&ctx_v, "persons", snb::person_schema(), data.persons.clone());
+    workloads::register_columnar(&ctx_v, "edges", snb::edge_schema(), data.edges.clone());
+
+    let ctx_i = ctx();
+    workloads::register_indexed(&ctx_i, "persons", snb::person_schema(), data.persons.clone(), "id");
+    workloads::register_indexed(&ctx_i, "edges", snb::edge_schema(), data.edges.clone(), "edge_source");
+
+    let queries = [
+        "SELECT * FROM edges WHERE edge_source = 7",
+        "SELECT edge_dest FROM edges WHERE edge_source = 7",
+        "SELECT * FROM edges WHERE edge_source < 20",
+        "SELECT * FROM edges JOIN persons ON edges.edge_dest = persons.id WHERE edge_source = 3",
+        "SELECT edge_dest, count(*) AS n FROM edges GROUP BY edge_dest",
+        "SELECT * FROM persons WHERE id = 123",
+        "SELECT * FROM edges LIMIT 17",
+    ];
+    for q in queries {
+        let v = ctx_v.sql(q).unwrap().collect().unwrap();
+        let i = ctx_i.sql(q).unwrap().collect().unwrap();
+        if q.contains("LIMIT") {
+            // LIMIT picks arbitrary rows; only the count must agree.
+            assert_eq!(v.len(), i.len(), "row counts for {q}");
+        } else {
+            assert_eq!(canon(v), canon(i), "results diverge for {q}");
+        }
+    }
+}
+
+/// Joins on every physical strategy must agree with a nested-loop
+/// reference.
+#[test]
+fn all_join_strategies_agree_with_reference() {
+    let left_schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("lv", DataType::Int64),
+    ]);
+    let right_schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("rv", DataType::Utf8),
+    ]);
+    let left: Vec<Row> = (0..300).map(|i| vec![Value::Int64(i % 40), Value::Int64(i)]).collect();
+    let right: Vec<Row> =
+        (0..80).map(|i| vec![Value::Int64(i % 50), Value::Utf8(format!("r{i}"))]).collect();
+
+    // Reference.
+    let mut expected = Vec::new();
+    for l in &left {
+        for r in &right {
+            if l[0].sql_eq(&r[0]) {
+                let mut row = l.clone();
+                row.extend(r.clone());
+                expected.push(row);
+            }
+        }
+    }
+
+    // Broadcast (default thresholds), shuffled hash, sort-merge, indexed.
+    let configs = [
+        ("broadcast", ExecConfig::default(), false),
+        (
+            "shuffled",
+            ExecConfig { broadcast_threshold_bytes: 0, ..ExecConfig::default() },
+            false,
+        ),
+        (
+            "sort-merge",
+            ExecConfig {
+                broadcast_threshold_bytes: 0,
+                prefer_sort_merge: true,
+                ..ExecConfig::default()
+            },
+            false,
+        ),
+        ("indexed", ExecConfig::default(), true),
+        (
+            "indexed-shuffle-probe",
+            ExecConfig { broadcast_threshold_bytes: 0, ..ExecConfig::default() },
+            true,
+        ),
+    ];
+    for (name, cfg, indexed) in configs {
+        let ctx = Context::with_config(
+            Cluster::new(ClusterConfig::test_small()),
+            cfg,
+        );
+        if indexed {
+            let idf = IndexedDataFrame::from_rows(&ctx, Arc::clone(&left_schema), left.clone(), "k")
+                .unwrap();
+            idf.register("left").unwrap();
+        } else {
+            ctx.register_table(
+                "left",
+                Arc::new(ColumnarTable::from_rows(Arc::clone(&left_schema), left.clone(), 3)),
+            );
+        }
+        ctx.register_table(
+            "right",
+            Arc::new(ColumnarTable::from_rows(Arc::clone(&right_schema), right.clone(), 2)),
+        );
+        let got = ctx
+            .table("left")
+            .unwrap()
+            .join(ctx.table("right").unwrap(), "k", "k")
+            .collect()
+            .unwrap();
+        assert_eq!(canon(got), canon(expected.clone()), "strategy {name} diverges");
+    }
+}
+
+/// The TPC-DS join returns exactly one dimension row per fact row.
+#[test]
+fn tpcds_join_cardinality() {
+    let mut data = tpcds::generate(tpcds::TpcdsConfig { scale_factor: 1, seed: 5 });
+    data.store_sales.truncate(3_000);
+    let ctx = ctx();
+    workloads::register_indexed(
+        &ctx,
+        "store_sales",
+        tpcds::store_sales_schema(),
+        data.store_sales.clone(),
+        "ss_sold_date_sk",
+    );
+    workloads::register_columnar(&ctx, "date_dim", tpcds::date_dim_schema(), data.date_dim);
+    let n = ctx
+        .sql(&tpcds::join_query("store_sales", "date_dim"))
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(n, 3_000);
+}
+
+/// Flights point queries return exactly the pinned multiplicities through
+/// both engines and the raw get_rows API.
+#[test]
+fn flights_point_query_multiplicities() {
+    let data = flights::generate(flights::FlightsConfig { flights: 5_000, planes: 50, seed: 9 });
+    let ctx = ctx();
+    let idf = IndexedDataFrame::from_rows(
+        &ctx,
+        flights::flights_schema(),
+        data.flights.clone(),
+        "flightNum",
+    )
+    .unwrap();
+    idf.cache_index();
+    idf.register("flights").unwrap();
+
+    for (key, expect) in [
+        (flights::MATCH10_KEY, 10),
+        (flights::MATCH100_KEY, 100),
+        (flights::MATCH1000_KEY, 1000),
+    ] {
+        assert_eq!(idf.get_rows(&Value::Int64(key)).len(), expect);
+        let n = ctx
+            .sql(&format!("SELECT * FROM flights WHERE flightNum = {key}"))
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, expect);
+    }
+}
+
+/// Aggregations over an indexed table agree with a HashMap reference.
+#[test]
+fn aggregation_against_reference() {
+    let schema = Schema::new(vec![
+        Field::new("g", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]);
+    let rows: Vec<Row> =
+        (0..997).map(|i| vec![Value::Int64(i % 13), Value::Int64(i)]).collect();
+    let mut expected: HashMap<i64, (i64, i64)> = HashMap::new(); // g -> (count, sum)
+    for r in &rows {
+        let e = expected.entry(r[0].as_i64().unwrap()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += r[1].as_i64().unwrap();
+    }
+
+    let ctx = ctx();
+    workloads::register_indexed(&ctx, "t", schema, rows, "g");
+    let got = ctx
+        .table("t")
+        .unwrap()
+        .group_by(&["g"])
+        .agg(vec![
+            (AggFunc::Count, None, "n"),
+            (AggFunc::Sum, Some("v"), "s"),
+        ])
+        .collect()
+        .unwrap();
+    assert_eq!(got.len(), expected.len());
+    for r in got {
+        let g = r[0].as_i64().unwrap();
+        let (n, s) = expected[&g];
+        assert_eq!(r[1], Value::Int64(n), "count for group {g}");
+        assert_eq!(r[2], Value::Int64(s), "sum for group {g}");
+    }
+}
+
+/// A full workflow: create index → query → append → query old and new →
+/// kill a worker → query again (recovery) — everything stays consistent.
+#[test]
+fn lifecycle_with_failure() {
+    let cluster = Cluster::new(ClusterConfig { workers: 3, executors_per_worker: 1, cores_per_executor: 2 });
+    let ctx = Context::new(Arc::clone(&cluster));
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]);
+    let rows: Vec<Row> = (0..3_000).map(|i| vec![Value::Int64(i % 100), Value::Int64(i)]).collect();
+    let v1 = IndexedDataFrame::from_rows(&ctx, schema, rows, "k").unwrap();
+    v1.cache_index();
+    assert_eq!(v1.get_rows(&Value::Int64(5)).len(), 30);
+
+    let v2 = v1.append_rows(vec![vec![Value::Int64(5), Value::Int64(-1)]]);
+    v2.cache_index();
+    assert_eq!(v2.get_rows(&Value::Int64(5)).len(), 31);
+    assert_eq!(v1.get_rows(&Value::Int64(5)).len(), 30, "old version intact");
+
+    cluster.kill_worker(0);
+    assert_eq!(v2.get_rows(&Value::Int64(5)).len(), 31, "recovered after failure");
+    for k in 0..100 {
+        let expect = if k == 5 { 31 } else { 30 };
+        assert_eq!(v2.get_rows(&Value::Int64(k)).len(), expect, "key {k} after recovery");
+    }
+
+    cluster.restart_worker(0);
+    let v3 = v2.append_rows(vec![vec![Value::Int64(5), Value::Int64(-2)]]);
+    assert_eq!(v3.get_rows(&Value::Int64(5)).len(), 32, "append after recovery");
+}
+
+/// Data skew: one heavy key must not break hash-partitioned execution.
+#[test]
+fn skewed_keys() {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]);
+    let mut rows: Vec<Row> = (0..2_000).map(|_| vec![Value::Int64(7), Value::Int64(0)]).collect();
+    rows.extend((0..100).map(|i| vec![Value::Int64(i), Value::Int64(1)]));
+    let ctx = ctx();
+    let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "k").unwrap();
+    idf.cache_index();
+    assert_eq!(idf.get_rows(&Value::Int64(7)).len(), 2_001);
+    idf.register("t").unwrap();
+    assert_eq!(
+        ctx.sql("SELECT * FROM t WHERE k = 7").unwrap().count().unwrap(),
+        2_001
+    );
+}
+
+/// Null join keys never match (inner equi-join semantics) in either engine.
+#[test]
+fn null_keys_never_join() {
+    let schema = Schema::new(vec![
+        Field::nullable("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]);
+    let rows: Vec<Row> = vec![
+        vec![Value::Int64(1), Value::Int64(10)],
+        vec![Value::Null, Value::Int64(20)],
+        vec![Value::Int64(2), Value::Int64(30)],
+    ];
+    let ctx = ctx();
+    workloads::register_indexed(&ctx, "l", Arc::clone(&schema), rows.clone(), "k");
+    workloads::register_columnar(&ctx, "r", schema, rows);
+    let joined = ctx
+        .table("l")
+        .unwrap()
+        .join(ctx.table("r").unwrap(), "k", "k")
+        .collect()
+        .unwrap();
+    assert_eq!(joined.len(), 2, "null keys excluded");
+}
+
+/// Empty tables flow through every operator without panicking.
+#[test]
+fn empty_tables() {
+    let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+    let ctx = ctx();
+    workloads::register_indexed(&ctx, "empty", Arc::clone(&schema), Vec::new(), "k");
+    workloads::register_columnar(&ctx, "also_empty", schema, Vec::new());
+    assert_eq!(ctx.sql("SELECT * FROM empty").unwrap().count().unwrap(), 0);
+    assert_eq!(
+        ctx.sql("SELECT * FROM empty WHERE k = 1").unwrap().count().unwrap(),
+        0
+    );
+    assert_eq!(
+        ctx.table("empty")
+            .unwrap()
+            .join(ctx.table("also_empty").unwrap(), "k", "k")
+            .count()
+            .unwrap(),
+        0
+    );
+    assert_eq!(
+        ctx.table("empty").unwrap().group_by(&["k"]).count().count().unwrap(),
+        0
+    );
+}
+
+/// The DataFrame API and SQL produce identical results for the same query.
+#[test]
+fn api_and_sql_equivalence() {
+    let data = snb::generate(snb::SnbConfig { persons: 300, avg_degree: 8, theta: 0.7, seed: 3 });
+    let ctx = ctx();
+    workloads::register_indexed(&ctx, "edges", snb::edge_schema(), data.edges, "edge_source");
+
+    let via_sql = ctx
+        .sql("SELECT edge_dest FROM edges WHERE edge_source = 11")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let via_api = ctx
+        .table("edges")
+        .unwrap()
+        .filter(col("edge_source").eq(lit(11i64)))
+        .select(&["edge_dest"])
+        .collect()
+        .unwrap();
+    assert_eq!(canon(via_sql), canon(via_api));
+}

@@ -1,0 +1,262 @@
+//! Property-based tests over the core data structures and engine
+//! invariants, using proptest.
+
+use dataframe::Context;
+use indexed_df::IndexedDataFrame;
+use proptest::prelude::*;
+use rowstore::{codec, DataType, Field, PackedPtr, PartitionStore, Row, Schema, StoreConfig, Value};
+use sparklet::{Cluster, ClusterConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// Ctrie vs HashMap model
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u16, u32),
+    Remove(u16),
+    Lookup(u16),
+    Snapshot,
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| MapOp::Insert(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| MapOp::Remove(k % 512)),
+        3 => any::<u16>().prop_map(|k| MapOp::Lookup(k % 512)),
+        1 => Just(MapOp::Snapshot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The ctrie behaves exactly like a HashMap under any op sequence, and
+    /// snapshots freeze the state at their creation point.
+    #[test]
+    fn ctrie_matches_hashmap_model(ops in proptest::collection::vec(map_op(), 1..400)) {
+        let trie: ctrie::Ctrie<u16, u32> = ctrie::Ctrie::new();
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        let mut snapshots: Vec<(ctrie::Ctrie<u16, u32>, HashMap<u16, u32>)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(trie.insert(*k, *v), model.insert(*k, *v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(trie.remove(k), model.remove(k));
+                }
+                MapOp::Lookup(k) => {
+                    prop_assert_eq!(trie.lookup(k), model.get(k).copied());
+                }
+                MapOp::Snapshot => {
+                    if snapshots.len() < 4 {
+                        snapshots.push((trie.snapshot(), model.clone()));
+                    }
+                }
+            }
+        }
+        // Final state equivalence.
+        prop_assert_eq!(trie.len(), model.len());
+        let mut seen = HashMap::new();
+        trie.for_each(|k, v| { seen.insert(*k, *v); });
+        prop_assert_eq!(&seen, &model);
+
+        // Every snapshot still reflects the state at its creation.
+        for (snap, frozen) in &snapshots {
+            prop_assert_eq!(snap.len(), frozen.len());
+            let mut got = HashMap::new();
+            snap.for_each(|k, v| { got.insert(*k, *v); });
+            prop_assert_eq!(&got, frozen);
+        }
+    }
+
+    /// Writable snapshots never leak writes back to the parent.
+    #[test]
+    fn ctrie_snapshot_isolation(
+        base in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..100),
+        extra in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..100),
+    ) {
+        let trie = ctrie::Ctrie::new();
+        let mut model = HashMap::new();
+        for (k, v) in &base {
+            trie.insert(*k, *v);
+            model.insert(*k, *v);
+        }
+        let snap = trie.snapshot();
+        for (k, v) in &extra {
+            snap.insert(k.wrapping_add(1000), *v);
+        }
+        // Parent unchanged.
+        let mut got = HashMap::new();
+        trie.for_each(|k, v| { got.insert(*k, *v); });
+        prop_assert_eq!(got, model);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Row codec
+// ----------------------------------------------------------------------
+
+fn arb_value(dtype: DataType, nullable: bool) -> BoxedStrategy<Value> {
+    let base: BoxedStrategy<Value> = match dtype {
+        DataType::Int32 => any::<i32>().prop_map(Value::Int32).boxed(),
+        DataType::Int64 => any::<i64>().prop_map(Value::Int64).boxed(),
+        DataType::Float64 => any::<f64>().prop_filter("no NaN", |f| !f.is_nan()).prop_map(Value::Float64).boxed(),
+        DataType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        DataType::Utf8 => "[a-zA-Z0-9 é日]{0,40}".prop_map(Value::Utf8).boxed(),
+    };
+    if nullable {
+        prop_oneof![1 => Just(Value::Null), 5 => base].boxed()
+    } else {
+        base
+    }
+}
+
+fn arb_schema_and_rows() -> impl Strategy<Value = (Arc<Schema>, Vec<Row>)> {
+    let field = prop_oneof![
+        Just(DataType::Int32),
+        Just(DataType::Int64),
+        Just(DataType::Float64),
+        Just(DataType::Bool),
+        Just(DataType::Utf8),
+    ];
+    proptest::collection::vec((field, any::<bool>()), 1..8).prop_flat_map(|fields| {
+        let schema = Schema::new(
+            fields
+                .iter()
+                .enumerate()
+                .map(|(i, (dt, nullable))| Field {
+                    name: format!("c{i}"),
+                    dtype: *dt,
+                    nullable: *nullable,
+                })
+                .collect(),
+        );
+        let row_strategy: Vec<BoxedStrategy<Value>> =
+            fields.iter().map(|(dt, n)| arb_value(*dt, *n)).collect();
+        let schema2 = Arc::clone(&schema);
+        proptest::collection::vec(row_strategy, 0..20)
+            .prop_map(move |rows| (Arc::clone(&schema2), rows))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// encode → decode is the identity for arbitrary schemas and rows.
+    #[test]
+    fn codec_roundtrip((schema, rows) in arb_schema_and_rows()) {
+        let mut buf = Vec::new();
+        let mut offsets = vec![0usize];
+        for r in &rows {
+            codec::encode_row(&schema, r, &mut buf).unwrap();
+            offsets.push(buf.len());
+        }
+        for (i, r) in rows.iter().enumerate() {
+            let bytes = &buf[offsets[i]..offsets[i + 1]];
+            let decoded = codec::decode_row(&schema, bytes).unwrap();
+            prop_assert_eq!(&decoded, r);
+            // Column-at-a-time access agrees with full decode.
+            for (c, cell) in r.iter().enumerate() {
+                prop_assert_eq!(&codec::decode_column(&schema, bytes, c).unwrap(), cell);
+            }
+        }
+    }
+
+    /// The partition store preserves rows and backward chains for any
+    /// insertion sequence.
+    #[test]
+    fn partition_store_chains(keys in proptest::collection::vec(0i64..20, 1..200)) {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("seq", DataType::Int64),
+        ]);
+        let mut store = PartitionStore::new(schema, StoreConfig {
+            batch_size: 1024, // tiny batches to force spills
+            max_row_size: 128,
+            initial_batch_size: 256,
+        });
+        let mut heads: HashMap<i64, PackedPtr> = HashMap::new();
+        let mut model: HashMap<i64, Vec<i64>> = HashMap::new();
+        for (seq, k) in keys.iter().enumerate() {
+            let prev = heads.get(k).copied().unwrap_or(PackedPtr::NONE);
+            let ptr = store
+                .append_row(&[Value::Int64(*k), Value::Int64(seq as i64)], prev)
+                .unwrap();
+            heads.insert(*k, ptr);
+            model.entry(*k).or_default().push(seq as i64);
+        }
+        for (k, head) in &heads {
+            let chain = store.get_chain(*head);
+            let mut expect = model[k].clone();
+            expect.reverse(); // newest first
+            let got: Vec<i64> = chain.iter().map(|r| r[1].as_i64().unwrap()).collect();
+            prop_assert_eq!(got, expect, "chain for key {}", k);
+        }
+        prop_assert_eq!(store.row_count() as usize, keys.len());
+    }
+
+    /// Point lookups on an IndexedDataFrame equal a linear-scan reference,
+    /// for arbitrary key multisets.
+    #[test]
+    fn indexed_lookup_equals_scan(keys in proptest::collection::vec(0i64..50, 1..150)) {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("seq", DataType::Int64),
+        ]);
+        let rows: Vec<Row> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| vec![Value::Int64(*k), Value::Int64(i as i64)])
+            .collect();
+        let ctx = Context::new(Cluster::new(ClusterConfig {
+            workers: 2,
+            executors_per_worker: 1,
+            cores_per_executor: 1,
+        }));
+        let idf = IndexedDataFrame::from_rows(&ctx, schema, rows.clone(), "k").unwrap();
+        idf.cache_index();
+        for probe in 0..50i64 {
+            let mut got: Vec<i64> = idf
+                .get_rows(&Value::Int64(probe))
+                .iter()
+                .map(|r| r[1].as_i64().unwrap())
+                .collect();
+            got.sort_unstable();
+            let mut expect: Vec<i64> = rows
+                .iter()
+                .filter(|r| r[0] == Value::Int64(probe))
+                .map(|r| r[1].as_i64().unwrap())
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "key {}", probe);
+        }
+    }
+
+    /// MVCC: arbitrary append sequences preserve every version's view.
+    #[test]
+    fn mvcc_append_chain_views(
+        batches in proptest::collection::vec(proptest::collection::vec(0i64..10, 1..10), 1..6)
+    ) {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let base: Vec<Row> = (0..20).map(|i| vec![Value::Int64(i % 10)]).collect();
+        let mut versions =
+            vec![IndexedDataFrame::from_rows(&ctx, schema, base.clone(), "k").unwrap()];
+        let mut counts = vec![base.len()];
+        for batch in &batches {
+            let rows: Vec<Row> = batch.iter().map(|k| vec![Value::Int64(*k)]).collect();
+            let next = versions.last().unwrap().append_rows(rows);
+            counts.push(counts.last().unwrap() + batch.len());
+            versions.push(next);
+        }
+        // Materialize newest first (reverse order, as in Listing 2).
+        for (v, expect) in versions.iter().zip(&counts).rev() {
+            prop_assert_eq!(v.collect().len(), *expect);
+        }
+    }
+}
