@@ -10,7 +10,14 @@ use workloads::snb;
 
 fn delta(n: usize) -> Vec<Row> {
     (0..n as i64)
-        .map(|i| vec![Value::Int64(i % 1000), Value::Int64(i), Value::Int64(0), Value::Float64(0.5)])
+        .map(|i| {
+            vec![
+                Value::Int64(i % 1000),
+                Value::Int64(i),
+                Value::Int64(0),
+                Value::Float64(0.5),
+            ]
+        })
         .collect()
 }
 
@@ -21,7 +28,7 @@ fn bench_append(c: &mut Criterion) {
     let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
     let base = IndexedDataFrame::from_rows(&ctx, snb::edge_schema(), delta(100_000), "edge_source")
         .unwrap();
-    base.cache_index();
+    base.cache_index().unwrap();
 
     for n in [1_000usize, 10_000] {
         let rows = delta(n);
@@ -30,7 +37,7 @@ fn bench_append(c: &mut Criterion) {
                 || rows.clone(),
                 |rows| {
                     let v2 = base.append_rows(rows);
-                    v2.cache_index();
+                    v2.cache_index().unwrap();
                     black_box(v2)
                 },
                 BatchSize::LargeInput,

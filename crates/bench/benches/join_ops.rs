@@ -15,7 +15,13 @@ fn bench_joins(c: &mut Criterion) {
 
     // Indexed.
     let ctx_i = Context::new(Cluster::new(ClusterConfig::test_small()));
-    register_indexed(&ctx_i, "edges", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+    register_indexed(
+        &ctx_i,
+        "edges",
+        snb::edge_schema(),
+        w.data.edges.clone(),
+        "edge_source",
+    );
     register_columnar(&ctx_i, "probe", snb::probe_schema(), probe_rows.clone());
     g.bench_function("indexed", |b| {
         b.iter(|| {
@@ -50,7 +56,10 @@ fn bench_joins(c: &mut Criterion) {
     // Vanilla shuffled-hash (forced by zero threshold).
     let ctx_s = Context::with_config(
         Cluster::new(ClusterConfig::test_small()),
-        ExecConfig { broadcast_threshold_bytes: 0, ..ExecConfig::default() },
+        ExecConfig {
+            broadcast_threshold_bytes: 0,
+            ..ExecConfig::default()
+        },
     );
     register_columnar(&ctx_s, "edges", snb::edge_schema(), w.data.edges.clone());
     register_columnar(&ctx_s, "probe", snb::probe_schema(), probe_rows.clone());

@@ -15,12 +15,19 @@ fn schema() -> Arc<Schema> {
 }
 
 fn row(k: i64) -> Vec<Value> {
-    vec![Value::Int64(k), Value::Int64(k * 3), Value::Float64(k as f64), Value::Utf8("payload".into())]
+    vec![
+        Value::Int64(k),
+        Value::Int64(k * 3),
+        Value::Float64(k as f64),
+        Value::Utf8("payload".into()),
+    ]
 }
 
 fn filled(n: i64) -> (PartitionStore, Vec<PackedPtr>) {
     let mut s = PartitionStore::new(schema(), StoreConfig::default());
-    let ptrs = (0..n).map(|i| s.append_row(&row(i), PackedPtr::NONE).unwrap()).collect();
+    let ptrs = (0..n)
+        .map(|i| s.append_row(&row(i), PackedPtr::NONE).unwrap())
+        .collect();
     (s, ptrs)
 }
 
@@ -56,7 +63,9 @@ fn bench_rowstore(c: &mut Criterion) {
     for i in 0..100 {
         head = chained.append_row(&row(i), head).unwrap();
     }
-    g.bench_function("chain_traverse_100", |b| b.iter(|| black_box(chained.get_chain(head))));
+    g.bench_function("chain_traverse_100", |b| {
+        b.iter(|| black_box(chained.get_chain(head)))
+    });
 
     g.bench_function("snapshot_100k", |b| b.iter(|| black_box(s.snapshot())));
 

@@ -9,7 +9,12 @@ use std::sync::Arc;
 use workloads::{join_scales, register_columnar, register_indexed, snb};
 
 fn cluster() -> Arc<Cluster> {
-    Cluster::new(ClusterConfig { workers: 4, executors_per_worker: 2, cores_per_executor: 2 })
+    Cluster::new(ClusterConfig {
+        workers: 4,
+        executors_per_worker: 2,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+    })
 }
 
 /// Row-wise vs columnar representation (§III-C footnote 2: "this could
@@ -23,8 +28,19 @@ pub fn ablate_layout(opts: &Opts) {
     let w = join_scales::generate(build, 0xa1);
     let probe_key = w.probes[0].1[0][0].clone();
     let ctx = Context::new(cluster());
-    register_columnar(&ctx, "edges_plain", snb::edge_schema(), w.data.edges.clone());
-    register_indexed(&ctx, "edges_row", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+    register_columnar(
+        &ctx,
+        "edges_plain",
+        snb::edge_schema(),
+        w.data.edges.clone(),
+    );
+    register_indexed(
+        &ctx,
+        "edges_row",
+        snb::edge_schema(),
+        w.data.edges.clone(),
+        "edge_source",
+    );
     let columnar_indexed = indexed_df::ColumnarIndexedTable::from_rows(
         &ctx,
         snb::edge_schema(),
@@ -42,7 +58,11 @@ pub fn ablate_layout(opts: &Opts) {
         ("indexed-columnar", "edges_colidx"),
     ] {
         let proj = Stats::of(&time_reps(opts.reps, || {
-            ctx.table(table).unwrap().select(&["weight"]).count().unwrap();
+            ctx.table(table)
+                .unwrap()
+                .select(&["weight"])
+                .count()
+                .unwrap();
         }));
         let key = probe_key.clone();
         let point = Stats::of(&time_reps(opts.reps, || {
@@ -52,10 +72,18 @@ pub fn ablate_layout(opts: &Opts) {
                 .count()
                 .unwrap();
         }));
-        println!("{layout:<17} {:>13.2}  {:>15.3}", proj.mean_ms, point.mean_ms);
+        println!(
+            "{layout:<17} {:>13.2}  {:>15.3}",
+            proj.mean_ms, point.mean_ms
+        );
         csv.push(format!("{layout},{:.3},{:.3}", proj.mean_ms, point.mean_ms));
     }
-    write_csv(opts, "ablate_layout.csv", "layout,projection_ms,point_lookup_ms", &csv);
+    write_csv(
+        opts,
+        "ablate_layout.csv",
+        "layout,projection_ms,point_lookup_ms",
+        &csv,
+    );
     println!("expected: columnar layouts win projections; indexed layouts win lookups;");
     println!("indexed-columnar gets both but gives up MVCC appends (build-once)");
 }
@@ -72,14 +100,27 @@ pub fn ablate_broadcast(opts: &Opts) {
     for (mode, threshold) in [("broadcast", usize::MAX), ("shuffle", 0)] {
         let ctx = Context::with_config(
             cluster(),
-            ExecConfig { broadcast_threshold_bytes: threshold, ..ExecConfig::default() },
+            ExecConfig {
+                broadcast_threshold_bytes: threshold,
+                ..ExecConfig::default()
+            },
         );
-        register_indexed(&ctx, "edges", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+        register_indexed(
+            &ctx,
+            "edges",
+            snb::edge_schema(),
+            w.data.edges.clone(),
+            "edge_source",
+        );
         register_columnar(&ctx, "probe", snb::probe_schema(), probe_rows.clone());
         let edges_df = ctx.table("edges").unwrap();
         let probe = ctx.table("probe").unwrap();
         let s = Stats::of(&time_reps(opts.reps, || {
-            edges_df.clone().join(probe.clone(), "edge_source", "edge_source").count().unwrap();
+            edges_df
+                .clone()
+                .join(probe.clone(), "edge_source", "edge_source")
+                .count()
+                .unwrap();
         }));
         println!("{mode:>9}: {:.1} ms", s.mean_ms);
         csv.push(format!("{mode},{:.3}", s.mean_ms));
@@ -95,19 +136,31 @@ pub fn ablate_mvcc(opts: &Opts) {
     banner("Ablation — append via O(1) snapshot (MVCC) vs full copy-on-write");
     let base_rows = 100_000 * opts.scale;
     let w = join_scales::generate(base_rows, 0xa3);
-    let delta: Vec<rowstore::Row> =
-        (0..1_000).map(|i| vec![Value::Int64(i), Value::Int64(i), Value::Int64(0), Value::Float64(0.0)]).collect();
+    let delta: Vec<rowstore::Row> = (0..1_000)
+        .map(|i| {
+            vec![
+                Value::Int64(i),
+                Value::Int64(i),
+                Value::Int64(0),
+                Value::Float64(0.0),
+            ]
+        })
+        .collect();
 
     let ctx = Context::new(cluster());
-    let idf =
-        IndexedDataFrame::from_rows(&ctx, snb::edge_schema(), w.data.edges.clone(), "edge_source")
-            .unwrap();
-    idf.cache_index();
+    let idf = IndexedDataFrame::from_rows(
+        &ctx,
+        snb::edge_schema(),
+        w.data.edges.clone(),
+        "edge_source",
+    )
+    .unwrap();
+    idf.cache_index().unwrap();
 
     // MVCC append: snapshot + delta shuffle + delta insert.
     let s_mvcc = Stats::of(&time_reps(opts.reps, || {
         let v2 = idf.append_rows(delta.clone());
-        v2.cache_index();
+        v2.cache_index().unwrap();
     }));
 
     // Copy-on-write: rebuild the whole table including the delta.
@@ -117,17 +170,26 @@ pub fn ablate_mvcc(opts: &Opts) {
         let copy =
             IndexedDataFrame::from_rows(&ctx, snb::edge_schema(), full.clone(), "edge_source")
                 .unwrap();
-        copy.cache_index();
+        copy.cache_index().unwrap();
     }));
 
-    println!("MVCC snapshot append (1K rows onto {base_rows}): {:.1} ms", s_mvcc.mean_ms);
-    println!("full copy-on-write append:                      {:.1} ms", s_cow.mean_ms);
+    println!(
+        "MVCC snapshot append (1K rows onto {base_rows}): {:.1} ms",
+        s_mvcc.mean_ms
+    );
+    println!(
+        "full copy-on-write append:                      {:.1} ms",
+        s_cow.mean_ms
+    );
     println!("snapshot advantage: {:.1}x", s_cow.mean_ms / s_mvcc.mean_ms);
     write_csv(
         opts,
         "ablate_mvcc.csv",
         "mode,mean_ms",
-        &[format!("mvcc,{:.3}", s_mvcc.mean_ms), format!("cow,{:.3}", s_cow.mean_ms)],
+        &[
+            format!("mvcc,{:.3}", s_mvcc.mean_ms),
+            format!("cow,{:.3}", s_cow.mean_ms),
+        ],
     );
 }
 
@@ -139,15 +201,19 @@ pub fn ablate_partitioning(opts: &Opts) {
     let build = 200_000 * opts.scale;
     let w = join_scales::generate(build, 0xa4);
     let ctx = Context::new(cluster());
-    let idf =
-        IndexedDataFrame::from_rows(&ctx, snb::edge_schema(), w.data.edges.clone(), "edge_source")
-            .unwrap();
-    idf.cache_index();
+    let idf = IndexedDataFrame::from_rows(
+        &ctx,
+        snb::edge_schema(),
+        w.data.edges.clone(),
+        "edge_source",
+    )
+    .unwrap();
+    idf.cache_index().unwrap();
     let keys: Vec<i64> = (0..100).map(|i| i * 37).collect();
 
     let s_routed = Stats::of(&time_reps(opts.reps, || {
         for k in &keys {
-            let _ = idf.get_rows(&Value::Int64(*k));
+            let _ = idf.get_rows(&Value::Int64(*k)).unwrap();
         }
     }));
     let s_all = Stats::of(&time_reps(opts.reps, || {
@@ -158,12 +224,21 @@ pub fn ablate_partitioning(opts: &Opts) {
             }
         }
     }));
-    println!("hash-routed (1 partition):  {:.2} ms / 100 lookups", s_routed.mean_ms);
-    println!("probe all partitions:       {:.2} ms / 100 lookups", s_all.mean_ms);
+    println!(
+        "hash-routed (1 partition):  {:.2} ms / 100 lookups",
+        s_routed.mean_ms
+    );
+    println!(
+        "probe all partitions:       {:.2} ms / 100 lookups",
+        s_all.mean_ms
+    );
     write_csv(
         opts,
         "ablate_partitioning.csv",
         "mode,mean_ms",
-        &[format!("routed,{:.3}", s_routed.mean_ms), format!("all,{:.3}", s_all.mean_ms)],
+        &[
+            format!("routed,{:.3}", s_routed.mean_ms),
+            format!("all,{:.3}", s_all.mean_ms),
+        ],
     );
 }

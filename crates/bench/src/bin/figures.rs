@@ -30,16 +30,24 @@ fn parse_opts(args: &[String]) -> Opts {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                opts.scale = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                opts.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--reps" => {
-                opts.reps = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                opts.reps = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--workers" => {
-                opts.workers =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                opts.workers = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--out" => {
@@ -82,9 +90,26 @@ fn run(name: &str, opts: &Opts) {
 }
 
 const ALL: &[&str] = &[
-    "tab1", "tab2", "table3", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-layout", "ablate-broadcast",
-    "ablate-mvcc", "ablate-partitioning",
+    "tab1",
+    "tab2",
+    "table3",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablate-layout",
+    "ablate-broadcast",
+    "ablate-mvcc",
+    "ablate-partitioning",
 ];
 
 const QUICK: &[&str] = &["tab1", "tab2", "table3", "fig7", "fig8", "fig11"];
@@ -108,7 +133,9 @@ fn run_suite_isolated(names: &[&str], flags: &[String]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(experiment) = args.first() else { usage() };
+    let Some(experiment) = args.first() else {
+        usage()
+    };
     let flags: Vec<String> = args[1..].to_vec();
     let opts = parse_opts(&flags);
     let started = std::time::Instant::now();

@@ -18,6 +18,7 @@ fn cluster_ctx(workers: usize) -> Arc<Context> {
         workers,
         executors_per_worker: 2,
         cores_per_executor: 2,
+        max_task_attempts: 4,
     }))
 }
 
@@ -62,7 +63,11 @@ pub fn fig1(opts: &Opts) {
         for q in 1..=5 {
             let before = ctx.cluster().metrics().snapshot();
             let (dur, n) = time_once(|| {
-                edges_df.clone().join(probe.clone(), "edge_source", "edge_source").count().unwrap()
+                edges_df
+                    .clone()
+                    .join(probe.clone(), "edge_source", "edge_source")
+                    .count()
+                    .unwrap()
             });
             let d = ctx.cluster().metrics().snapshot().delta_since(&before);
             let (total, build_ms, shuffle_ms, probe_ms, bcast) = (
@@ -103,7 +108,13 @@ pub fn table3(opts: &Opts) {
     let build = BUILD_ROWS * opts.scale;
     let w = join_scales::generate(build, 0x7ab);
     let ctx = cluster_ctx(opts.workers_or(4));
-    register_indexed(&ctx, "edges", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+    register_indexed(
+        &ctx,
+        "edges",
+        snb::edge_schema(),
+        w.data.edges.clone(),
+        "edge_source",
+    );
     let edges_df = ctx.table("edges").unwrap();
 
     println!("scale  probe_rows  build_rows  result_rows  paper_probe  paper_result");
@@ -111,7 +122,11 @@ pub fn table3(opts: &Opts) {
     let mut csv = Vec::new();
     for (i, (scale, probe_rows)) in w.probes.iter().enumerate() {
         let probe = register_probe(&ctx, &format!("probe_{}", scale.name()), probe_rows.clone());
-        let n = edges_df.clone().join(probe, "edge_source", "edge_source").count().unwrap();
+        let n = edges_df
+            .clone()
+            .join(probe, "edge_source", "edge_source")
+            .count()
+            .unwrap();
         println!(
             "{:>5}  {:>10}  {:>10}  {:>11}  {:>11}  {:>12}",
             scale.name(),
@@ -121,9 +136,20 @@ pub fn table3(opts: &Opts) {
             scale.paper_probe_rows(),
             paper_results[i]
         );
-        csv.push(format!("{},{},{},{}", scale.name(), probe_rows.len(), build, n));
+        csv.push(format!(
+            "{},{},{},{}",
+            scale.name(),
+            probe_rows.len(),
+            build,
+            n
+        ));
     }
-    write_csv(opts, "table3.csv", "scale,probe_rows,build_rows,result_rows", &csv);
+    write_csv(
+        opts,
+        "table3.csv",
+        "scale,probe_rows,build_rows,result_rows",
+        &csv,
+    );
 }
 
 // ----------------------------------------------------------------------
@@ -146,21 +172,40 @@ pub fn fig4(opts: &Opts) {
             workers: 1,
             executors_per_worker: execs,
             cores_per_executor: cores,
+            max_task_attempts: 4,
         }));
-        register_indexed(&ctx, "edges", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+        register_indexed(
+            &ctx,
+            "edges",
+            snb::edge_schema(),
+            w.data.edges.clone(),
+            "edge_source",
+        );
         let probe = register_probe(&ctx, "probe", xl_probe.clone());
         let edges_df = ctx.table("edges").unwrap();
         let samples = time_reps(opts.reps, || {
-            edges_df.clone().join(probe.clone(), "edge_source", "edge_source").count().unwrap();
+            edges_df
+                .clone()
+                .join(probe.clone(), "edge_source", "edge_source")
+                .count()
+                .unwrap();
         });
         let s = Stats::of(&samples);
         println!(
             "{execs:>9}  {cores:>14}  {:7.1}  {:6.1}  {:6.1}  {:6.1}",
             s.mean_ms, s.std_ms, s.min_ms, s.max_ms
         );
-        csv.push(format!("{execs},{cores},{:.3},{:.3},{:.3},{:.3}", s.mean_ms, s.std_ms, s.min_ms, s.max_ms));
+        csv.push(format!(
+            "{execs},{cores},{:.3},{:.3},{:.3},{:.3}",
+            s.mean_ms, s.std_ms, s.min_ms, s.max_ms
+        ));
     }
-    write_csv(opts, "fig4.csv", "executors,cores,mean_ms,std_ms,min_ms,max_ms", &csv);
+    write_csv(
+        opts,
+        "fig4.csv",
+        "executors,cores,mean_ms,std_ms,min_ms,max_ms",
+        &csv,
+    );
 }
 
 // ----------------------------------------------------------------------
@@ -197,7 +242,7 @@ pub fn fig5(opts: &Opts) {
                     .store_config(StoreConfig::fixed_batch(*bs))
                     .build()
                     .unwrap();
-                idf.cache_index();
+                idf.cache_index().unwrap();
                 idf
             });
             write_samples.push(d);
@@ -208,13 +253,23 @@ pub fn fig5(opts: &Opts) {
         let probe = register_probe(&ctx, "probe", xl_probe.clone());
         let edges_df = ctx.table("edges").unwrap();
         let read_samples = time_reps(opts.reps, || {
-            edges_df.clone().join(probe.clone(), "edge_source", "edge_source").count().unwrap();
+            edges_df
+                .clone()
+                .join(probe.clone(), "edge_source", "edge_source")
+                .count()
+                .unwrap();
         });
-        results.push((*label, Stats::of(&read_samples).mean_ms, Stats::of(&write_samples).mean_ms));
+        results.push((
+            *label,
+            Stats::of(&read_samples).mean_ms,
+            Stats::of(&write_samples).mean_ms,
+        ));
     }
 
     let (read_base, write_base) = (results[0].1, results[0].2);
-    println!("batch    read_ms  write_ms  read_norm  write_norm   (norm: 4KB = 1.0, lower is better)");
+    println!(
+        "batch    read_ms  write_ms  read_norm  write_norm   (norm: 4KB = 1.0, lower is better)"
+    );
     let mut csv = Vec::new();
     for (label, read, write) in &results {
         println!(
@@ -222,9 +277,18 @@ pub fn fig5(opts: &Opts) {
             read / read_base,
             write / write_base
         );
-        csv.push(format!("{label},{read:.3},{write:.3},{:.4},{:.4}", read / read_base, write / write_base));
+        csv.push(format!(
+            "{label},{read:.3},{write:.3},{:.4},{:.4}",
+            read / read_base,
+            write / write_base
+        ));
     }
-    write_csv(opts, "fig5.csv", "batch,read_ms,write_ms,read_norm,write_norm", &csv);
+    write_csv(
+        opts,
+        "fig5.csv",
+        "batch,read_ms,write_ms,read_norm,write_norm",
+        &csv,
+    );
     println!("shape check: paper finds a sweet spot at 4MB; very large batches hurt writes");
 }
 
@@ -248,15 +312,29 @@ pub fn fig6(opts: &Opts) {
             workers,
             executors_per_worker: 1,
             cores_per_executor: 2,
+            max_task_attempts: 4,
         }));
-        register_indexed(&ctx, "edges", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+        register_indexed(
+            &ctx,
+            "edges",
+            snb::edge_schema(),
+            w.data.edges.clone(),
+            "edge_source",
+        );
         let probe = register_probe(&ctx, "probe", xl_probe.clone());
         let edges_df = ctx.table("edges").unwrap();
         let s = Stats::of(&time_reps(opts.reps, || {
-            edges_df.clone().join(probe.clone(), "edge_source", "edge_source").count().unwrap();
+            edges_df
+                .clone()
+                .join(probe.clone(), "edge_source", "edge_source")
+                .count()
+                .unwrap();
         }));
         println!("{workers:>7}  {:7.1}  {:6.1}", s.mean_ms, s.std_ms);
-        csv.push(format!("horizontal,{workers},{:.3},{:.3}", s.mean_ms, s.std_ms));
+        csv.push(format!(
+            "horizontal,{workers},{:.3},{:.3}",
+            s.mean_ms, s.std_ms
+        ));
     }
 
     println!("(b) vertical: 4 workers × 1 executor, cores ∈ {{1,2,4,8,16}}");
@@ -266,12 +344,23 @@ pub fn fig6(opts: &Opts) {
             workers: 4,
             executors_per_worker: 1,
             cores_per_executor: cores,
+            max_task_attempts: 4,
         }));
-        register_indexed(&ctx, "edges", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+        register_indexed(
+            &ctx,
+            "edges",
+            snb::edge_schema(),
+            w.data.edges.clone(),
+            "edge_source",
+        );
         let probe = register_probe(&ctx, "probe", xl_probe.clone());
         let edges_df = ctx.table("edges").unwrap();
         let s = Stats::of(&time_reps(opts.reps, || {
-            edges_df.clone().join(probe.clone(), "edge_source", "edge_source").count().unwrap();
+            edges_df
+                .clone()
+                .join(probe.clone(), "edge_source", "edge_source")
+                .count()
+                .unwrap();
         }));
         println!("{cores:>5}  {:7.1}  {:6.1}", s.mean_ms, s.std_ms);
         csv.push(format!("vertical,{cores},{:.3},{:.3}", s.mean_ms, s.std_ms));
@@ -292,7 +381,13 @@ pub fn fig7(opts: &Opts) {
     let ctx_v = cluster_ctx(opts.workers_or(4));
     register_columnar(&ctx_v, "edges", snb::edge_schema(), w.data.edges.clone());
     let ctx_i = cluster_ctx(opts.workers_or(4));
-    register_indexed(&ctx_i, "edges", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+    register_indexed(
+        &ctx_i,
+        "edges",
+        snb::edge_schema(),
+        w.data.edges.clone(),
+        "edge_source",
+    );
 
     println!("scale  probe_rows  vanilla_ms  indexed_ms  speedup  result_rows");
     let mut csv = Vec::new();
@@ -304,11 +399,17 @@ pub fn fig7(opts: &Opts) {
         let ei = ctx_i.table("edges").unwrap();
         let mut result_rows = 0usize;
         let sv = Stats::of(&time_reps(opts.reps, || {
-            result_rows =
-                ev.clone().join(probe_v.clone(), "edge_source", "edge_source").count().unwrap();
+            result_rows = ev
+                .clone()
+                .join(probe_v.clone(), "edge_source", "edge_source")
+                .count()
+                .unwrap();
         }));
         let si = Stats::of(&time_reps(opts.reps, || {
-            ei.clone().join(probe_i.clone(), "edge_source", "edge_source").count().unwrap();
+            ei.clone()
+                .join(probe_i.clone(), "edge_source", "edge_source")
+                .count()
+                .unwrap();
         }));
         let speedup = sv.mean_ms / si.mean_ms;
         println!(
@@ -328,7 +429,12 @@ pub fn fig7(opts: &Opts) {
             result_rows
         ));
     }
-    write_csv(opts, "fig7.csv", "scale,probe_rows,vanilla_ms,indexed_ms,speedup,result_rows", &csv);
+    write_csv(
+        opts,
+        "fig7.csv",
+        "scale,probe_rows,vanilla_ms,indexed_ms,speedup,result_rows",
+        &csv,
+    );
     println!("shape check: paper reports 3–8x speedups across all probe sizes");
 }
 
@@ -346,7 +452,13 @@ pub fn fig8(opts: &Opts) {
     let ctx_v = cluster_ctx(opts.workers_or(4));
     register_columnar(&ctx_v, "edges", snb::edge_schema(), w.data.edges.clone());
     let ctx_i = cluster_ctx(opts.workers_or(4));
-    register_indexed(&ctx_i, "edges", snb::edge_schema(), w.data.edges.clone(), "edge_source");
+    register_indexed(
+        &ctx_i,
+        "edges",
+        snb::edge_schema(),
+        w.data.edges.clone(),
+        "edge_source",
+    );
     register_probe(&ctx_v, "probe", probe_rows.clone());
     register_probe(&ctx_i, "probe", probe_rows.clone());
 
@@ -355,21 +467,27 @@ pub fn fig8(opts: &Opts) {
         (
             "join",
             Box::new(|ctx: &Arc<Context>| {
-                ctx.table("edges")
-                    .unwrap()
-                    .join(ctx.table("probe").unwrap(), "edge_source", "edge_source")
+                ctx.table("edges").unwrap().join(
+                    ctx.table("probe").unwrap(),
+                    "edge_source",
+                    "edge_source",
+                )
             }),
         ),
         (
             "filter-eq",
             Box::new(move |ctx: &Arc<Context>| {
-                ctx.table("edges").unwrap().filter(col("edge_source").eq(lit(point_key)))
+                ctx.table("edges")
+                    .unwrap()
+                    .filter(col("edge_source").eq(lit(point_key)))
             }),
         ),
         (
             "filter-range",
             Box::new(|ctx: &Arc<Context>| {
-                ctx.table("edges").unwrap().filter(col("edge_source").lt(lit(100i64)))
+                ctx.table("edges")
+                    .unwrap()
+                    .filter(col("edge_source").lt(lit(100i64)))
             }),
         ),
         (
@@ -387,7 +505,10 @@ pub fn fig8(opts: &Opts) {
                     .agg(vec![(dataframe::AggFunc::Count, None, "n")])
             }),
         ),
-        ("scan", Box::new(|ctx: &Arc<Context>| ctx.table("edges").unwrap())),
+        (
+            "scan",
+            Box::new(|ctx: &Arc<Context>| ctx.table("edges").unwrap()),
+        ),
     ];
 
     println!("operator      vanilla_ms  indexed_ms  speedup   (speedup < 1 = indexed slower)");
@@ -400,10 +521,21 @@ pub fn fig8(opts: &Opts) {
             build_query(&ctx_i).count().unwrap();
         }));
         let speedup = sv.mean_ms / si.mean_ms;
-        println!("{name:<12}  {:>10.1}  {:>10.1}  {speedup:6.2}x", sv.mean_ms, si.mean_ms);
-        csv.push(format!("{name},{:.3},{:.3},{:.3}", sv.mean_ms, si.mean_ms, speedup));
+        println!(
+            "{name:<12}  {:>10.1}  {:>10.1}  {speedup:6.2}x",
+            sv.mean_ms, si.mean_ms
+        );
+        csv.push(format!(
+            "{name},{:.3},{:.3},{:.3}",
+            sv.mean_ms, si.mean_ms, speedup
+        ));
     }
-    write_csv(opts, "fig8.csv", "operator,vanilla_ms,indexed_ms,speedup", &csv);
+    write_csv(
+        opts,
+        "fig8.csv",
+        "operator,vanilla_ms,indexed_ms,speedup",
+        &csv,
+    );
     println!("shape check: join/filter-eq win big; projection (and often range filters)");
     println!("lose — the row store must materialize full rows (paper §IV-D)");
 }

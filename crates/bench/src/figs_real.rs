@@ -12,6 +12,7 @@ fn cluster_ctx(workers: usize) -> Arc<Context> {
         workers,
         executors_per_worker: 2,
         cores_per_executor: 2,
+        max_task_attempts: 4,
     }))
 }
 
@@ -30,12 +31,29 @@ pub fn fig13(opts: &Opts) {
     );
 
     let ctx_v = cluster_ctx(opts.workers_or(4));
-    register_columnar(&ctx_v, "persons", snb::person_schema(), data.persons.clone());
+    register_columnar(
+        &ctx_v,
+        "persons",
+        snb::person_schema(),
+        data.persons.clone(),
+    );
     register_columnar(&ctx_v, "edges", snb::edge_schema(), data.edges.clone());
 
     let ctx_i = cluster_ctx(opts.workers_or(4));
-    register_indexed(&ctx_i, "persons", snb::person_schema(), data.persons.clone(), "id");
-    register_indexed(&ctx_i, "edges", snb::edge_schema(), data.edges.clone(), "edge_source");
+    register_indexed(
+        &ctx_i,
+        "persons",
+        snb::person_schema(),
+        data.persons.clone(),
+        "id",
+    );
+    register_indexed(
+        &ctx_i,
+        "edges",
+        snb::edge_schema(),
+        data.edges.clone(),
+        "edge_source",
+    );
 
     let person_id = 42i64;
     println!("query  vanilla_ms  indexed_ms  speedup  uses_index");
@@ -59,11 +77,23 @@ pub fn fig13(opts: &Opts) {
             "  SQ{q}  {:>10.2}  {:>10.2}  {speedup:6.2}x  {}",
             sv.mean_ms,
             si.mean_ms,
-            if uses { "yes" } else { "no (projection/agg-bound)" }
+            if uses {
+                "yes"
+            } else {
+                "no (projection/agg-bound)"
+            }
         );
-        csv.push(format!("SQ{q},{:.3},{:.3},{speedup:.3},{uses}", sv.mean_ms, si.mean_ms));
+        csv.push(format!(
+            "SQ{q},{:.3},{:.3},{speedup:.3},{uses}",
+            sv.mean_ms, si.mean_ms
+        ));
     }
-    write_csv(opts, "fig13.csv", "query,vanilla_ms,indexed_ms,speedup,uses_index", &csv);
+    write_csv(
+        opts,
+        "fig13.csv",
+        "query,vanilla_ms,indexed_ms,speedup,uses_index",
+        &csv,
+    );
     println!("shape check: all queries speed up except SQ5/SQ6 (index-oblivious access");
     println!("patterns favor the columnar cache — §IV-E)");
 }
@@ -87,8 +117,18 @@ pub fn fig14(opts: &Opts) {
         let data = tpcds::generate(tpcds::TpcdsConfig::new(sf));
 
         let ctx_v = cluster_ctx(opts.workers_or(4));
-        register_columnar(&ctx_v, "store_sales", tpcds::store_sales_schema(), data.store_sales.clone());
-        register_columnar(&ctx_v, "date_dim", tpcds::date_dim_schema(), data.date_dim.clone());
+        register_columnar(
+            &ctx_v,
+            "store_sales",
+            tpcds::store_sales_schema(),
+            data.store_sales.clone(),
+        );
+        register_columnar(
+            &ctx_v,
+            "date_dim",
+            tpcds::date_dim_schema(),
+            data.date_dim.clone(),
+        );
 
         let ctx_i = cluster_ctx(opts.workers_or(4));
         // The fact table is indexed on the join key; the dimension probes.
@@ -99,7 +139,12 @@ pub fn fig14(opts: &Opts) {
             data.store_sales.clone(),
             "ss_sold_date_sk",
         );
-        register_columnar(&ctx_i, "date_dim", tpcds::date_dim_schema(), data.date_dim.clone());
+        register_columnar(
+            &ctx_i,
+            "date_dim",
+            tpcds::date_dim_schema(),
+            data.date_dim.clone(),
+        );
 
         let full = tpcds::join_query("store_sales", "date_dim");
         let selective = format!("{full} WHERE d_year = 2018");
@@ -125,7 +170,12 @@ pub fn fig14(opts: &Opts) {
             ));
         }
     }
-    write_csv(opts, "fig14.csv", "sf,fact_rows,variant,vanilla_ms,indexed_ms,speedup", &csv);
+    write_csv(
+        opts,
+        "fig14.csv",
+        "sf,fact_rows,variant,vanilla_ms,indexed_ms,speedup",
+        &csv,
+    );
     println!("shape check: selective joins widen the indexed advantage as data grows;");
     println!("full-output joins are bound by result materialization in any engine");
 }
@@ -137,18 +187,49 @@ pub fn fig14(opts: &Opts) {
 pub fn fig15(opts: &Opts) {
     banner("Fig. 15 — US Flights queries Q1–Q7, indexed vs Databricks-Runtime analogue");
     let data = flights::generate(flights::FlightsConfig::scaled(opts.scale));
-    println!("({} flights, {} planes)", data.flights.len(), data.planes.len());
+    println!(
+        "({} flights, {} planes)",
+        data.flights.len(),
+        data.planes.len()
+    );
 
     let ctx_v = cluster_ctx(opts.workers_or(4));
-    register_columnar(&ctx_v, "flights", flights::flights_schema(), data.flights.clone());
-    register_columnar(&ctx_v, "planes", flights::planes_schema(), data.planes.clone());
+    register_columnar(
+        &ctx_v,
+        "flights",
+        flights::flights_schema(),
+        data.flights.clone(),
+    );
+    register_columnar(
+        &ctx_v,
+        "planes",
+        flights::planes_schema(),
+        data.planes.clone(),
+    );
 
     // Indexed run: string-keyed registration for Q1/Q2, integer-keyed for
     // Q3–Q7 (Table II's two index columns).
     let ctx_i = cluster_ctx(opts.workers_or(4));
-    register_indexed(&ctx_i, "flights_str", flights::flights_schema(), data.flights.clone(), "tailNum");
-    register_indexed(&ctx_i, "flights_int", flights::flights_schema(), data.flights.clone(), "flightNum");
-    register_columnar(&ctx_i, "planes", flights::planes_schema(), data.planes.clone());
+    register_indexed(
+        &ctx_i,
+        "flights_str",
+        flights::flights_schema(),
+        data.flights.clone(),
+        "tailNum",
+    );
+    register_indexed(
+        &ctx_i,
+        "flights_int",
+        flights::flights_schema(),
+        data.flights.clone(),
+        "flightNum",
+    );
+    register_columnar(
+        &ctx_i,
+        "planes",
+        flights::planes_schema(),
+        data.planes.clone(),
+    );
 
     println!("query  key_type  vanilla_ms  indexed_ms  speedup");
     let key_types = ["string", "string", "int", "int", "int", "int", "int"];
@@ -180,7 +261,12 @@ pub fn fig15(opts: &Opts) {
             si.mean_ms
         ));
     }
-    write_csv(opts, "fig15.csv", "query,key_type,vanilla_ms,indexed_ms,speedup", &csv);
+    write_csv(
+        opts,
+        "fig15.csv",
+        "query,key_type,vanilla_ms,indexed_ms,speedup",
+        &csv,
+    );
     println!("shape check: paper reports 5–20x; integer-key point queries (Q5–Q7) gain");
     println!("the most, string keys (Q1–Q2) pay hashing overhead");
 }
@@ -191,18 +277,25 @@ pub fn fig15(opts: &Opts) {
 
 pub fn tab1(_opts: &Opts) {
     banner("Table I — hardware configuration (this reproduction's host)");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mem_kb = std::fs::read_to_string("/proc/meminfo")
         .ok()
         .and_then(|s| {
             s.lines().find(|l| l.starts_with("MemTotal")).and_then(|l| {
-                l.split_whitespace().nth(1).and_then(|v| v.parse::<u64>().ok())
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<u64>().ok())
             })
         })
         .unwrap_or(0);
     println!("paper:  private cluster — Intel E5-2630-v3, 16 cores, 64 GB, FDR InfiniBand, SSD");
     println!("paper:  Amazon EC2 — i3.xlarge (4c/30GB) and i3.8xlarge (16c/122GB), 10 Gbps");
-    println!("here:   single host — {cores} core(s), {} GB RAM, simulated in-process cluster", mem_kb / 1_048_576);
+    println!(
+        "here:   single host — {cores} core(s), {} GB RAM, simulated in-process cluster",
+        mem_kb / 1_048_576
+    );
     println!("        workers = thread pools; network = cross-thread buffer exchange");
 }
 
@@ -212,9 +305,15 @@ pub fn tab2(opts: &Opts) {
     let f = flights::FlightsConfig::scaled(opts.scale);
     println!("SNB-like:     {} persons, {} edges (Zipf theta {}), queries SQ1–SQ7 + joins on edge_source (integer)",
         s.persons, s.num_edges(), s.theta);
-    println!("US Flights:   {} flights + {} planes; Q1–Q7 on tailNum (string) / flightNum (integer)",
-        f.flights + 1110, f.planes);
-    println!("TPC-DS-like:  store_sales ({} rows/SF) ⋈ date_dim ({} rows) on ss_sold_date_sk (integer)",
-        tpcds::ROWS_PER_SF, tpcds::DATE_DIM_ROWS);
+    println!(
+        "US Flights:   {} flights + {} planes; Q1–Q7 on tailNum (string) / flightNum (integer)",
+        f.flights + 1110,
+        f.planes
+    );
+    println!(
+        "TPC-DS-like:  store_sales ({} rows/SF) ⋈ date_dim ({} rows) on ss_sold_date_sk (integer)",
+        tpcds::ROWS_PER_SF,
+        tpcds::DATE_DIM_ROWS
+    );
     println!("Join scales:  Table III S/M/L/XL probe progression (run `figures table3`)");
 }

@@ -13,6 +13,7 @@ fn cluster_ctx(workers: usize) -> Arc<Context> {
         workers,
         executors_per_worker: 2,
         cores_per_executor: 2,
+        max_task_attempts: 4,
     }))
 }
 
@@ -56,7 +57,7 @@ pub fn fig9(opts: &Opts) {
             "edge_source",
         )
         .unwrap();
-        idf.cache_index();
+        idf.cache_index().unwrap();
         register_columnar(&ctx, "probe", snb::probe_schema(), probe_rows.clone());
         let probe = ctx.table("probe").unwrap();
 
@@ -68,7 +69,10 @@ pub fn fig9(opts: &Opts) {
             let name = format!("edges_q{q}");
             let edges_df = idf.register(&name).unwrap();
             let (d, _) = time_once(|| {
-                edges_df.join(probe.clone(), "edge_source", "edge_source").count().unwrap()
+                edges_df
+                    .join(probe.clone(), "edge_source", "edge_source")
+                    .count()
+                    .unwrap()
             });
             read_times.push(d);
             ctx.deregister_table(&name);
@@ -103,13 +107,13 @@ pub fn fig10(opts: &Opts) {
             "edge_source",
         )
         .unwrap();
-        idf.cache_index();
+        idf.cache_index().unwrap();
         ctx.cluster().metrics().reset();
         let before = ctx.cluster().metrics().snapshot();
         let (total, _) = time_once(|| {
             for i in 0..appends {
                 idf = idf.append_rows(append_batch(append_size, 0x10_00 + i as u64));
-                idf.cache_index(); // materialize: shuffle + insert
+                idf.cache_index().unwrap(); // materialize: shuffle + insert
             }
         });
         let d = ctx.cluster().metrics().snapshot().delta_since(&before);
@@ -152,7 +156,7 @@ pub fn fig11(opts: &Opts) {
         .partitions(64)
         .build()
         .unwrap();
-    let stats = idf.partition_stats();
+    let stats = idf.partition_stats().unwrap();
 
     let mut csv = Vec::new();
     let mut overheads = Vec::new();
@@ -168,7 +172,12 @@ pub fn fig11(opts: &Opts) {
     println!("partitions: {}", stats.len());
     println!("index bytes: {total_index}  data bytes: {total_data}");
     println!("overhead per partition: mean {mean:.2}%  max {max:.2}%");
-    write_csv(opts, "fig11.csv", "partition,index_bytes,data_bytes,overhead_pct", &csv);
+    write_csv(
+        opts,
+        "fig11.csv",
+        "partition,index_bytes,data_bytes,overhead_pct",
+        &csv,
+    );
     println!("shape check: paper reports consistently < 2% (at 30 GB scale; small partitions");
     println!("carry proportionally more trie overhead, so expect a higher % at toy scale)");
 }
@@ -189,6 +198,7 @@ pub fn fig12(opts: &Opts) {
         workers: opts.workers_or(8),
         executors_per_worker: 1,
         cores_per_executor: 2,
+        max_task_attempts: 4,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let idf = IndexedDataFrame::from_rows(
@@ -198,7 +208,7 @@ pub fn fig12(opts: &Opts) {
         "edge_source",
     )
     .unwrap();
-    idf.cache_index();
+    idf.cache_index().unwrap();
     idf.register("edges").unwrap();
     register_columnar(&ctx, "probe", snb::probe_schema(), probe_rows);
     let edges_df = ctx.table("edges").unwrap();
@@ -213,7 +223,11 @@ pub fn fig12(opts: &Opts) {
         }
         let rec_before = indexed_df::recompute_ns(&ctx);
         let (d, _) = time_once(|| {
-            edges_df.clone().join(probe.clone(), "edge_source", "edge_source").count().unwrap()
+            edges_df
+                .clone()
+                .join(probe.clone(), "edge_source", "edge_source")
+                .count()
+                .unwrap()
         });
         let recovered = indexed_df::recompute_ns(&ctx) - rec_before;
         let ms = d.as_secs_f64() * 1e3;
@@ -226,7 +240,10 @@ pub fn fig12(opts: &Opts) {
     }
     let steady_stats = Stats::of(&steady);
     println!("query 20 (kill + recovery): {spike_ms:.1} ms");
-    println!("steady state after recovery: {:.1} ms mean", steady_stats.mean_ms);
+    println!(
+        "steady state after recovery: {:.1} ms mean",
+        steady_stats.mean_ms
+    );
     println!(
         "recovery spike factor: {:.1}x steady state",
         spike_ms / steady_stats.mean_ms

@@ -39,7 +39,12 @@ pub struct Opts {
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 1, reps: 5, out_dir: PathBuf::from("results"), workers: 0 }
+        Opts {
+            scale: 1,
+            reps: 5,
+            out_dir: PathBuf::from("results"),
+            workers: 0,
+        }
     }
 }
 
@@ -146,7 +151,10 @@ mod tests {
     #[test]
     fn csv_written() {
         let dir = std::env::temp_dir().join(format!("bench-test-{}", std::process::id()));
-        let opts = Opts { out_dir: dir.clone(), ..Opts::default() };
+        let opts = Opts {
+            out_dir: dir.clone(),
+            ..Opts::default()
+        };
         write_csv(&opts, "t.csv", "a,b", &["1,2".to_string()]);
         let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n");

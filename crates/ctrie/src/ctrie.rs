@@ -259,9 +259,13 @@ where
             } else {
                 // Generation changed (snapshot): mark failed, next loop
                 // iteration rolls back.
-                let _ = m_ref
-                    .prev
-                    .compare_exchange(prev, prev.with_tag(PREV_FAILED), SeqCst, SeqCst, g);
+                let _ = m_ref.prev.compare_exchange(
+                    prev,
+                    prev.with_tag(PREV_FAILED),
+                    SeqCst,
+                    SeqCst,
+                    g,
+                );
             }
         }
     }
@@ -384,10 +388,12 @@ where
                 new_root: new_self_root,
                 status: AtomicU8::new(DESC_PENDING),
             }));
-            let desc_shared =
-                Shared::from(desc as *const INode<K, V>).with_tag(ROOT_DESC_TAG);
+            let desc_shared = Shared::from(desc as *const INode<K, V>).with_tag(ROOT_DESC_TAG);
 
-            match self.root.compare_exchange(r, desc_shared, SeqCst, SeqCst, &g) {
+            match self
+                .root
+                .compare_exchange(r, desc_shared, SeqCst, SeqCst, &g)
+            {
                 Ok(_) => {
                     // Drive to resolution and swing the root off the
                     // descriptor before reclaiming it.
@@ -409,8 +415,7 @@ where
                         }
                         // Build the returned snapshot around the same main.
                         unsafe { retain(exp_main) };
-                        let snap_root =
-                            Box::into_raw(Box::new(INode::new(exp_main, next_gen())));
+                        let snap_root = Box::into_raw(Box::new(INode::new(exp_main, next_gen())));
                         return Ctrie {
                             root: Atomic::from(Shared::from(snap_root as *const INode<K, V>)),
                             hasher: self.hasher.clone(),
@@ -421,12 +426,10 @@ where
                     // (dropping it releases our retained count) and retry.
                     unsafe { drop(Box::from_raw(new_self_root as *mut INode<K, V>)) };
                 }
-                Err(_) => {
-                    unsafe {
-                        drop(Box::from_raw(new_self_root as *mut INode<K, V>));
-                        drop(Box::from_raw(desc));
-                    }
-                }
+                Err(_) => unsafe {
+                    drop(Box::from_raw(new_self_root as *mut INode<K, V>));
+                    drop(Box::from_raw(desc));
+                },
             }
         }
     }
@@ -561,8 +564,7 @@ where
                 // Lazy copy-on-write: bring the C-node up to the current
                 // generation before modifying anything beneath it.
                 if cn.gen != in_.gen {
-                    let renewed =
-                        cn.renewed(in_.gen, &mut |inode| self.gcas_read(inode, g));
+                    let renewed = cn.renewed(in_.gen, &mut |inode| self.gcas_read(inode, g));
                     return if self.gcas(in_, m, Kind::C(renewed), g) {
                         self.iinsert(in_, key, value, h, lev, parent, startgen, g)
                     } else {
@@ -574,7 +576,11 @@ where
                     let ncn = cn.inserted(
                         flag,
                         pos,
-                        Branch::S(SNode { hash: h, key: key.clone(), val: value.clone() }),
+                        Branch::S(SNode {
+                            hash: h,
+                            key: key.clone(),
+                            val: value.clone(),
+                        }),
                     );
                     return if self.gcas(in_, m, Kind::C(ncn), g) {
                         Ok(None)
@@ -617,7 +623,11 @@ where
                             // Two distinct keys in one slot: expand downward.
                             let sub_main = self.dual(
                                 sn.duplicate(),
-                                SNode { hash: h, key: key.clone(), val: value.clone() },
+                                SNode {
+                                    hash: h,
+                                    key: key.clone(),
+                                    val: value.clone(),
+                                },
                                 lev + W,
                                 startgen,
                                 g,
@@ -645,7 +655,11 @@ where
                 if let Some(s) = nl.iter_mut().find(|s| s.hash == h && s.key == *key) {
                     old = Some(std::mem::replace(&mut s.val, value.clone()));
                 } else {
-                    nl.push(SNode { hash: h, key: key.clone(), val: value.clone() });
+                    nl.push(SNode {
+                        hash: h,
+                        key: key.clone(),
+                        val: value.clone(),
+                    });
                 }
                 if self.gcas(in_, m, Kind::L(nl), g) {
                     Ok(old)
@@ -679,8 +693,12 @@ where
             } else {
                 vec![Branch::S(y), Branch::S(x)]
             };
-            Main::new(Kind::C(CNode { bitmap, array: array.into_boxed_slice(), gen }))
-                .into_shared(g)
+            Main::new(Kind::C(CNode {
+                bitmap,
+                array: array.into_boxed_slice(),
+                gen,
+            }))
+            .into_shared(g)
         } else {
             let sub = self.dual(x, y, lev + W, gen, g);
             let inner = Arc::new(INode::new(sub, gen));
@@ -708,8 +726,7 @@ where
         match &unsafe { m.deref() }.kind {
             Kind::C(cn) => {
                 if cn.gen != in_.gen {
-                    let renewed =
-                        cn.renewed(in_.gen, &mut |inode| self.gcas_read(inode, g));
+                    let renewed = cn.renewed(in_.gen, &mut |inode| self.gcas_read(inode, g));
                     return if self.gcas(in_, m, Kind::C(renewed), g) {
                         self.iremove(in_, key, h, lev, parent, startgen, g)
                     } else {
@@ -822,7 +839,11 @@ where
             })
             .collect();
         self.to_contracted(
-            CNode { bitmap: cn.bitmap, array: arr.into_boxed_slice(), gen: cn.gen },
+            CNode {
+                bitmap: cn.bitmap,
+                array: arr.into_boxed_slice(),
+                gen: cn.gen,
+            },
             lev,
         )
     }

@@ -81,8 +81,6 @@ mod tests {
     use std::hash::Hash;
 
     fn hash_of<T: Hash>(v: T) -> u64 {
-        
-        
         FxBuildHasher.hash_one(&v)
     }
 
@@ -109,7 +107,10 @@ mod tests {
 
     #[test]
     fn handles_unaligned_tails() {
-        assert_ne!(hash_of([1u8, 2, 3].as_slice()), hash_of([1u8, 2, 4].as_slice()));
+        assert_ne!(
+            hash_of([1u8, 2, 3].as_slice()),
+            hash_of([1u8, 2, 4].as_slice())
+        );
         assert_ne!(
             hash_of([1u8, 2, 3, 4, 5, 6, 7, 8, 9].as_slice()),
             hash_of([1u8, 2, 3, 4, 5, 6, 7, 8, 10].as_slice())

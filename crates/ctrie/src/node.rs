@@ -53,7 +53,11 @@ pub(crate) struct SNode<K, V> {
 
 impl<K: Clone, V: Clone> SNode<K, V> {
     pub(crate) fn duplicate(&self) -> Self {
-        SNode { hash: self.hash, key: self.key.clone(), val: self.val.clone() }
+        SNode {
+            hash: self.hash,
+            key: self.key.clone(),
+            val: self.val.clone(),
+        }
     }
 }
 
@@ -71,7 +75,10 @@ impl<K, V> INode<K, V> {
     /// Create an I-node owning one count on `main` (the count must already
     /// be accounted to the caller, typically via `Main::new` or `retain`).
     pub(crate) fn new(main: Shared<'_, Main<K, V>>, gen: u64) -> INode<K, V> {
-        INode { main: Atomic::from(main), gen }
+        INode {
+            main: Atomic::from(main),
+            gen,
+        }
     }
 }
 
@@ -82,7 +89,9 @@ impl<K, V> Drop for INode<K, V> {
         // it, which by construction happens after a grace period or from an
         // exclusive context.
         unsafe {
-            let m = self.main.load(Ordering::Relaxed, crossbeam_epoch::unprotected());
+            let m = self
+                .main
+                .load(Ordering::Relaxed, crossbeam_epoch::unprotected());
             release(m.as_raw());
         }
     }
@@ -126,7 +135,11 @@ pub(crate) struct Main<K, V> {
 impl<K, V> Main<K, V> {
     /// Allocate a committed-from-birth main node with count 1.
     pub(crate) fn new(kind: Kind<K, V>) -> Owned<Main<K, V>> {
-        Owned::new(Main { kind, prev: Atomic::null(), rc: AtomicUsize::new(1) })
+        Owned::new(Main {
+            kind,
+            prev: Atomic::null(),
+            rc: AtomicUsize::new(1),
+        })
     }
 }
 
@@ -187,7 +200,11 @@ impl<K: Clone, V: Clone> CNode<K, V> {
         arr.extend(self.array[..pos].iter().map(dup_branch));
         arr.push(branch);
         arr.extend(self.array[pos..].iter().map(dup_branch));
-        CNode { bitmap: self.bitmap | flag, array: arr.into_boxed_slice(), gen: self.gen }
+        CNode {
+            bitmap: self.bitmap | flag,
+            array: arr.into_boxed_slice(),
+            gen: self.gen,
+        }
     }
 
     /// Copy of this C-node with the branch at `pos` replaced.
@@ -196,7 +213,11 @@ impl<K: Clone, V: Clone> CNode<K, V> {
         arr.extend(self.array[..pos].iter().map(dup_branch));
         arr.push(branch);
         arr.extend(self.array[pos + 1..].iter().map(dup_branch));
-        CNode { bitmap: self.bitmap, array: arr.into_boxed_slice(), gen: self.gen }
+        CNode {
+            bitmap: self.bitmap,
+            array: arr.into_boxed_slice(),
+            gen: self.gen,
+        }
     }
 
     /// Copy of this C-node with the branch at `pos`/`flag` removed.
@@ -207,7 +228,11 @@ impl<K: Clone, V: Clone> CNode<K, V> {
                 arr.push(dup_branch(b));
             }
         }
-        CNode { bitmap: self.bitmap & !flag, array: arr.into_boxed_slice(), gen: self.gen }
+        CNode {
+            bitmap: self.bitmap & !flag,
+            array: arr.into_boxed_slice(),
+            gen: self.gen,
+        }
     }
 
     /// Copy of this C-node with every embedded I-node re-created at `gen`,
@@ -231,7 +256,11 @@ impl<K: Clone, V: Clone> CNode<K, V> {
                 }
             })
             .collect();
-        CNode { bitmap: self.bitmap, array: arr.into_boxed_slice(), gen }
+        CNode {
+            bitmap: self.bitmap,
+            array: arr.into_boxed_slice(),
+            gen,
+        }
     }
 }
 
@@ -266,8 +295,18 @@ mod tests {
     fn cnode_insert_update_remove_shapes() {
         let g = crossbeam_epoch::pin();
         let _ = &g;
-        let sn = |k: u64| Branch::S(SNode { hash: k, key: k, val: k });
-        let cn = CNode::<u64, u64> { bitmap: 0, array: Vec::new().into_boxed_slice(), gen: 0 };
+        let sn = |k: u64| {
+            Branch::S(SNode {
+                hash: k,
+                key: k,
+                val: k,
+            })
+        };
+        let cn = CNode::<u64, u64> {
+            bitmap: 0,
+            array: Vec::new().into_boxed_slice(),
+            gen: 0,
+        };
         let cn = cn.inserted(1 << 4, 0, sn(4));
         let cn = cn.inserted(1 << 9, 1, sn(9));
         assert_eq!(cn.array.len(), 2);

@@ -105,7 +105,10 @@ fn concurrent_remove_insert_interleaving() {
             k >= base && k < base + 500 && (k - base) % 7 == 0
         });
         if touched {
-            assert!(trie.lookup(&k).is_some(), "touched key {k} must end present");
+            assert!(
+                trie.lookup(&k).is_some(),
+                "touched key {k} must end present"
+            );
         } else {
             assert_eq!(trie.lookup(&k), Some(1), "untouched key {k} lost");
         }

@@ -7,8 +7,8 @@
 use crate::context::Context;
 use crate::expr::{col, Expr, PlanError};
 use crate::optimizer::optimize;
-use crate::plan::{AggFunc, AggSpec, LogicalPlan};
 use crate::physical::{gather, ExecPlan};
+use crate::plan::{AggFunc, AggSpec, LogicalPlan};
 use crate::planner::Planner;
 use rowstore::{Row, Schema};
 use std::sync::Arc;
@@ -18,7 +18,10 @@ impl Context {
     pub fn table(self: &Arc<Self>, name: &str) -> Result<DataFrame, PlanError> {
         let provider = self.provider(name)?;
         Ok(DataFrame {
-            plan: LogicalPlan::Scan { table: name.to_string(), schema: provider.schema() },
+            plan: LogicalPlan::Scan {
+                table: name.to_string(),
+                schema: provider.schema(),
+            },
             ctx: Arc::clone(self),
         })
     }
@@ -26,7 +29,10 @@ impl Context {
     /// Parse and plan a SQL query.
     pub fn sql(self: &Arc<Self>, query: &str) -> Result<DataFrame, PlanError> {
         let plan = crate::sql::parse_query(query, self)?;
-        Ok(DataFrame { plan, ctx: Arc::clone(self) })
+        Ok(DataFrame {
+            plan,
+            ctx: Arc::clone(self),
+        })
     }
 }
 
@@ -59,7 +65,10 @@ impl DataFrame {
     /// Keep rows satisfying `predicate`.
     pub fn filter(self, predicate: Expr) -> DataFrame {
         DataFrame {
-            plan: LogicalPlan::Filter { input: Box::new(self.plan), predicate },
+            plan: LogicalPlan::Filter {
+                input: Box::new(self.plan),
+                predicate,
+            },
             ctx: self.ctx,
         }
     }
@@ -68,7 +77,10 @@ impl DataFrame {
     pub fn select(self, columns: &[&str]) -> DataFrame {
         let exprs = columns.iter().map(|c| (col(*c), c.to_string())).collect();
         DataFrame {
-            plan: LogicalPlan::Project { input: Box::new(self.plan), exprs },
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                exprs,
+            },
             ctx: self.ctx,
         }
     }
@@ -76,7 +88,10 @@ impl DataFrame {
     /// Project computed expressions with output names.
     pub fn select_exprs(self, exprs: Vec<(Expr, String)>) -> DataFrame {
         DataFrame {
-            plan: LogicalPlan::Project { input: Box::new(self.plan), exprs },
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                exprs,
+            },
             ctx: self.ctx,
         }
     }
@@ -96,7 +111,10 @@ impl DataFrame {
 
     /// Group by columns; finish with [`GroupedFrame::agg`].
     pub fn group_by(self, columns: &[&str]) -> GroupedFrame {
-        GroupedFrame { df: self, keys: columns.iter().map(|c| c.to_string()).collect() }
+        GroupedFrame {
+            df: self,
+            keys: columns.iter().map(|c| c.to_string()).collect(),
+        }
     }
 
     /// Sort by columns; each key is `(column, descending)`. Nulls last.
@@ -112,7 +130,13 @@ impl DataFrame {
 
     /// Take the first `n` rows.
     pub fn limit(self, n: usize) -> DataFrame {
-        DataFrame { plan: LogicalPlan::Limit { input: Box::new(self.plan), n }, ctx: self.ctx }
+        DataFrame {
+            plan: LogicalPlan::Limit {
+                input: Box::new(self.plan),
+                n,
+            },
+            ctx: self.ctx,
+        }
     }
 
     /// Optimize + plan physically (exposed for `explain` and tests).
@@ -121,16 +145,17 @@ impl DataFrame {
         Planner::new().plan(&optimized, &self.ctx)
     }
 
-    /// Execute and gather all rows to the driver.
+    /// Execute and gather all rows to the driver. Execution failures (a
+    /// stage exhausting its task retries) surface as [`PlanError::Exec`].
     pub fn collect(&self) -> Result<Vec<Row>, PlanError> {
         let phys = self.physical_plan()?;
-        Ok(gather(phys.execute(&self.ctx)))
+        Ok(gather(phys.execute(&self.ctx)?))
     }
 
     /// Execute and return partitioned results (no driver gather).
     pub fn collect_partitions(&self) -> Result<Vec<Vec<Row>>, PlanError> {
         let phys = self.physical_plan()?;
-        Ok(phys.execute(&self.ctx))
+        Ok(phys.execute(&self.ctx)?)
     }
 
     /// Execute and count rows.
@@ -209,16 +234,26 @@ mod tests {
             Field::new("name", DataType::Utf8),
         ]);
         let rows: Vec<Row> = (0..100)
-            .map(|i| vec![Value::Int64(i), Value::Int64(i % 4), Value::Utf8(format!("u{i}"))])
+            .map(|i| {
+                vec![
+                    Value::Int64(i),
+                    Value::Int64(i % 4),
+                    Value::Utf8(format!("u{i}")),
+                ]
+            })
             .collect();
         ctx.register_table("users", Arc::new(ColumnarTable::from_rows(schema, rows, 4)));
         let ref_schema = Schema::new(vec![
             Field::new("grp", DataType::Int64),
             Field::new("label", DataType::Utf8),
         ]);
-        let refs: Vec<Row> =
-            (0..4).map(|g| vec![Value::Int64(g), Value::Utf8(format!("g{g}"))]).collect();
-        ctx.register_table("groups", Arc::new(ColumnarTable::from_rows(ref_schema, refs, 2)));
+        let refs: Vec<Row> = (0..4)
+            .map(|g| vec![Value::Int64(g), Value::Utf8(format!("g{g}"))])
+            .collect();
+        ctx.register_table(
+            "groups",
+            Arc::new(ColumnarTable::from_rows(ref_schema, refs, 2)),
+        );
         ctx
     }
 
@@ -294,7 +329,11 @@ mod tests {
     #[test]
     fn unknown_column_errors_at_collect() {
         let ctx = ctx();
-        let res = ctx.table("users").unwrap().filter(col("missing").eq(lit(1i64))).collect();
+        let res = ctx
+            .table("users")
+            .unwrap()
+            .filter(col("missing").eq(lit(1i64)))
+            .collect();
         assert!(matches!(res, Err(PlanError::UnknownColumn(_))));
     }
 }

@@ -13,22 +13,52 @@ use std::sync::Arc;
 /// A typed column vector with a validity mask.
 #[derive(Debug, Clone)]
 pub enum ColumnVec {
-    Int32 { values: Vec<i32>, nulls: Vec<bool> },
-    Int64 { values: Vec<i64>, nulls: Vec<bool> },
-    Float64 { values: Vec<f64>, nulls: Vec<bool> },
-    Bool { values: Vec<bool>, nulls: Vec<bool> },
-    Utf8 { values: Vec<String>, nulls: Vec<bool> },
+    Int32 {
+        values: Vec<i32>,
+        nulls: Vec<bool>,
+    },
+    Int64 {
+        values: Vec<i64>,
+        nulls: Vec<bool>,
+    },
+    Float64 {
+        values: Vec<f64>,
+        nulls: Vec<bool>,
+    },
+    Bool {
+        values: Vec<bool>,
+        nulls: Vec<bool>,
+    },
+    Utf8 {
+        values: Vec<String>,
+        nulls: Vec<bool>,
+    },
 }
 
 impl ColumnVec {
     /// An empty column of the given type.
     pub fn empty(dtype: DataType) -> ColumnVec {
         match dtype {
-            DataType::Int32 => ColumnVec::Int32 { values: Vec::new(), nulls: Vec::new() },
-            DataType::Int64 => ColumnVec::Int64 { values: Vec::new(), nulls: Vec::new() },
-            DataType::Float64 => ColumnVec::Float64 { values: Vec::new(), nulls: Vec::new() },
-            DataType::Bool => ColumnVec::Bool { values: Vec::new(), nulls: Vec::new() },
-            DataType::Utf8 => ColumnVec::Utf8 { values: Vec::new(), nulls: Vec::new() },
+            DataType::Int32 => ColumnVec::Int32 {
+                values: Vec::new(),
+                nulls: Vec::new(),
+            },
+            DataType::Int64 => ColumnVec::Int64 {
+                values: Vec::new(),
+                nulls: Vec::new(),
+            },
+            DataType::Float64 => ColumnVec::Float64 {
+                values: Vec::new(),
+                nulls: Vec::new(),
+            },
+            DataType::Bool => ColumnVec::Bool {
+                values: Vec::new(),
+                nulls: Vec::new(),
+            },
+            DataType::Utf8 => ColumnVec::Utf8 {
+                values: Vec::new(),
+                nulls: Vec::new(),
+            },
         }
     }
 
@@ -107,19 +137,39 @@ impl ColumnVec {
     pub fn value(&self, i: usize) -> Value {
         match self {
             ColumnVec::Int32 { values, nulls } => {
-                if nulls[i] { Value::Null } else { Value::Int32(values[i]) }
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Int32(values[i])
+                }
             }
             ColumnVec::Int64 { values, nulls } => {
-                if nulls[i] { Value::Null } else { Value::Int64(values[i]) }
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Int64(values[i])
+                }
             }
             ColumnVec::Float64 { values, nulls } => {
-                if nulls[i] { Value::Null } else { Value::Float64(values[i]) }
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Float64(values[i])
+                }
             }
             ColumnVec::Bool { values, nulls } => {
-                if nulls[i] { Value::Null } else { Value::Bool(values[i]) }
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Bool(values[i])
+                }
             }
             ColumnVec::Utf8 { values, nulls } => {
-                if nulls[i] { Value::Null } else { Value::Utf8(values[i].clone()) }
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Utf8(values[i].clone())
+                }
             }
         }
     }
@@ -151,7 +201,10 @@ impl ColumnVec {
             ColumnVec::Int64 { .. } | ColumnVec::Float64 { .. } => n * 9,
             ColumnVec::Bool { .. } => n * 2,
             ColumnVec::Utf8 { values, .. } => {
-                n + values.iter().map(|s| s.len() + std::mem::size_of::<String>()).sum::<usize>()
+                n + values
+                    .iter()
+                    .map(|s| s.len() + std::mem::size_of::<String>())
+                    .sum::<usize>()
             }
         }
     }
@@ -168,7 +221,11 @@ impl ColumnarPartition {
     /// An empty partition shaped like `schema`.
     pub fn empty(schema: &Schema) -> ColumnarPartition {
         ColumnarPartition {
-            columns: schema.fields().iter().map(|f| ColumnVec::empty(f.dtype)).collect(),
+            columns: schema
+                .fields()
+                .iter()
+                .map(|f| ColumnVec::empty(f.dtype))
+                .collect(),
             rows: 0,
         }
     }
@@ -230,12 +287,16 @@ impl ColumnarTable {
     /// Partition `rows` round-robin into `num_partitions` cached partitions.
     pub fn from_rows(schema: Arc<Schema>, rows: Vec<Row>, num_partitions: usize) -> ColumnarTable {
         assert!(num_partitions > 0);
-        let mut parts: Vec<ColumnarPartition> =
-            (0..num_partitions).map(|_| ColumnarPartition::empty(&schema)).collect();
+        let mut parts: Vec<ColumnarPartition> = (0..num_partitions)
+            .map(|_| ColumnarPartition::empty(&schema))
+            .collect();
         for (i, r) in rows.iter().enumerate() {
             parts[i % num_partitions].push_row(r);
         }
-        ColumnarTable { schema, partitions: parts.into_iter().map(Arc::new).collect() }
+        ColumnarTable {
+            schema,
+            partitions: parts.into_iter().map(Arc::new).collect(),
+        }
     }
 
     /// Wrap pre-partitioned rows.
@@ -275,7 +336,11 @@ mod tests {
 
     fn rows() -> Vec<Row> {
         vec![
-            vec![Value::Int64(1), Value::Utf8("a".into()), Value::Float64(0.5)],
+            vec![
+                Value::Int64(1),
+                Value::Utf8("a".into()),
+                Value::Float64(0.5),
+            ],
             vec![Value::Int64(2), Value::Null, Value::Float64(1.5)],
             vec![Value::Int64(3), Value::Utf8("c".into()), Value::Null],
         ]
@@ -293,7 +358,10 @@ mod tests {
     #[test]
     fn projection_touches_selected_columns() {
         let p = ColumnarPartition::from_rows(&schema(), &rows());
-        assert_eq!(p.row_projected(1, &[2, 0]), vec![Value::Float64(1.5), Value::Int64(2)]);
+        assert_eq!(
+            p.row_projected(1, &[2, 0]),
+            vec![Value::Float64(1.5), Value::Int64(2)]
+        );
     }
 
     #[test]
@@ -308,7 +376,13 @@ mod tests {
     #[test]
     fn table_partitioning_spreads_rows() {
         let many: Vec<Row> = (0..100)
-            .map(|i| vec![Value::Int64(i), Value::Utf8(format!("n{i}")), Value::Float64(0.0)])
+            .map(|i| {
+                vec![
+                    Value::Int64(i),
+                    Value::Utf8(format!("n{i}")),
+                    Value::Float64(0.0),
+                ]
+            })
             .collect();
         let t = ColumnarTable::from_rows(schema(), many, 4);
         assert_eq!(t.num_partitions(), 4);

@@ -5,8 +5,8 @@
 
 use crate::column::ColumnarTable;
 use crate::expr::PlanError;
-use crate::plan::LogicalPlan;
 use crate::physical::ExecPlan;
+use crate::plan::LogicalPlan;
 use crate::planner::Planner;
 use parking_lot::{Mutex, RwLock};
 use rowstore::{Row, Schema};
@@ -226,8 +226,9 @@ mod tests {
     #[test]
     fn provider_scan_matches_rows() {
         let t = table();
-        let all: Vec<Row> =
-            (0..2).flat_map(|p| TableProvider::scan_partition(&t, p)).collect();
+        let all: Vec<Row> = (0..2)
+            .flat_map(|p| TableProvider::scan_partition(&t, p))
+            .collect();
         assert_eq!(all.len(), 10);
     }
 
@@ -235,10 +236,16 @@ mod tests {
     fn shuffle_partitions_defaults_from_cluster() {
         let cluster = Cluster::new(ClusterConfig::test_small()); // 2 workers × 2 cores
         let ctx = Context::new(Arc::clone(&cluster));
-        assert_eq!(ctx.shuffle_partitions(), cluster.config().default_partitions());
+        assert_eq!(
+            ctx.shuffle_partitions(),
+            cluster.config().default_partitions()
+        );
         let ctx2 = Context::with_config(
             cluster,
-            ExecConfig { shuffle_partitions: 7, ..ExecConfig::default() },
+            ExecConfig {
+                shuffle_partitions: 7,
+                ..ExecConfig::default()
+            },
         );
         assert_eq!(ctx2.shuffle_partitions(), 7);
     }

@@ -53,7 +53,11 @@ impl fmt::Display for BinOp {
 pub enum Expr {
     Col(String),
     Lit(Value),
-    Binary { left: Box<Expr>, op: BinOp, right: Box<Expr> },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
     Not(Box<Expr>),
     IsNull(Box<Expr>),
     IsNotNull(Box<Expr>),
@@ -72,7 +76,11 @@ pub fn lit(v: impl Into<Value>) -> Expr {
 macro_rules! expr_binop {
     ($name:ident, $op:expr) => {
         pub fn $name(self, rhs: Expr) -> Expr {
-            Expr::Binary { left: Box::new(self), op: $op, right: Box::new(rhs) }
+            Expr::Binary {
+                left: Box::new(self),
+                op: $op,
+                right: Box::new(rhs),
+            }
         }
     };
 }
@@ -115,7 +123,11 @@ impl Expr {
                 if let (Expr::Lit(l), Expr::Lit(r)) = (&left, &right) {
                     return Expr::Lit(eval_binary(l.clone(), op, r.clone()));
                 }
-                Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+                Expr::Binary {
+                    left: Box::new(left),
+                    op,
+                    right: Box::new(right),
+                }
             }
             Expr::Not(e) => {
                 let e = e.fold();
@@ -162,7 +174,12 @@ impl Expr {
     /// If this is `col = literal` (either order), return (name, value).
     /// The shape the paper's index-lookup rule recognizes.
     pub fn as_eq_literal(&self) -> Option<(&str, &Value)> {
-        if let Expr::Binary { left, op: BinOp::Eq, right } = self {
+        if let Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = self
+        {
             match (left.as_ref(), right.as_ref()) {
                 (Expr::Col(n), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(n)) => {
                     return Some((n, v));
@@ -187,13 +204,15 @@ impl fmt::Display for Expr {
     }
 }
 
-/// Errors from binding or planning.
+/// Errors from binding, planning, or executing a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanError {
     UnknownColumn(String),
     UnknownTable(String),
     Parse(String),
     Unsupported(String),
+    /// Physical execution failed (a stage exhausted its task retries).
+    Exec(crate::physical::ExecError),
 }
 
 impl fmt::Display for PlanError {
@@ -203,18 +222,35 @@ impl fmt::Display for PlanError {
             PlanError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             PlanError::Parse(m) => write!(f, "SQL parse error: {m}"),
             PlanError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            PlanError::Exec(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for PlanError {}
 
+impl From<crate::physical::ExecError> for PlanError {
+    fn from(e: crate::physical::ExecError) -> Self {
+        PlanError::Exec(e)
+    }
+}
+
+impl From<sparklet::StageError> for PlanError {
+    fn from(e: sparklet::StageError) -> Self {
+        PlanError::Exec(crate::physical::ExecError::Stage(e))
+    }
+}
+
 /// A schema-resolved expression evaluating by column position.
 #[derive(Debug, Clone)]
 pub enum BoundExpr {
     Col(usize),
     Lit(Value),
-    Binary { left: Box<BoundExpr>, op: BinOp, right: Box<BoundExpr> },
+    Binary {
+        left: Box<BoundExpr>,
+        op: BinOp,
+        right: Box<BoundExpr>,
+    },
     Not(Box<BoundExpr>),
     IsNull(Box<BoundExpr>),
     IsNotNull(Box<BoundExpr>),
@@ -225,7 +261,9 @@ impl BoundExpr {
     pub fn bind(expr: &Expr, schema: &Schema) -> Result<BoundExpr, PlanError> {
         Ok(match expr {
             Expr::Col(name) => BoundExpr::Col(
-                schema.index_of(name).ok_or_else(|| PlanError::UnknownColumn(name.clone()))?,
+                schema
+                    .index_of(name)
+                    .ok_or_else(|| PlanError::UnknownColumn(name.clone()))?,
             ),
             Expr::Lit(v) => BoundExpr::Lit(v.clone()),
             Expr::Binary { left, op, right } => BoundExpr::Binary {
@@ -259,9 +297,11 @@ impl BoundExpr {
         match self {
             BoundExpr::Col(c) => part.column(*c).value(i),
             BoundExpr::Lit(v) => v.clone(),
-            BoundExpr::Binary { left, op, right } => {
-                eval_binary(left.eval_columnar(part, i), *op, right.eval_columnar(part, i))
-            }
+            BoundExpr::Binary { left, op, right } => eval_binary(
+                left.eval_columnar(part, i),
+                *op,
+                right.eval_columnar(part, i),
+            ),
             BoundExpr::Not(e) => eval_not(e.eval_columnar(part, i)),
             BoundExpr::IsNull(e) => Value::Bool(e.eval_columnar(part, i).is_null()),
             BoundExpr::IsNotNull(e) => Value::Bool(!e.eval_columnar(part, i).is_null()),
@@ -384,7 +424,12 @@ mod tests {
     }
 
     fn row() -> Vec<Value> {
-        vec![Value::Int64(10), Value::Int64(3), Value::Null, Value::Utf8("hi".into())]
+        vec![
+            Value::Int64(10),
+            Value::Int64(3),
+            Value::Null,
+            Value::Utf8("hi".into()),
+        ]
     }
 
     fn eval(e: Expr) -> Value {
@@ -396,14 +441,24 @@ mod tests {
         assert_eq!(eval(col("a").gt(lit(5i64))), Value::Bool(true));
         assert_eq!(eval(col("a").lt(col("b"))), Value::Bool(false));
         assert_eq!(eval(col("s").eq(lit("hi"))), Value::Bool(true));
-        assert_eq!(eval(col("c").eq(lit(0.0))), Value::Null, "null comparison is null");
+        assert_eq!(
+            eval(col("c").eq(lit(0.0))),
+            Value::Null,
+            "null comparison is null"
+        );
     }
 
     #[test]
     fn three_valued_logic() {
         // NULL AND FALSE = FALSE; NULL AND TRUE = NULL; NULL OR TRUE = TRUE.
-        assert_eq!(eval(col("c").is_null().and(col("a").eq(lit(10i64)))), Value::Bool(true));
-        assert_eq!(eval(col("c").eq(lit(1.0)).and(lit(false))), Value::Bool(false));
+        assert_eq!(
+            eval(col("c").is_null().and(col("a").eq(lit(10i64)))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(col("c").eq(lit(1.0)).and(lit(false))),
+            Value::Bool(false)
+        );
         assert_eq!(eval(col("c").eq(lit(1.0)).and(lit(true))), Value::Null);
         assert_eq!(eval(col("c").eq(lit(1.0)).or(lit(true))), Value::Bool(true));
         assert_eq!(eval(col("c").eq(lit(1.0)).not()), Value::Null);
@@ -413,7 +468,11 @@ mod tests {
     fn arithmetic() {
         assert_eq!(eval(col("a").add(col("b"))), Value::Int64(13));
         assert_eq!(eval(col("a").div(col("b"))), Value::Int64(3));
-        assert_eq!(eval(col("a").div(lit(0i64))), Value::Null, "div by zero → null");
+        assert_eq!(
+            eval(col("a").div(lit(0i64))),
+            Value::Null,
+            "div by zero → null"
+        );
         assert_eq!(eval(col("a").mul(lit(2.5))), Value::Float64(25.0));
         assert_eq!(eval(col("c").add(lit(1i64))), Value::Null);
     }
@@ -460,7 +519,11 @@ mod tests {
                 vec![
                     Value::Int64(i),
                     Value::Int64(i % 5),
-                    if i % 3 == 0 { Value::Null } else { Value::Float64(i as f64) },
+                    if i % 3 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float64(i as f64)
+                    },
                     Value::Utf8(format!("s{i}")),
                 ]
             })

@@ -14,7 +14,6 @@ use rowstore::Value;
 /// Apply all logical rewrites until fixpoint (the rules here only shrink
 /// the tree, so one bottom-up pass suffices).
 pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
-    
     rewrite_bottom_up(plan)
 }
 
@@ -29,47 +28,74 @@ fn rewrite_bottom_up(plan: LogicalPlan) -> LogicalPlan {
             input: Box::new(rewrite_bottom_up(*input)),
             exprs: exprs.into_iter().map(|(e, n)| (e.fold(), n)).collect(),
         },
-        LogicalPlan::Join { left, right, left_key, right_key } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => LogicalPlan::Join {
             left: Box::new(rewrite_bottom_up(*left)),
             right: Box::new(rewrite_bottom_up(*right)),
             left_key,
             right_key,
         },
-        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
             input: Box::new(rewrite_bottom_up(*input)),
             group_by,
             aggs,
         },
-        LogicalPlan::Sort { input, keys } => {
-            LogicalPlan::Sort { input: Box::new(rewrite_bottom_up(*input)), keys }
-        }
-        LogicalPlan::Limit { input, n } => {
-            LogicalPlan::Limit { input: Box::new(rewrite_bottom_up(*input)), n }
-        }
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite_bottom_up(*input)),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(rewrite_bottom_up(*input)),
+            n,
+        },
         leaf => leaf,
     };
 
     // Then rewrite this node.
     match plan {
         // Filter(TRUE) → input.
-        LogicalPlan::Filter { input, predicate: Expr::Lit(Value::Bool(true)) } => *input,
+        LogicalPlan::Filter {
+            input,
+            predicate: Expr::Lit(Value::Bool(true)),
+        } => *input,
         // Filter(Filter(x, p2), p1) → Filter(x, p2 AND p1).
         LogicalPlan::Filter { input, predicate } => match *input {
-            LogicalPlan::Filter { input: inner, predicate: inner_pred } => LogicalPlan::Filter {
+            LogicalPlan::Filter {
+                input: inner,
+                predicate: inner_pred,
+            } => LogicalPlan::Filter {
                 input: inner,
                 predicate: inner_pred.and(predicate),
             },
-            LogicalPlan::Join { left, right, left_key, right_key } => {
-                push_through_join(predicate, *left, *right, left_key, right_key)
-            }
-            other => LogicalPlan::Filter { input: Box::new(other), predicate },
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => push_through_join(predicate, *left, *right, left_key, right_key),
+            other => LogicalPlan::Filter {
+                input: Box::new(other),
+                predicate,
+            },
         },
         // Limit(Limit(x, m), n) → Limit(x, min(m, n)).
         LogicalPlan::Limit { input, n } => match *input {
-            LogicalPlan::Limit { input: inner, n: m } => {
-                LogicalPlan::Limit { input: inner, n: n.min(m) }
-            }
-            other => LogicalPlan::Limit { input: Box::new(other), n },
+            LogicalPlan::Limit { input: inner, n: m } => LogicalPlan::Limit {
+                input: inner,
+                n: n.min(m),
+            },
+            other => LogicalPlan::Limit {
+                input: Box::new(other),
+                n,
+            },
         },
         other => other,
     }
@@ -125,7 +151,10 @@ fn push_through_join(
 
     let apply = |plan: LogicalPlan, preds: Vec<Expr>| -> LogicalPlan {
         match preds.into_iter().reduce(|a, b| a.and(b)) {
-            Some(p) => LogicalPlan::Filter { input: Box::new(plan), predicate: p },
+            Some(p) => LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: p,
+            },
             None => plan,
         }
     };
@@ -141,7 +170,11 @@ fn push_through_join(
 /// Split a predicate at top-level ANDs.
 fn split_conjuncts(e: Expr) -> Vec<Expr> {
     match e {
-        Expr::Binary { left, op: crate::expr::BinOp::And, right } => {
+        Expr::Binary {
+            left,
+            op: crate::expr::BinOp::And,
+            right,
+        } => {
             let mut out = split_conjuncts(*left);
             out.extend(split_conjuncts(*right));
             out
@@ -154,9 +187,7 @@ fn split_conjuncts(e: Expr) -> Vec<Expr> {
 /// right input's own schema.
 fn strip_right_prefix(e: Expr) -> Expr {
     match e {
-        Expr::Col(name) => {
-            Expr::Col(name.strip_prefix("right.").unwrap_or(&name).to_string())
-        }
+        Expr::Col(name) => Expr::Col(name.strip_prefix("right.").unwrap_or(&name).to_string()),
         Expr::Lit(v) => Expr::Lit(v),
         Expr::Binary { left, op, right } => Expr::Binary {
             left: Box::new(strip_right_prefix(*left)),
@@ -184,7 +215,10 @@ mod tests {
 
     #[test]
     fn true_filter_removed() {
-        let p = LogicalPlan::Filter { input: Box::new(scan()), predicate: lit(true) };
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: lit(true),
+        };
         assert_eq!(optimize(p), scan());
     }
 
@@ -221,10 +255,19 @@ mod tests {
     #[test]
     fn nested_limits_take_min() {
         let p = LogicalPlan::Limit {
-            input: Box::new(LogicalPlan::Limit { input: Box::new(scan()), n: 5 }),
+            input: Box::new(LogicalPlan::Limit {
+                input: Box::new(scan()),
+                n: 5,
+            }),
             n: 10,
         };
-        assert_eq!(optimize(p), LogicalPlan::Limit { input: Box::new(scan()), n: 5 });
+        assert_eq!(
+            optimize(p),
+            LogicalPlan::Limit {
+                input: Box::new(scan()),
+                n: 5
+            }
+        );
     }
 
     fn two_table_join() -> (LogicalPlan, LogicalPlan) {
@@ -303,11 +346,17 @@ mod tests {
             LogicalPlan::Join { left, right, .. } => {
                 assert_eq!(
                     *left,
-                    LogicalPlan::Filter { input: Box::new(l), predicate: col("k").lt(lit(100i64)) }
+                    LogicalPlan::Filter {
+                        input: Box::new(l),
+                        predicate: col("k").lt(lit(100i64))
+                    }
                 );
                 assert_eq!(
                     *right,
-                    LogicalPlan::Filter { input: Box::new(r), predicate: col("k").gt(lit(5i64)) }
+                    LogicalPlan::Filter {
+                        input: Box::new(r),
+                        predicate: col("k").gt(lit(5i64))
+                    }
                 );
             }
             other => panic!("unexpected {other:?}"),

@@ -3,7 +3,7 @@
 //! aggregate).
 
 use crate::context::Context;
-use crate::physical::{describe_node, ExecPlan, GroupKey, Partitions};
+use crate::physical::{describe_node, ExecError, ExecPlan, GroupKey, Partitions};
 use crate::plan::AggFunc;
 use rowstore::{Row, Schema, Value};
 use std::collections::HashMap;
@@ -20,17 +20,30 @@ pub struct BoundAgg {
 #[derive(Debug, Clone)]
 enum Acc {
     Count(i64),
-    Sum { int: i64, float: f64, any_float: bool, seen: bool },
+    Sum {
+        int: i64,
+        float: f64,
+        any_float: bool,
+        seen: bool,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
 }
 
 impl Acc {
     fn new(func: AggFunc) -> Acc {
         match func {
             AggFunc::Count => Acc::Count(0),
-            AggFunc::Sum => Acc::Sum { int: 0, float: 0.0, any_float: false, seen: false },
+            AggFunc::Sum => Acc::Sum {
+                int: 0,
+                float: 0.0,
+                any_float: false,
+                seen: false,
+            },
             AggFunc::Min => Acc::Min(None),
             AggFunc::Max => Acc::Max(None),
             AggFunc::Avg => Acc::Avg { sum: 0.0, count: 0 },
@@ -47,7 +60,12 @@ impl Acc {
                     _ => {}
                 }
             }
-            Acc::Sum { int, float, any_float, seen } => {
+            Acc::Sum {
+                int,
+                float,
+                any_float,
+                seen,
+            } => {
                 if let Some(val) = v {
                     match val {
                         Value::Float64(f) => {
@@ -100,8 +118,18 @@ impl Acc {
         match (self, other) {
             (Acc::Count(a), Acc::Count(b)) => *a += b,
             (
-                Acc::Sum { int: ai, float: af, any_float: aaf, seen: asn },
-                Acc::Sum { int: bi, float: bf, any_float: baf, seen: bsn },
+                Acc::Sum {
+                    int: ai,
+                    float: af,
+                    any_float: aaf,
+                    seen: asn,
+                },
+                Acc::Sum {
+                    int: bi,
+                    float: bf,
+                    any_float: baf,
+                    seen: bsn,
+                },
             ) => {
                 *ai += bi;
                 *af += bf;
@@ -109,17 +137,30 @@ impl Acc {
                 *asn |= bsn;
             }
             (Acc::Min(a), Acc::Min(Some(b))) => {
-                if a.as_ref().is_none_or(|c| b.sql_cmp(c) == Some(std::cmp::Ordering::Less)) {
+                if a.as_ref()
+                    .is_none_or(|c| b.sql_cmp(c) == Some(std::cmp::Ordering::Less))
+                {
                     *a = Some(b.clone());
                 }
             }
             (Acc::Max(a), Acc::Max(Some(b))) => {
-                if a.as_ref().is_none_or(|c| b.sql_cmp(c) == Some(std::cmp::Ordering::Greater)) {
+                if a.as_ref()
+                    .is_none_or(|c| b.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
+                {
                     *a = Some(b.clone());
                 }
             }
             (Acc::Min(_), Acc::Min(None)) | (Acc::Max(_), Acc::Max(None)) => {}
-            (Acc::Avg { sum: asum, count: ac }, Acc::Avg { sum: bsum, count: bc }) => {
+            (
+                Acc::Avg {
+                    sum: asum,
+                    count: ac,
+                },
+                Acc::Avg {
+                    sum: bsum,
+                    count: bc,
+                },
+            ) => {
                 *asum += bsum;
                 *ac += bc;
             }
@@ -130,7 +171,12 @@ impl Acc {
     fn finish(&self) -> Value {
         match self {
             Acc::Count(n) => Value::Int64(*n),
-            Acc::Sum { int, float, any_float, seen } => {
+            Acc::Sum {
+                int,
+                float,
+                any_float,
+                seen,
+            } => {
                 if !*seen {
                     Value::Null
                 } else if *any_float {
@@ -164,27 +210,28 @@ impl ExecPlan for HashAggExec {
         Arc::clone(&self.out_schema)
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
-        let inputs = Arc::new(self.input.execute(ctx));
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
+        let inputs = Arc::new(self.input.execute(ctx)?);
         let group_by = self.group_by.clone();
         let aggs = self.aggs.clone();
         let inputs2 = Arc::clone(&inputs);
 
         // Phase 1: partial aggregation per partition, in parallel.
         let partials: Vec<HashMap<GroupKey, Vec<Acc>>> =
-            ctx.cluster().run_partitions(inputs.len(), move |tc| {
-                let mut table: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
-                for row in &inputs2[tc.partition] {
-                    let key = GroupKey(group_by.iter().map(|&i| row[i].clone()).collect());
-                    let accs = table
-                        .entry(key)
-                        .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.func)).collect());
-                    for (acc, spec) in accs.iter_mut().zip(&aggs) {
-                        acc.update(spec.input.map(|i| &row[i]));
+            ctx.cluster()
+                .run_stage_partitions(inputs.len(), move |tc| {
+                    let mut table: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
+                    for row in &inputs2[tc.partition] {
+                        let key = GroupKey(group_by.iter().map(|&i| row[i].clone()).collect());
+                        let accs = table
+                            .entry(key)
+                            .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.func)).collect());
+                        for (acc, spec) in accs.iter_mut().zip(&aggs) {
+                            acc.update(spec.input.map(|i| &row[i]));
+                        }
                     }
-                }
-                table
-            });
+                    table
+                })?;
 
         // Phase 2: final merge on the driver.
         let mut merged: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
@@ -211,13 +258,17 @@ impl ExecPlan for HashAggExec {
                 row
             })
             .collect();
-        vec![rows]
+        Ok(vec![rows])
     }
 
     fn describe(&self, indent: usize) -> String {
         describe_node(
             indent,
-            &format!("HashAggregate [{} groups cols, {} aggs]", self.group_by.len(), self.aggs.len()),
+            &format!(
+                "HashAggregate [{} groups cols, {} aggs]",
+                self.group_by.len(),
+                self.aggs.len()
+            ),
             &[self.input.as_ref()],
         )
     }
@@ -243,7 +294,11 @@ mod tests {
             .map(|i| {
                 vec![
                     Value::Int64(i % 3),
-                    if i % 5 == 0 { Value::Null } else { Value::Int64(i) },
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int64(i)
+                    },
                     Value::Float64(i as f64),
                 ]
             })
@@ -270,16 +325,34 @@ mod tests {
             input: scan,
             group_by: vec![0],
             aggs: vec![
-                BoundAgg { func: AggFunc::Count, input: None },
-                BoundAgg { func: AggFunc::Count, input: Some(1) },
-                BoundAgg { func: AggFunc::Sum, input: Some(1) },
-                BoundAgg { func: AggFunc::Min, input: Some(1) },
-                BoundAgg { func: AggFunc::Max, input: Some(1) },
-                BoundAgg { func: AggFunc::Avg, input: Some(2) },
+                BoundAgg {
+                    func: AggFunc::Count,
+                    input: None,
+                },
+                BoundAgg {
+                    func: AggFunc::Count,
+                    input: Some(1),
+                },
+                BoundAgg {
+                    func: AggFunc::Sum,
+                    input: Some(1),
+                },
+                BoundAgg {
+                    func: AggFunc::Min,
+                    input: Some(1),
+                },
+                BoundAgg {
+                    func: AggFunc::Max,
+                    input: Some(1),
+                },
+                BoundAgg {
+                    func: AggFunc::Avg,
+                    input: Some(2),
+                },
             ],
             out_schema,
         };
-        let mut rows = gather(agg.execute(&ctx));
+        let mut rows = gather(agg.execute(&ctx).unwrap());
         rows.sort_by_key(|r| r[0].as_i64().unwrap());
         assert_eq!(rows.len(), 3);
         // Group 0: i in {0,3,..,27}, 10 rows; nulls at i=0,15 → count_v=8.
@@ -300,10 +373,13 @@ mod tests {
         let agg = HashAggExec {
             input: scan,
             group_by: vec![],
-            aggs: vec![BoundAgg { func: AggFunc::Count, input: None }],
+            aggs: vec![BoundAgg {
+                func: AggFunc::Count,
+                input: None,
+            }],
             out_schema,
         };
-        let rows = gather(agg.execute(&ctx));
+        let rows = gather(agg.execute(&ctx).unwrap());
         assert_eq!(rows, vec![vec![Value::Int64(30)]]);
     }
 
@@ -316,12 +392,15 @@ mod tests {
         let agg = HashAggExec {
             input: scan,
             group_by: vec![0],
-            aggs: vec![BoundAgg { func: AggFunc::Count, input: None }],
+            aggs: vec![BoundAgg {
+                func: AggFunc::Count,
+                input: None,
+            }],
             out_schema: Schema::new(vec![
                 Field::new("g", DataType::Int64),
                 Field::new("n", DataType::Int64),
             ]),
         };
-        assert!(gather(agg.execute(&ctx)).is_empty());
+        assert!(gather(agg.execute(&ctx).unwrap()).is_empty());
     }
 }

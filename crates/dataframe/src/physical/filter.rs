@@ -2,7 +2,7 @@
 
 use crate::context::Context;
 use crate::expr::BoundExpr;
-use crate::physical::{describe_node, ExecPlan, Partitions};
+use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
 use rowstore::Schema;
 use std::sync::Arc;
 
@@ -16,18 +16,20 @@ impl ExecPlan for FilterExec {
         self.input.schema()
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
-        let parts = self.input.execute(ctx);
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
+        let parts = self.input.execute(ctx)?;
         let inputs: Arc<Vec<Vec<rowstore::Row>>> = Arc::new(parts);
         let predicate = self.predicate.clone();
         let inputs2 = Arc::clone(&inputs);
-        ctx.cluster().run_partitions(inputs.len(), move |tc| {
-            inputs2[tc.partition]
-                .iter()
-                .filter(|r| BoundExpr::is_true(&predicate.eval_row(r)))
-                .cloned()
-                .collect()
-        })
+        Ok(ctx
+            .cluster()
+            .run_stage_partitions(inputs.len(), move |tc| {
+                inputs2[tc.partition]
+                    .iter()
+                    .filter(|r| BoundExpr::is_true(&predicate.eval_row(r)))
+                    .cloned()
+                    .collect()
+            })?)
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -53,8 +55,11 @@ mod tests {
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
         let scan = Arc::new(ColumnarScanExec::new(table, None, None));
         let pred = BoundExpr::bind(&col("x").gt_eq(lit(40i64)), &schema).unwrap();
-        let f = FilterExec { input: scan, predicate: pred };
-        let out = gather(f.execute(&ctx));
+        let f = FilterExec {
+            input: scan,
+            predicate: pred,
+        };
+        let out = gather(f.execute(&ctx).unwrap());
         assert_eq!(out.len(), 10);
         assert!(out.iter().all(|r| r[0].as_i64().unwrap() >= 40));
     }

@@ -13,7 +13,7 @@
 //! the Indexed DataFrame amortizes away (Fig. 1).
 
 use crate::context::Context;
-use crate::physical::{describe_node, ExecPlan, KeyWrap, Partitions};
+use crate::physical::{describe_node, ExecError, ExecPlan, KeyWrap, Partitions};
 use rowstore::{Row, Schema, Value};
 use sparklet::metrics::Metrics;
 use sparklet::ShuffleItem;
@@ -27,7 +27,10 @@ fn build_table(rows: impl IntoIterator<Item = Row>, key: usize) -> HashMap<KeyWr
         if row[key].is_null() {
             continue;
         }
-        table.entry(KeyWrap(row[key].clone())).or_default().push(row);
+        table
+            .entry(KeyWrap(row[key].clone()))
+            .or_default()
+            .push(row);
     }
     table
 }
@@ -59,11 +62,11 @@ impl ExecPlan for BroadcastHashJoinExec {
         Arc::clone(&self.out_schema)
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let metrics = ctx.cluster().metrics();
 
         // Build phase: collect + hash the build side.
-        let build_parts = self.build.execute(ctx);
+        let build_parts = self.build.execute(ctx)?;
         let build_key = self.build_key;
         let table = Metrics::timed(&metrics.build_ns, || {
             Arc::new(build_table(build_parts.into_iter().flatten(), build_key))
@@ -80,38 +83,42 @@ impl ExecPlan for BroadcastHashJoinExec {
             .fetch_add(table_bytes * alive, std::sync::atomic::Ordering::Relaxed);
 
         // Probe phase: local hash lookups per probe partition.
-        let probe_parts = Arc::new(self.probe.execute(ctx));
+        let probe_parts = Arc::new(self.probe.execute(ctx)?);
         let probe_key = self.probe_key;
         let build_is_left = self.build_is_left;
         let probe_parts2 = Arc::clone(&probe_parts);
         let table2 = Arc::clone(&table);
-        Metrics::timed(&metrics.probe_ns, || {
-            ctx.cluster().run_partitions(probe_parts.len(), move |tc| {
-                let mut out = Vec::new();
-                for probe_row in &probe_parts2[tc.partition] {
-                    let k = &probe_row[probe_key];
-                    if k.is_null() {
-                        continue;
-                    }
-                    if let Some(matches) = table2.get(&KeyWrap(k.clone())) {
-                        for build_row in matches {
-                            out.push(if build_is_left {
-                                joined(build_row, probe_row)
-                            } else {
-                                joined(probe_row, build_row)
-                            });
+        Ok(Metrics::timed(&metrics.probe_ns, || {
+            ctx.cluster()
+                .run_stage_partitions(probe_parts.len(), move |tc| {
+                    let mut out = Vec::new();
+                    for probe_row in &probe_parts2[tc.partition] {
+                        let k = &probe_row[probe_key];
+                        if k.is_null() {
+                            continue;
+                        }
+                        if let Some(matches) = table2.get(&KeyWrap(k.clone())) {
+                            for build_row in matches {
+                                out.push(if build_is_left {
+                                    joined(build_row, probe_row)
+                                } else {
+                                    joined(probe_row, build_row)
+                                });
+                            }
                         }
                     }
-                }
-                out
-            })
-        })
+                    out
+                })
+        })?)
     }
 
     fn describe(&self, indent: usize) -> String {
         describe_node(
             indent,
-            &format!("BroadcastHashJoin [build={}]", if self.build_is_left { "left" } else { "right" }),
+            &format!(
+                "BroadcastHashJoin [build={}]",
+                if self.build_is_left { "left" } else { "right" }
+            ),
             &[self.build.as_ref(), self.probe.as_ref()],
         )
     }
@@ -147,21 +154,27 @@ impl ExecPlan for ShuffledHashJoinExec {
         Arc::clone(&self.out_schema)
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let p = ctx.shuffle_partitions();
-        let left_parts = self.left.execute(ctx);
-        let right_parts = self.right.execute(ctx);
-        let left_shuffled =
-            Arc::new(sparklet::exchange(ctx.cluster(), keyed(left_parts, self.left_key), p));
-        let right_shuffled =
-            Arc::new(sparklet::exchange(ctx.cluster(), keyed(right_parts, self.right_key), p));
+        let left_parts = self.left.execute(ctx)?;
+        let right_parts = self.right.execute(ctx)?;
+        let left_shuffled = Arc::new(sparklet::exchange(
+            ctx.cluster(),
+            keyed(left_parts, self.left_key),
+            p,
+        )?);
+        let right_shuffled = Arc::new(sparklet::exchange(
+            ctx.cluster(),
+            keyed(right_parts, self.right_key),
+            p,
+        )?);
 
         let (left_key, right_key, build_left) = (self.left_key, self.right_key, self.build_left);
         let metrics = ctx.cluster().metrics();
-        Metrics::timed(&metrics.probe_ns, || {
+        Ok(Metrics::timed(&metrics.probe_ns, || {
             let ls = Arc::clone(&left_shuffled);
             let rs = Arc::clone(&right_shuffled);
-            ctx.cluster().run_partitions(p, move |tc| {
+            ctx.cluster().run_stage_partitions(p, move |tc| {
                 let (build_rows, probe_rows, build_key, probe_key) = if build_left {
                     (&ls[tc.partition], &rs[tc.partition], left_key, right_key)
                 } else {
@@ -183,13 +196,16 @@ impl ExecPlan for ShuffledHashJoinExec {
                 }
                 out
             })
-        })
+        })?)
     }
 
     fn describe(&self, indent: usize) -> String {
         describe_node(
             indent,
-            &format!("ShuffledHashJoin [build={}]", if self.build_left { "left" } else { "right" }),
+            &format!(
+                "ShuffledHashJoin [build={}]",
+                if self.build_left { "left" } else { "right" }
+            ),
             &[self.left.as_ref(), self.right.as_ref()],
         )
     }
@@ -214,21 +230,27 @@ impl ExecPlan for SortMergeJoinExec {
         Arc::clone(&self.out_schema)
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let p = ctx.shuffle_partitions();
-        let left_parts = self.left.execute(ctx);
-        let right_parts = self.right.execute(ctx);
-        let left_shuffled =
-            Arc::new(sparklet::exchange(ctx.cluster(), keyed(left_parts, self.left_key), p));
-        let right_shuffled =
-            Arc::new(sparklet::exchange(ctx.cluster(), keyed(right_parts, self.right_key), p));
+        let left_parts = self.left.execute(ctx)?;
+        let right_parts = self.right.execute(ctx)?;
+        let left_shuffled = Arc::new(sparklet::exchange(
+            ctx.cluster(),
+            keyed(left_parts, self.left_key),
+            p,
+        )?);
+        let right_shuffled = Arc::new(sparklet::exchange(
+            ctx.cluster(),
+            keyed(right_parts, self.right_key),
+            p,
+        )?);
 
         let (left_key, right_key) = (self.left_key, self.right_key);
         let metrics = ctx.cluster().metrics();
-        Metrics::timed(&metrics.probe_ns, || {
+        Ok(Metrics::timed(&metrics.probe_ns, || {
             let ls = Arc::clone(&left_shuffled);
             let rs = Arc::clone(&right_shuffled);
-            ctx.cluster().run_partitions(p, move |tc| {
+            ctx.cluster().run_stage_partitions(p, move |tc| {
                 // Sort both sides by key (the "build" analogue).
                 let mut left: Vec<&Row> = ls[tc.partition].iter().collect();
                 let mut right: Vec<&Row> = rs[tc.partition].iter().collect();
@@ -263,11 +285,15 @@ impl ExecPlan for SortMergeJoinExec {
                 }
                 out
             })
-        })
+        })?)
     }
 
     fn describe(&self, indent: usize) -> String {
-        describe_node(indent, "SortMergeJoin", &[self.left.as_ref(), self.right.as_ref()])
+        describe_node(
+            indent,
+            "SortMergeJoin",
+            &[self.left.as_ref(), self.right.as_ref()],
+        )
     }
 }
 
@@ -305,8 +331,9 @@ mod tests {
 
     /// Right: keys 10..30 (20 rows) plus a null-key row.
     fn right_rows() -> Vec<Row> {
-        let mut rows: Vec<Row> =
-            (10..30).map(|k| vec![Value::Int64(k), Value::Int64(k * 100)]).collect();
+        let mut rows: Vec<Row> = (10..30)
+            .map(|k| vec![Value::Int64(k), Value::Int64(k * 100)])
+            .collect();
         rows.push(vec![Value::Null, Value::Int64(-1)]);
         rows
     }
@@ -324,7 +351,14 @@ mod tests {
         out
     }
 
-    fn setup() -> (Arc<Context>, Arc<dyn ExecPlan>, Arc<dyn ExecPlan>, Arc<Schema>) {
+    type JoinFixture = (
+        Arc<Context>,
+        Arc<dyn ExecPlan>,
+        Arc<dyn ExecPlan>,
+        Arc<Schema>,
+    );
+
+    fn setup() -> JoinFixture {
         let lt = Arc::new(ColumnarTable::from_rows(left_schema(), left_rows(), 3));
         let rt = Arc::new(ColumnarTable::from_rows(right_schema(), right_rows(), 2));
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
@@ -335,9 +369,7 @@ mod tests {
     }
 
     fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
-        rows.sort_by(|a, b| {
-            format!("{a:?}").cmp(&format!("{b:?}"))
-        });
+        rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         rows
     }
 
@@ -353,7 +385,7 @@ mod tests {
             build_is_left: false,
             out_schema: schema,
         };
-        let got = gather(j.execute(&ctx));
+        let got = gather(j.execute(&ctx).unwrap());
         assert_eq!(got.len(), 20, "10..20 twice on the left");
         assert_eq!(sorted(got), sorted(expected()));
         let m = ctx.cluster().metrics().snapshot();
@@ -372,8 +404,12 @@ mod tests {
             build_is_left: true,
             out_schema: schema,
         };
-        let got = gather(j.execute(&ctx));
-        assert_eq!(sorted(got), sorted(expected()), "column order is left++right");
+        let got = gather(j.execute(&ctx).unwrap());
+        assert_eq!(
+            sorted(got),
+            sorted(expected()),
+            "column order is left++right"
+        );
     }
 
     #[test]
@@ -387,7 +423,7 @@ mod tests {
             build_left: false,
             out_schema: schema,
         };
-        let got = gather(j.execute(&ctx));
+        let got = gather(j.execute(&ctx).unwrap());
         assert_eq!(sorted(got), sorted(expected()));
         let m = ctx.cluster().metrics().snapshot();
         assert!(m.shuffle_rows > 0, "shuffled join must shuffle");
@@ -404,7 +440,7 @@ mod tests {
             build_left: true,
             out_schema: schema,
         };
-        assert_eq!(sorted(gather(j.execute(&ctx))), sorted(expected()));
+        assert_eq!(sorted(gather(j.execute(&ctx).unwrap())), sorted(expected()));
     }
 
     #[test]
@@ -417,15 +453,18 @@ mod tests {
             right_key: 0,
             out_schema: schema,
         };
-        assert_eq!(sorted(gather(j.execute(&ctx))), sorted(expected()));
+        assert_eq!(sorted(gather(j.execute(&ctx).unwrap())), sorted(expected()));
     }
 
     #[test]
     fn duplicate_keys_on_both_sides_cross_product() {
         // 3 left × 2 right rows with the same key → 6 output rows.
-        let ls_rows: Vec<Row> =
-            (0..3).map(|i| vec![Value::Int64(7), Value::Utf8(format!("l{i}"))]).collect();
-        let rs_rows: Vec<Row> = (0..2).map(|i| vec![Value::Int64(7), Value::Int64(i)]).collect();
+        let ls_rows: Vec<Row> = (0..3)
+            .map(|i| vec![Value::Int64(7), Value::Utf8(format!("l{i}"))])
+            .collect();
+        let rs_rows: Vec<Row> = (0..2)
+            .map(|i| vec![Value::Int64(7), Value::Int64(i)])
+            .collect();
         let lt = Arc::new(ColumnarTable::from_rows(left_schema(), ls_rows, 2));
         let rt = Arc::new(ColumnarTable::from_rows(right_schema(), rs_rows, 1));
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
@@ -447,7 +486,7 @@ mod tests {
                 out_schema: schema.clone(),
             }),
         ] {
-            assert_eq!(gather(exec.execute(&ctx)).len(), 6);
+            assert_eq!(gather(exec.execute(&ctx).unwrap()).len(), 6);
         }
     }
 
@@ -465,6 +504,6 @@ mod tests {
             build_left: false,
             out_schema: schema,
         };
-        assert!(gather(j.execute(&ctx)).is_empty());
+        assert!(gather(j.execute(&ctx).unwrap()).is_empty());
     }
 }

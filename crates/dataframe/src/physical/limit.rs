@@ -1,7 +1,7 @@
 //! LIMIT: take the first `n` rows across partitions (in partition order).
 
 use crate::context::Context;
-use crate::physical::{describe_node, ExecPlan, Partitions};
+use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
 use rowstore::Schema;
 use std::sync::Arc;
 
@@ -15,8 +15,8 @@ impl ExecPlan for LimitExec {
         self.input.schema()
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
-        let parts = self.input.execute(ctx);
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
+        let parts = self.input.execute(ctx)?;
         let mut remaining = self.n;
         let mut out = Vec::with_capacity(parts.len());
         for mut p in parts {
@@ -30,7 +30,7 @@ impl ExecPlan for LimitExec {
             remaining -= p.len();
             out.push(p);
         }
-        out
+        Ok(out)
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -53,7 +53,7 @@ mod tests {
         let table = Arc::new(ColumnarTable::from_rows(schema, rows, 4));
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
         let scan = Arc::new(ColumnarScanExec::new(table, None, None));
-        gather(LimitExec { input: scan, n }.execute(&ctx)).len()
+        gather(LimitExec { input: scan, n }.execute(&ctx).unwrap()).len()
     }
 
     #[test]

@@ -15,18 +15,48 @@ pub mod sort;
 
 use crate::context::Context;
 use rowstore::{Row, Schema, Value};
+use sparklet::StageError;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Output of a physical operator: one `Vec<Row>` per partition.
 pub type Partitions = Vec<Vec<Row>>;
 
+/// Errors raised while executing a physical plan. Today every execution
+/// failure is a cluster stage that exhausted its task retries; the enum
+/// leaves room for operator-level failures (spill, codec, ...) without
+/// another signature change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A cluster stage failed even after per-task retries.
+    Stage(StageError),
+}
+
+impl From<StageError> for ExecError {
+    fn from(e: StageError) -> Self {
+        ExecError::Stage(e)
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Stage(e) => write!(f, "stage execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// A physical operator.
 pub trait ExecPlan: Send + Sync {
     /// Output schema.
     fn schema(&self) -> Arc<Schema>;
-    /// Execute on the cluster, returning materialized partitions.
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions;
+    /// Execute on the cluster, returning materialized partitions. Stage
+    /// failures (a task exhausting its retries, or no alive workers)
+    /// surface as [`ExecError`] instead of panicking the driver.
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError>;
     /// One-line description plus indented children (for `explain`).
     fn describe(&self, indent: usize) -> String;
 }
@@ -116,10 +146,7 @@ mod tests {
             GroupKey(vec![Value::Null, Value::Int64(1)]),
             GroupKey(vec![Value::Null, Value::Int64(1)])
         );
-        assert_ne!(
-            GroupKey(vec![Value::Null]),
-            GroupKey(vec![Value::Int64(0)])
-        );
+        assert_ne!(GroupKey(vec![Value::Null]), GroupKey(vec![Value::Int64(0)]));
     }
 
     #[test]

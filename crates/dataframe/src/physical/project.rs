@@ -2,7 +2,7 @@
 
 use crate::context::Context;
 use crate::expr::BoundExpr;
-use crate::physical::{describe_node, ExecPlan, Partitions};
+use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
 use rowstore::Schema;
 use std::sync::Arc;
 
@@ -17,16 +17,18 @@ impl ExecPlan for ProjectExec {
         Arc::clone(&self.out_schema)
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
-        let inputs = Arc::new(self.input.execute(ctx));
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
+        let inputs = Arc::new(self.input.execute(ctx)?);
         let exprs = self.exprs.clone();
         let inputs2 = Arc::clone(&inputs);
-        ctx.cluster().run_partitions(inputs.len(), move |tc| {
-            inputs2[tc.partition]
-                .iter()
-                .map(|r| exprs.iter().map(|e| e.eval_row(r)).collect())
-                .collect()
-        })
+        Ok(ctx
+            .cluster()
+            .run_stage_partitions(inputs.len(), move |tc| {
+                inputs2[tc.partition]
+                    .iter()
+                    .map(|r| exprs.iter().map(|e| e.eval_row(r)).collect())
+                    .collect()
+            })?)
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -54,7 +56,9 @@ mod tests {
             Field::new("a", DataType::Int64),
             Field::new("b", DataType::Int64),
         ]);
-        let rows: Vec<Row> = (0..10).map(|i| vec![Value::Int64(i), Value::Int64(i * 2)]).collect();
+        let rows: Vec<Row> = (0..10)
+            .map(|i| vec![Value::Int64(i), Value::Int64(i * 2)])
+            .collect();
         let table = Arc::new(ColumnarTable::from_rows(Arc::clone(&schema), rows, 2));
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
         let scan = Arc::new(ColumnarScanExec::new(table, None, None));
@@ -66,8 +70,12 @@ mod tests {
             Field::new("sum", DataType::Int64),
             Field::new("one", DataType::Int64),
         ]);
-        let p = ProjectExec { input: scan, exprs, out_schema };
-        let rows = gather(p.execute(&ctx));
+        let p = ProjectExec {
+            input: scan,
+            exprs,
+            out_schema,
+        };
+        let rows = gather(p.execute(&ctx).unwrap());
         assert_eq!(rows.len(), 10);
         for r in &rows {
             let a_plus_b = r[0].as_i64().unwrap();

@@ -9,7 +9,7 @@
 use crate::column::ColumnarTable;
 use crate::context::{Context, TableProvider};
 use crate::expr::BoundExpr;
-use crate::physical::{describe_node, ExecPlan, Partitions};
+use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
 use rowstore::Schema;
 use std::sync::Arc;
 
@@ -32,7 +32,12 @@ impl ColumnarScanExec {
             Some(cols) => table.schema.project(cols),
             None => Arc::clone(&table.schema),
         };
-        ColumnarScanExec { table, predicate, projection, out_schema }
+        ColumnarScanExec {
+            table,
+            predicate,
+            projection,
+            out_schema,
+        }
     }
 }
 
@@ -41,27 +46,29 @@ impl ExecPlan for ColumnarScanExec {
         Arc::clone(&self.out_schema)
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let table = Arc::clone(&self.table);
         let predicate = self.predicate.clone();
         let projection = self.projection.clone();
-        ctx.cluster().run_partitions(table.num_partitions(), move |tc| {
-            let part = &table.partitions[tc.partition];
-            let n = part.num_rows();
-            let mut out = Vec::new();
-            for i in 0..n {
-                if let Some(pred) = &predicate {
-                    if !BoundExpr::is_true(&pred.eval_columnar(part, i)) {
-                        continue;
+        Ok(ctx
+            .cluster()
+            .run_stage_partitions(table.num_partitions(), move |tc| {
+                let part = &table.partitions[tc.partition];
+                let n = part.num_rows();
+                let mut out = Vec::new();
+                for i in 0..n {
+                    if let Some(pred) = &predicate {
+                        if !BoundExpr::is_true(&pred.eval_columnar(part, i)) {
+                            continue;
+                        }
+                    }
+                    match &projection {
+                        Some(cols) => out.push(part.row_projected(i, cols)),
+                        None => out.push(part.row(i)),
                     }
                 }
-                match &projection {
-                    Some(cols) => out.push(part.row_projected(i, cols)),
-                    None => out.push(part.row(i)),
-                }
-            }
-            out
-        })
+                out
+            })?)
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -103,7 +110,13 @@ impl ProviderScanExec {
             Some(cols) => provider.schema().project(cols),
             None => provider.schema(),
         };
-        ProviderScanExec { provider, label: label.into(), predicate, projection, out_schema }
+        ProviderScanExec {
+            provider,
+            label: label.into(),
+            predicate,
+            projection,
+            out_schema,
+        }
     }
 }
 
@@ -112,17 +125,19 @@ impl ExecPlan for ProviderScanExec {
         Arc::clone(&self.out_schema)
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let provider = Arc::clone(&self.provider);
         let predicate = self.predicate.clone();
         let projection = self.projection.clone();
-        ctx.cluster().run_partitions(provider.num_partitions(), move |tc| {
-            provider.scan_partition_pushdown(
-                tc.partition,
-                predicate.as_ref(),
-                projection.as_deref(),
-            )
-        })
+        Ok(ctx
+            .cluster()
+            .run_stage_partitions(provider.num_partitions(), move |tc| {
+                provider.scan_partition_pushdown(
+                    tc.partition,
+                    predicate.as_ref(),
+                    projection.as_deref(),
+                )
+            })?)
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -165,7 +180,7 @@ mod tests {
     fn plain_scan_returns_everything() {
         let (ctx, table) = setup();
         let scan = ColumnarScanExec::new(table, None, None);
-        let parts = scan.execute(&ctx);
+        let parts = scan.execute(&ctx).unwrap();
         assert_eq!(parts.len(), 4);
         assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
     }
@@ -175,7 +190,7 @@ mod tests {
         let (ctx, table) = setup();
         let pred = BoundExpr::bind(&col("id").lt(lit(10i64)), &table.schema).unwrap();
         let scan = ColumnarScanExec::new(table, Some(pred), None);
-        let rows = crate::physical::gather(scan.execute(&ctx));
+        let rows = crate::physical::gather(scan.execute(&ctx).unwrap());
         assert_eq!(rows.len(), 10);
     }
 
@@ -184,7 +199,7 @@ mod tests {
         let (ctx, table) = setup();
         let scan = ColumnarScanExec::new(table, None, Some(vec![1]));
         assert_eq!(scan.schema().arity(), 1);
-        let rows = crate::physical::gather(scan.execute(&ctx));
+        let rows = crate::physical::gather(scan.execute(&ctx).unwrap());
         assert_eq!(rows.len(), 100);
         assert_eq!(rows[0].len(), 1);
     }
@@ -193,7 +208,7 @@ mod tests {
     fn provider_scan_equivalent() {
         let (ctx, table) = setup();
         let scan = ProviderScanExec::new(table.clone() as Arc<dyn TableProvider>, "t");
-        let rows = crate::physical::gather(scan.execute(&ctx));
+        let rows = crate::physical::gather(scan.execute(&ctx).unwrap());
         assert_eq!(rows.len(), 100);
         assert_eq!(rows[5].len(), 2);
     }

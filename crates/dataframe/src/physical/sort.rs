@@ -7,7 +7,7 @@
 //! default `NULLS LAST` for ascending order.
 
 use crate::context::Context;
-use crate::physical::{describe_node, ExecPlan, Partitions};
+use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
 use rowstore::{Schema, Value};
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -32,8 +32,8 @@ impl ExecPlan for SortExec {
         self.input.schema()
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
-        let parts = self.input.execute(ctx);
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
+        let parts = self.input.execute(ctx)?;
         let mut rows: Vec<rowstore::Row> = parts.into_iter().flatten().collect();
         let keys = self.keys.clone();
         rows.sort_by(|a, b| {
@@ -51,7 +51,7 @@ impl ExecPlan for SortExec {
             }
             Ordering::Equal
         });
-        vec![rows]
+        Ok(vec![rows])
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -80,7 +80,7 @@ mod tests {
         let table = Arc::new(ColumnarTable::from_rows(schema, rows, 3));
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
         let scan = Arc::new(ColumnarScanExec::new(table, None, None));
-        gather(SortExec { input: scan, keys }.execute(&ctx))
+        gather(SortExec { input: scan, keys }.execute(&ctx).unwrap())
     }
 
     #[test]

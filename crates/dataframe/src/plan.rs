@@ -50,9 +50,15 @@ pub enum LogicalPlan {
     /// time so downstream operators can bind expressions.
     Scan { table: String, schema: Arc<Schema> },
     /// Keep rows satisfying `predicate`.
-    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: Expr,
+    },
     /// Compute output columns (projection).
-    Project { input: Box<LogicalPlan>, exprs: Vec<(Expr, String)> },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<(Expr, String)>,
+    },
     /// Inner equi-join on `left_key = right_key`.
     Join {
         left: Box<LogicalPlan>,
@@ -61,9 +67,16 @@ pub enum LogicalPlan {
         right_key: String,
     },
     /// Hash aggregation.
-    Aggregate { input: Box<LogicalPlan>, group_by: Vec<String>, aggs: Vec<AggSpec> },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<String>,
+        aggs: Vec<AggSpec>,
+    },
     /// Sort by columns; `true` = descending. Nulls sort last.
-    Sort { input: Box<LogicalPlan>, keys: Vec<(String, bool)> },
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<(String, bool)>,
+    },
     /// Take the first `n` rows.
     Limit { input: Box<LogicalPlan>, n: usize },
 }
@@ -72,7 +85,9 @@ pub enum LogicalPlan {
 pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<(DataType, bool), PlanError> {
     Ok(match expr {
         Expr::Col(name) => {
-            let i = schema.index_of(name).ok_or_else(|| PlanError::UnknownColumn(name.clone()))?;
+            let i = schema
+                .index_of(name)
+                .ok_or_else(|| PlanError::UnknownColumn(name.clone()))?;
             let f = schema.field(i);
             (f.dtype, f.nullable)
         }
@@ -113,12 +128,21 @@ impl LogicalPlan {
                     .iter()
                     .map(|(e, name)| {
                         let (dtype, nullable) = infer_type(e, &in_schema)?;
-                        Ok(Field { name: name.clone(), dtype, nullable })
+                        Ok(Field {
+                            name: name.clone(),
+                            dtype,
+                            nullable,
+                        })
                     })
                     .collect::<Result<Vec<_>, PlanError>>()?;
                 Schema::new(fields)
             }
-            LogicalPlan::Join { left, right, left_key, right_key } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
                 let ls = left.schema()?;
                 let rs = right.schema()?;
                 if ls.index_of(left_key).is_none() {
@@ -129,7 +153,11 @@ impl LogicalPlan {
                 }
                 ls.join(&rs)
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let in_schema = input.schema()?;
                 let mut fields = Vec::new();
                 for g in group_by {
@@ -194,17 +222,25 @@ impl LogicalPlan {
                 input.fmt_indent(out, depth + 1);
             }
             LogicalPlan::Project { input, exprs } => {
-                let cols: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 let _ = writeln!(out, "{pad}Project: {}", cols.join(", "));
                 input.fmt_indent(out, depth + 1);
             }
-            LogicalPlan::Join { left, right, left_key, right_key } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
                 let _ = writeln!(out, "{pad}Join: {left_key} = {right_key}");
                 left.fmt_indent(out, depth + 1);
                 right.fmt_indent(out, depth + 1);
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let aggs: Vec<String> = aggs
                     .iter()
                     .map(|a| {
@@ -313,10 +349,26 @@ mod tests {
             input: Box::new(scan()),
             group_by: vec!["name".into()],
             aggs: vec![
-                AggSpec { func: AggFunc::Count, input: None, out_name: "n".into() },
-                AggSpec { func: AggFunc::Sum, input: Some("score".into()), out_name: "total".into() },
-                AggSpec { func: AggFunc::Avg, input: Some("id".into()), out_name: "avg_id".into() },
-                AggSpec { func: AggFunc::Max, input: Some("id".into()), out_name: "max_id".into() },
+                AggSpec {
+                    func: AggFunc::Count,
+                    input: None,
+                    out_name: "n".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    input: Some("score".into()),
+                    out_name: "total".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Avg,
+                    input: Some("id".into()),
+                    out_name: "avg_id".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Max,
+                    input: Some("id".into()),
+                    out_name: "max_id".into(),
+                },
             ],
         };
         let s = p.schema().unwrap();

@@ -63,7 +63,10 @@ impl Planner {
                 }
                 let child = self.plan(input, ctx)?;
                 let predicate = BoundExpr::bind(predicate, &child.schema())?;
-                Ok(Arc::new(FilterExec { input: child, predicate }))
+                Ok(Arc::new(FilterExec {
+                    input: child,
+                    predicate,
+                }))
             }
 
             LogicalPlan::Project { input, exprs } => {
@@ -90,7 +93,10 @@ impl Planner {
                             let idx = resolve_cols(&cols, schema)?;
                             return self.plan_scan(table, None, Some(idx), ctx);
                         }
-                        LogicalPlan::Filter { input: inner, predicate } => {
+                        LogicalPlan::Filter {
+                            input: inner,
+                            predicate,
+                        } => {
                             if let LogicalPlan::Scan { table, schema } = inner.as_ref() {
                                 let idx = resolve_cols(&cols, schema)?;
                                 return self.plan_scan(table, Some(predicate), Some(idx), ctx);
@@ -105,14 +111,25 @@ impl Planner {
                     .iter()
                     .map(|(e, _)| BoundExpr::bind(e, &in_schema))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Arc::new(ProjectExec { input: child, exprs: bound, out_schema: plan.schema()? }))
+                Ok(Arc::new(ProjectExec {
+                    input: child,
+                    exprs: bound,
+                    out_schema: plan.schema()?,
+                }))
             }
 
-            LogicalPlan::Join { left, right, left_key, right_key } => {
-                self.plan_join(left, right, left_key, right_key, ctx)
-            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => self.plan_join(left, right, left_key, right_key, ctx),
 
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let child = self.plan(input, ctx)?;
                 let in_schema = child.schema();
                 let group_idx = resolve_cols(group_by, &in_schema)?;
@@ -127,7 +144,10 @@ impl Planner {
                                     .ok_or_else(|| PlanError::UnknownColumn(c.clone()))?,
                             ),
                         };
-                        Ok(BoundAgg { func: a.func, input })
+                        Ok(BoundAgg {
+                            func: a.func,
+                            input,
+                        })
                     })
                     .collect::<Result<Vec<_>, PlanError>>()?;
                 Ok(Arc::new(HashAggExec {
@@ -150,12 +170,18 @@ impl Planner {
                             .ok_or_else(|| PlanError::UnknownColumn(k.clone()))
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Arc::new(crate::physical::sort::SortExec { input: child, keys }))
+                Ok(Arc::new(crate::physical::sort::SortExec {
+                    input: child,
+                    keys,
+                }))
             }
 
             LogicalPlan::Limit { input, n } => {
                 let child = self.plan(input, ctx)?;
-                Ok(Arc::new(LimitExec { input: child, n: *n }))
+                Ok(Arc::new(LimitExec {
+                    input: child,
+                    n: *n,
+                }))
             }
         }
     }
@@ -182,7 +208,9 @@ impl Planner {
         // Generic provider: row scan with pushdown delegated to the
         // provider (the Indexed Batch RDD filters on encoded rows).
         let predicate = predicate.map(|p| BoundExpr::bind(p, &schema)).transpose()?;
-        Ok(Arc::new(ProviderScanExec::with_pushdown(provider, table, predicate, projection)))
+        Ok(Arc::new(ProviderScanExec::with_pushdown(
+            provider, table, predicate, projection,
+        )))
     }
 
     fn plan_join(
@@ -197,8 +225,12 @@ impl Planner {
         let right_phys = self.plan(right, ctx)?;
         let ls = left_phys.schema();
         let rs = right_phys.schema();
-        let lk = ls.index_of(left_key).ok_or_else(|| PlanError::UnknownColumn(left_key.into()))?;
-        let rk = rs.index_of(right_key).ok_or_else(|| PlanError::UnknownColumn(right_key.into()))?;
+        let lk = ls
+            .index_of(left_key)
+            .ok_or_else(|| PlanError::UnknownColumn(left_key.into()))?;
+        let rk = rs
+            .index_of(right_key)
+            .ok_or_else(|| PlanError::UnknownColumn(right_key.into()))?;
         let out_schema = ls.join(&rs);
 
         let lsize = estimate_bytes(left, ctx).unwrap_or(usize::MAX);
@@ -256,16 +288,18 @@ fn plain_columns(exprs: &[(Expr, String)]) -> Option<Vec<String>> {
 fn resolve_cols(names: &[String], schema: &rowstore::Schema) -> Result<Vec<usize>, PlanError> {
     names
         .iter()
-        .map(|n| schema.index_of(n).ok_or_else(|| PlanError::UnknownColumn(n.clone())))
+        .map(|n| {
+            schema
+                .index_of(n)
+                .ok_or_else(|| PlanError::UnknownColumn(n.clone()))
+        })
         .collect()
 }
 
 /// Size estimation for join-strategy selection. `None` = unknown.
 pub fn estimate_bytes(plan: &LogicalPlan, ctx: &Arc<Context>) -> Option<usize> {
     match plan {
-        LogicalPlan::Scan { table, .. } => {
-            ctx.provider(table).ok().map(|p| p.estimated_bytes())
-        }
+        LogicalPlan::Scan { table, .. } => ctx.provider(table).ok().map(|p| p.estimated_bytes()),
         // Filters and projections only shrink their input: the input size
         // is a safe upper bound.
         LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
@@ -291,23 +325,37 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::test_small());
         let ctx = Context::with_config(
             cluster,
-            ExecConfig { broadcast_threshold_bytes: threshold, ..ExecConfig::default() },
+            ExecConfig {
+                broadcast_threshold_bytes: threshold,
+                ..ExecConfig::default()
+            },
         );
         let schema = Schema::new(vec![
             Field::new("k", DataType::Int64),
             Field::new("v", DataType::Utf8),
         ]);
-        let big: Vec<Row> =
-            (0..1000).map(|i| vec![Value::Int64(i % 50), Value::Utf8(format!("b{i}"))]).collect();
-        let small: Vec<Row> =
-            (0..10).map(|i| vec![Value::Int64(i), Value::Utf8(format!("s{i}"))]).collect();
-        ctx.register_table("big", Arc::new(ColumnarTable::from_rows(Arc::clone(&schema), big, 4)));
-        ctx.register_table("small", Arc::new(ColumnarTable::from_rows(schema, small, 2)));
+        let big: Vec<Row> = (0..1000)
+            .map(|i| vec![Value::Int64(i % 50), Value::Utf8(format!("b{i}"))])
+            .collect();
+        let small: Vec<Row> = (0..10)
+            .map(|i| vec![Value::Int64(i), Value::Utf8(format!("s{i}"))])
+            .collect();
+        ctx.register_table(
+            "big",
+            Arc::new(ColumnarTable::from_rows(Arc::clone(&schema), big, 4)),
+        );
+        ctx.register_table(
+            "small",
+            Arc::new(ColumnarTable::from_rows(schema, small, 2)),
+        );
         ctx
     }
 
     fn scan(ctx: &Arc<Context>, t: &str) -> LogicalPlan {
-        LogicalPlan::Scan { table: t.into(), schema: ctx.provider(t).unwrap().schema() }
+        LogicalPlan::Scan {
+            table: t.into(),
+            schema: ctx.provider(t).unwrap().schema(),
+        }
     }
 
     #[test]
@@ -333,7 +381,11 @@ mod tests {
             right_key: "k".into(),
         };
         let phys = Planner::new().plan(&plan, &ctx).unwrap();
-        assert!(phys.describe(0).contains("ShuffledHashJoin"), "{}", phys.describe(0));
+        assert!(
+            phys.describe(0).contains("ShuffledHashJoin"),
+            "{}",
+            phys.describe(0)
+        );
     }
 
     #[test]
@@ -369,7 +421,10 @@ mod tests {
         };
         let phys = Planner::new().plan(&plan, &ctx).unwrap();
         let desc = phys.describe(0);
-        assert!(desc.contains("ColumnarScan") && desc.contains("+filter"), "{desc}");
+        assert!(
+            desc.contains("ColumnarScan") && desc.contains("+filter"),
+            "{desc}"
+        );
         assert!(!desc.contains("Filter\n"), "no separate FilterExec: {desc}");
     }
 
@@ -385,7 +440,10 @@ mod tests {
         };
         let phys = Planner::new().plan(&plan, &ctx).unwrap();
         let desc = phys.describe(0);
-        assert!(desc.contains("+filter") && desc.contains("+project"), "{desc}");
+        assert!(
+            desc.contains("+filter") && desc.contains("+project"),
+            "{desc}"
+        );
         assert_eq!(phys.schema().arity(), 1);
     }
 

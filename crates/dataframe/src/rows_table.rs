@@ -26,7 +26,10 @@ impl RowsTable {
         if parts.is_empty() {
             parts.push(Arc::new(Vec::new()));
         }
-        RowsTable { schema, partitions: parts }
+        RowsTable {
+            schema,
+            partitions: parts,
+        }
     }
 
     /// A single-partition table (driver-local result sets).
@@ -89,7 +92,13 @@ mod tests {
         let rows: Vec<Row> = (0..25).map(|i| vec![Value::Int64(i)]).collect();
         ctx.register_table("lit", Arc::new(RowsTable::new(schema(), rows, 4)));
         assert_eq!(ctx.sql("SELECT * FROM lit").unwrap().count().unwrap(), 25);
-        assert_eq!(ctx.sql("SELECT * FROM lit WHERE x < 5").unwrap().count().unwrap(), 5);
+        assert_eq!(
+            ctx.sql("SELECT * FROM lit WHERE x < 5")
+                .unwrap()
+                .count()
+                .unwrap(),
+            5
+        );
     }
 
     #[test]
@@ -103,7 +112,10 @@ mod tests {
     fn joins_against_literal_probe() {
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
         let rows: Vec<Row> = (0..100).map(|i| vec![Value::Int64(i % 10)]).collect();
-        ctx.register_table("t", Arc::new(RowsTable::new(Arc::clone(&schema()), rows, 2)));
+        ctx.register_table(
+            "t",
+            Arc::new(RowsTable::new(Arc::clone(&schema()), rows, 2)),
+        );
         let probe: Vec<Row> = vec![vec![Value::Int64(3)]];
         ctx.register_table("p", Arc::new(RowsTable::single(schema(), probe)));
         let n = ctx

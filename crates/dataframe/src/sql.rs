@@ -150,11 +150,13 @@ fn lex(input: &str) -> Result<Vec<Tok>, PlanError> {
                 let text = &input[start..j];
                 if is_float {
                     toks.push(Tok::Float(
-                        text.parse().map_err(|_| PlanError::Parse(format!("bad number {text}")))?,
+                        text.parse()
+                            .map_err(|_| PlanError::Parse(format!("bad number {text}")))?,
                     ));
                 } else {
                     toks.push(Tok::Int(
-                        text.parse().map_err(|_| PlanError::Parse(format!("bad number {text}")))?,
+                        text.parse()
+                            .map_err(|_| PlanError::Parse(format!("bad number {text}")))?,
                     ));
                 }
                 i = j;
@@ -190,8 +192,15 @@ struct Parser<'a> {
 #[derive(Debug)]
 enum SelectItem {
     Wildcard,
-    Expr { expr: Expr, name: String },
-    Agg { func: AggFunc, input: Option<String>, name: String },
+    Expr {
+        expr: Expr,
+        name: String,
+    },
+    Agg {
+        func: AggFunc,
+        input: Option<String>,
+        name: String,
+    },
 }
 
 impl<'a> Parser<'a> {
@@ -217,12 +226,14 @@ impl<'a> Parser<'a> {
         false
     }
 
-
     fn expect_keyword(&mut self, kw: &str) -> Result<(), PlanError> {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(PlanError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+            Err(PlanError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -231,14 +242,19 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(PlanError::Parse(format!("expected {tok:?}, found {:?}", self.peek())))
+            Err(PlanError::Parse(format!(
+                "expected {tok:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String, PlanError> {
         match self.next() {
             Tok::Ident(s) => Ok(s),
-            other => Err(PlanError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(PlanError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -263,7 +279,10 @@ impl<'a> Parser<'a> {
         self.expect_keyword("FROM")?;
         let (table, _alias) = self.table_ref()?;
         let provider = self.ctx.provider(&table)?;
-        let mut plan = LogicalPlan::Scan { table: table.clone(), schema: provider.schema() };
+        let mut plan = LogicalPlan::Scan {
+            table: table.clone(),
+            schema: provider.schema(),
+        };
 
         // Optional JOIN.
         if self.eat_keyword("JOIN") {
@@ -302,7 +321,10 @@ impl<'a> Parser<'a> {
         // Optional WHERE.
         if self.eat_keyword("WHERE") {
             let predicate = self.expr()?;
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
         }
 
         // Optional GROUP BY.
@@ -329,7 +351,9 @@ impl<'a> Parser<'a> {
                     SelectItem::Wildcard => {
                         return Err(PlanError::Parse("SELECT * with GROUP BY".into()))
                     }
-                    SelectItem::Expr { expr: Expr::Col(c), .. } => {
+                    SelectItem::Expr {
+                        expr: Expr::Col(c), ..
+                    } => {
                         if !group_by.contains(c) {
                             return Err(PlanError::Parse(format!(
                                 "column {c} must appear in GROUP BY"
@@ -352,22 +376,33 @@ impl<'a> Parser<'a> {
                     }
                 }
             }
-            plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by, aggs };
+            plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by,
+                aggs,
+            };
             // Re-project to the select-list order.
-            let exprs = out_order.into_iter().map(|n| (Expr::Col(n.clone()), n)).collect();
-            plan = LogicalPlan::Project { input: Box::new(plan), exprs };
+            let exprs = out_order
+                .into_iter()
+                .map(|n| (Expr::Col(n.clone()), n))
+                .collect();
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
         } else if !matches!(items.as_slice(), [SelectItem::Wildcard]) {
             let exprs = items
                 .into_iter()
                 .map(|i| match i {
                     SelectItem::Expr { expr, name } => Ok((expr, name)),
-                    SelectItem::Wildcard => {
-                        Err(PlanError::Parse("mixed * and columns".into()))
-                    }
+                    SelectItem::Wildcard => Err(PlanError::Parse("mixed * and columns".into())),
                     SelectItem::Agg { .. } => unreachable!(),
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            plan = LogicalPlan::Project { input: Box::new(plan), exprs };
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
         }
 
         // Optional ORDER BY.
@@ -388,14 +423,20 @@ impl<'a> Parser<'a> {
                 }
                 self.pos += 1;
             }
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
 
         // Optional LIMIT.
         if self.eat_keyword("LIMIT") {
             match self.next() {
                 Tok::Int(n) if n >= 0 => {
-                    plan = LogicalPlan::Limit { input: Box::new(plan), n: n as usize };
+                    plan = LogicalPlan::Limit {
+                        input: Box::new(plan),
+                        n: n as usize,
+                    };
                 }
                 other => return Err(PlanError::Parse(format!("bad LIMIT {other:?}"))),
             }
@@ -454,13 +495,17 @@ impl<'a> Parser<'a> {
                         Some(self.column_name()?)
                     };
                     self.expect(Tok::RParen)?;
-                    let default = format!(
-                        "{}({})",
-                        func.name(),
-                        input.as_deref().unwrap_or("*")
-                    );
-                    let out = if self.eat_keyword("AS") { self.ident()? } else { default };
-                    return Ok(SelectItem::Agg { func, input, name: out });
+                    let default = format!("{}({})", func.name(), input.as_deref().unwrap_or("*"));
+                    let out = if self.eat_keyword("AS") {
+                        self.ident()?
+                    } else {
+                        default
+                    };
+                    return Ok(SelectItem::Agg {
+                        func,
+                        input,
+                        name: out,
+                    });
                 }
             }
         }
@@ -521,13 +566,21 @@ impl<'a> Parser<'a> {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.additive()?;
-            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
         }
         // IS [NOT] NULL
         if self.eat_keyword("IS") {
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
-            return Ok(if negated { left.is_not_null() } else { left.is_null() });
+            return Ok(if negated {
+                left.is_not_null()
+            } else {
+                left.is_null()
+            });
         }
         // BETWEEN lo AND hi → (left >= lo) AND (left <= hi).
         if self.eat_keyword("BETWEEN") {
@@ -574,7 +627,11 @@ impl<'a> Parser<'a> {
             };
             self.pos += 1;
             let right = self.multiplicative()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -589,7 +646,11 @@ impl<'a> Parser<'a> {
             };
             self.pos += 1;
             let right = self.primary()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -665,7 +726,10 @@ mod tests {
                 ]
             })
             .collect();
-        ctx.register_table("flights", Arc::new(ColumnarTable::from_rows(flights, rows, 3)));
+        ctx.register_table(
+            "flights",
+            Arc::new(ColumnarTable::from_rows(flights, rows, 3)),
+        );
 
         let planes = Schema::new(vec![
             Field::new("tailNum", DataType::Utf8),
@@ -674,7 +738,10 @@ mod tests {
         let prows: Vec<Row> = (0..10)
             .map(|i| vec![Value::Utf8(format!("N{i}")), Value::Int64(1990 + i)])
             .collect();
-        ctx.register_table("planes", Arc::new(ColumnarTable::from_rows(planes, prows, 2)));
+        ctx.register_table(
+            "planes",
+            Arc::new(ColumnarTable::from_rows(planes, prows, 2)),
+        );
         ctx
     }
 
@@ -773,7 +840,11 @@ mod tests {
     #[test]
     fn limit_clause() {
         let ctx = ctx();
-        let rows = ctx.sql("SELECT * FROM flights LIMIT 5").unwrap().collect().unwrap();
+        let rows = ctx
+            .sql("SELECT * FROM flights LIMIT 5")
+            .unwrap()
+            .collect()
+            .unwrap();
         assert_eq!(rows.len(), 5);
     }
 
@@ -794,7 +865,9 @@ mod tests {
         assert!(ctx.sql("SELEKT * FROM flights").is_err());
         assert!(ctx.sql("SELECT * FROM missing_table").is_err());
         assert!(ctx.sql("SELECT * FROM flights WHERE").is_err());
-        assert!(ctx.sql("SELECT * FROM flights WHERE tailNum = 'unterminated").is_err());
+        assert!(ctx
+            .sql("SELECT * FROM flights WHERE tailNum = 'unterminated")
+            .is_err());
         assert!(ctx.sql("SELECT nonsense( FROM flights").is_err());
     }
 
@@ -872,7 +945,10 @@ mod tests {
     fn is_null_predicates() {
         let ctx = ctx();
         assert_eq!(
-            ctx.sql("SELECT * FROM flights WHERE tailNum IS NULL").unwrap().count().unwrap(),
+            ctx.sql("SELECT * FROM flights WHERE tailNum IS NULL")
+                .unwrap()
+                .count()
+                .unwrap(),
             0
         );
         assert_eq!(

@@ -30,7 +30,10 @@ const CHAIN_END: u32 = u32::MAX;
 
 impl ColumnarIndexedPartition {
     fn build(schema: &Schema, rows: &[Row], index_col: usize) -> ColumnarIndexedPartition {
-        assert!(rows.len() < CHAIN_END as usize, "partition too large for u32 row ids");
+        assert!(
+            rows.len() < CHAIN_END as usize,
+            "partition too large for u32 row ids"
+        );
         let columns = ColumnarPartition::from_rows(schema, rows);
         let index = ctrie::Ctrie::new();
         let mut prev = Vec::with_capacity(rows.len());
@@ -39,7 +42,12 @@ impl ColumnarIndexedPartition {
             let head = index.insert(key, i as u32);
             prev.push(head.unwrap_or(CHAIN_END));
         }
-        ColumnarIndexedPartition { columns, index, prev, index_col }
+        ColumnarIndexedPartition {
+            columns,
+            index,
+            prev,
+            index_col,
+        }
     }
 
     pub fn num_rows(&self) -> usize {
@@ -122,14 +130,17 @@ impl ColumnarIndexedTable {
             .chunks(chunk)
             .map(|c| c.iter().map(|r| (r[col].key_hash(), r.clone())).collect())
             .collect();
-        let shuffled = Arc::new(sparklet::exchange(ctx.cluster(), inputs, p));
+        let shuffled = Arc::new(sparklet::exchange(ctx.cluster(), inputs, p)?);
         let schema2 = Arc::clone(&schema);
         let shuffled2 = Arc::clone(&shuffled);
-        let partitions: Vec<Arc<ColumnarIndexedPartition>> = ctx
-            .cluster()
-            .run_partitions(p, move |tc| {
-                Arc::new(ColumnarIndexedPartition::build(&schema2, &shuffled2[tc.partition], col))
-            });
+        let partitions: Vec<Arc<ColumnarIndexedPartition>> =
+            ctx.cluster().run_stage_partitions(p, move |tc| {
+                Arc::new(ColumnarIndexedPartition::build(
+                    &schema2,
+                    &shuffled2[tc.partition],
+                    col,
+                ))
+            })?;
         Ok(ColumnarIndexedTable {
             ctx: Arc::clone(ctx),
             schema,
@@ -153,7 +164,10 @@ impl ColumnarIndexedTable {
 
     /// Per-partition `(index_bytes, data_bytes)`.
     pub fn partition_stats(&self) -> Vec<(usize, usize)> {
-        self.partitions.iter().map(|p| (p.index_bytes(), p.data_bytes())).collect()
+        self.partitions
+            .iter()
+            .map(|p| (p.index_bytes(), p.data_bytes()))
+            .collect()
     }
 }
 
@@ -174,10 +188,13 @@ impl IndexedTable for ColumnarIndexedTable {
         Arc::clone(&self.partitions[p]) as Arc<dyn PartitionHandle>
     }
 
-    fn ensure_cached(&self) {}
+    // Built eagerly on the driver; nothing distributed can fail here.
+    fn ensure_cached(&self) -> Result<(), sparklet::StageError> {
+        Ok(())
+    }
 
-    fn lookup_routed(&self, key: &Value) -> Vec<Row> {
-        self.get_rows(key)
+    fn lookup_routed(&self, key: &Value) -> Result<Vec<Row>, sparklet::StageError> {
+        Ok(self.get_rows(key))
     }
 
     fn layout_name(&self) -> &'static str {
@@ -253,7 +270,9 @@ mod tests {
     }
 
     fn rows(n: i64, keys: i64) -> Vec<Row> {
-        (0..n).map(|i| vec![Value::Int64(i % keys), Value::Utf8(format!("v{i}"))]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int64(i % keys), Value::Utf8(format!("v{i}"))])
+            .collect()
     }
 
     fn ctx() -> Arc<Context> {
@@ -279,7 +298,10 @@ mod tests {
         let plan = df.clone().filter(col("k").eq(lit(7i64))).explain().unwrap();
         assert!(plan.contains("IndexedLookup"), "{plan}");
         assert_eq!(
-            ctx.sql("SELECT * FROM events WHERE k = 7").unwrap().count().unwrap(),
+            ctx.sql("SELECT * FROM events WHERE k = 7")
+                .unwrap()
+                .count()
+                .unwrap(),
             10
         );
     }
@@ -295,7 +317,9 @@ mod tests {
             "probe",
             Arc::new(dataframe::ColumnarTable::from_rows(probe_schema, probe, 1)),
         );
-        let df = ctx.sql("SELECT * FROM events JOIN probe ON events.k = probe.id").unwrap();
+        let df = ctx
+            .sql("SELECT * FROM events JOIN probe ON events.k = probe.id")
+            .unwrap();
         assert!(df.explain().unwrap().contains("IndexedJoin"));
         assert_eq!(df.count().unwrap(), 50);
     }

@@ -19,7 +19,7 @@ use crate::source::{InMemorySource, ReplayableSource};
 use dataframe::{Context, DataFrame, PlanError};
 use rowstore::{Row, Schema, StoreConfig, Value};
 use sparklet::metrics::Metrics;
-use sparklet::{partition_of, BlockId, TaskSpec};
+use sparklet::{partition_of, BlockId, StageError, TaskSpec};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
@@ -28,7 +28,10 @@ pub(crate) enum Provenance {
     /// Built directly from a replayable source (HDFS/Kafka stand-in).
     Base { source: Arc<dyn ReplayableSource> },
     /// Parent version plus appended rows.
-    Append { parent: Arc<IdfInner>, rows: Arc<Vec<Row>> },
+    Append {
+        parent: Arc<IdfInner>,
+        rows: Arc<Vec<Row>>,
+    },
 }
 
 pub(crate) struct IdfInner {
@@ -62,7 +65,10 @@ impl IdfInner {
     pub(crate) fn get_partition(self: &Arc<Self>, p: usize) -> Arc<IndexedPartition> {
         let cluster = self.ctx.cluster();
         let worker = self.home_worker(p);
-        let id = BlockId { dataset: self.dataset_id, partition: p };
+        let id = BlockId {
+            dataset: self.dataset_id,
+            partition: p,
+        };
         if let Some(block) = cluster.get_block_min_version(worker, id, self.version) {
             if let Ok(part) = block.data.downcast::<IndexedPartition>() {
                 return part;
@@ -81,8 +87,11 @@ impl IdfInner {
     fn build_partition(self: &Arc<Self>, p: usize) -> IndexedPartition {
         match &self.provenance {
             Provenance::Base { source } => {
-                let mut part =
-                    IndexedPartition::new(Arc::clone(&self.schema), self.index_col, self.store_config);
+                let mut part = IndexedPartition::new(
+                    Arc::clone(&self.schema),
+                    self.index_col,
+                    self.store_config,
+                );
                 let rows: Vec<Row> = source
                     .replay()
                     .into_iter()
@@ -94,8 +103,11 @@ impl IdfInner {
             Provenance::Append { parent, rows } => {
                 let parent_part = parent.get_partition(p);
                 let mut part = parent_part.snapshot();
-                let delta: Vec<Row> =
-                    rows.iter().filter(|r| self.partition_of_row(r) == p).cloned().collect();
+                let delta: Vec<Row> = rows
+                    .iter()
+                    .filter(|r| self.partition_of_row(r) == p)
+                    .cloned()
+                    .collect();
                 part.insert_rows(&delta).expect("appended rows insert");
                 part
             }
@@ -111,7 +123,10 @@ impl IdfInner {
     fn fully_cached(&self) -> bool {
         let cluster = self.ctx.cluster();
         (0..self.num_partitions).all(|p| {
-            let id = BlockId { dataset: self.dataset_id, partition: p };
+            let id = BlockId {
+                dataset: self.dataset_id,
+                partition: p,
+            };
             cluster
                 .get_block_min_version(self.home_worker(p), id, self.version)
                 .is_some()
@@ -129,22 +144,28 @@ impl IdfInner {
     /// Materialize every partition in parallel on the cluster, shuffling
     /// rows to their hash partitions (index creation / append execution,
     /// §III-C "Index Creation, Append"; the shuffle dominates write time,
-    /// Fig. 10).
-    pub(crate) fn materialize(self: &Arc<Self>) {
+    /// Fig. 10). Tasks lost to a mid-stage worker failure are retried on
+    /// survivors; the retried attempt recomputes from lineage because the
+    /// dead worker's blocks are gone. Only retry exhaustion (or a fully
+    /// dead cluster) surfaces as an error.
+    pub(crate) fn materialize(self: &Arc<Self>) -> Result<(), StageError> {
         let cluster = self.ctx.cluster();
         let metrics = cluster.metrics();
         let p = self.num_partitions;
 
         let missing: Vec<usize> = (0..p)
             .filter(|&i| {
-                let id = BlockId { dataset: self.dataset_id, partition: i };
+                let id = BlockId {
+                    dataset: self.dataset_id,
+                    partition: i,
+                };
                 cluster
                     .get_block_min_version(self.home_worker(i), id, self.version)
                     .is_none()
             })
             .collect();
         if missing.is_empty() {
-            return;
+            return Ok(());
         }
         if missing.len() < p {
             // Partial recovery (a worker died, §III-D): rebuild only the
@@ -152,12 +173,15 @@ impl IdfInner {
             let inner = Arc::clone(self);
             let tasks: Vec<TaskSpec> = missing
                 .iter()
-                .map(|&i| TaskSpec { partition: i, preferred_worker: Some(self.home_worker(i)) })
+                .map(|&i| TaskSpec {
+                    partition: i,
+                    preferred_worker: Some(self.home_worker(i)),
+                })
                 .collect();
-            cluster.run_tasks(&tasks, move |tc| {
+            cluster.run_stage(&tasks, move |tc| {
                 let _ = inner.get_partition(tc.partition);
-            });
-            return;
+            })?;
+            return Ok(());
         }
 
         // Rows that must move: the base source or the appended delta.
@@ -172,18 +196,25 @@ impl IdfInner {
         let index_col = self.index_col;
         let inputs: Vec<Vec<(u64, Row)>> = rows
             .chunks(chunk)
-            .map(|c| c.iter().map(|r| (r[index_col].key_hash(), r.clone())).collect())
+            .map(|c| {
+                c.iter()
+                    .map(|r| (r[index_col].key_hash(), r.clone()))
+                    .collect()
+            })
             .collect();
-        let shuffled = Arc::new(sparklet::exchange(cluster, inputs, p));
+        let shuffled = Arc::new(sparklet::exchange(cluster, inputs, p)?);
 
         // Build side: one task per partition, on its home worker.
         let inner = Arc::clone(self);
         let shuffled2 = Arc::clone(&shuffled);
         let tasks: Vec<TaskSpec> = (0..p)
-            .map(|i| TaskSpec { partition: i, preferred_worker: Some(self.home_worker(i)) })
+            .map(|i| TaskSpec {
+                partition: i,
+                preferred_worker: Some(self.home_worker(i)),
+            })
             .collect();
         Metrics::timed(&metrics.build_ns, || {
-            cluster.run_tasks(&tasks, move |tc| {
+            cluster.run_stage(&tasks, move |tc| {
                 let pidx = tc.partition;
                 let part = match &inner.provenance {
                     Provenance::Base { .. } => {
@@ -192,20 +223,29 @@ impl IdfInner {
                             inner.index_col,
                             inner.store_config,
                         );
-                        part.insert_rows(&shuffled2[pidx]).expect("shuffled rows insert");
+                        part.insert_rows(&shuffled2[pidx])
+                            .expect("shuffled rows insert");
                         part
                     }
                     Provenance::Append { parent, .. } => {
                         let parent_part = parent.get_partition(pidx);
                         let mut part = parent_part.snapshot();
-                        part.insert_rows(&shuffled2[pidx]).expect("appended rows insert");
+                        part.insert_rows(&shuffled2[pidx])
+                            .expect("appended rows insert");
                         part
                     }
                 };
-                let id = BlockId { dataset: inner.dataset_id, partition: pidx };
-                inner.ctx.cluster().put_block(tc.worker, id, inner.version, Arc::new(part) as _);
+                let id = BlockId {
+                    dataset: inner.dataset_id,
+                    partition: pidx,
+                };
+                inner
+                    .ctx
+                    .cluster()
+                    .put_block(tc.worker, id, inner.version, Arc::new(part) as _);
             })
-        });
+        })?;
+        Ok(())
     }
 }
 
@@ -224,13 +264,13 @@ impl IdfInner {
 /// ]);
 /// let rows = (0..100i64).map(|i| vec![Value::Int64(i % 10), "seen".into()]).collect();
 /// let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "user").unwrap();
-/// idf.cache_index();
-/// assert_eq!(idf.get_rows(&Value::Int64(3)).len(), 10);
+/// idf.cache_index().unwrap();
+/// assert_eq!(idf.get_rows(&Value::Int64(3)).unwrap().len(), 10);
 ///
 /// // Appends create a new version; the parent is untouched.
 /// let v2 = idf.append_rows(vec![vec![Value::Int64(3), "new".into()]]);
-/// assert_eq!(v2.get_rows(&Value::Int64(3)).len(), 11);
-/// assert_eq!(idf.get_rows(&Value::Int64(3)).len(), 10);
+/// assert_eq!(v2.get_rows(&Value::Int64(3)).unwrap().len(), 11);
+/// assert_eq!(idf.get_rows(&Value::Int64(3)).unwrap().len(), 10);
 /// ```
 #[derive(Clone)]
 pub struct IndexedDataFrame {
@@ -312,8 +352,13 @@ impl IndexedDataFrame {
     // ------------------------------------------------------------------
 
     /// `cacheIndex`: build and pin every partition on its worker now.
-    pub fn cache_index(&self) {
-        self.inner.materialize();
+    ///
+    /// A worker killed while the build stage runs does not fail the call:
+    /// lost tasks are rescheduled onto survivors, which recompute the lost
+    /// partitions from lineage (§III-D). `Err` means a task exhausted its
+    /// retries or no worker is left alive.
+    pub fn cache_index(&self) -> Result<(), StageError> {
+        self.inner.materialize()
     }
 
     /// Whether every partition is materialized in the block cache.
@@ -323,29 +368,31 @@ impl IndexedDataFrame {
 
     /// `getRows`: point lookup. Routed to the single partition owning the
     /// key's hash; returns matching rows newest-appended first.
-    pub fn get_rows(&self, key: &Value) -> Vec<Row> {
+    pub fn get_rows(&self, key: &Value) -> Result<Vec<Row>, StageError> {
         let p = partition_of(key.key_hash(), self.inner.num_partitions);
         let cluster = self.inner.ctx.cluster();
         let metrics = cluster.metrics();
         let inner = Arc::clone(&self.inner);
         let key = key.clone();
-        let task = TaskSpec { partition: p, preferred_worker: Some(self.inner.home_worker(p)) };
-        Metrics::timed(&metrics.probe_ns, || {
-            cluster
-                .run_tasks(&[task], move |tc| {
-                    let _ = tc;
-                    inner.get_partition(p).lookup(&key)
-                })
-                .pop()
-                .unwrap_or_default()
-        })
+        let task = TaskSpec {
+            partition: p,
+            preferred_worker: Some(self.inner.home_worker(p)),
+        };
+        Ok(Metrics::timed(&metrics.probe_ns, || {
+            cluster.run_stage(&[task], move |tc| {
+                let _ = tc;
+                inner.get_partition(p).lookup(&key)
+            })
+        })?
+        .pop()
+        .unwrap_or_default())
     }
 
     /// `getRows` with the paper's exact signature (Listing 1 returns a
     /// *DataFrame*): the matching rows wrapped as a queryable literal
     /// table.
-    pub fn get_rows_df(&self, key: &Value) -> DataFrame {
-        let rows = self.get_rows(key);
+    pub fn get_rows_df(&self, key: &Value) -> Result<DataFrame, PlanError> {
+        let rows = self.get_rows(key)?;
         let provider = Arc::new(dataframe::RowsTable::single(
             Arc::clone(&self.inner.schema),
             rows,
@@ -356,7 +403,7 @@ impl IndexedDataFrame {
             self.inner.ctx.cluster().new_dataset_id()
         );
         self.inner.ctx.register_table(&name, provider);
-        self.inner.ctx.table(&name).expect("just registered")
+        self.inner.ctx.table(&name)
     }
 
     /// `appendRows`: create the next version containing `rows` in addition
@@ -397,13 +444,13 @@ impl IndexedDataFrame {
 
     /// Materialize all partitions and return every row (test helper; the
     /// production path is query execution through the provider).
-    pub fn collect(&self) -> Vec<Row> {
-        self.cache_index();
+    pub fn collect(&self) -> Result<Vec<Row>, StageError> {
+        self.cache_index()?;
         let mut out = Vec::new();
         for p in 0..self.inner.num_partitions {
             out.extend(self.inner.get_partition(p).scan());
         }
-        out
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -411,24 +458,24 @@ impl IndexedDataFrame {
     // ------------------------------------------------------------------
 
     /// Per-partition `(index_bytes, data_bytes)` (forces materialization).
-    pub fn partition_stats(&self) -> Vec<(usize, usize)> {
-        self.cache_index();
-        (0..self.inner.num_partitions)
+    pub fn partition_stats(&self) -> Result<Vec<(usize, usize)>, StageError> {
+        self.cache_index()?;
+        Ok((0..self.inner.num_partitions)
             .map(|p| {
                 let part = self.inner.get_partition(p);
                 (part.index_bytes(), part.data_bytes())
             })
-            .collect()
+            .collect())
     }
 
     /// Total cTrie index bytes across partitions.
-    pub fn index_bytes(&self) -> usize {
-        self.partition_stats().iter().map(|(i, _)| i).sum()
+    pub fn index_bytes(&self) -> Result<usize, StageError> {
+        Ok(self.partition_stats()?.iter().map(|(i, _)| i).sum())
     }
 
     /// Total row-data bytes across partitions.
-    pub fn data_bytes(&self) -> usize {
-        self.partition_stats().iter().map(|(_, d)| d).sum()
+    pub fn data_bytes(&self) -> Result<usize, StageError> {
+        Ok(self.partition_stats()?.iter().map(|(_, d)| d).sum())
     }
 
     /// Direct partition access for benchmarks/tests.

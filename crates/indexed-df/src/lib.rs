@@ -38,10 +38,10 @@
 //!
 //! // createIndex + cacheIndex (Listing 1 of the paper).
 //! let idf = IndexedDataFrame::from_rows(&ctx, schema, edges, "src").unwrap();
-//! idf.cache_index();
+//! idf.cache_index().unwrap();
 //!
 //! // Point lookup: worst-case logarithmic, not a scan.
-//! assert_eq!(idf.get_rows(&Value::Int64(7)).len(), 10);
+//! assert_eq!(idf.get_rows(&Value::Int64(7)).unwrap().len(), 10);
 //!
 //! // SQL on the indexed table triggers the indexed operators.
 //! idf.register("edges").unwrap();
@@ -61,5 +61,5 @@ pub use columnar::{ColumnarIndexedPartition, ColumnarIndexedTable};
 pub use frame::{recompute_ns, IdfBuilder, IndexedDataFrame};
 pub use partition::IndexedPartition;
 pub use rule::{install, IndexedRule};
-pub use table::{IndexedTable, PartitionHandle};
 pub use source::{FileSource, InMemorySource, ReplayableSource};
+pub use table::{IndexedTable, PartitionHandle};

@@ -252,7 +252,8 @@ mod tests {
     fn memory_accounting() {
         let mut p = part();
         for i in 0..1000 {
-            p.insert_row(&row(i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")).unwrap();
+            p.insert_row(&row(i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+                .unwrap();
         }
         let overhead = p.index_bytes() as f64 / p.data_bytes() as f64;
         assert!(overhead > 0.0);

@@ -85,8 +85,9 @@ mod tests {
             Field::new("k", DataType::Int64),
             Field::new("v", DataType::Utf8),
         ]);
-        let rows: Vec<Row> =
-            (0..200).map(|i| vec![Value::Int64(i % 20), Value::Utf8(format!("v{i}"))]).collect();
+        let rows: Vec<Row> = (0..200)
+            .map(|i| vec![Value::Int64(i % 20), Value::Utf8(format!("v{i}"))])
+            .collect();
         let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "k").unwrap();
         let total: usize = (0..TableProvider::num_partitions(&idf))
             .map(|p| idf.scan_partition(p).len())
@@ -103,12 +104,18 @@ mod tests {
             Field::new("k", DataType::Int64),
             Field::new("v", DataType::Int64),
         ]);
-        let rows: Vec<Row> = (0..100).map(|i| vec![Value::Int64(i), Value::Int64(i * 2)]).collect();
+        let rows: Vec<Row> = (0..100)
+            .map(|i| vec![Value::Int64(i), Value::Int64(i * 2)])
+            .collect();
         let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "k").unwrap();
         idf.register("events").unwrap();
         // Non-indexed predicate (range on the data column): falls back to a
         // row scan; results must still be exact.
-        let n = ctx.sql("SELECT * FROM events WHERE v < 50").unwrap().count().unwrap();
+        let n = ctx
+            .sql("SELECT * FROM events WHERE v < 50")
+            .unwrap()
+            .count()
+            .unwrap();
         assert_eq!(n, 25);
     }
 }

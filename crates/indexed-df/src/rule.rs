@@ -18,7 +18,7 @@
 use crate::columnar::ColumnarIndexedTable;
 use crate::frame::IndexedDataFrame;
 use crate::table::IndexedTable;
-use dataframe::physical::{describe_node, ExecPlan, Partitions};
+use dataframe::physical::{describe_node, ExecError, ExecPlan, Partitions};
 use dataframe::{Context, LogicalPlan, PlanError, Planner, PlannerRule};
 use rowstore::{Row, Schema, Value};
 use sparklet::metrics::Metrics;
@@ -79,10 +79,18 @@ impl PlannerRule for IndexedRule {
             LogicalPlan::Filter { input, predicate } => {
                 let (col_name, value) = predicate.as_eq_literal()?;
                 let table = as_indexed_scan(input, col_name, ctx)?;
-                Some(Ok(Arc::new(IndexedLookupExec { table, key: value.clone() })))
+                Some(Ok(Arc::new(IndexedLookupExec {
+                    table,
+                    key: value.clone(),
+                })))
             }
             // Indexed join: either side is an indexed scan on its index column.
-            LogicalPlan::Join { left, right, left_key, right_key } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
                 if let Some(table) = as_indexed_scan(left, left_key, ctx) {
                     let probe = match planner.plan(right, ctx) {
                         Ok(p) => p,
@@ -138,15 +146,19 @@ impl ExecPlan for IndexedLookupExec {
         self.table.schema()
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let _ = ctx;
-        vec![self.table.lookup_routed(&self.key)]
+        Ok(vec![self.table.lookup_routed(&self.key)?])
     }
 
     fn describe(&self, indent: usize) -> String {
         describe_node(
             indent,
-            &format!("IndexedLookup [key = {}, layout = {}]", self.key, self.table.layout_name()),
+            &format!(
+                "IndexedLookup [key = {}, layout = {}]",
+                self.key,
+                self.table.layout_name()
+            ),
             &[],
         )
     }
@@ -171,14 +183,14 @@ impl ExecPlan for IndexedJoinExec {
         Arc::clone(&self.out_schema)
     }
 
-    fn execute(&self, ctx: &Arc<Context>) -> Partitions {
+    fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let cluster = ctx.cluster();
         let metrics = cluster.metrics();
         // Ensure the index is materialized (first use pays the build; later
         // queries amortize it — the effect of Fig. 1).
-        self.table.ensure_cached();
+        self.table.ensure_cached()?;
 
-        let probe_parts = self.probe.execute(ctx);
+        let probe_parts = self.probe.execute(ctx)?;
         let probe_bytes: usize = probe_parts.iter().flatten().map(|r| r.approx_bytes()).sum();
         let p = self.table.num_partitions();
         let probe_key = self.probe_key;
@@ -198,9 +210,10 @@ impl ExecPlan for IndexedJoinExec {
         }
         let probe_dist = if broadcast {
             let all: Vec<Row> = probe_parts.into_iter().flatten().collect();
-            metrics
-                .broadcast_bytes
-                .fetch_add((probe_bytes * cluster.alive_workers().len()) as u64, Relaxed);
+            metrics.broadcast_bytes.fetch_add(
+                (probe_bytes * cluster.alive_workers().len()) as u64,
+                Relaxed,
+            );
             ProbeDist::Broadcast(Arc::new(all))
         } else {
             let keyed: Vec<Vec<(u64, Row)>> = probe_parts
@@ -212,7 +225,7 @@ impl ExecPlan for IndexedJoinExec {
                         .collect()
                 })
                 .collect();
-            ProbeDist::Shuffled(Arc::new(sparklet::exchange(cluster, keyed, p)))
+            ProbeDist::Shuffled(Arc::new(sparklet::exchange(cluster, keyed, p)?))
         };
         let per_partition_probe = Arc::new(probe_dist);
 
@@ -222,9 +235,9 @@ impl ExecPlan for IndexedJoinExec {
                 preferred_worker: Some(cluster.worker_for_partition(i)),
             })
             .collect();
-        Metrics::timed(&metrics.probe_ns, || {
+        Ok(Metrics::timed(&metrics.probe_ns, || {
             let probes = Arc::clone(&per_partition_probe);
-            cluster.run_tasks(&tasks, move |tc| {
+            cluster.run_stage(&tasks, move |tc| {
                 let part = table.partition_handle(tc.partition);
                 let probe_rows: &[Row] = match probes.as_ref() {
                     ProbeDist::Broadcast(all) => all,
@@ -240,8 +253,7 @@ impl ExecPlan for IndexedJoinExec {
                         continue; // another partition owns this key
                     }
                     for indexed_row in part.lookup(key) {
-                        let mut row =
-                            Vec::with_capacity(indexed_row.len() + probe_row.len());
+                        let mut row = Vec::with_capacity(indexed_row.len() + probe_row.len());
                         if indexed_is_left {
                             row.extend(indexed_row);
                             row.extend_from_slice(probe_row);
@@ -254,7 +266,7 @@ impl ExecPlan for IndexedJoinExec {
                 }
                 out
             })
-        })
+        })?)
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -262,7 +274,11 @@ impl ExecPlan for IndexedJoinExec {
             indent,
             &format!(
                 "IndexedJoin [indexed={} side, probe_key={}, layout={}]",
-                if self.indexed_is_left { "left" } else { "right" },
+                if self.indexed_is_left {
+                    "left"
+                } else {
+                    "right"
+                },
                 self.probe_key,
                 self.table.layout_name(),
             ),

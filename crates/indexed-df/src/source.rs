@@ -31,11 +31,17 @@ pub struct InMemorySource {
 
 impl InMemorySource {
     pub fn new(rows: Vec<Row>) -> InMemorySource {
-        InMemorySource { rows: Arc::new(rows), label: "in-memory".to_string() }
+        InMemorySource {
+            rows: Arc::new(rows),
+            label: "in-memory".to_string(),
+        }
     }
 
     pub fn with_label(rows: Vec<Row>, label: impl Into<String>) -> InMemorySource {
-        InMemorySource { rows: Arc::new(rows), label: label.into() }
+        InMemorySource {
+            rows: Arc::new(rows),
+            label: label.into(),
+        }
     }
 }
 
@@ -83,7 +89,11 @@ impl FileSource {
             file.write_all(&buf[..n])?;
         }
         file.flush()?;
-        Ok(FileSource { path, schema, rows: rows.len() })
+        Ok(FileSource {
+            path,
+            schema,
+            rows: rows.len(),
+        })
     }
 
     /// Open an existing file, validating and counting its records.
@@ -92,7 +102,11 @@ impl FileSource {
         schema: Arc<rowstore::Schema>,
     ) -> std::io::Result<FileSource> {
         let path = path.into();
-        let mut src = FileSource { path, schema, rows: 0 };
+        let mut src = FileSource {
+            path,
+            schema,
+            rows: 0,
+        };
         src.rows = src.read_all()?.len();
         Ok(src)
     }
@@ -125,7 +139,8 @@ impl FileSource {
 
 impl ReplayableSource for FileSource {
     fn replay(&self) -> Vec<Row> {
-        self.read_all().expect("replayable file source must stay readable")
+        self.read_all()
+            .expect("replayable file source must stay readable")
     }
 
     fn len(&self) -> usize {
@@ -167,7 +182,11 @@ mod tests {
             .map(|i| {
                 vec![
                     Value::Int64(i),
-                    if i % 7 == 0 { Value::Null } else { Value::Utf8(format!("v{i}")) },
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Utf8(format!("v{i}"))
+                    },
                 ]
             })
             .collect();

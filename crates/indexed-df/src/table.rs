@@ -10,6 +10,7 @@
 //! [`crate::rule::IndexedRule`] operators work against either.
 
 use rowstore::{Row, Schema, Value};
+use sparklet::StageError;
 use std::sync::Arc;
 
 /// A read handle on one materialized indexed partition.
@@ -27,9 +28,11 @@ pub trait IndexedTable: Send + Sync + 'static {
     /// Materialize (or fetch) partition `p` for probing.
     fn partition_handle(&self, p: usize) -> Arc<dyn PartitionHandle>;
     /// Ensure every partition is built/cached (called once per join).
-    fn ensure_cached(&self);
+    /// Distributed layouts build on the cluster and can fail if a build
+    /// task exhausts its retries; driver-local layouts always succeed.
+    fn ensure_cached(&self) -> Result<(), StageError>;
     /// Point lookup routed to the owning partition.
-    fn lookup_routed(&self, key: &Value) -> Vec<Row>;
+    fn lookup_routed(&self, key: &Value) -> Result<Vec<Row>, StageError>;
     /// Short label for `explain` output.
     fn layout_name(&self) -> &'static str;
 }
@@ -57,11 +60,11 @@ impl IndexedTable for crate::IndexedDataFrame {
         self.partition(p)
     }
 
-    fn ensure_cached(&self) {
-        self.cache_index();
+    fn ensure_cached(&self) -> Result<(), StageError> {
+        self.cache_index()
     }
 
-    fn lookup_routed(&self, key: &Value) -> Vec<Row> {
+    fn lookup_routed(&self, key: &Value) -> Result<Vec<Row>, StageError> {
         self.get_rows(key)
     }
 

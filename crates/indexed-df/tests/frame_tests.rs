@@ -15,7 +15,9 @@ fn edge_schema() -> Arc<Schema> {
 }
 
 fn edges(n: i64, keys: i64) -> Vec<Row> {
-    (0..n).map(|i| vec![Value::Int64(i % keys), Value::Int64(i)]).collect()
+    (0..n)
+        .map(|i| vec![Value::Int64(i % keys), Value::Int64(i)])
+        .collect()
 }
 
 fn ctx() -> Arc<Context> {
@@ -27,13 +29,13 @@ fn create_cache_lookup() {
     let ctx = ctx();
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(1000, 50), "src").unwrap();
     assert!(!idf.is_cached());
-    idf.cache_index();
+    idf.cache_index().unwrap();
     assert!(idf.is_cached());
     assert_eq!(idf.num_rows(), 1000);
-    let rows = idf.get_rows(&Value::Int64(13));
+    let rows = idf.get_rows(&Value::Int64(13)).unwrap();
     assert_eq!(rows.len(), 20);
     assert!(rows.iter().all(|r| r[0] == Value::Int64(13)));
-    assert!(idf.get_rows(&Value::Int64(999)).is_empty());
+    assert!(idf.get_rows(&Value::Int64(999)).unwrap().is_empty());
 }
 
 #[test]
@@ -41,23 +43,23 @@ fn lazy_materialization_on_first_use() {
     let ctx = ctx();
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(100, 10), "src").unwrap();
     // No cache_index: the lookup itself must build the needed partition.
-    assert_eq!(idf.get_rows(&Value::Int64(3)).len(), 10);
+    assert_eq!(idf.get_rows(&Value::Int64(3)).unwrap().len(), 10);
 }
 
 #[test]
 fn append_creates_new_version() {
     let ctx = ctx();
     let v1 = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(100, 10), "src").unwrap();
-    v1.cache_index();
+    v1.cache_index().unwrap();
     let v2 = v1.append_rows(vec![vec![Value::Int64(3), Value::Int64(9999)]]);
     assert_eq!(v2.version(), v1.version() + 1);
     assert_eq!(v2.num_rows(), 101);
-    let v2_rows = v2.get_rows(&Value::Int64(3));
+    let v2_rows = v2.get_rows(&Value::Int64(3)).unwrap();
     assert_eq!(v2_rows.len(), 11);
     // Newest append comes first in the chain.
     assert_eq!(v2_rows[0][1], Value::Int64(9999));
     // Parent unchanged.
-    assert_eq!(v1.get_rows(&Value::Int64(3)).len(), 10);
+    assert_eq!(v1.get_rows(&Value::Int64(3)).unwrap().len(), 10);
     assert_eq!(v1.num_rows(), 100);
 }
 
@@ -67,18 +69,18 @@ fn divergent_appends_coexist() {
     // order — both must succeed.
     let ctx = ctx();
     let parent = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(100, 10), "src").unwrap();
-    parent.cache_index();
+    parent.cache_index().unwrap();
     let a = parent.append_rows(vec![vec![Value::Int64(0), Value::Int64(111)]]);
     let b = parent.append_rows(vec![vec![Value::Int64(0), Value::Int64(222)]]);
     // Materialize in reverse creation order.
-    let b_rows = b.get_rows(&Value::Int64(0));
-    let a_rows = a.get_rows(&Value::Int64(0));
+    let b_rows = b.get_rows(&Value::Int64(0)).unwrap();
+    let a_rows = a.get_rows(&Value::Int64(0)).unwrap();
     assert_eq!(a_rows.len(), 11);
     assert_eq!(b_rows.len(), 11);
     assert!(a_rows.iter().any(|r| r[1] == Value::Int64(111)));
     assert!(!a_rows.iter().any(|r| r[1] == Value::Int64(222)));
     assert!(b_rows.iter().any(|r| r[1] == Value::Int64(222)));
-    assert_eq!(parent.get_rows(&Value::Int64(0)).len(), 10);
+    assert_eq!(parent.get_rows(&Value::Int64(0)).unwrap().len(), 10);
 }
 
 #[test]
@@ -90,14 +92,14 @@ fn chained_appends() {
     }
     assert_eq!(idf.version(), 6);
     assert_eq!(idf.num_rows(), 55);
-    assert_eq!(idf.get_rows(&Value::Int64(1)).len(), 15);
+    assert_eq!(idf.get_rows(&Value::Int64(1)).unwrap().len(), 15);
 }
 
 #[test]
 fn collect_returns_everything() {
     let ctx = ctx();
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(500, 20), "src").unwrap();
-    let rows = idf.collect();
+    let rows = idf.collect().unwrap();
     assert_eq!(rows.len(), 500);
 }
 
@@ -105,11 +107,19 @@ fn collect_returns_everything() {
 fn sql_point_query_uses_indexed_lookup() {
     let ctx = ctx();
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(1000, 100), "src").unwrap();
-    idf.cache_index();
+    idf.cache_index().unwrap();
     let df = idf.register("edges").unwrap();
-    let explained = df.clone().filter(col("src").eq(lit(5i64))).explain().unwrap();
+    let explained = df
+        .clone()
+        .filter(col("src").eq(lit(5i64)))
+        .explain()
+        .unwrap();
     assert!(explained.contains("IndexedLookup"), "{explained}");
-    let rows = ctx.sql("SELECT * FROM edges WHERE src = 5").unwrap().collect().unwrap();
+    let rows = ctx
+        .sql("SELECT * FROM edges WHERE src = 5")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(rows.len(), 10);
 }
 
@@ -145,7 +155,7 @@ fn non_indexed_predicates_fall_back() {
 fn indexed_join_matches_vanilla_join() {
     let ctx = ctx();
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(2000, 100), "src").unwrap();
-    idf.cache_index();
+    idf.cache_index().unwrap();
     let edges_df = idf.register("edges").unwrap();
 
     // Probe table: a small subset of keys.
@@ -153,11 +163,16 @@ fn indexed_join_matches_vanilla_join() {
         Field::new("id", DataType::Int64),
         Field::new("label", DataType::Utf8),
     ]);
-    let probe_rows: Vec<Row> =
-        (0..10).map(|i| vec![Value::Int64(i * 7), Value::Utf8(format!("p{i}"))]).collect();
+    let probe_rows: Vec<Row> = (0..10)
+        .map(|i| vec![Value::Int64(i * 7), Value::Utf8(format!("p{i}"))])
+        .collect();
     ctx.register_table(
         "probe",
-        Arc::new(ColumnarTable::from_rows(Arc::clone(&probe_schema), probe_rows.clone(), 2)),
+        Arc::new(ColumnarTable::from_rows(
+            Arc::clone(&probe_schema),
+            probe_rows.clone(),
+            2,
+        )),
     );
 
     let joined = edges_df.join(ctx.table("probe").unwrap(), "src", "id");
@@ -191,13 +206,18 @@ fn indexed_join_when_indexed_side_is_right() {
     idf.register("edges").unwrap();
     let probe_schema = Schema::new(vec![Field::new("id", DataType::Int64)]);
     let probe_rows: Vec<Row> = (0..5).map(|i| vec![Value::Int64(i)]).collect();
-    ctx.register_table("probe", Arc::new(ColumnarTable::from_rows(probe_schema, probe_rows, 1)));
+    ctx.register_table(
+        "probe",
+        Arc::new(ColumnarTable::from_rows(probe_schema, probe_rows, 1)),
+    );
     // probe JOIN edges: indexed side on the right.
-    let df = ctx.sql("SELECT * FROM probe JOIN edges ON probe.id = edges.src").unwrap();
+    let df = ctx
+        .sql("SELECT * FROM probe JOIN edges ON probe.id = edges.src")
+        .unwrap();
     assert!(df.explain().unwrap().contains("IndexedJoin"));
     let rows = df.collect().unwrap();
     assert_eq!(rows.len(), 50); // 5 keys × 10 rows each
-    // Column order: probe (left) then edges (right).
+                                // Column order: probe (left) then edges (right).
     assert_eq!(rows[0].len(), 3);
 }
 
@@ -205,16 +225,28 @@ fn indexed_join_when_indexed_side_is_right() {
 fn indexed_join_shuffle_path_matches_broadcast_path() {
     // Force the shuffle path by setting a zero broadcast threshold.
     let cluster = Cluster::new(ClusterConfig::test_small());
-    let cfg = dataframe::ExecConfig { broadcast_threshold_bytes: 0, ..Default::default() };
+    let cfg = dataframe::ExecConfig {
+        broadcast_threshold_bytes: 0,
+        ..Default::default()
+    };
     let ctx = Context::with_config(cluster, cfg);
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(1000, 50), "src").unwrap();
     let edges_df = idf.register("edges").unwrap();
     let probe_schema = Schema::new(vec![Field::new("id", DataType::Int64)]);
     let probe_rows: Vec<Row> = (0..10).map(|i| vec![Value::Int64(i * 5)]).collect();
-    ctx.register_table("probe", Arc::new(ColumnarTable::from_rows(probe_schema, probe_rows, 2)));
-    let got = edges_df.join(ctx.table("probe").unwrap(), "src", "id").collect().unwrap();
+    ctx.register_table(
+        "probe",
+        Arc::new(ColumnarTable::from_rows(probe_schema, probe_rows, 2)),
+    );
+    let got = edges_df
+        .join(ctx.table("probe").unwrap(), "src", "id")
+        .collect()
+        .unwrap();
     assert_eq!(got.len(), 200); // 10 probe keys × 20 rows per key
-    assert!(ctx.cluster().metrics().snapshot().shuffle_rows > 0, "shuffle path must shuffle");
+    assert!(
+        ctx.cluster().metrics().snapshot().shuffle_rows > 0,
+        "shuffle path must shuffle"
+    );
 }
 
 #[test]
@@ -223,11 +255,12 @@ fn fault_tolerance_rebuilds_lost_partitions() {
         workers: 3,
         executors_per_worker: 1,
         cores_per_executor: 2,
+        max_task_attempts: 4,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(600, 60), "src").unwrap();
-    idf.cache_index();
-    let before = idf.get_rows(&Value::Int64(42));
+    idf.cache_index().unwrap();
+    let before = idf.get_rows(&Value::Int64(42)).unwrap();
     assert_eq!(before.len(), 10);
 
     // Kill a worker: its cached indexed partitions are gone.
@@ -235,9 +268,80 @@ fn fault_tolerance_rebuilds_lost_partitions() {
     let rec_before = recompute_ns(&ctx);
     // Every key must still be resolvable (rebuilt from lineage).
     for k in 0..60 {
-        assert_eq!(idf.get_rows(&Value::Int64(k)).len(), 10, "key {k}");
+        assert_eq!(idf.get_rows(&Value::Int64(k)).unwrap().len(), 10, "key {k}");
     }
     assert!(recompute_ns(&ctx) > rec_before, "recovery must recompute");
+}
+
+#[test]
+fn mid_stage_worker_kill_recovers_via_retry_and_lineage() {
+    // The acceptance scenario for fallible stage execution: a worker is
+    // killed while a stage over a cached Indexed DataFrame is running. The
+    // attempts in flight on the victim are discarded as lost, rescheduled
+    // onto survivors, and the rescheduled attempts find the victim's cached
+    // partitions gone — so they rebuild them from lineage. The stage
+    // returns correct results; no panic crosses `run_stage`.
+    use sparklet::TaskSpec;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 3,
+        executors_per_worker: 2,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+    });
+    let ctx = Context::new(Arc::clone(&cluster));
+    let idf = IndexedDataFrame::builder(&ctx, edge_schema(), "src")
+        .unwrap()
+        .rows(edges(600, 60))
+        .partitions(6)
+        .build()
+        .unwrap();
+    idf.cache_index().unwrap();
+    assert!(idf.is_cached());
+    let rec_before = recompute_ns(&ctx);
+    let before = cluster.metrics().snapshot();
+
+    let tasks: Vec<TaskSpec> = (0..idf.num_partitions())
+        .map(|p| TaskSpec {
+            partition: p,
+            preferred_worker: Some(cluster.worker_for_partition(p)),
+        })
+        .collect();
+    let killed = Arc::new(AtomicBool::new(false));
+    let killer = Arc::clone(&cluster);
+    let scan = idf.clone();
+    let counts = cluster
+        .run_stage(&tasks, move |tc| {
+            if tc.worker == 1 {
+                // Stay in flight long enough for the kill to land mid-task.
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            } else if !killed.swap(true, Ordering::SeqCst) {
+                killer.kill_worker(1);
+            }
+            scan.partition(tc.partition).scan().len()
+        })
+        .expect("stage completes despite mid-stage worker loss");
+
+    assert_eq!(
+        counts.iter().sum::<usize>(),
+        600,
+        "every partition scanned exactly once"
+    );
+    assert!(!cluster.is_alive(1));
+    let after = cluster.metrics().snapshot().delta_since(&before);
+    assert!(
+        after.task_retries > 0,
+        "victim's in-flight tasks must be retried"
+    );
+    assert_eq!(
+        after.task_failures, after.task_retries,
+        "every failure retried, none exhausted"
+    );
+    assert!(
+        recompute_ns(&ctx) > rec_before,
+        "retried tasks must rebuild the victim's partitions from lineage"
+    );
 }
 
 #[test]
@@ -246,18 +350,19 @@ fn fault_tolerance_replays_appends() {
         workers: 2,
         executors_per_worker: 1,
         cores_per_executor: 2,
+        max_task_attempts: 4,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let v1 = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(100, 10), "src").unwrap();
     let v2 = v1.append_rows(vec![vec![Value::Int64(4), Value::Int64(-1)]]);
-    v2.cache_index();
-    assert_eq!(v2.get_rows(&Value::Int64(4)).len(), 11);
+    v2.cache_index().unwrap();
+    assert_eq!(v2.get_rows(&Value::Int64(4)).unwrap().len(), 11);
     cluster.kill_worker(0);
     cluster.kill_worker(1);
     cluster.restart_worker(0);
     cluster.restart_worker(1);
     // All caches lost; lineage (source + append) must replay fully.
-    let rows = v2.get_rows(&Value::Int64(4));
+    let rows = v2.get_rows(&Value::Int64(4)).unwrap();
     assert_eq!(rows.len(), 11);
     assert!(rows.iter().any(|r| r[1] == Value::Int64(-1)));
 }
@@ -265,9 +370,11 @@ fn fault_tolerance_replays_appends() {
 #[test]
 fn memory_stats_report_small_index_overhead() {
     let ctx = ctx();
-    let rows: Vec<Row> = (0..20_000).map(|i| vec![Value::Int64(i), Value::Int64(i * 31)]).collect();
+    let rows: Vec<Row> = (0..20_000)
+        .map(|i| vec![Value::Int64(i), Value::Int64(i * 31)])
+        .collect();
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), rows, "src").unwrap();
-    let stats = idf.partition_stats();
+    let stats = idf.partition_stats().unwrap();
     assert_eq!(stats.len(), idf.num_partitions());
     let total_index: usize = stats.iter().map(|(i, _)| i).sum();
     let total_data: usize = stats.iter().map(|(_, d)| d).sum();
@@ -285,13 +392,18 @@ fn string_keys_work_end_to_end() {
         Field::new("tail", DataType::Utf8),
         Field::new("num", DataType::Int64),
     ]);
-    let rows: Vec<Row> =
-        (0..300).map(|i| vec![Value::Utf8(format!("N{}", i % 30)), Value::Int64(i)]).collect();
+    let rows: Vec<Row> = (0..300)
+        .map(|i| vec![Value::Utf8(format!("N{}", i % 30)), Value::Int64(i)])
+        .collect();
     let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "tail").unwrap();
-    idf.cache_index();
-    assert_eq!(idf.get_rows(&Value::Utf8("N7".into())).len(), 10);
+    idf.cache_index().unwrap();
+    assert_eq!(idf.get_rows(&Value::Utf8("N7".into())).unwrap().len(), 10);
     idf.register("flights").unwrap();
-    let n = ctx.sql("SELECT * FROM flights WHERE tail = 'N7'").unwrap().count().unwrap();
+    let n = ctx
+        .sql("SELECT * FROM flights WHERE tail = 'N7'")
+        .unwrap()
+        .count()
+        .unwrap();
     assert_eq!(n, 10);
 }
 
@@ -304,8 +416,8 @@ fn create_index_from_dataframe() {
     );
     let df = ctx.table("plain").unwrap();
     let idf = IndexedDataFrame::create_index(&df, "src").unwrap();
-    idf.cache_index();
-    assert_eq!(idf.get_rows(&Value::Int64(5)).len(), 10);
+    idf.cache_index().unwrap();
+    assert_eq!(idf.get_rows(&Value::Int64(5)).unwrap().len(), 10);
 }
 
 #[test]
@@ -318,8 +430,8 @@ fn builder_options() {
         .build()
         .unwrap();
     assert_eq!(idf.num_partitions(), 3);
-    idf.cache_index();
-    assert_eq!(idf.collect().len(), 100);
+    idf.cache_index().unwrap();
+    assert_eq!(idf.collect().unwrap().len(), 100);
 }
 
 #[test]
@@ -333,14 +445,20 @@ fn unknown_index_column_rejected() {
 fn get_rows_df_is_queryable() {
     let ctx = ctx();
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(200, 20), "src").unwrap();
-    idf.cache_index();
-    let df = idf.get_rows_df(&Value::Int64(7));
+    idf.cache_index().unwrap();
+    let df = idf.get_rows_df(&Value::Int64(7)).unwrap();
     assert_eq!(df.count().unwrap(), 10);
     // It is a real DataFrame: further operations compose.
     let filtered = df.filter(col("dst").gt_eq(lit(100i64)));
     assert!(filtered.count().unwrap() <= 10);
     // Missing keys yield an empty (but valid) frame.
-    assert_eq!(idf.get_rows_df(&Value::Int64(9999)).count().unwrap(), 0);
+    assert_eq!(
+        idf.get_rows_df(&Value::Int64(9999))
+            .unwrap()
+            .count()
+            .unwrap(),
+        0
+    );
 }
 
 #[test]
@@ -350,7 +468,10 @@ fn analyze_reports_metrics() {
     let df = idf.register("edges_an").unwrap();
     let probe_schema = Schema::new(vec![Field::new("id", DataType::Int64)]);
     let probe: Vec<Row> = (0..5).map(|i| vec![Value::Int64(i)]).collect();
-    ctx.register_table("probe_an", Arc::new(ColumnarTable::from_rows(probe_schema, probe, 1)));
+    ctx.register_table(
+        "probe_an",
+        Arc::new(ColumnarTable::from_rows(probe_schema, probe, 1)),
+    );
     let (rows, metrics) = df
         .join(ctx.table("probe_an").unwrap(), "src", "id")
         .analyze()

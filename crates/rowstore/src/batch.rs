@@ -33,7 +33,11 @@ impl RowBatch {
     pub fn new(cap: usize) -> RowBatch {
         let boxed = vec![0u8; cap].into_boxed_slice();
         let ptr = Box::into_raw(boxed) as *mut u8;
-        RowBatch { ptr, cap, used: AtomicUsize::new(0) }
+        RowBatch {
+            ptr,
+            cap,
+            used: AtomicUsize::new(0),
+        }
     }
 
     /// Total capacity in bytes.
@@ -79,7 +83,10 @@ impl RowBatch {
     #[inline]
     pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
         let used = self.used();
-        assert!(offset + len <= used, "read past committed watermark ({offset}+{len} > {used})");
+        assert!(
+            offset + len <= used,
+            "read past committed watermark ({offset}+{len} > {used})"
+        );
         // Safety: committed bytes are immutable and within the allocation.
         unsafe { std::slice::from_raw_parts(self.ptr.add(offset), len) }
     }
@@ -91,7 +98,10 @@ impl RowBatch {
     /// If the range exceeds the capacity.
     #[inline]
     pub fn slice_to(&self, offset: usize, len: usize, visible: usize) -> &[u8] {
-        assert!(offset + len <= visible.min(self.cap), "read past visibility watermark");
+        assert!(
+            offset + len <= visible.min(self.cap),
+            "read past visibility watermark"
+        );
         unsafe { std::slice::from_raw_parts(self.ptr.add(offset), len) }
     }
 }
@@ -100,7 +110,9 @@ impl Drop for RowBatch {
     fn drop(&mut self) {
         // Safety: reconstruct the boxed slice allocated in `new`.
         unsafe {
-            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(self.ptr, self.cap)));
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.ptr, self.cap,
+            )));
         }
     }
 }
@@ -136,7 +148,10 @@ mod tests {
         let b = RowBatch::new(10);
         assert!(b.append(b"12345").is_some());
         assert!(b.append(b"67890").is_some());
-        assert!(b.append(b"").is_some(), "zero-length append at full capacity is fine");
+        assert!(
+            b.append(b"").is_some(),
+            "zero-length append at full capacity is fine"
+        );
     }
 
     #[test]

@@ -58,10 +58,17 @@ impl std::error::Error for CodecError {}
 
 /// Encode `values` according to `schema`, appending to `out`.
 /// Returns the number of bytes written.
-pub fn encode_row(schema: &Schema, values: &[Value], out: &mut Vec<u8>) -> Result<usize, CodecError> {
+pub fn encode_row(
+    schema: &Schema,
+    values: &[Value],
+    out: &mut Vec<u8>,
+) -> Result<usize, CodecError> {
     let arity = schema.arity();
     if values.len() != arity {
-        return Err(CodecError::ArityMismatch { expected: arity, got: values.len() });
+        return Err(CodecError::ArityMismatch {
+            expected: arity,
+            got: values.len(),
+        });
     }
     let start = out.len();
     let bitmap_len = null_bitmap_len(arity);
@@ -102,7 +109,10 @@ pub fn encode_row(schema: &Schema, values: &[Value], out: &mut Vec<u8>) -> Resul
             }
             _ => {
                 out.truncate(start);
-                return Err(CodecError::TypeMismatch { column: col, expected: field.dtype });
+                return Err(CodecError::TypeMismatch {
+                    column: col,
+                    expected: field.dtype,
+                });
             }
         }
     }
@@ -150,8 +160,8 @@ pub fn decode_column(schema: &Schema, bytes: &[u8], col: usize) -> Result<Value,
             if bytes.len() < off + len {
                 return Err(CodecError::Truncated);
             }
-            let s = std::str::from_utf8(&bytes[off..off + len])
-                .map_err(|_| CodecError::Truncated)?;
+            let s =
+                std::str::from_utf8(&bytes[off..off + len]).map_err(|_| CodecError::Truncated)?;
             Value::Utf8(s.to_string())
         }
     })
@@ -242,7 +252,10 @@ mod tests {
         let mut buf = Vec::new();
         encode_row(&s, &sample_row(), &mut buf).unwrap();
         assert_eq!(decode_column(&s, &buf, 0).unwrap(), Value::Int64(-42));
-        assert_eq!(decode_column(&s, &buf, 4).unwrap(), Value::Utf8("hello".into()));
+        assert_eq!(
+            decode_column(&s, &buf, 4).unwrap(),
+            Value::Utf8("hello".into())
+        );
         assert_eq!(decode_column(&s, &buf, 5).unwrap(), Value::Null);
         assert_eq!(read_i64(&s, &buf, 0), Some(-42));
         assert_eq!(read_i64(&s, &buf, 1), Some(7));
@@ -256,7 +269,10 @@ mod tests {
         let s = Schema::new(vec![Field::new("t", DataType::Utf8)]);
         let mut buf = Vec::new();
         encode_row(&s, &[Value::Utf8(String::new())], &mut buf).unwrap();
-        assert_eq!(decode_row(&s, &buf).unwrap(), vec![Value::Utf8(String::new())]);
+        assert_eq!(
+            decode_row(&s, &buf).unwrap(),
+            vec![Value::Utf8(String::new())]
+        );
     }
 
     #[test]
@@ -264,7 +280,13 @@ mod tests {
         let s = schema();
         let mut buf = Vec::new();
         let err = encode_row(&s, &[Value::Int64(1)], &mut buf).unwrap_err();
-        assert!(matches!(err, CodecError::ArityMismatch { expected: 6, got: 1 }));
+        assert!(matches!(
+            err,
+            CodecError::ArityMismatch {
+                expected: 6,
+                got: 1
+            }
+        ));
         assert!(buf.is_empty());
     }
 
@@ -301,11 +323,18 @@ mod tests {
     #[test]
     fn wide_schema_bitmap() {
         // More than 8 columns exercises multi-byte null bitmaps.
-        let fields: Vec<Field> =
-            (0..20).map(|i| Field::nullable(format!("c{i}"), DataType::Int64)).collect();
+        let fields: Vec<Field> = (0..20)
+            .map(|i| Field::nullable(format!("c{i}"), DataType::Int64))
+            .collect();
         let s = Schema::new(fields);
         let row: Vec<Value> = (0..20)
-            .map(|i| if i % 3 == 0 { Value::Null } else { Value::Int64(i) })
+            .map(|i| {
+                if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int64(i)
+                }
+            })
             .collect();
         let mut buf = Vec::new();
         encode_row(&s, &row, &mut buf).unwrap();

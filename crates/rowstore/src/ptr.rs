@@ -27,7 +27,10 @@ pub struct PtrLayout {
 
 impl PtrLayout {
     /// The paper's defaults: 4 MB batches, 1 KB rows.
-    pub const DEFAULT: PtrLayout = PtrLayout { offset_bits: 22, size_bits: 11 };
+    pub const DEFAULT: PtrLayout = PtrLayout {
+        offset_bits: 22,
+        size_bits: 11,
+    };
 
     /// Derive a layout for the given batch capacity and maximum encoded row
     /// size (both in bytes). Panics if the layout cannot fit in 64 bits with
@@ -39,7 +42,10 @@ impl PtrLayout {
             offset_bits + size_bits < 64,
             "batch size {batch_size} and row size {max_row_size} cannot be packed in 64 bits"
         );
-        PtrLayout { offset_bits, size_bits }
+        PtrLayout {
+            offset_bits,
+            size_bits,
+        }
     }
 
     #[inline]
@@ -67,8 +73,14 @@ impl PtrLayout {
     /// row indexed on the same key (0 when there is none).
     #[inline]
     pub fn pack(&self, batch: u32, offset: u32, prev_size: u32) -> PackedPtr {
-        debug_assert!((batch as u64) < self.max_batches(), "batch {batch} overflows layout");
-        debug_assert!((offset as u64) <= self.max_offset(), "offset {offset} overflows layout");
+        debug_assert!(
+            (batch as u64) < self.max_batches(),
+            "batch {batch} overflows layout"
+        );
+        debug_assert!(
+            (offset as u64) <= self.max_offset(),
+            "offset {offset} overflows layout"
+        );
         debug_assert!(
             (prev_size as u64) <= self.max_size(),
             "prev size {prev_size} overflows layout"
@@ -138,7 +150,11 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip() {
         let l = PtrLayout::DEFAULT;
-        for (b, o, s) in [(0, 0, 0), (1, 4_194_303, 2047), (2_000_000_000, 12_345, 999)] {
+        for (b, o, s) in [
+            (0, 0, 0),
+            (1, 4_194_303, 2047),
+            (2_000_000_000, 12_345, 999),
+        ] {
             let p = l.pack(b, o, s);
             assert_eq!(l.batch(p), b);
             assert_eq!(l.offset(p), o);
@@ -152,7 +168,11 @@ mod tests {
         let l = PtrLayout::DEFAULT;
         // The max batch index is reserved, so the all-ones bit pattern can
         // never be produced by pack().
-        let p = l.pack((l.max_batches() - 1) as u32, l.max_offset() as u32, l.max_size() as u32);
+        let p = l.pack(
+            (l.max_batches() - 1) as u32,
+            l.max_offset() as u32,
+            l.max_size() as u32,
+        );
         assert!(p.is_some());
         assert_ne!(p, PackedPtr::NONE);
     }

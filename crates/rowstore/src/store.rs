@@ -43,7 +43,11 @@ pub struct StoreConfig {
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { batch_size: 4 << 20, max_row_size: 1024, initial_batch_size: 64 << 10 }
+        StoreConfig {
+            batch_size: 4 << 20,
+            max_row_size: 1024,
+            initial_batch_size: 64 << 10,
+        }
     }
 }
 
@@ -51,7 +55,11 @@ impl StoreConfig {
     /// A config with a fixed batch size (used by the Fig. 5 batch-size
     /// sweep, which always allocates full batches).
     pub fn fixed_batch(batch_size: usize) -> StoreConfig {
-        StoreConfig { batch_size, max_row_size: 1024.min(batch_size), initial_batch_size: batch_size }
+        StoreConfig {
+            batch_size,
+            max_row_size: 1024.min(batch_size),
+            initial_batch_size: batch_size,
+        }
     }
 }
 
@@ -152,16 +160,21 @@ impl PartitionStore {
     /// appended, so the next batch allocation is sized accordingly.
     pub fn reserve_hint(&mut self, bytes: usize) {
         if !self.owns_tail {
-            self.next_batch_cap = bytes
-                .next_power_of_two()
-                .clamp(self.config.initial_batch_size.min(self.config.batch_size), self.config.batch_size);
+            self.next_batch_cap = bytes.next_power_of_two().clamp(
+                self.config.initial_batch_size.min(self.config.batch_size),
+                self.config.batch_size,
+            );
         }
     }
 
     /// Append one row whose backward pointer is `prev` (the previous row
     /// with the same index key, or `PackedPtr::NONE`). Returns the packed
     /// pointer of the stored row.
-    pub fn append_row(&mut self, values: &[Value], prev: PackedPtr) -> Result<PackedPtr, StoreError> {
+    pub fn append_row(
+        &mut self,
+        values: &[Value],
+        prev: PackedPtr,
+    ) -> Result<PackedPtr, StoreError> {
         self.scratch.clear();
         // Encode off-buffer first so a failed encode leaves no trace.
         let mut buf = std::mem::take(&mut self.scratch);
@@ -173,7 +186,11 @@ impl PartitionStore {
 
     /// Append a row that is already encoded in an external buffer (the
     /// shuffle fast path: rows arrive from the wire in codec format).
-    pub fn append_row_bytes(&mut self, row: &[u8], prev: PackedPtr) -> Result<PackedPtr, StoreError> {
+    pub fn append_row_bytes(
+        &mut self,
+        row: &[u8],
+        prev: PackedPtr,
+    ) -> Result<PackedPtr, StoreError> {
         self.scratch.clear();
         self.scratch.extend_from_slice(row);
         self.append_encoded(prev, row.len())
@@ -181,10 +198,17 @@ impl PartitionStore {
 
     fn append_encoded(&mut self, prev: PackedPtr, row_len: usize) -> Result<PackedPtr, StoreError> {
         if row_len > self.config.max_row_size {
-            return Err(StoreError::RowTooLarge { size: row_len, max: self.config.max_row_size });
+            return Err(StoreError::RowTooLarge {
+                size: row_len,
+                max: self.config.max_row_size,
+            });
         }
         let record_len = RECORD_HEADER + row_len;
-        let prev_size = if prev.is_none() { 0 } else { self.record_size(prev) as u32 };
+        let prev_size = if prev.is_none() {
+            0
+        } else {
+            self.record_size(prev) as u32
+        };
 
         // Build the record: [prev][len][row].
         let mut record = Vec::with_capacity(record_len);
@@ -215,11 +239,17 @@ impl PartitionStore {
         if self.num_batches as u64 >= self.layout.max_batches() {
             return Err(StoreError::TooManyBatches);
         }
-        let cap = self.next_batch_cap.max(needed).min(self.config.batch_size.max(needed));
+        let cap = self
+            .next_batch_cap
+            .max(needed)
+            .min(self.config.batch_size.max(needed));
         self.next_batch_cap = (self.next_batch_cap * 2).min(self.config.batch_size);
         let idx = self.num_batches;
         let batch = Arc::new(RowBatch::new(cap));
-        let view = BatchView { batch, visible: LIVE };
+        let view = BatchView {
+            batch,
+            visible: LIVE,
+        };
         self.dir.insert(idx, view.clone());
         self.num_batches += 1;
         self.owns_tail = true;
@@ -236,7 +266,10 @@ impl PartitionStore {
                 if view.visible == LIVE {
                     dir.insert(
                         tail_idx,
-                        BatchView { visible: view.batch.used(), batch: view.batch },
+                        BatchView {
+                            visible: view.batch.used(),
+                            batch: view.batch,
+                        },
                     );
                 }
             }
@@ -259,7 +292,9 @@ impl PartitionStore {
     // ------------------------------------------------------------------
 
     fn view(&self, batch_idx: u32) -> BatchView {
-        self.dir.lookup(&batch_idx).expect("dangling packed pointer: unknown batch")
+        self.dir
+            .lookup(&batch_idx)
+            .expect("dangling packed pointer: unknown batch")
     }
 
     /// Total stored size (header + row) of the record at `ptr`.
@@ -274,7 +309,9 @@ impl PartitionStore {
     pub fn prev_of(&self, ptr: PackedPtr) -> PackedPtr {
         let view = self.view(self.layout.batch(ptr));
         let off = self.layout.offset(ptr) as usize;
-        PackedPtr(u64::from_le_bytes(view.batch.slice(off, 8).try_into().unwrap()))
+        PackedPtr(u64::from_le_bytes(
+            view.batch.slice(off, 8).try_into().unwrap(),
+        ))
     }
 
     /// Run `f` over the encoded row bytes at `ptr`.
@@ -287,7 +324,9 @@ impl PartitionStore {
 
     /// Materialize the row at `ptr`.
     pub fn get_row(&self, ptr: PackedPtr) -> Row {
-        self.with_row(ptr, |bytes| codec::decode_row(&self.schema, bytes).expect("stored row decodes"))
+        self.with_row(ptr, |bytes| {
+            codec::decode_row(&self.schema, bytes).expect("stored row decodes")
+        })
     }
 
     /// Materialize the full backward chain starting at `ptr` (newest first):
@@ -430,11 +469,18 @@ mod tests {
 
     #[test]
     fn rows_spill_across_batches() {
-        let cfg = StoreConfig { batch_size: 256, max_row_size: 128, initial_batch_size: 256 };
+        let cfg = StoreConfig {
+            batch_size: 256,
+            max_row_size: 128,
+            initial_batch_size: 256,
+        };
         let mut s = PartitionStore::new(schema(), cfg);
         let mut ptrs = Vec::new();
         for i in 0..100 {
-            ptrs.push(s.append_row(&row(i, "xxxxxxxxxxxxxxxx"), PackedPtr::NONE).unwrap());
+            ptrs.push(
+                s.append_row(&row(i, "xxxxxxxxxxxxxxxx"), PackedPtr::NONE)
+                    .unwrap(),
+            );
         }
         assert!(s.batch_count() > 1, "expected multiple batches");
         for (i, p) in ptrs.iter().enumerate() {
@@ -444,7 +490,11 @@ mod tests {
 
     #[test]
     fn scan_visits_all_rows_in_order() {
-        let cfg = StoreConfig { batch_size: 512, max_row_size: 128, initial_batch_size: 512 };
+        let cfg = StoreConfig {
+            batch_size: 512,
+            max_row_size: 128,
+            initial_batch_size: 512,
+        };
         let mut s = PartitionStore::new(schema(), cfg);
         for i in 0..50 {
             s.append_row(&row(i, "p"), PackedPtr::NONE).unwrap();
@@ -458,7 +508,11 @@ mod tests {
 
     #[test]
     fn row_too_large_rejected() {
-        let cfg = StoreConfig { batch_size: 4096, max_row_size: 64, initial_batch_size: 4096 };
+        let cfg = StoreConfig {
+            batch_size: 4096,
+            max_row_size: 64,
+            initial_batch_size: 4096,
+        };
         let mut s = PartitionStore::new(schema(), cfg);
         let big = "x".repeat(100);
         let err = s.append_row(&row(1, &big), PackedPtr::NONE).unwrap_err();
@@ -490,8 +544,13 @@ mod tests {
         }
         let parent_batches = s.batch_count();
         let mut child = s.snapshot();
-        child.append_row(&row(100, "child"), PackedPtr::NONE).unwrap();
-        assert!(child.batch_count() > parent_batches, "child must not write shared batches");
+        child
+            .append_row(&row(100, "child"), PackedPtr::NONE)
+            .unwrap();
+        assert!(
+            child.batch_count() > parent_batches,
+            "child must not write shared batches"
+        );
         assert_eq!(child.all_rows().len(), 11);
         assert_eq!(s.all_rows().len(), 10);
     }
@@ -555,11 +614,18 @@ mod tests {
 
     #[test]
     fn reserve_hint_limits_first_allocation() {
-        let cfg = StoreConfig { batch_size: 4 << 20, max_row_size: 1024, initial_batch_size: 64 << 10 };
+        let cfg = StoreConfig {
+            batch_size: 4 << 20,
+            max_row_size: 1024,
+            initial_batch_size: 64 << 10,
+        };
         let mut s = PartitionStore::new(schema(), cfg);
         s.reserve_hint(1 << 10);
         s.append_row(&row(1, "x"), PackedPtr::NONE).unwrap();
-        assert!(s.capacity_bytes() <= 64 << 10, "tiny hint keeps the first batch small");
+        assert!(
+            s.capacity_bytes() <= 64 << 10,
+            "tiny hint keeps the first batch small"
+        );
     }
 
     #[test]

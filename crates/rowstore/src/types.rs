@@ -49,11 +49,19 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype, nullable: false }
+        Field {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
     }
 
     pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype, nullable: true }
+        Field {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
     }
 }
 
@@ -95,7 +103,11 @@ impl Schema {
             } else {
                 f.name.clone()
             };
-            fields.push(Field { name, dtype: f.dtype, nullable: f.nullable });
+            fields.push(Field {
+                name,
+                dtype: f.dtype,
+                nullable: f.nullable,
+            });
         }
         Schema::new(fields)
     }
@@ -308,7 +320,10 @@ mod tests {
         use std::cmp::Ordering::*;
         assert_eq!(Value::Int32(3).sql_cmp(&Value::Int64(3)), Some(Equal));
         assert_eq!(Value::Int64(4).sql_cmp(&Value::Float64(4.5)), Some(Less));
-        assert_eq!(Value::Utf8("b".into()).sql_cmp(&Value::Utf8("a".into())), Some(Greater));
+        assert_eq!(
+            Value::Utf8("b".into()).sql_cmp(&Value::Utf8("a".into())),
+            Some(Greater)
+        );
         assert_eq!(Value::Null.sql_cmp(&Value::Int32(0)), None);
         assert_eq!(Value::Int32(1).sql_cmp(&Value::Utf8("1".into())), None);
     }
@@ -321,8 +336,14 @@ mod tests {
 
     #[test]
     fn key_hash_strings() {
-        assert_eq!(Value::Utf8("N123".into()).key_hash(), Value::Utf8("N123".into()).key_hash());
-        assert_ne!(Value::Utf8("N123".into()).key_hash(), Value::Utf8("N124".into()).key_hash());
+        assert_eq!(
+            Value::Utf8("N123".into()).key_hash(),
+            Value::Utf8("N123".into()).key_hash()
+        );
+        assert_ne!(
+            Value::Utf8("N123".into()).key_hash(),
+            Value::Utf8("N124".into()).key_hash()
+        );
     }
 
     #[test]

@@ -20,6 +20,8 @@ use crate::metrics::Metrics;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -42,7 +44,10 @@ pub struct Block {
 
 struct WorkerState {
     executors: Vec<rayon::ThreadPool>,
-    alive: AtomicBool,
+    /// Shared with in-flight tasks so a completed attempt can detect that
+    /// its worker was killed while it ran (the result is then discarded
+    /// and the task retried elsewhere, as Spark does on executor loss).
+    alive: Arc<AtomicBool>,
     cache: Mutex<HashMap<BlockId, Block>>,
     /// Round-robin cursor over executors.
     next_executor: AtomicUsize,
@@ -65,6 +70,91 @@ pub struct TaskContext {
     pub non_local: bool,
 }
 
+/// Why one attempt of a task did not produce a usable result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The task body panicked; carries the rendered panic payload.
+    Panicked(String),
+    /// The worker was killed while the task ran, so its result (and any
+    /// blocks it cached) cannot be trusted.
+    WorkerLost,
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureReason::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            FailureReason::WorkerLost => write!(f, "worker lost mid-task"),
+        }
+    }
+}
+
+/// One failed attempt of one task, as recorded by [`Cluster::run_stage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    pub partition: usize,
+    pub worker: usize,
+    /// 1-based attempt number.
+    pub attempt: usize,
+    pub reason: FailureReason,
+}
+
+/// A stage that could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageError {
+    /// A task exhausted [`ClusterConfig::max_task_attempts`].
+    TaskFailed {
+        partition: usize,
+        /// Attempts consumed (equals `max_task_attempts`).
+        attempts: usize,
+        /// Workers that failed this task, in failure order.
+        workers_tried: Vec<usize>,
+        /// Why the final attempt failed.
+        last_error: FailureReason,
+    },
+    /// No alive workers remain to schedule the task on.
+    NoAliveWorkers { partition: usize },
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageError::TaskFailed {
+                partition,
+                attempts,
+                workers_tried,
+                last_error,
+            } => write!(
+                f,
+                "task for partition {partition} failed after {attempts} attempts \
+                 (workers tried: {workers_tried:?}): {last_error}"
+            ),
+            StageError::NoAliveWorkers { partition } => {
+                write!(f, "no alive workers to run task for partition {partition}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
+/// Render a `catch_unwind` payload the way the default panic hook would.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Outcome of one task attempt, as reported back to the stage driver.
+pub enum TaskResult<R> {
+    Ok(R),
+    Failed(FailureReason),
+}
+
 /// The simulated cluster.
 pub struct Cluster {
     config: ClusterConfig,
@@ -78,7 +168,13 @@ pub struct Cluster {
 impl Cluster {
     /// Spin up a cluster with the given geometry.
     pub fn new(config: ClusterConfig) -> Arc<Cluster> {
-        assert!(config.workers > 0 && config.executors_per_worker > 0 && config.cores_per_executor > 0);
+        assert!(
+            config.workers > 0 && config.executors_per_worker > 0 && config.cores_per_executor > 0
+        );
+        assert!(
+            config.max_task_attempts > 0,
+            "max_task_attempts must be at least 1"
+        );
         let workers = (0..config.workers)
             .map(|_| WorkerState {
                 executors: (0..config.executors_per_worker)
@@ -89,7 +185,7 @@ impl Cluster {
                             .expect("failed to build executor pool")
                     })
                     .collect(),
-                alive: AtomicBool::new(true),
+                alive: Arc::new(AtomicBool::new(true)),
                 cache: Mutex::new(HashMap::new()),
                 next_executor: AtomicUsize::new(0),
             })
@@ -125,7 +221,9 @@ impl Cluster {
     }
 
     pub fn alive_workers(&self) -> Vec<usize> {
-        (0..self.workers.len()).filter(|&w| self.is_alive(w)).collect()
+        (0..self.workers.len())
+            .filter(|&w| self.is_alive(w))
+            .collect()
     }
 
     /// Default placement: partitions round-robin over workers (Spark's hash
@@ -156,7 +254,13 @@ impl Cluster {
 
     /// Cache `data` for `id` on `worker` at `version`. Overwrites stale
     /// entries; refuses to go backwards in version.
-    pub fn put_block(&self, worker: usize, id: BlockId, version: u64, data: Arc<dyn Any + Send + Sync>) {
+    pub fn put_block(
+        &self,
+        worker: usize,
+        id: BlockId,
+        version: u64,
+        data: Arc<dyn Any + Send + Sync>,
+    ) {
         let mut cache = self.workers[worker].cache.lock();
         match cache.get(&id) {
             Some(existing) if existing.version > version => {}
@@ -174,8 +278,14 @@ impl Cluster {
     /// Fetch a block only if it is at least `min_version` — the staleness
     /// guard of §III-D: after an append bumps the version, older copies on
     /// other workers must not serve tasks.
-    pub fn get_block_min_version(&self, worker: usize, id: BlockId, min_version: u64) -> Option<Block> {
-        self.get_block(worker, id).filter(|b| b.version >= min_version)
+    pub fn get_block_min_version(
+        &self,
+        worker: usize,
+        id: BlockId,
+        min_version: u64,
+    ) -> Option<Block> {
+        self.get_block(worker, id)
+            .filter(|b| b.version >= min_version)
     }
 
     /// Drop one block (tests / manual eviction).
@@ -199,68 +309,182 @@ impl Cluster {
     // Task execution
     // ------------------------------------------------------------------
 
-    /// Pick the worker a task should run on.
-    fn schedule(&self, spec: &TaskSpec) -> (usize, bool) {
+    /// Pick the worker a task attempt should run on, skipping workers in
+    /// `exclude` (those already observed failing this task). If every alive
+    /// worker has failed the task, retry anywhere alive rather than give up
+    /// — a panic may be transient even on a blamed worker.
+    fn schedule_excluding(
+        &self,
+        spec: &TaskSpec,
+        exclude: &[usize],
+    ) -> Result<(usize, bool), StageError> {
         if let Some(w) = spec.preferred_worker {
-            if self.is_alive(w) {
-                return (w, false);
+            if self.is_alive(w) && !exclude.contains(&w) {
+                return Ok((w, false));
             }
         }
-        // Fall back to any alive worker, round-robin.
+        // Fall back to an alive, un-blamed worker, round-robin.
         let alive = self.alive_workers();
-        assert!(!alive.is_empty(), "no alive workers");
-        let w = alive[self.fallback.fetch_add(1, Relaxed) % alive.len()];
-        (w, spec.preferred_worker.is_some())
+        let mut candidates: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|w| !exclude.contains(w))
+            .collect();
+        if candidates.is_empty() {
+            candidates = alive;
+        }
+        if candidates.is_empty() {
+            return Err(StageError::NoAliveWorkers {
+                partition: spec.partition,
+            });
+        }
+        let w = candidates[self.fallback.fetch_add(1, Relaxed) % candidates.len()];
+        Ok((w, spec.preferred_worker.is_some()))
     }
 
-    /// Run one stage: every task executes on its scheduled worker's next
-    /// executor pool; results are returned in task order.
+    /// Run one stage fallibly: every task executes on its scheduled
+    /// worker's next executor pool inside `catch_unwind`, and results are
+    /// returned in task order. A failed attempt (panic, or worker killed
+    /// while the task ran) is rescheduled onto another alive worker —
+    /// excluding workers already observed failing that task — up to
+    /// [`ClusterConfig::max_task_attempts`] total attempts. No task panic
+    /// crosses this function; exhaustion surfaces as
+    /// [`StageError::TaskFailed`] naming the partition, attempt count and
+    /// worker history.
     ///
     /// `f` must be cheap to share (it is called concurrently from many
-    /// executor threads).
-    pub fn run_tasks<R, F>(&self, tasks: &[TaskSpec], f: F) -> Vec<R>
+    /// executor threads) and safe to re-run for the same partition: a
+    /// retried attempt sees the same `TaskContext::partition` but possibly
+    /// a different worker.
+    pub fn run_stage<R, F>(&self, tasks: &[TaskSpec], f: F) -> Result<Vec<R>, StageError>
     where
         R: Send + 'static,
         F: Fn(TaskContext) -> R + Send + Sync + 'static,
     {
+        self.metrics.stages.fetch_add(1, Relaxed);
         let f = Arc::new(f);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let (tx, rx) = mpsc::channel::<(usize, usize, TaskResult<R>)>();
         let n = tasks.len();
-        for (idx, spec) in tasks.iter().enumerate() {
-            let (worker, non_local) = self.schedule(spec);
+
+        let dispatch = |idx: usize, spec: &TaskSpec, exclude: &[usize]| -> Result<(), StageError> {
+            let (worker, non_local) = self.schedule_excluding(spec, exclude)?;
             let ws = &self.workers[worker];
             let executor = ws.next_executor.fetch_add(1, Relaxed) % ws.executors.len();
-            let ctx = TaskContext { partition: spec.partition, worker, executor, non_local };
+            let ctx = TaskContext {
+                partition: spec.partition,
+                worker,
+                executor,
+                non_local,
+            };
             self.metrics.tasks.fetch_add(1, Relaxed);
             if non_local {
                 self.metrics.non_local_tasks.fetch_add(1, Relaxed);
             }
             let f = Arc::clone(&f);
             let tx = tx.clone();
+            let alive = Arc::clone(&ws.alive);
             ws.executors[executor].spawn(move || {
-                let r = f(ctx);
-                // Receiver hung up only if the stage panicked elsewhere.
-                let _ = tx.send((idx, r));
+                let outcome = match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+                    Err(payload) => {
+                        TaskResult::Failed(FailureReason::Panicked(panic_message(payload)))
+                    }
+                    // The worker died while we ran: the result may depend on
+                    // cache state that was just wiped — discard and retry.
+                    Ok(_) if !alive.load(Relaxed) => TaskResult::Failed(FailureReason::WorkerLost),
+                    Ok(r) => TaskResult::Ok(r),
+                };
+                // Receiver hung up only if the stage already failed.
+                let _ = tx.send((idx, ctx.worker, outcome));
             });
+            Ok(())
+        };
+
+        // 1-based attempt counts and per-task worker blame lists.
+        let mut attempts = vec![1usize; n];
+        let mut failed_workers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (idx, spec) in tasks.iter().enumerate() {
+            dispatch(idx, spec, &[])?;
         }
-        drop(tx);
+
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (idx, r) = rx.recv().expect("task panicked");
-            slots[idx] = Some(r);
+        let mut remaining = n;
+        while remaining > 0 {
+            let (idx, worker, outcome) = rx.recv().expect("all executors hung up mid-stage");
+            if slots[idx].is_some() {
+                continue; // stale duplicate from a superseded attempt
+            }
+            match outcome {
+                TaskResult::Ok(r) => {
+                    slots[idx] = Some(r);
+                    remaining -= 1;
+                }
+                TaskResult::Failed(reason) => {
+                    self.metrics.task_failures.fetch_add(1, Relaxed);
+                    if !failed_workers[idx].contains(&worker) {
+                        failed_workers[idx].push(worker);
+                    }
+                    if attempts[idx] >= self.config.max_task_attempts {
+                        return Err(StageError::TaskFailed {
+                            partition: tasks[idx].partition,
+                            attempts: attempts[idx],
+                            workers_tried: failed_workers[idx].clone(),
+                            last_error: reason,
+                        });
+                    }
+                    attempts[idx] += 1;
+                    self.metrics.task_retries.fetch_add(1, Relaxed);
+                    dispatch(idx, &tasks[idx], &failed_workers[idx])?;
+                }
+            }
         }
-        slots.into_iter().map(|s| s.expect("missing task result")).collect()
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("missing task result"))
+            .collect())
+    }
+
+    /// Fallible convenience: one task per partition `0..n`, placed by
+    /// [`Cluster::worker_for_partition`].
+    pub fn run_stage_partitions<R, F>(&self, n: usize, f: F) -> Result<Vec<R>, StageError>
+    where
+        R: Send + 'static,
+        F: Fn(TaskContext) -> R + Send + Sync + 'static,
+    {
+        let tasks: Vec<TaskSpec> = (0..n)
+            .map(|p| TaskSpec {
+                partition: p,
+                preferred_worker: Some(self.worker_for_partition(p)),
+            })
+            .collect();
+        self.run_stage(&tasks, f)
+    }
+
+    /// Infallible wrapper over [`Cluster::run_stage`] for callers that
+    /// treat stage failure as fatal: panics on [`StageError`].
+    pub fn run_tasks<R, F>(&self, tasks: &[TaskSpec], f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(TaskContext) -> R + Send + Sync + 'static,
+    {
+        match self.run_stage(tasks, f) {
+            Ok(results) => results,
+            Err(StageError::NoAliveWorkers { .. }) => panic!("no alive workers"),
+            Err(e) => panic!("stage failed: {e}"),
+        }
     }
 
     /// Convenience: one task per partition `0..n`, placed by
-    /// [`Cluster::worker_for_partition`].
+    /// [`Cluster::worker_for_partition`]. Panics on [`StageError`].
     pub fn run_partitions<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send + 'static,
         F: Fn(TaskContext) -> R + Send + Sync + 'static,
     {
         let tasks: Vec<TaskSpec> = (0..n)
-            .map(|p| TaskSpec { partition: p, preferred_worker: Some(self.worker_for_partition(p)) })
+            .map(|p| TaskSpec {
+                partition: p,
+                preferred_worker: Some(self.worker_for_partition(p)),
+            })
             .collect();
         self.run_tasks(&tasks, f)
     }
@@ -271,7 +495,12 @@ mod tests {
     use super::*;
 
     fn cluster() -> Arc<Cluster> {
-        Cluster::new(ClusterConfig { workers: 3, executors_per_worker: 2, cores_per_executor: 2 })
+        Cluster::new(ClusterConfig {
+            workers: 3,
+            executors_per_worker: 2,
+            cores_per_executor: 2,
+            max_task_attempts: 4,
+        })
     }
 
     #[test]
@@ -319,7 +548,10 @@ mod tests {
     #[test]
     fn block_cache_roundtrip() {
         let c = cluster();
-        let id = BlockId { dataset: c.new_dataset_id(), partition: 0 };
+        let id = BlockId {
+            dataset: c.new_dataset_id(),
+            partition: 0,
+        };
         c.put_block(0, id, 1, Arc::new(vec![1u64, 2, 3]));
         let b = c.get_block(0, id).unwrap();
         assert_eq!(b.version, 1);
@@ -334,12 +566,21 @@ mod tests {
         // §III-D: a stale copy left on another worker must not serve tasks
         // after an append bumped the dataset version.
         let c = cluster();
-        let id = BlockId { dataset: 9, partition: 0 };
+        let id = BlockId {
+            dataset: 9,
+            partition: 0,
+        };
         c.put_block(0, id, 1, Arc::new(1u32));
         c.put_block(1, id, 2, Arc::new(2u32)); // replayed copy after append
-        assert!(c.get_block_min_version(0, id, 2).is_none(), "stale block served");
+        assert!(
+            c.get_block_min_version(0, id, 2).is_none(),
+            "stale block served"
+        );
         assert_eq!(
-            c.get_block_min_version(1, id, 2).unwrap().data.downcast_ref::<u32>(),
+            c.get_block_min_version(1, id, 2)
+                .unwrap()
+                .data
+                .downcast_ref::<u32>(),
             Some(&2)
         );
     }
@@ -347,7 +588,10 @@ mod tests {
     #[test]
     fn put_block_never_downgrades() {
         let c = cluster();
-        let id = BlockId { dataset: 5, partition: 3 };
+        let id = BlockId {
+            dataset: 5,
+            partition: 3,
+        };
         c.put_block(0, id, 4, Arc::new(4u32));
         c.put_block(0, id, 2, Arc::new(2u32));
         assert_eq!(c.get_block(0, id).unwrap().version, 4);
@@ -356,7 +600,10 @@ mod tests {
     #[test]
     fn kill_worker_clears_cache() {
         let c = cluster();
-        let id = BlockId { dataset: 1, partition: 0 };
+        let id = BlockId {
+            dataset: 1,
+            partition: 0,
+        };
         c.put_block(2, id, 1, Arc::new(0u8));
         c.kill_worker(2);
         assert_eq!(c.cached_block_count(2), 0);
@@ -370,9 +617,14 @@ mod tests {
         // sleeping tasks should take ~1 sleep, not 12.
         let c = cluster();
         let start = std::time::Instant::now();
-        c.run_partitions(12, |_| std::thread::sleep(std::time::Duration::from_millis(50)));
+        c.run_partitions(12, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(50))
+        });
         let elapsed = start.elapsed();
-        assert!(elapsed < std::time::Duration::from_millis(400), "tasks serialized: {elapsed:?}");
+        assert!(
+            elapsed < std::time::Duration::from_millis(400),
+            "tasks serialized: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -383,5 +635,100 @@ mod tests {
             c.kill_worker(w);
         }
         c.run_partitions(1, |_| ());
+    }
+
+    #[test]
+    fn run_stage_all_dead_returns_error() {
+        let c = cluster();
+        for w in 0..3 {
+            c.kill_worker(w);
+        }
+        let err = c.run_stage_partitions(2, |ctx| ctx.partition).unwrap_err();
+        assert_eq!(err, StageError::NoAliveWorkers { partition: 0 });
+    }
+
+    #[test]
+    fn panicking_task_is_retried_elsewhere() {
+        // Partition 1 panics whenever it lands on its preferred worker 1;
+        // the retry excludes worker 1 and succeeds.
+        let c = cluster();
+        let out = c
+            .run_stage_partitions(6, |ctx| {
+                if ctx.partition == 1 && ctx.worker == 1 {
+                    panic!("injected failure on worker 1");
+                }
+                ctx.partition * 10
+            })
+            .expect("stage must recover via retry");
+        assert_eq!(out, (0..6).map(|p| p * 10).collect::<Vec<_>>());
+        let m = c.metrics().snapshot();
+        assert_eq!(m.task_failures, 1);
+        assert_eq!(m.task_retries, 1);
+        assert_eq!(m.stages, 1);
+        assert_eq!(m.tasks, 7, "6 first attempts + 1 retry");
+    }
+
+    #[test]
+    fn mid_stage_worker_kill_recovers_via_retry() {
+        // Chaos test: a task body kills its own worker while the stage is
+        // in flight. Tasks preferring worker 1 sleep past the kill, so
+        // their completed results are discarded as WorkerLost and re-run on
+        // a surviving worker — the stage still returns correct results.
+        use std::sync::atomic::AtomicBool;
+        let c = cluster();
+        let killer = c.clone();
+        let kill_once = AtomicBool::new(false);
+        let out = c
+            .run_stage_partitions(9, move |ctx| {
+                if ctx.partition % 3 == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                } else if !kill_once.swap(true, Relaxed) {
+                    killer.kill_worker(1);
+                }
+                ctx.partition + 100
+            })
+            .expect("stage must survive a mid-stage worker kill");
+        assert_eq!(out, (0..9).map(|p| p + 100).collect::<Vec<_>>());
+        let m = c.metrics().snapshot();
+        assert!(
+            m.task_retries > 0,
+            "kill must have forced at least one retry"
+        );
+        assert_eq!(m.task_failures, m.task_retries);
+        assert!(!c.is_alive(1));
+    }
+
+    #[test]
+    fn retry_exhaustion_names_partition_and_attempts() {
+        let c = Cluster::new(ClusterConfig {
+            workers: 3,
+            executors_per_worker: 1,
+            cores_per_executor: 1,
+            max_task_attempts: 3,
+        });
+        let err = c
+            .run_stage_partitions(4, |ctx| {
+                if ctx.partition == 2 {
+                    panic!("partition 2 always fails");
+                }
+                ctx.partition
+            })
+            .unwrap_err();
+        let StageError::TaskFailed {
+            partition,
+            attempts,
+            workers_tried,
+            last_error,
+        } = err
+        else {
+            panic!("expected TaskFailed, got {err:?}");
+        };
+        assert_eq!(partition, 2);
+        assert_eq!(attempts, 3);
+        assert!(!workers_tried.is_empty());
+        assert!(matches!(last_error, FailureReason::Panicked(ref m) if m.contains("always fails")));
+        let m = c.metrics().snapshot();
+        assert_eq!(m.task_failures, 3);
+        assert_eq!(m.task_retries, 2, "retries exclude the first attempt");
     }
 }

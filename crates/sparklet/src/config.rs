@@ -15,6 +15,10 @@ pub struct ClusterConfig {
     pub executors_per_worker: usize,
     /// Threads per executor.
     pub cores_per_executor: usize,
+    /// How many times a task may run before its stage fails, counting the
+    /// first attempt (Spark's `spark.task.maxFailures`, default 4). Retries
+    /// prefer workers that have not already failed the task.
+    pub max_task_attempts: usize,
 }
 
 impl ClusterConfig {
@@ -22,12 +26,22 @@ impl ClusterConfig {
     /// 4 executors × 4 cores per machine (§IV-B), scaled here to one
     /// "machine" per worker.
     pub fn paper_default(workers: usize) -> ClusterConfig {
-        ClusterConfig { workers, executors_per_worker: 4, cores_per_executor: 4 }
+        ClusterConfig {
+            workers,
+            executors_per_worker: 4,
+            cores_per_executor: 4,
+            max_task_attempts: 4,
+        }
     }
 
     /// A small configuration suitable for unit tests.
     pub fn test_small() -> ClusterConfig {
-        ClusterConfig { workers: 2, executors_per_worker: 1, cores_per_executor: 2 }
+        ClusterConfig {
+            workers: 2,
+            executors_per_worker: 1,
+            cores_per_executor: 2,
+            max_task_attempts: 4,
+        }
     }
 
     /// Total task slots across the cluster.
@@ -54,7 +68,12 @@ mod tests {
 
     #[test]
     fn totals() {
-        let c = ClusterConfig { workers: 4, executors_per_worker: 2, cores_per_executor: 8 };
+        let c = ClusterConfig {
+            workers: 4,
+            executors_per_worker: 2,
+            cores_per_executor: 8,
+            max_task_attempts: 4,
+        };
         assert_eq!(c.total_cores(), 64);
         assert_eq!(c.default_partitions(), 128);
     }

@@ -9,7 +9,8 @@
 //! * a [`Cluster`] of workers, each a set of executor thread pools
 //!   (configurable geometry — Fig. 4 and Fig. 6 sweep it);
 //! * locality-aware task scheduling with fallback when a worker is dead or
-//!   busy (§III-D);
+//!   busy (§III-D), and fallible stage execution ([`Cluster::run_stage`])
+//!   that retries failed task attempts on surviving workers;
 //! * hash-partitioned [`shuffle::exchange`] and [`shuffle::broadcast`]
 //!   (§III-C "Scheduling Physical Operators");
 //! * a per-worker **versioned block cache** — the partition version numbers
@@ -34,7 +35,10 @@ mod config;
 pub mod metrics;
 pub mod shuffle;
 
-pub use cluster::{Block, BlockId, Cluster, TaskContext, TaskSpec};
+pub use cluster::{
+    Block, BlockId, Cluster, FailureReason, StageError, TaskContext, TaskFailure, TaskResult,
+    TaskSpec,
+};
 pub use config::ClusterConfig;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use shuffle::{broadcast, exchange, partition_of, ShuffleItem};

@@ -29,6 +29,13 @@ pub struct Metrics {
     pub non_local_tasks: AtomicU64,
     /// Total tasks executed.
     pub tasks: AtomicU64,
+    /// Task attempts that were rescheduled after a failure (Fig. 12's
+    /// recovery path: each retry re-runs the task on a surviving worker).
+    pub task_retries: AtomicU64,
+    /// Task attempts that failed (panic or worker lost mid-task).
+    pub task_failures: AtomicU64,
+    /// Stages launched.
+    pub stages: AtomicU64,
 }
 
 impl Metrics {
@@ -46,6 +53,9 @@ impl Metrics {
         self.recompute_ns.store(0, Relaxed);
         self.non_local_tasks.store(0, Relaxed);
         self.tasks.store(0, Relaxed);
+        self.task_retries.store(0, Relaxed);
+        self.task_failures.store(0, Relaxed);
+        self.stages.store(0, Relaxed);
     }
 
     /// Immutable copy of all counters.
@@ -60,6 +70,9 @@ impl Metrics {
             recompute_ns: self.recompute_ns.load(Relaxed),
             non_local_tasks: self.non_local_tasks.load(Relaxed),
             tasks: self.tasks.load(Relaxed),
+            task_retries: self.task_retries.load(Relaxed),
+            task_failures: self.task_failures.load(Relaxed),
+            stages: self.stages.load(Relaxed),
         }
     }
 
@@ -84,6 +97,9 @@ pub struct MetricsSnapshot {
     pub recompute_ns: u64,
     pub non_local_tasks: u64,
     pub tasks: u64,
+    pub task_retries: u64,
+    pub task_failures: u64,
+    pub stages: u64,
 }
 
 impl MetricsSnapshot {
@@ -99,6 +115,9 @@ impl MetricsSnapshot {
             recompute_ns: self.recompute_ns - earlier.recompute_ns,
             non_local_tasks: self.non_local_tasks - earlier.non_local_tasks,
             tasks: self.tasks - earlier.tasks,
+            task_retries: self.task_retries - earlier.task_retries,
+            task_failures: self.task_failures - earlier.task_failures,
+            stages: self.stages - earlier.stages,
         }
     }
 }

@@ -9,7 +9,7 @@
 //! into output partition `j`, counting rows/bytes/time in the cluster
 //! metrics.
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, StageError};
 use crate::metrics::Metrics;
 use rowstore::{Row, Value};
 use std::sync::atomic::Ordering::Relaxed;
@@ -56,68 +56,82 @@ pub fn partition_of(key_hash: u64, num_partitions: usize) -> usize {
 /// `num_out` output partitions and exchange them.
 ///
 /// The bucketing runs as one cluster task per input partition (map side);
-/// the exchange is the reduce-side regroup. Returns `num_out` vectors.
-pub fn exchange<T: ShuffleItem>(
+/// the reduce-side regroup runs as one cluster task per output partition.
+/// Both sides read from immutable shared inputs so a retried attempt
+/// (after a task panic or mid-stage worker loss) re-produces the same
+/// buckets. Returns `num_out` vectors, or the [`StageError`] of whichever
+/// side exhausted its retries.
+pub fn exchange<T: ShuffleItem + Clone + Sync>(
     cluster: &Cluster,
     inputs: Vec<Vec<(u64, T)>>,
     num_out: usize,
-) -> Vec<Vec<T>> {
+) -> Result<Vec<Vec<T>>, StageError> {
     assert!(num_out > 0);
     let start = Instant::now();
-    let inputs: Vec<_> = inputs.into_iter().map(|p| Arc::new(parking_lot::Mutex::new(Some(p)))).collect();
-    let inputs_shared = Arc::new(inputs);
+    let inputs = Arc::new(inputs);
 
     // Map side: bucket each input partition in parallel on the cluster.
-    let inputs_for_tasks = Arc::clone(&inputs_shared);
-    let buckets: Vec<Vec<Vec<T>>> = cluster.run_partitions(inputs_shared.len(), move |ctx| {
-        let input = inputs_for_tasks[ctx.partition]
-            .lock()
-            .take()
-            .expect("input partition consumed twice");
+    let inputs_for_tasks = Arc::clone(&inputs);
+    let buckets: Vec<Vec<Vec<T>>> = cluster.run_stage_partitions(inputs.len(), move |ctx| {
         let mut out: Vec<Vec<T>> = (0..num_out).map(|_| Vec::new()).collect();
-        for (h, item) in input {
-            out[partition_of(h, num_out)].push(item);
+        for (h, item) in &inputs_for_tasks[ctx.partition] {
+            out[partition_of(*h, num_out)].push(item.clone());
         }
         out
-    });
+    })?;
 
-    // Exchange: concatenate bucket j of every map output ("the network").
-    let mut outputs: Vec<Vec<T>> = (0..num_out).map(|_| Vec::new()).collect();
-    let mut rows = 0u64;
-    let mut bytes = 0u64;
-    for map_out in buckets {
-        for (j, bucket) in map_out.into_iter().enumerate() {
+    // Reduce side: concatenate bucket j of every map output ("the
+    // network"), one cluster task per output partition.
+    let buckets = Arc::new(buckets);
+    let regrouped: Vec<(Vec<T>, u64, u64)> = cluster.run_stage_partitions(num_out, move |ctx| {
+        let mut out: Vec<T> = Vec::new();
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
+        for map_out in buckets.iter() {
+            let bucket = &map_out[ctx.partition];
             rows += bucket.len() as u64;
             bytes += bucket.iter().map(|i| i.approx_bytes() as u64).sum::<u64>();
-            outputs[j].extend(bucket);
+            out.extend(bucket.iter().cloned());
         }
+        (out, rows, bytes)
+    })?;
+
+    let mut outputs: Vec<Vec<T>> = Vec::with_capacity(num_out);
+    let mut rows = 0u64;
+    let mut bytes = 0u64;
+    for (out, r, b) in regrouped {
+        rows += r;
+        bytes += b;
+        outputs.push(out);
     }
     let m = cluster.metrics();
-    m.shuffle_ns.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+    m.shuffle_ns
+        .fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
     m.shuffle_rows.fetch_add(rows, Relaxed);
     m.shuffle_bytes.fetch_add(bytes, Relaxed);
-    outputs
+    Ok(outputs)
 }
 
 /// Replicate `data` to every alive worker (a broadcast variable). Returns
 /// one deep copy per worker, modelling the memory traffic of Spark's
-/// torrent broadcast; the bytes are counted in the cluster metrics.
-pub fn broadcast<T: Clone + ShuffleItem>(cluster: &Cluster, data: &[T]) -> Vec<Arc<Vec<T>>> {
+/// torrent broadcast; the bytes are counted in the cluster metrics. Dead
+/// workers get `None` — never a silently empty copy a task could mistake
+/// for real (empty) data.
+pub fn broadcast<T: Clone + ShuffleItem>(
+    cluster: &Cluster,
+    data: &[T],
+) -> Vec<Option<Arc<Vec<T>>>> {
     let bytes: u64 = data.iter().map(|i| i.approx_bytes() as u64).sum();
-    let copies: Vec<Arc<Vec<T>>> = (0..cluster.num_workers())
+    (0..cluster.num_workers())
         .map(|w| {
             if cluster.is_alive(w) {
-                cluster
-                    .metrics()
-                    .broadcast_bytes
-                    .fetch_add(bytes, Relaxed);
-                Arc::new(data.to_vec())
+                cluster.metrics().broadcast_bytes.fetch_add(bytes, Relaxed);
+                Some(Arc::new(data.to_vec()))
             } else {
-                Arc::new(Vec::new())
+                None
             }
         })
-        .collect();
-    copies
+        .collect()
 }
 
 /// Time a closure into the shuffle counter (for operators that move data
@@ -164,7 +178,7 @@ mod tests {
             (0..100u64).map(|k| (k, vec![k as u8])).collect(),
             (0..100u64).map(|k| (k, vec![k as u8])).collect(),
         ];
-        let out = exchange(&c, inputs, num_out);
+        let out = exchange(&c, inputs, num_out).unwrap();
         assert_eq!(out.len(), num_out);
         assert_eq!(out.iter().map(|p| p.len()).sum::<usize>(), 200);
         // Same key must land in the same output partition from both inputs.
@@ -184,19 +198,59 @@ mod tests {
         let c = Cluster::new(ClusterConfig::test_small());
         let inputs: Vec<Vec<(u64, Vec<u8>)>> =
             vec![vec![(1, vec![1]), (2, vec![2])], vec![(3, vec![3])]];
-        let out = exchange(&c, inputs, 1);
+        let out = exchange(&c, inputs, 1).unwrap();
         assert_eq!(out[0].len(), 3);
     }
 
     #[test]
+    fn exchange_survives_mid_stage_worker_kill() {
+        // Kill a worker from inside a map task: the map attempts running
+        // there are discarded as WorkerLost and retried on survivors, and
+        // the exchange still delivers every input item exactly once.
+        let c = Cluster::new(ClusterConfig {
+            workers: 3,
+            executors_per_worker: 2,
+            cores_per_executor: 2,
+            max_task_attempts: 4,
+        });
+        let killer = c.clone();
+        let chaos = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            killer.kill_worker(1);
+        });
+        let inputs: Vec<Vec<(u64, Vec<u8>)>> = (0..6)
+            .map(|p| {
+                (0..2000u64)
+                    .map(|k| (k * 7 + p, vec![p as u8, k as u8]))
+                    .collect()
+            })
+            .collect();
+        // Whether or not the kill lands inside the stage, the multiset of
+        // delivered items must equal the input multiset.
+        let out = exchange(&c, inputs.clone(), 4).unwrap();
+        let mut delivered: Vec<Vec<u8>> = out.into_iter().flatten().collect();
+        let mut expected: Vec<Vec<u8>> =
+            inputs.into_iter().flatten().map(|(_, item)| item).collect();
+        delivered.sort();
+        expected.sort();
+        assert_eq!(delivered, expected);
+        chaos.join().unwrap();
+    }
+
+    #[test]
     fn broadcast_replicates_to_alive_workers() {
-        let c = Cluster::new(ClusterConfig { workers: 3, executors_per_worker: 1, cores_per_executor: 1 });
+        let c = Cluster::new(ClusterConfig {
+            workers: 3,
+            executors_per_worker: 1,
+            cores_per_executor: 1,
+            max_task_attempts: 4,
+        });
         c.kill_worker(1);
         let copies = broadcast(&c, &[vec![1u8, 2, 3], vec![4u8]]);
         assert_eq!(copies.len(), 3);
-        assert_eq!(copies[0].len(), 2);
-        assert!(copies[1].is_empty(), "dead worker gets nothing");
-        assert_eq!(copies[2].len(), 2);
+        assert_eq!(copies[0].as_ref().unwrap().len(), 2);
+        assert!(copies[1].is_none(), "dead worker gets nothing");
+        assert_eq!(copies[2].as_ref().unwrap().len(), 2);
         assert_eq!(c.metrics().snapshot().broadcast_bytes, 8); // 4 bytes × 2 workers
     }
 

@@ -34,7 +34,7 @@ proptest! {
             })
             .collect();
         let total_in: usize = inputs.iter().map(Vec::len).sum();
-        let out = exchange(&cluster, inputs, num_out);
+        let out = exchange(&cluster, inputs, num_out).unwrap();
         prop_assert_eq!(out.len(), num_out);
         let total_out: usize = out.iter().map(Vec::len).sum();
         prop_assert_eq!(total_out, total_in);
@@ -46,6 +46,43 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Exchange preserves the input multiset even when a worker is killed
+    /// while the exchange runs: lost attempts are retried on survivors.
+    #[test]
+    fn exchange_preserves_multiset_under_worker_kill(
+        parts in proptest::collection::vec(
+            proptest::collection::vec((any::<u64>(), any::<u32>()), 0..80),
+            1..6,
+        ),
+        num_out in 1usize..7,
+        victim in 0usize..3,
+        delay_us in 0u64..400,
+    ) {
+        let cluster = Cluster::new(ClusterConfig {
+            workers: 3,
+            executors_per_worker: 1,
+            cores_per_executor: 2,
+            max_task_attempts: 4,
+        });
+        let inputs: Vec<Vec<(u64, Vec<u8>)>> = parts
+            .iter()
+            .map(|p| p.iter().map(|(h, v)| (*h, v.to_le_bytes().to_vec())).collect())
+            .collect();
+        let mut expected: Vec<Vec<u8>> =
+            inputs.iter().flatten().map(|(_, item)| item.clone()).collect();
+        let killer = cluster.clone();
+        let chaos = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            killer.kill_worker(victim);
+        });
+        let out = exchange(&cluster, inputs, num_out).unwrap();
+        chaos.join().unwrap();
+        let mut delivered: Vec<Vec<u8>> = out.into_iter().flatten().collect();
+        delivered.sort();
+        expected.sort();
+        prop_assert_eq!(delivered, expected);
     }
 
     /// partition_of spreads arbitrary u64 hashes into valid range and is a
@@ -68,6 +105,7 @@ proptest! {
             workers: 4,
             executors_per_worker: 1,
             cores_per_executor: 1,
+            max_task_attempts: 4,
         });
         for w in &dead {
             cluster.kill_worker(*w);
@@ -98,7 +136,7 @@ fn exchange_metrics_account_rows_and_bytes() {
     let inputs: Vec<Vec<(u64, Vec<u8>)>> = (0..4)
         .map(|p| (0..250u64).map(|i| (i * 31 + p, vec![0u8; 10])).collect())
         .collect();
-    let out = exchange(&cluster, inputs, 8);
+    let out = exchange(&cluster, inputs, 8).unwrap();
     assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 1000);
     let m = cluster.metrics().snapshot();
     assert_eq!(m.shuffle_rows, 1000);

@@ -37,13 +37,20 @@ pub struct FlightsConfig {
 
 impl Default for FlightsConfig {
     fn default() -> Self {
-        FlightsConfig { flights: 200_000, planes: 2_000, seed: 0xf17 }
+        FlightsConfig {
+            flights: 200_000,
+            planes: 2_000,
+            seed: 0xf17,
+        }
     }
 }
 
 impl FlightsConfig {
     pub fn scaled(factor: u64) -> FlightsConfig {
-        FlightsConfig { flights: 200_000 * factor.max(1), ..FlightsConfig::default() }
+        FlightsConfig {
+            flights: 200_000 * factor.max(1),
+            ..FlightsConfig::default()
+        }
     }
 }
 
@@ -77,8 +84,9 @@ pub struct FlightsData {
     pub config: FlightsConfig,
 }
 
-const AIRPORTS: [&str; 12] =
-    ["JFK", "LAX", "ORD", "ATL", "DFW", "DEN", "SFO", "SEA", "MIA", "BOS", "PHX", "IAH"];
+const AIRPORTS: [&str; 12] = [
+    "JFK", "LAX", "ORD", "ATL", "DFW", "DEN", "SFO", "SEA", "MIA", "BOS", "PHX", "IAH",
+];
 const MAKERS: [&str; 5] = ["BOEING", "AIRBUS", "EMBRAER", "BOMBARDIER", "CESSNA"];
 
 fn flight_row(rng: &mut StdRng, flight_num: i64, planes: u64) -> Row {
@@ -90,8 +98,16 @@ fn flight_row(rng: &mut StdRng, flight_num: i64, planes: u64) -> Row {
         Value::Int32(rng.gen_range(2015..2023)),
         Value::Int32(rng.gen_range(1..13)),
         Value::Int32(rng.gen_range(1..29)),
-        if rng.gen_bool(0.02) { Value::Null } else { Value::Float64(dep) },
-        if rng.gen_bool(0.02) { Value::Null } else { Value::Float64(dep + rng.gen_range(-20.0..20.0)) },
+        if rng.gen_bool(0.02) {
+            Value::Null
+        } else {
+            Value::Float64(dep)
+        },
+        if rng.gen_bool(0.02) {
+            Value::Null
+        } else {
+            Value::Float64(dep + rng.gen_range(-20.0..20.0))
+        },
         Value::Utf8(AIRPORTS[rng.gen_range(0..AIRPORTS.len())].to_string()),
         Value::Utf8(AIRPORTS[rng.gen_range(0..AIRPORTS.len())].to_string()),
         Value::Int64(rng.gen_range(100..3000)),
@@ -126,7 +142,11 @@ pub fn generate(config: FlightsConfig) -> FlightsData {
     for _ in 0..1000 {
         flights.push(flight_row(&mut rng, MATCH1000_KEY, config.planes));
     }
-    FlightsData { flights, planes, config }
+    FlightsData {
+        flights,
+        planes,
+        config,
+    }
 }
 
 /// Build query Q1–Q7 (Table II) against registered tables.
@@ -142,19 +162,37 @@ pub fn query(
     planes: &str,
 ) -> Result<DataFrame, PlanError> {
     match q {
-        1 => Ok(ctx.table(flights_str)?.join(ctx.table(planes)?, "tailNum", "tailNum")),
-        2 => Ok(ctx.table(flights_str)?.filter(col("tailNum").eq(lit("N00042")))),
+        1 => Ok(ctx
+            .table(flights_str)?
+            .join(ctx.table(planes)?, "tailNum", "tailNum")),
+        2 => Ok(ctx
+            .table(flights_str)?
+            .filter(col("tailNum").eq(lit("N00042")))),
         3 => {
-            let selected = ctx.table(flights_int)?.filter(col("flightNum").lt(lit(200i64)));
-            Ok(ctx.table(flights_int)?.join(selected, "flightNum", "flightNum"))
+            let selected = ctx
+                .table(flights_int)?
+                .filter(col("flightNum").lt(lit(200i64)));
+            Ok(ctx
+                .table(flights_int)?
+                .join(selected, "flightNum", "flightNum"))
         }
         4 => {
-            let selected = ctx.table(flights_int)?.filter(col("flightNum").lt(lit(400i64)));
-            Ok(ctx.table(flights_int)?.join(selected, "flightNum", "flightNum"))
+            let selected = ctx
+                .table(flights_int)?
+                .filter(col("flightNum").lt(lit(400i64)));
+            Ok(ctx
+                .table(flights_int)?
+                .join(selected, "flightNum", "flightNum"))
         }
-        5 => Ok(ctx.table(flights_int)?.filter(col("flightNum").eq(lit(MATCH10_KEY)))),
-        6 => Ok(ctx.table(flights_int)?.filter(col("flightNum").eq(lit(MATCH100_KEY)))),
-        7 => Ok(ctx.table(flights_int)?.filter(col("flightNum").eq(lit(MATCH1000_KEY)))),
+        5 => Ok(ctx
+            .table(flights_int)?
+            .filter(col("flightNum").eq(lit(MATCH10_KEY)))),
+        6 => Ok(ctx
+            .table(flights_int)?
+            .filter(col("flightNum").eq(lit(MATCH100_KEY)))),
+        7 => Ok(ctx
+            .table(flights_int)?
+            .filter(col("flightNum").eq(lit(MATCH1000_KEY)))),
         other => Err(PlanError::Unsupported(format!("flights Q{other}"))),
     }
 }
@@ -166,7 +204,11 @@ mod tests {
     use sparklet::{Cluster, ClusterConfig};
 
     fn tiny() -> FlightsData {
-        generate(FlightsConfig { flights: 3_000, planes: 100, seed: 5 })
+        generate(FlightsConfig {
+            flights: 3_000,
+            planes: 100,
+            seed: 5,
+        })
     }
 
     #[test]
@@ -194,14 +236,25 @@ mod tests {
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
         ctx.register_table(
             "flights",
-            Arc::new(ColumnarTable::from_rows(flights_schema(), d.flights.clone(), 4)),
+            Arc::new(ColumnarTable::from_rows(
+                flights_schema(),
+                d.flights.clone(),
+                4,
+            )),
         );
         ctx.register_table(
             "planes",
-            Arc::new(ColumnarTable::from_rows(planes_schema(), d.planes.clone(), 1)),
+            Arc::new(ColumnarTable::from_rows(
+                planes_schema(),
+                d.planes.clone(),
+                1,
+            )),
         );
         let run = |q: usize| {
-            query(&ctx, q, "flights", "flights", "planes").unwrap().count().unwrap()
+            query(&ctx, q, "flights", "flights", "planes")
+                .unwrap()
+                .count()
+                .unwrap()
         };
         assert_eq!(run(1), d.flights.len(), "Q1: every flight joins its plane");
         assert_eq!(run(5), 10);

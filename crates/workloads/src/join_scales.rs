@@ -74,10 +74,22 @@ pub fn generate(build_rows: u64, seed: u64) -> JoinWorkload {
         seed,
     });
     let probes = [
-        (JoinScale::S, snb::sample_probe(&data, JoinScale::S.probe_rows(build_rows), seed + 1)),
-        (JoinScale::M, snb::sample_probe(&data, JoinScale::M.probe_rows(build_rows), seed + 2)),
-        (JoinScale::L, snb::sample_probe(&data, JoinScale::L.probe_rows(build_rows), seed + 3)),
-        (JoinScale::XL, snb::sample_probe(&data, JoinScale::XL.probe_rows(build_rows), seed + 4)),
+        (
+            JoinScale::S,
+            snb::sample_probe(&data, JoinScale::S.probe_rows(build_rows), seed + 1),
+        ),
+        (
+            JoinScale::M,
+            snb::sample_probe(&data, JoinScale::M.probe_rows(build_rows), seed + 2),
+        ),
+        (
+            JoinScale::L,
+            snb::sample_probe(&data, JoinScale::L.probe_rows(build_rows), seed + 3),
+        ),
+        (
+            JoinScale::XL,
+            snb::sample_probe(&data, JoinScale::XL.probe_rows(build_rows), seed + 4),
+        ),
     ];
     JoinWorkload { data, probes }
 }

@@ -52,9 +52,9 @@ pub fn register_indexed(
     rows: Vec<Row>,
     index_col: &str,
 ) -> IndexedDataFrame {
-    let idf = IndexedDataFrame::from_rows(ctx, schema, rows, index_col)
-        .expect("index column exists");
-    idf.cache_index();
+    let idf =
+        IndexedDataFrame::from_rows(ctx, schema, rows, index_col).expect("index column exists");
+    idf.cache_index().expect("index build succeeds");
     idf.register(name).expect("registration succeeds");
     idf
 }
@@ -73,9 +73,15 @@ mod tests {
         register_columnar(&ctx, "plain", Arc::clone(&schema), rows.clone());
         let idf = register_indexed(&ctx, "indexed", schema, rows, "k");
         assert!(idf.is_cached());
-        assert_eq!(ctx.sql("SELECT * FROM plain").unwrap().count().unwrap(), 100);
         assert_eq!(
-            ctx.sql("SELECT * FROM indexed WHERE k = 3").unwrap().count().unwrap(),
+            ctx.sql("SELECT * FROM plain").unwrap().count().unwrap(),
+            100
+        );
+        assert_eq!(
+            ctx.sql("SELECT * FROM indexed WHERE k = 3")
+                .unwrap()
+                .count()
+                .unwrap(),
             10
         );
     }

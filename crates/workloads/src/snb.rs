@@ -29,14 +29,22 @@ pub struct SnbConfig {
 
 impl Default for SnbConfig {
     fn default() -> Self {
-        SnbConfig { persons: 10_000, avg_degree: 20, theta: 0.8, seed: 0x5eb }
+        SnbConfig {
+            persons: 10_000,
+            avg_degree: 20,
+            theta: 0.8,
+            seed: 0x5eb,
+        }
     }
 }
 
 impl SnbConfig {
     /// Scale row counts by `factor` (the `--scale` flag of the harness).
     pub fn scaled(factor: u64) -> SnbConfig {
-        SnbConfig { persons: 10_000 * factor.max(1), ..SnbConfig::default() }
+        SnbConfig {
+            persons: 10_000 * factor.max(1),
+            ..SnbConfig::default()
+        }
     }
 
     pub fn num_edges(&self) -> u64 {
@@ -101,7 +109,11 @@ pub fn generate(config: SnbConfig) -> SnbData {
             ]
         })
         .collect();
-    SnbData { persons, edges, config }
+    SnbData {
+        persons,
+        edges,
+        config,
+    }
 }
 
 /// A probe table sampling `n` distinct edge-source keys — the "small
@@ -112,7 +124,10 @@ pub fn sample_probe(data: &SnbData, n: usize, seed: u64) -> Vec<Row> {
     (0..n)
         .map(|_| {
             let idx = rng.gen_range(0..data.edges.len());
-            vec![data.edges[idx][0].clone(), Value::Int64(rng.gen_range(0..1000))]
+            vec![
+                data.edges[idx][0].clone(),
+                Value::Int64(rng.gen_range(0..1000)),
+            ]
         })
         .collect()
 }
@@ -153,7 +168,9 @@ pub fn short_read(
     person_id: i64,
 ) -> Result<DataFrame, PlanError> {
     match q {
-        1 => Ok(ctx.table(persons_table)?.filter(col("id").eq(lit(person_id)))),
+        1 => Ok(ctx
+            .table(persons_table)?
+            .filter(col("id").eq(lit(person_id)))),
         2 => Ok(ctx
             .table(edges_table)?
             .filter(col("edge_source").eq(lit(person_id)))
@@ -168,11 +185,14 @@ pub fn short_read(
             .table(edges_table)?
             .filter(col("edge_source").eq(lit(person_id)))
             .select(&["creation_date"])),
-        5 => Ok(ctx.table(edges_table)?.select(&["edge_dest", "creation_date", "weight"])),
-        6 => Ok(ctx
+        5 => Ok(ctx
             .table(edges_table)?
-            .group_by(&["edge_dest"])
-            .agg(vec![(dataframe::AggFunc::Count, None, "n")])),
+            .select(&["edge_dest", "creation_date", "weight"])),
+        6 => Ok(ctx.table(edges_table)?.group_by(&["edge_dest"]).agg(vec![(
+            dataframe::AggFunc::Count,
+            None,
+            "n",
+        )])),
         7 => {
             let one_hop = ctx
                 .table(edges_table)?
@@ -197,7 +217,12 @@ mod tests {
     use sparklet::{Cluster, ClusterConfig};
 
     fn tiny() -> SnbData {
-        generate(SnbConfig { persons: 200, avg_degree: 5, theta: 0.8, seed: 1 })
+        generate(SnbConfig {
+            persons: 200,
+            avg_degree: 5,
+            theta: 0.8,
+            seed: 1,
+        })
     }
 
     #[test]
@@ -218,7 +243,12 @@ mod tests {
 
     #[test]
     fn destinations_are_skewed() {
-        let d = generate(SnbConfig { persons: 1000, avg_degree: 20, theta: 0.9, seed: 3 });
+        let d = generate(SnbConfig {
+            persons: 1000,
+            avg_degree: 20,
+            theta: 0.9,
+            seed: 3,
+        });
         let mut counts = vec![0u64; 1000];
         for e in &d.edges {
             counts[e[1].as_i64().unwrap() as usize] += 1;
@@ -248,7 +278,11 @@ mod tests {
         let d = tiny();
         ctx.register_table(
             "persons",
-            Arc::new(ColumnarTable::from_rows(person_schema(), d.persons.clone(), 2)),
+            Arc::new(ColumnarTable::from_rows(
+                person_schema(),
+                d.persons.clone(),
+                2,
+            )),
         );
         ctx.register_table(
             "edges",

@@ -28,7 +28,10 @@ pub struct TpcdsConfig {
 
 impl TpcdsConfig {
     pub fn new(scale_factor: u64) -> TpcdsConfig {
-        TpcdsConfig { scale_factor, seed: 0x7dc }
+        TpcdsConfig {
+            scale_factor,
+            seed: 0x7dc,
+        }
     }
 
     pub fn fact_rows(&self) -> u64 {
@@ -87,7 +90,11 @@ pub fn generate(config: TpcdsConfig) -> TpcdsData {
             ]
         })
         .collect();
-    TpcdsData { store_sales, date_dim, config }
+    TpcdsData {
+        store_sales,
+        date_dim,
+        config,
+    }
 }
 
 /// The paper's Fig. 14 join: `store_sales JOIN date_dim ON
@@ -107,7 +114,10 @@ mod tests {
 
     #[test]
     fn generation_shapes() {
-        let d = generate(TpcdsConfig { scale_factor: 1, seed: 1 });
+        let d = generate(TpcdsConfig {
+            scale_factor: 1,
+            seed: 1,
+        });
         assert_eq!(d.store_sales.len() as u64, ROWS_PER_SF);
         assert_eq!(d.date_dim.len() as u64, DATE_DIM_ROWS);
         assert_eq!(d.store_sales[0].len(), store_sales_schema().arity());
@@ -116,7 +126,10 @@ mod tests {
 
     #[test]
     fn every_fact_row_has_a_date() {
-        let d = generate(TpcdsConfig { scale_factor: 1, seed: 2 });
+        let d = generate(TpcdsConfig {
+            scale_factor: 1,
+            seed: 2,
+        });
         for r in d.store_sales.iter().take(500) {
             let sk = r[0].as_i64().unwrap();
             assert!((0..DATE_DIM_ROWS as i64).contains(&sk));
@@ -125,7 +138,10 @@ mod tests {
 
     #[test]
     fn join_query_runs() {
-        let scaled = TpcdsConfig { scale_factor: 1, seed: 3 };
+        let scaled = TpcdsConfig {
+            scale_factor: 1,
+            seed: 3,
+        };
         let mut d = generate(scaled);
         d.store_sales.truncate(2_000); // keep the unit test fast
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));

@@ -30,7 +30,13 @@ impl Zipf {
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, alpha, zetan, eta }
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     /// Sample a rank in `1..=n` (rank 1 is the most popular).
@@ -96,10 +102,12 @@ mod tests {
     #[test]
     fn deterministic_with_seed() {
         let z = Zipf::new(100, 0.7);
-        let a: Vec<u64> =
-            (0..50).map(|_| z.sample(&mut StdRng::seed_from_u64(1))).collect();
-        let b: Vec<u64> =
-            (0..50).map(|_| z.sample(&mut StdRng::seed_from_u64(1))).collect();
+        let a: Vec<u64> = (0..50)
+            .map(|_| z.sample(&mut StdRng::seed_from_u64(1)))
+            .collect();
+        let b: Vec<u64> = (0..50)
+            .map(|_| z.sample(&mut StdRng::seed_from_u64(1)))
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -56,7 +56,7 @@ fn main() {
         .build()
         .expect("build");
     let t = Instant::now();
-    idf.cache_index();
+    idf.cache_index().unwrap();
     println!("index built in {:.0} ms", t.elapsed().as_secs_f64() * 1e3);
 
     // 2. Fine-grained appends on top of the durable base.
@@ -65,8 +65,8 @@ fn main() {
         Value::Float64(99.9),
         Value::Int64(1_800_000_000),
     ]]);
-    v2.cache_index();
-    assert_eq!(v2.get_rows(&Value::Int64(42)).len(), 201);
+    v2.cache_index().unwrap();
+    assert_eq!(v2.get_rows(&Value::Int64(42)).unwrap().len(), 201);
     println!("appended 1 row; sensor 42 now has {} readings", 201);
 
     // 3. Catastrophe: every worker dies. All cached partitions are gone.
@@ -76,23 +76,32 @@ fn main() {
     for w in 0..cluster.num_workers() {
         cluster.restart_worker(w);
     }
-    println!("cluster wiped: all {} workers lost their caches", cluster.num_workers());
+    println!(
+        "cluster wiped: all {} workers lost their caches",
+        cluster.num_workers()
+    );
 
     // 4. The next query transparently replays the file + append chain.
     let t = Instant::now();
-    let recovered = v2.get_rows(&Value::Int64(42));
+    let recovered = v2.get_rows(&Value::Int64(42)).unwrap();
     println!(
         "first query after wipe: {} rows in {:.0} ms (lineage replay from disk)",
         recovered.len(),
         t.elapsed().as_secs_f64() * 1e3
     );
     assert_eq!(recovered.len(), 201);
-    assert!(recovered.iter().any(|r| r[1] == Value::Float64(99.9)), "append survived");
+    assert!(
+        recovered.iter().any(|r| r[1] == Value::Float64(99.9)),
+        "append survived"
+    );
 
     // 5. Subsequent queries on the recovered partition run at cached speed.
     let t = Instant::now();
-    let _ = v2.get_rows(&Value::Int64(42));
-    println!("second query: {:.2} ms (back to cached speed)", t.elapsed().as_secs_f64() * 1e3);
+    let _ = v2.get_rows(&Value::Int64(42)).unwrap();
+    println!(
+        "second query: {:.2} ms (back to cached speed)",
+        t.elapsed().as_secs_f64() * 1e3
+    );
 
     let _ = std::fs::remove_file(path);
 }

@@ -19,18 +19,49 @@ fn main() {
         planes: 2_000,
         seed: 0xf1a,
     });
-    println!("{} flights, {} planes", data.flights.len(), data.planes.len());
+    println!(
+        "{} flights, {} planes",
+        data.flights.len(),
+        data.planes.len()
+    );
 
     // Vanilla session: Spark's columnar cache.
     let ctx_v = Context::new(Cluster::new(ClusterConfig::paper_default(4)));
-    register_columnar(&ctx_v, "flights", flights::flights_schema(), data.flights.clone());
-    register_columnar(&ctx_v, "planes", flights::planes_schema(), data.planes.clone());
+    register_columnar(
+        &ctx_v,
+        "flights",
+        flights::flights_schema(),
+        data.flights.clone(),
+    );
+    register_columnar(
+        &ctx_v,
+        "planes",
+        flights::planes_schema(),
+        data.planes.clone(),
+    );
 
     // Indexed session: tailNum (string) and flightNum (integer) indexes.
     let ctx_i = Context::new(cluster);
-    register_indexed(&ctx_i, "flights_str", flights::flights_schema(), data.flights.clone(), "tailNum");
-    register_indexed(&ctx_i, "flights_int", flights::flights_schema(), data.flights.clone(), "flightNum");
-    register_columnar(&ctx_i, "planes", flights::planes_schema(), data.planes.clone());
+    register_indexed(
+        &ctx_i,
+        "flights_str",
+        flights::flights_schema(),
+        data.flights.clone(),
+        "tailNum",
+    );
+    register_indexed(
+        &ctx_i,
+        "flights_int",
+        flights::flights_schema(),
+        data.flights.clone(),
+        "flightNum",
+    );
+    register_columnar(
+        &ctx_i,
+        "planes",
+        flights::planes_schema(),
+        data.planes.clone(),
+    );
 
     let descriptions = [
         "Q1  join flights ⋈ planes ON tailNum       (string key)",
@@ -42,7 +73,10 @@ fn main() {
         "Q7  point query, 1000 matches              (integer point)",
     ];
 
-    println!("\n{:<55} {:>10} {:>10} {:>8}", "query", "vanilla", "indexed", "speedup");
+    println!(
+        "\n{:<55} {:>10} {:>10} {:>8}",
+        "query", "vanilla", "indexed", "speedup"
+    );
     for q in 1..=7 {
         let t = Instant::now();
         let n_v = flights::query(&ctx_v, q, "flights", "flights", "planes")

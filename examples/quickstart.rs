@@ -35,18 +35,23 @@ fn main() {
         .collect();
 
     // 3. createIndex + cacheIndex (Listing 1).
-    let idf = IndexedDataFrame::from_rows(&ctx, schema, events, "user_id")
-        .expect("user_id exists");
-    idf.cache_index();
-    println!("indexed {} rows across {} partitions", idf.num_rows(), idf.num_partitions());
+    let idf = IndexedDataFrame::from_rows(&ctx, schema, events, "user_id").expect("user_id exists");
+    idf.cache_index().unwrap();
+    println!(
+        "indexed {} rows across {} partitions",
+        idf.num_rows(),
+        idf.num_partitions()
+    );
 
     // 4. Point lookup: routed to one partition, resolved via the cTrie.
-    let rows = idf.get_rows(&Value::Int64(42));
+    let rows = idf.get_rows(&Value::Int64(42)).unwrap();
     println!("user 42 has {} events (newest first)", rows.len());
 
     // 5. SQL automatically triggers the indexed operators.
     idf.register("events").expect("register");
-    let df = ctx.sql("SELECT action, ts FROM events WHERE user_id = 42").unwrap();
+    let df = ctx
+        .sql("SELECT action, ts FROM events WHERE user_id = 42")
+        .unwrap();
     println!("{}", df.explain().unwrap()); // shows IndexedLookup in the plan
     println!("SQL returned {} rows", df.count().unwrap());
 
@@ -60,9 +65,9 @@ fn main() {
     println!(
         "after append: v{} sees {} events for user 42, v{} still sees {}",
         v2.version(),
-        v2.get_rows(&Value::Int64(42)).len(),
+        v2.get_rows(&Value::Int64(42)).unwrap().len(),
         idf.version(),
-        idf.get_rows(&Value::Int64(42)).len(),
+        idf.get_rows(&Value::Int64(42)).unwrap().len(),
     );
 
     // 7. Joins use the index as a pre-built hash table.
@@ -70,11 +75,15 @@ fn main() {
         Field::new("id", DataType::Int64),
         Field::new("name", DataType::Utf8),
     ]);
-    let users: Vec<Vec<Value>> =
-        (0..100i64).map(|i| vec![Value::Int64(i), Value::Utf8(format!("user-{i}"))]).collect();
+    let users: Vec<Vec<Value>> = (0..100i64)
+        .map(|i| vec![Value::Int64(i), Value::Utf8(format!("user-{i}"))])
+        .collect();
     workloads::register_columnar(&ctx, "users", user_schema, users);
     let joined = ctx
         .sql("SELECT * FROM users JOIN events ON users.id = events.user_id")
         .unwrap();
-    println!("join produced {} rows (IndexedJoin — no per-query hash build)", joined.count().unwrap());
+    println!(
+        "join produced {} rows (IndexedJoin — no per-query hash build)",
+        joined.count().unwrap()
+    );
 }

@@ -29,25 +29,31 @@ fn main() {
         theta: 0.85,
         seed: 0x50c,
     });
-    println!("generated {} persons, {} edges", data.persons.len(), data.edges.len());
+    println!(
+        "generated {} persons, {} edges",
+        data.persons.len(),
+        data.edges.len()
+    );
 
     // Index both tables: persons on id, edges on source.
     let persons =
         IndexedDataFrame::from_rows(&ctx, snb::person_schema(), data.persons.clone(), "id")
             .unwrap();
-    persons.cache_index();
+    persons.cache_index().unwrap();
     persons.register("persons").unwrap();
     let mut edges =
         IndexedDataFrame::from_rows(&ctx, snb::edge_schema(), data.edges.clone(), "edge_source")
             .unwrap();
-    edges.cache_index();
+    edges.cache_index().unwrap();
     edges.register("edges").unwrap();
 
     // Dashboard queries for one person.
     let person = 17i64;
     let t = Instant::now();
     let profile = ctx
-        .sql(&format!("SELECT name, city FROM persons WHERE id = {person}"))
+        .sql(&format!(
+            "SELECT name, city FROM persons WHERE id = {person}"
+        ))
         .unwrap()
         .collect()
         .unwrap();
@@ -73,10 +79,17 @@ fn main() {
                 .table("edges")
                 .unwrap()
                 .filter(dataframe::col("edge_source").eq(dataframe::lit(person)));
-            one_hop.join(ctx.table("persons").unwrap(), "edge_dest", "id").collect().unwrap()
+            one_hop
+                .join(ctx.table("persons").unwrap(), "edge_dest", "id")
+                .collect()
+                .unwrap()
         }
     };
-    println!("friends: {} ({:.2} ms)", friends.len(), t.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "friends: {} ({:.2} ms)",
+        friends.len(),
+        t.elapsed().as_secs_f64() * 1e3
+    );
 
     // Friends-of-friends: indexed self-join (SQ7's access pattern).
     let t = Instant::now();
@@ -106,10 +119,10 @@ fn main() {
             .collect();
         let t = Instant::now();
         edges = edges.append_rows(new_edges);
-        edges.cache_index();
+        edges.cache_index().unwrap();
         let name = format!("edges_v{}", edges.version());
         edges.register(&name).unwrap();
-        let degree = edges.get_rows(&Value::Int64(person)).len();
+        let degree = edges.get_rows(&Value::Int64(person)).unwrap().len();
         println!(
             "round {round}: +5k edges in {:.1} ms; person {person} degree is now {degree} (v{})",
             t.elapsed().as_secs_f64() * 1e3,

@@ -25,11 +25,11 @@ use std::time::Instant;
 fn conn_row(rng: &mut StdRng, ts: i64) -> Row {
     let src = rng.gen_range(0..5_000i64);
     vec![
-        Value::Int64(src),                                   // src_host id
-        Value::Int64(rng.gen_range(0..50_000)),              // dst_host id
-        Value::Int32(rng.gen_range(1..65_535)),              // dst_port
+        Value::Int64(src),                      // src_host id
+        Value::Int64(rng.gen_range(0..50_000)), // dst_host id
+        Value::Int32(rng.gen_range(1..65_535)), // dst_port
         Value::Utf8(["tcp", "udp", "icmp"][rng.gen_range(0..3)].into()),
-        Value::Int64(rng.gen_range(40..1_000_000)),          // bytes
+        Value::Int64(rng.gen_range(40..1_000_000)), // bytes
         Value::Int64(ts),
     ]
 }
@@ -51,9 +51,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xb40);
 
     // Bootstrap: last night's connection log, indexed by source host.
-    let base: Vec<Row> = (0..200_000).map(|i| conn_row(&mut rng, 1_000 + i)).collect();
+    let base: Vec<Row> = (0..200_000)
+        .map(|i| conn_row(&mut rng, 1_000 + i))
+        .collect();
     let mut conns = IndexedDataFrame::from_rows(&ctx, conn_schema(), base, "src_host").unwrap();
-    conns.cache_index();
+    conns.cache_index().unwrap();
     println!("bootstrapped {} connection records", conns.num_rows());
 
     // Threat-intel feed: a small table of suspicious hosts.
@@ -77,11 +79,12 @@ fn main() {
     // appends) and the analyst dashboard re-runs its queries on the fresh
     // version without reloading anything.
     for tick in 0..5 {
-        let batch: Vec<Row> =
-            (0..10_000).map(|i| conn_row(&mut rng, 2_000_000 + tick * 10_000 + i)).collect();
+        let batch: Vec<Row> = (0..10_000)
+            .map(|i| conn_row(&mut rng, 2_000_000 + tick * 10_000 + i))
+            .collect();
         let t = Instant::now();
         conns = conns.append_rows(batch);
-        conns.cache_index();
+        conns.cache_index().unwrap();
         let append_ms = t.elapsed().as_secs_f64() * 1e3;
 
         let name = format!("conns_v{}", conns.version());
@@ -89,7 +92,7 @@ fn main() {
 
         // Interactive triage: what did the flagged host just do?
         let t = Instant::now();
-        let host42 = conns.get_rows(&Value::Int64(42));
+        let host42 = conns.get_rows(&Value::Int64(42)).unwrap();
         let lookup_ms = t.elapsed().as_secs_f64() * 1e3;
 
         // Correlate the live log against the intel feed (indexed join: the

@@ -1,0 +1,364 @@
+//! Offline shim for the subset of `crossbeam-epoch` used by the ctrie.
+//!
+//! Provides [`Atomic`] / [`Owned`] / [`Shared`] tagged pointers and
+//! [`pin`] / [`Guard::defer_unchecked`] deferred reclamation.
+//!
+//! Instead of real per-thread epochs, reclamation uses a single global
+//! reader count: [`pin`] increments it, dropping the [`Guard`] decrements
+//! it, and deferred destructors queue globally. The queue is drained only
+//! at instants when the reader count is observed to be zero *while holding
+//! the queue lock* — at such an instant no guard is live, so every queued
+//! destructor's retired node is unreachable (it was unlinked before being
+//! deferred, and post-drain readers can only traverse from current roots).
+//! This is coarser than crossbeam (garbage survives until a fully
+//! quiescent moment) but sound, and quiescent moments are frequent in this
+//! workspace's fork-join task style.
+
+use std::marker::PhantomData;
+use std::mem;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of currently live (pinned) guards.
+static PINNED: AtomicUsize = AtomicUsize::new(0);
+/// Cheap gate so guard drops skip the queue lock when there is no garbage.
+static GARBAGE_LEN: AtomicUsize = AtomicUsize::new(0);
+/// Deferred destructors awaiting a quiescent moment.
+static GARBAGE: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
+
+/// A type-erased deferred destructor. The closure may capture raw pointers
+/// to non-`Send` data; executing it from another thread is sound because it
+/// only runs at quiescent moments (see module docs), which is exactly the
+/// contract `defer_unchecked` callers accept.
+struct Deferred(Box<dyn FnOnce()>);
+unsafe impl Send for Deferred {}
+
+fn drain_if_quiescent() {
+    if GARBAGE_LEN.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let batch: Vec<Deferred> = {
+        let Ok(mut q) = GARBAGE.try_lock() else {
+            return;
+        };
+        // The queue lock is held: new defers block, so if no guard is live
+        // now, everything queued so far is safe to destroy.
+        if PINNED.load(Ordering::Acquire) != 0 {
+            return;
+        }
+        GARBAGE_LEN.store(0, Ordering::Release);
+        mem::take(&mut *q)
+    };
+    for d in batch {
+        (d.0)();
+    }
+}
+
+/// Pin the current thread, keeping retired nodes alive until the returned
+/// guard drops.
+pub fn pin() -> Guard {
+    PINNED.fetch_add(1, Ordering::AcqRel);
+    Guard { pinned: true }
+}
+
+/// Return a guard that does not pin. Deferred destructors run immediately.
+///
+/// # Safety
+/// The caller must guarantee exclusive access to the data structure, as
+/// with `crossbeam_epoch::unprotected`.
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard { pinned: false };
+    &UNPROTECTED
+}
+
+/// Witness that the current thread is pinned (or claims exclusivity).
+pub struct Guard {
+    pinned: bool,
+}
+
+impl Guard {
+    /// Defer `f` until no reader can hold a reference to the data it frees.
+    ///
+    /// # Safety
+    /// As in crossbeam: `f` must be safe to call once all guards live at
+    /// the time of the call have dropped, possibly from another thread.
+    pub unsafe fn defer_unchecked<F: FnOnce()>(&self, f: F) {
+        if !self.pinned {
+            // Unprotected guard: caller asserts exclusivity, run eagerly.
+            f();
+            return;
+        }
+        let boxed: Box<dyn FnOnce() + '_> = Box::new(f);
+        // Erase the (caller-asserted) lifetime, as real defer_unchecked does.
+        let boxed: Box<dyn FnOnce() + 'static> = mem::transmute(boxed);
+        let mut q = GARBAGE.lock().unwrap_or_else(|e| e.into_inner());
+        q.push(Deferred(boxed));
+        GARBAGE_LEN.store(q.len(), Ordering::Release);
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.pinned {
+            PINNED.fetch_sub(1, Ordering::AcqRel);
+            drain_if_quiescent();
+        }
+    }
+}
+
+/// Low-bits tag mask. All pointees in this workspace are word-aligned, so
+/// two tag bits are available; only tag values 0 and 1 are used.
+const TAG_MASK: usize = 0b11;
+
+/// A tagged, possibly-null shared pointer valid for the guard lifetime `'g`.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    pub fn null() -> Self {
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        self.data & !TAG_MASK == 0
+    }
+
+    /// The untagged raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        (self.data & !TAG_MASK) as *const T
+    }
+
+    pub fn tag(&self) -> usize {
+        self.data & TAG_MASK
+    }
+
+    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+        Shared {
+            data: (self.data & !TAG_MASK) | (tag & TAG_MASK),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Dereference the pointer.
+    ///
+    /// # Safety
+    /// The pointer must be non-null and the pointee alive for `'g`.
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.as_raw()
+    }
+
+    /// Convert to a reference if non-null.
+    ///
+    /// # Safety
+    /// The pointee, if any, must be alive for `'g`.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        self.as_raw().as_ref()
+    }
+}
+
+impl<T> From<*const T> for Shared<'_, T> {
+    fn from(ptr: *const T) -> Self {
+        debug_assert_eq!(
+            ptr as usize & TAG_MASK,
+            0,
+            "pointer is insufficiently aligned"
+        );
+        Shared {
+            data: ptr as usize,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// An owned heap allocation convertible into a [`Shared`].
+pub struct Owned<T> {
+    ptr: *mut T,
+}
+
+impl<T> Owned<T> {
+    pub fn new(value: T) -> Self {
+        Owned {
+            ptr: Box::into_raw(Box::new(value)),
+        }
+    }
+
+    /// Release ownership to the shared heap.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let ptr = self.ptr;
+        mem::forget(self);
+        Shared {
+            data: ptr as usize,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        unsafe { drop(Box::from_raw(self.ptr)) };
+    }
+}
+
+/// An atomic tagged pointer, the shim of `crossbeam_epoch::Atomic`.
+pub struct Atomic<T> {
+    data: AtomicPtr<T>,
+    _marker: PhantomData<*mut T>,
+}
+
+/// Error of a failed [`Atomic::compare_exchange`], carrying the observed
+/// current value (crossbeam also carries back the rejected new value; the
+/// ctrie never reads it, so the shim stores only `current`).
+pub struct CompareExchangeError<'g, T> {
+    pub current: Shared<'g, T>,
+}
+
+impl<T> Atomic<T> {
+    pub fn null() -> Self {
+        Atomic {
+            data: AtomicPtr::new(std::ptr::null_mut()),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            data: self.data.load(ord) as usize,
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
+        self.data.store(new.data as *mut T, ord);
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub fn compare_exchange<'g>(
+        &self,
+        current: Shared<'_, T>,
+        new: Shared<'g, T>,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T>> {
+        match self.data.compare_exchange(
+            current.data as *mut T,
+            new.data as *mut T,
+            success,
+            failure,
+        ) {
+            Ok(_) => Ok(new),
+            Err(observed) => Err(CompareExchangeError {
+                current: Shared {
+                    data: observed as usize,
+                    _marker: PhantomData,
+                },
+            }),
+        }
+    }
+}
+
+impl<T> From<Shared<'_, T>> for Atomic<T> {
+    fn from(shared: Shared<'_, T>) -> Self {
+        Atomic {
+            data: AtomicPtr::new(shared.data as *mut T),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        let ptr = owned.ptr;
+        mem::forget(owned);
+        Atomic {
+            data: AtomicPtr::new(ptr),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::SeqCst;
+    use std::sync::Arc;
+
+    #[test]
+    fn tag_roundtrip() {
+        let b = Box::into_raw(Box::new(7u64));
+        let s = Shared::from(b as *const u64);
+        assert_eq!(s.tag(), 0);
+        let t = s.with_tag(1);
+        assert_eq!(t.tag(), 1);
+        assert_eq!(t.as_raw(), s.as_raw());
+        assert!(!t.is_null());
+        assert_eq!(unsafe { *t.deref() }, 7);
+        unsafe { drop(Box::from_raw(b)) };
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let g = pin();
+        let a: Atomic<u64> = Atomic::null();
+        let one = Owned::new(1u64).into_shared(&g);
+        assert!(a
+            .compare_exchange(Shared::null(), one, SeqCst, SeqCst, &g)
+            .is_ok());
+        let two = Owned::new(2u64).into_shared(&g);
+        let Err(err) = a.compare_exchange(Shared::null(), two, SeqCst, SeqCst, &g) else {
+            panic!("CAS against stale expected value must fail");
+        };
+        assert_eq!(err.current.as_raw(), one.as_raw());
+        unsafe {
+            drop(Box::from_raw(one.as_raw() as *mut u64));
+            drop(Box::from_raw(two.as_raw() as *mut u64));
+        }
+    }
+
+    #[test]
+    fn deferred_runs_after_all_guards_drop() {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let outer = pin();
+        {
+            let inner = pin();
+            let f2 = Arc::clone(&flag);
+            unsafe { inner.defer_unchecked(move || f2.store(1, SeqCst)) };
+            drop(inner);
+            // outer still pinned: must not have run yet.
+            assert_eq!(flag.load(SeqCst), 0);
+        }
+        drop(outer);
+        // Quiescent now; a fresh pin/unpin cycle triggers the drain if the
+        // previous drop raced with anything.
+        drop(pin());
+        assert_eq!(flag.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn unprotected_defer_runs_eagerly() {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        unsafe {
+            unprotected().defer_unchecked(move || f2.store(1, SeqCst));
+        }
+        assert_eq!(flag.load(SeqCst), 1);
+    }
+}

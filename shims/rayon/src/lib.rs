@@ -1,0 +1,154 @@
+//! Offline shim for the subset of `rayon` used by this workspace.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal, API-compatible stand-ins for its external
+//! dependencies (see `crates/shims/`). This one provides
+//! [`ThreadPoolBuilder`] / [`ThreadPool::spawn`] — a plain fixed-size
+//! worker pool over `std::sync::mpsc`, no work stealing.
+//!
+//! One deliberate difference from real rayon: a panicking spawned job is
+//! caught inside the worker thread and the pool keeps running (rayon's
+//! default handler aborts the process). The cluster layer built on top
+//! treats task panics as recoverable task failures, so swallowing the
+//! unwind here is exactly what it needs; jobs that must observe panics
+//! wrap their body in `catch_unwind` themselves.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim never fails to
+/// build, but the type keeps call sites (`.expect(...)`) source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..n)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => {
+                            // Keep the worker alive across panicking jobs.
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                        }
+                        Err(_) => return, // pool dropped
+                    }
+                })
+            })
+            .collect();
+        Ok(ThreadPool {
+            tx: Some(tx),
+            handles,
+        })
+    }
+}
+
+/// Fixed-size thread pool mirroring `rayon::ThreadPool`.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Run `f` on some worker thread, returning immediately.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.tx
+            .as_ref()
+            .expect("thread pool shut down")
+            .send(Box::new(f))
+            .expect("worker threads exited");
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel so workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_on_n_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn survives_panicking_job() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.spawn(|| panic!("boom"));
+        let (tx, rx) = channel();
+        pool.spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+}

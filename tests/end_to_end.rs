@@ -11,7 +11,12 @@ use std::sync::Arc;
 use workloads::{flights, snb, tpcds};
 
 fn ctx() -> Arc<Context> {
-    Context::new(Cluster::new(ClusterConfig { workers: 2, executors_per_worker: 2, cores_per_executor: 2 }))
+    Context::new(Cluster::new(ClusterConfig {
+        workers: 2,
+        executors_per_worker: 2,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+    }))
 }
 
 fn canon(mut rows: Vec<Row>) -> Vec<String> {
@@ -24,15 +29,37 @@ fn canon(mut rows: Vec<Row>) -> Vec<String> {
 /// columnar path and the indexed path, across query shapes.
 #[test]
 fn indexed_and_vanilla_agree_on_snb() {
-    let data = snb::generate(snb::SnbConfig { persons: 500, avg_degree: 10, theta: 0.8, seed: 42 });
+    let data = snb::generate(snb::SnbConfig {
+        persons: 500,
+        avg_degree: 10,
+        theta: 0.8,
+        seed: 42,
+    });
 
     let ctx_v = ctx();
-    workloads::register_columnar(&ctx_v, "persons", snb::person_schema(), data.persons.clone());
+    workloads::register_columnar(
+        &ctx_v,
+        "persons",
+        snb::person_schema(),
+        data.persons.clone(),
+    );
     workloads::register_columnar(&ctx_v, "edges", snb::edge_schema(), data.edges.clone());
 
     let ctx_i = ctx();
-    workloads::register_indexed(&ctx_i, "persons", snb::person_schema(), data.persons.clone(), "id");
-    workloads::register_indexed(&ctx_i, "edges", snb::edge_schema(), data.edges.clone(), "edge_source");
+    workloads::register_indexed(
+        &ctx_i,
+        "persons",
+        snb::person_schema(),
+        data.persons.clone(),
+        "id",
+    );
+    workloads::register_indexed(
+        &ctx_i,
+        "edges",
+        snb::edge_schema(),
+        data.edges.clone(),
+        "edge_source",
+    );
 
     let queries = [
         "SELECT * FROM edges WHERE edge_source = 7",
@@ -67,9 +94,12 @@ fn all_join_strategies_agree_with_reference() {
         Field::new("k", DataType::Int64),
         Field::new("rv", DataType::Utf8),
     ]);
-    let left: Vec<Row> = (0..300).map(|i| vec![Value::Int64(i % 40), Value::Int64(i)]).collect();
-    let right: Vec<Row> =
-        (0..80).map(|i| vec![Value::Int64(i % 50), Value::Utf8(format!("r{i}"))]).collect();
+    let left: Vec<Row> = (0..300)
+        .map(|i| vec![Value::Int64(i % 40), Value::Int64(i)])
+        .collect();
+    let right: Vec<Row> = (0..80)
+        .map(|i| vec![Value::Int64(i % 50), Value::Utf8(format!("r{i}"))])
+        .collect();
 
     // Reference.
     let mut expected = Vec::new();
@@ -88,7 +118,10 @@ fn all_join_strategies_agree_with_reference() {
         ("broadcast", ExecConfig::default(), false),
         (
             "shuffled",
-            ExecConfig { broadcast_threshold_bytes: 0, ..ExecConfig::default() },
+            ExecConfig {
+                broadcast_threshold_bytes: 0,
+                ..ExecConfig::default()
+            },
             false,
         ),
         (
@@ -103,28 +136,37 @@ fn all_join_strategies_agree_with_reference() {
         ("indexed", ExecConfig::default(), true),
         (
             "indexed-shuffle-probe",
-            ExecConfig { broadcast_threshold_bytes: 0, ..ExecConfig::default() },
+            ExecConfig {
+                broadcast_threshold_bytes: 0,
+                ..ExecConfig::default()
+            },
             true,
         ),
     ];
     for (name, cfg, indexed) in configs {
-        let ctx = Context::with_config(
-            Cluster::new(ClusterConfig::test_small()),
-            cfg,
-        );
+        let ctx = Context::with_config(Cluster::new(ClusterConfig::test_small()), cfg);
         if indexed {
-            let idf = IndexedDataFrame::from_rows(&ctx, Arc::clone(&left_schema), left.clone(), "k")
-                .unwrap();
+            let idf =
+                IndexedDataFrame::from_rows(&ctx, Arc::clone(&left_schema), left.clone(), "k")
+                    .unwrap();
             idf.register("left").unwrap();
         } else {
             ctx.register_table(
                 "left",
-                Arc::new(ColumnarTable::from_rows(Arc::clone(&left_schema), left.clone(), 3)),
+                Arc::new(ColumnarTable::from_rows(
+                    Arc::clone(&left_schema),
+                    left.clone(),
+                    3,
+                )),
             );
         }
         ctx.register_table(
             "right",
-            Arc::new(ColumnarTable::from_rows(Arc::clone(&right_schema), right.clone(), 2)),
+            Arc::new(ColumnarTable::from_rows(
+                Arc::clone(&right_schema),
+                right.clone(),
+                2,
+            )),
         );
         let got = ctx
             .table("left")
@@ -132,14 +174,21 @@ fn all_join_strategies_agree_with_reference() {
             .join(ctx.table("right").unwrap(), "k", "k")
             .collect()
             .unwrap();
-        assert_eq!(canon(got), canon(expected.clone()), "strategy {name} diverges");
+        assert_eq!(
+            canon(got),
+            canon(expected.clone()),
+            "strategy {name} diverges"
+        );
     }
 }
 
 /// The TPC-DS join returns exactly one dimension row per fact row.
 #[test]
 fn tpcds_join_cardinality() {
-    let mut data = tpcds::generate(tpcds::TpcdsConfig { scale_factor: 1, seed: 5 });
+    let mut data = tpcds::generate(tpcds::TpcdsConfig {
+        scale_factor: 1,
+        seed: 5,
+    });
     data.store_sales.truncate(3_000);
     let ctx = ctx();
     workloads::register_indexed(
@@ -162,7 +211,11 @@ fn tpcds_join_cardinality() {
 /// both engines and the raw get_rows API.
 #[test]
 fn flights_point_query_multiplicities() {
-    let data = flights::generate(flights::FlightsConfig { flights: 5_000, planes: 50, seed: 9 });
+    let data = flights::generate(flights::FlightsConfig {
+        flights: 5_000,
+        planes: 50,
+        seed: 9,
+    });
     let ctx = ctx();
     let idf = IndexedDataFrame::from_rows(
         &ctx,
@@ -171,7 +224,7 @@ fn flights_point_query_multiplicities() {
         "flightNum",
     )
     .unwrap();
-    idf.cache_index();
+    idf.cache_index().unwrap();
     idf.register("flights").unwrap();
 
     for (key, expect) in [
@@ -179,7 +232,7 @@ fn flights_point_query_multiplicities() {
         (flights::MATCH100_KEY, 100),
         (flights::MATCH1000_KEY, 1000),
     ] {
-        assert_eq!(idf.get_rows(&Value::Int64(key)).len(), expect);
+        assert_eq!(idf.get_rows(&Value::Int64(key)).unwrap().len(), expect);
         let n = ctx
             .sql(&format!("SELECT * FROM flights WHERE flightNum = {key}"))
             .unwrap()
@@ -196,8 +249,9 @@ fn aggregation_against_reference() {
         Field::new("g", DataType::Int64),
         Field::new("v", DataType::Int64),
     ]);
-    let rows: Vec<Row> =
-        (0..997).map(|i| vec![Value::Int64(i % 13), Value::Int64(i)]).collect();
+    let rows: Vec<Row> = (0..997)
+        .map(|i| vec![Value::Int64(i % 13), Value::Int64(i)])
+        .collect();
     let mut expected: HashMap<i64, (i64, i64)> = HashMap::new(); // g -> (count, sum)
     for r in &rows {
         let e = expected.entry(r[0].as_i64().unwrap()).or_insert((0, 0));
@@ -230,32 +284,55 @@ fn aggregation_against_reference() {
 /// kill a worker → query again (recovery) — everything stays consistent.
 #[test]
 fn lifecycle_with_failure() {
-    let cluster = Cluster::new(ClusterConfig { workers: 3, executors_per_worker: 1, cores_per_executor: 2 });
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 3,
+        executors_per_worker: 1,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+    });
     let ctx = Context::new(Arc::clone(&cluster));
     let schema = Schema::new(vec![
         Field::new("k", DataType::Int64),
         Field::new("v", DataType::Int64),
     ]);
-    let rows: Vec<Row> = (0..3_000).map(|i| vec![Value::Int64(i % 100), Value::Int64(i)]).collect();
+    let rows: Vec<Row> = (0..3_000)
+        .map(|i| vec![Value::Int64(i % 100), Value::Int64(i)])
+        .collect();
     let v1 = IndexedDataFrame::from_rows(&ctx, schema, rows, "k").unwrap();
-    v1.cache_index();
-    assert_eq!(v1.get_rows(&Value::Int64(5)).len(), 30);
+    v1.cache_index().unwrap();
+    assert_eq!(v1.get_rows(&Value::Int64(5)).unwrap().len(), 30);
 
     let v2 = v1.append_rows(vec![vec![Value::Int64(5), Value::Int64(-1)]]);
-    v2.cache_index();
-    assert_eq!(v2.get_rows(&Value::Int64(5)).len(), 31);
-    assert_eq!(v1.get_rows(&Value::Int64(5)).len(), 30, "old version intact");
+    v2.cache_index().unwrap();
+    assert_eq!(v2.get_rows(&Value::Int64(5)).unwrap().len(), 31);
+    assert_eq!(
+        v1.get_rows(&Value::Int64(5)).unwrap().len(),
+        30,
+        "old version intact"
+    );
 
     cluster.kill_worker(0);
-    assert_eq!(v2.get_rows(&Value::Int64(5)).len(), 31, "recovered after failure");
+    assert_eq!(
+        v2.get_rows(&Value::Int64(5)).unwrap().len(),
+        31,
+        "recovered after failure"
+    );
     for k in 0..100 {
         let expect = if k == 5 { 31 } else { 30 };
-        assert_eq!(v2.get_rows(&Value::Int64(k)).len(), expect, "key {k} after recovery");
+        assert_eq!(
+            v2.get_rows(&Value::Int64(k)).unwrap().len(),
+            expect,
+            "key {k} after recovery"
+        );
     }
 
     cluster.restart_worker(0);
     let v3 = v2.append_rows(vec![vec![Value::Int64(5), Value::Int64(-2)]]);
-    assert_eq!(v3.get_rows(&Value::Int64(5)).len(), 32, "append after recovery");
+    assert_eq!(
+        v3.get_rows(&Value::Int64(5)).unwrap().len(),
+        32,
+        "append after recovery"
+    );
 }
 
 /// Data skew: one heavy key must not break hash-partitioned execution.
@@ -265,15 +342,20 @@ fn skewed_keys() {
         Field::new("k", DataType::Int64),
         Field::new("v", DataType::Int64),
     ]);
-    let mut rows: Vec<Row> = (0..2_000).map(|_| vec![Value::Int64(7), Value::Int64(0)]).collect();
+    let mut rows: Vec<Row> = (0..2_000)
+        .map(|_| vec![Value::Int64(7), Value::Int64(0)])
+        .collect();
     rows.extend((0..100).map(|i| vec![Value::Int64(i), Value::Int64(1)]));
     let ctx = ctx();
     let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "k").unwrap();
-    idf.cache_index();
-    assert_eq!(idf.get_rows(&Value::Int64(7)).len(), 2_001);
+    idf.cache_index().unwrap();
+    assert_eq!(idf.get_rows(&Value::Int64(7)).unwrap().len(), 2_001);
     idf.register("t").unwrap();
     assert_eq!(
-        ctx.sql("SELECT * FROM t WHERE k = 7").unwrap().count().unwrap(),
+        ctx.sql("SELECT * FROM t WHERE k = 7")
+            .unwrap()
+            .count()
+            .unwrap(),
         2_001
     );
 }
@@ -311,7 +393,10 @@ fn empty_tables() {
     workloads::register_columnar(&ctx, "also_empty", schema, Vec::new());
     assert_eq!(ctx.sql("SELECT * FROM empty").unwrap().count().unwrap(), 0);
     assert_eq!(
-        ctx.sql("SELECT * FROM empty WHERE k = 1").unwrap().count().unwrap(),
+        ctx.sql("SELECT * FROM empty WHERE k = 1")
+            .unwrap()
+            .count()
+            .unwrap(),
         0
     );
     assert_eq!(
@@ -323,7 +408,12 @@ fn empty_tables() {
         0
     );
     assert_eq!(
-        ctx.table("empty").unwrap().group_by(&["k"]).count().count().unwrap(),
+        ctx.table("empty")
+            .unwrap()
+            .group_by(&["k"])
+            .count()
+            .count()
+            .unwrap(),
         0
     );
 }
@@ -331,7 +421,12 @@ fn empty_tables() {
 /// The DataFrame API and SQL produce identical results for the same query.
 #[test]
 fn api_and_sql_equivalence() {
-    let data = snb::generate(snb::SnbConfig { persons: 300, avg_degree: 8, theta: 0.7, seed: 3 });
+    let data = snb::generate(snb::SnbConfig {
+        persons: 300,
+        avg_degree: 8,
+        theta: 0.7,
+        seed: 3,
+    });
     let ctx = ctx();
     workloads::register_indexed(&ctx, "edges", snb::edge_schema(), data.edges, "edge_source");
 

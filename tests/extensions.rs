@@ -20,7 +20,9 @@ fn schema() -> Arc<Schema> {
 }
 
 fn rows(n: i64, keys: i64) -> Vec<Row> {
-    (0..n).map(|i| vec![Value::Int64(i % keys), Value::Int64(i)]).collect()
+    (0..n)
+        .map(|i| vec![Value::Int64(i % keys), Value::Int64(i)])
+        .collect()
 }
 
 /// Both indexed layouts answer every query identically.
@@ -46,15 +48,23 @@ fn row_and_columnar_layouts_agree() {
         s
     };
     for q in queries {
-        let row_res = ctx.sql(&q.replace("{}", "t_row")).unwrap().collect().unwrap();
-        let col_res = ctx.sql(&q.replace("{}", "t_col")).unwrap().collect().unwrap();
+        let row_res = ctx
+            .sql(&q.replace("{}", "t_row"))
+            .unwrap()
+            .collect()
+            .unwrap();
+        let col_res = ctx
+            .sql(&q.replace("{}", "t_col"))
+            .unwrap()
+            .collect()
+            .unwrap();
         assert_eq!(canon(row_res), canon(col_res), "layouts disagree on {q}");
     }
 
     // Raw lookups agree too (same newest-first chain order).
     for key in 0..77 {
         assert_eq!(
-            row_idf.get_rows(&Value::Int64(key)),
+            row_idf.get_rows(&Value::Int64(key)).unwrap(),
             col_idf.get_rows(&Value::Int64(key)),
             "lookup order differs for key {key}"
         );
@@ -83,7 +93,11 @@ fn both_layouts_plan_indexed_operators() {
         assert!(plan.contains("IndexedLookup"), "{t}: {plan}");
     }
     // Layout shows in explain output.
-    let plan = ctx.sql("SELECT * FROM t_col WHERE k = 3").unwrap().explain().unwrap();
+    let plan = ctx
+        .sql("SELECT * FROM t_col WHERE k = 3")
+        .unwrap()
+        .explain()
+        .unwrap();
     assert!(plan.contains("layout = columnar"), "{plan}");
 }
 
@@ -102,16 +116,16 @@ fn file_backed_lineage_survives_total_wipe() {
         .source(Arc::new(source))
         .build()
         .unwrap();
-    v1.cache_index();
+    v1.cache_index().unwrap();
     let v2 = v1.append_rows(vec![vec![Value::Int64(7), Value::Int64(-7)]]);
-    v2.cache_index();
-    assert_eq!(v2.get_rows(&Value::Int64(7)).len(), 21);
+    v2.cache_index().unwrap();
+    assert_eq!(v2.get_rows(&Value::Int64(7)).unwrap().len(), 21);
 
     for w in 0..cluster.num_workers() {
         cluster.kill_worker(w);
         cluster.restart_worker(w);
     }
-    let recovered = v2.get_rows(&Value::Int64(7));
+    let recovered = v2.get_rows(&Value::Int64(7)).unwrap();
     assert_eq!(recovered.len(), 21, "base from file + append replayed");
     assert_eq!(recovered[0][1], Value::Int64(-7), "append is newest");
     let _ = std::fs::remove_file(path);
@@ -133,7 +147,11 @@ fn order_by_over_indexed_table() {
         .unwrap();
     assert_eq!(
         sorted,
-        vec![vec![Value::Int64(93)], vec![Value::Int64(83)], vec![Value::Int64(73)]]
+        vec![
+            vec![Value::Int64(93)],
+            vec![Value::Int64(83)],
+            vec![Value::Int64(73)]
+        ]
     );
 }
 
@@ -145,7 +163,13 @@ fn columnar_pushdown_shapes() {
     let ctx = ctx();
     let t = ColumnarIndexedTable::from_rows(&ctx, schema(), rows(300, 30), "k").unwrap();
     t.register("t").unwrap();
-    let out = ctx.sql("SELECT v FROM t WHERE v >= 290").unwrap().collect().unwrap();
+    let out = ctx
+        .sql("SELECT v FROM t WHERE v >= 290")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(out.len(), 10);
-    assert!(out.iter().all(|r| r.len() == 1 && r[0].as_i64().unwrap() >= 290));
+    assert!(out
+        .iter()
+        .all(|r| r.len() == 1 && r[0].as_i64().unwrap() >= 290));
 }

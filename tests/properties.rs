@@ -4,7 +4,9 @@
 use dataframe::Context;
 use indexed_df::IndexedDataFrame;
 use proptest::prelude::*;
-use rowstore::{codec, DataType, Field, PackedPtr, PartitionStore, Row, Schema, StoreConfig, Value};
+use rowstore::{
+    codec, DataType, Field, PackedPtr, PartitionStore, Row, Schema, StoreConfig, Value,
+};
 use sparklet::{Cluster, ClusterConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -105,7 +107,10 @@ fn arb_value(dtype: DataType, nullable: bool) -> BoxedStrategy<Value> {
     let base: BoxedStrategy<Value> = match dtype {
         DataType::Int32 => any::<i32>().prop_map(Value::Int32).boxed(),
         DataType::Int64 => any::<i64>().prop_map(Value::Int64).boxed(),
-        DataType::Float64 => any::<f64>().prop_filter("no NaN", |f| !f.is_nan()).prop_map(Value::Float64).boxed(),
+        DataType::Float64 => any::<f64>()
+            .prop_filter("no NaN", |f| !f.is_nan())
+            .prop_map(Value::Float64)
+            .boxed(),
         DataType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
         DataType::Utf8 => "[a-zA-Z0-9 é日]{0,40}".prop_map(Value::Utf8).boxed(),
     };
@@ -217,12 +222,14 @@ proptest! {
             workers: 2,
             executors_per_worker: 1,
             cores_per_executor: 1,
+            max_task_attempts: 4,
         }));
         let idf = IndexedDataFrame::from_rows(&ctx, schema, rows.clone(), "k").unwrap();
-        idf.cache_index();
+        idf.cache_index().unwrap();
         for probe in 0..50i64 {
             let mut got: Vec<i64> = idf
                 .get_rows(&Value::Int64(probe))
+                .unwrap()
                 .iter()
                 .map(|r| r[1].as_i64().unwrap())
                 .collect();
@@ -256,7 +263,7 @@ proptest! {
         }
         // Materialize newest first (reverse order, as in Listing 2).
         for (v, expect) in versions.iter().zip(&counts).rev() {
-            prop_assert_eq!(v.collect().len(), *expect);
+            prop_assert_eq!(v.collect().unwrap().len(), *expect);
         }
     }
 }
