@@ -1,5 +1,6 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out.
 
+use crate::perf::Perf;
 use crate::{banner, time_reps, write_csv, Opts, Stats};
 use dataframe::{Context, ExecConfig};
 use indexed_df::IndexedDataFrame;
@@ -27,7 +28,9 @@ pub fn ablate_layout(opts: &Opts) {
     let build = 200_000 * opts.scale;
     let w = join_scales::generate(build, 0xa1);
     let probe_key = w.probes[0].1[0][0].clone();
+    let mut perf = Perf::start("ablate-layout");
     let ctx = Context::new(cluster());
+    perf.attach("cluster", &ctx);
     register_columnar(
         &ctx,
         "edges_plain",
@@ -84,6 +87,7 @@ pub fn ablate_layout(opts: &Opts) {
         "layout,projection_ms,point_lookup_ms",
         &csv,
     );
+    perf.finish(opts);
     println!("expected: columnar layouts win projections; indexed layouts win lookups;");
     println!("indexed-columnar gets both but gives up MVCC appends (build-once)");
 }
@@ -96,6 +100,7 @@ pub fn ablate_broadcast(opts: &Opts) {
     let w = join_scales::generate(build, 0xa2);
     let probe_rows = w.probes[1].1.clone(); // M scale
 
+    let mut perf = Perf::start("ablate-broadcast");
     let mut csv = Vec::new();
     for (mode, threshold) in [("broadcast", usize::MAX), ("shuffle", 0)] {
         let ctx = Context::with_config(
@@ -105,6 +110,7 @@ pub fn ablate_broadcast(opts: &Opts) {
                 ..ExecConfig::default()
             },
         );
+        perf.attach(mode, &ctx);
         register_indexed(
             &ctx,
             "edges",
@@ -126,6 +132,7 @@ pub fn ablate_broadcast(opts: &Opts) {
         csv.push(format!("{mode},{:.3}", s.mean_ms));
     }
     write_csv(opts, "ablate_broadcast.csv", "mode,mean_ms", &csv);
+    perf.finish(opts);
     println!("expected: broadcast wins for small probes (no shuffle materialization)");
 }
 
@@ -147,7 +154,9 @@ pub fn ablate_mvcc(opts: &Opts) {
         })
         .collect();
 
+    let mut perf = Perf::start("ablate-mvcc");
     let ctx = Context::new(cluster());
+    perf.attach("cluster", &ctx);
     let idf = IndexedDataFrame::from_rows(
         &ctx,
         snb::edge_schema(),
@@ -191,6 +200,7 @@ pub fn ablate_mvcc(opts: &Opts) {
             format!("cow,{:.3}", s_cow.mean_ms),
         ],
     );
+    perf.finish(opts);
 }
 
 /// Hash-partition routing for point lookups vs probing every partition
@@ -200,7 +210,9 @@ pub fn ablate_partitioning(opts: &Opts) {
     banner("Ablation — point lookup: hash-routed single partition vs all partitions");
     let build = 200_000 * opts.scale;
     let w = join_scales::generate(build, 0xa4);
+    let mut perf = Perf::start("ablate-partitioning");
     let ctx = Context::new(cluster());
+    perf.attach("cluster", &ctx);
     let idf = IndexedDataFrame::from_rows(
         &ctx,
         snb::edge_schema(),
@@ -241,4 +253,5 @@ pub fn ablate_partitioning(opts: &Opts) {
             format!("all,{:.3}", s_all.mean_ms),
         ],
     );
+    perf.finish(opts);
 }

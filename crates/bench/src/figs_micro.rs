@@ -1,6 +1,7 @@
 //! Microbenchmark figures: Fig. 1, Table III, Fig. 4, Fig. 5, Fig. 6,
 //! Fig. 7, Fig. 8.
 
+use crate::perf::Perf;
 use crate::{banner, time_once, time_reps, write_csv, Opts, Stats};
 use dataframe::{col, lit, Context, DataFrame};
 use indexed_df::IndexedDataFrame;
@@ -38,10 +39,12 @@ pub fn fig1(opts: &Opts) {
     let w = join_scales::generate(build, 0xf1);
     let probe_rows = w.probes[1].1.clone(); // M-scale probe
 
+    let mut perf = Perf::start("fig1");
     let mut csv = Vec::new();
     for indexed in [false, true] {
         let system = if indexed { "indexed" } else { "vanilla" };
         let ctx = cluster_ctx(opts.workers_or(4));
+        perf.attach(system, &ctx);
         let edges_df = if indexed {
             let idf = IndexedDataFrame::from_rows(
                 &ctx,
@@ -94,6 +97,7 @@ pub fn fig1(opts: &Opts) {
         "system,query,total_ms,build_ms,shuffle_ms,probe_ms,scan_ms,bcast_mb,rows",
         &csv,
     );
+    perf.finish(opts);
     println!(
         "shape check: vanilla re-pays build+shuffle each query; indexed pays build once (Q1) then probes only"
     );
@@ -107,7 +111,9 @@ pub fn table3(opts: &Opts) {
     banner("Table III — probe/build/result sizes (scaled from the paper's 1 B build side)");
     let build = BUILD_ROWS * opts.scale;
     let w = join_scales::generate(build, 0x7ab);
+    let mut perf = Perf::start("table3");
     let ctx = cluster_ctx(opts.workers_or(4));
+    perf.attach("cluster", &ctx);
     register_indexed(
         &ctx,
         "edges",
@@ -150,6 +156,7 @@ pub fn table3(opts: &Opts) {
         "scale,probe_rows,build_rows,result_rows",
         &csv,
     );
+    perf.finish(opts);
 }
 
 // ----------------------------------------------------------------------
@@ -165,6 +172,7 @@ pub fn fig4(opts: &Opts) {
     let xl_probe = w.probes[3].1.clone();
 
     let combos = [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1)];
+    let mut perf = Perf::start("fig4");
     let mut csv = Vec::new();
     println!("executors  cores/executor  mean_ms  std_ms  min_ms  max_ms");
     for (execs, cores) in combos {
@@ -174,6 +182,7 @@ pub fn fig4(opts: &Opts) {
             cores_per_executor: cores,
             max_task_attempts: 4,
         }));
+        perf.attach(&format!("e{execs}c{cores}"), &ctx);
         register_indexed(
             &ctx,
             "edges",
@@ -206,6 +215,7 @@ pub fn fig4(opts: &Opts) {
         "executors,cores,mean_ms,std_ms,min_ms,max_ms",
         &csv,
     );
+    perf.finish(opts);
 }
 
 // ----------------------------------------------------------------------
@@ -227,9 +237,11 @@ pub fn fig5(opts: &Opts) {
         (128 << 20, "128MB"),
     ];
 
+    let mut perf = Perf::start("fig5");
     let mut results = Vec::new();
     for (bs, label) in sizes {
         let ctx = cluster_ctx(opts.workers_or(4));
+        perf.attach(label, &ctx);
         // Write: index creation (createIndex and append share the same
         // write path, §IV-D).
         let mut write_samples = Vec::new();
@@ -289,6 +301,7 @@ pub fn fig5(opts: &Opts) {
         "batch,read_ms,write_ms,read_norm,write_norm",
         &csv,
     );
+    perf.finish(opts);
     println!("shape check: paper finds a sweet spot at 4MB; very large batches hurt writes");
 }
 
@@ -304,6 +317,7 @@ pub fn fig6(opts: &Opts) {
     let w = join_scales::generate(build, 0xf6);
     let xl_probe = w.probes[3].1.clone();
 
+    let mut perf = Perf::start("fig6");
     let mut csv = Vec::new();
     println!("(a) horizontal: workers ∈ {{2,4,8,16,32}}, fixed input");
     println!("workers  mean_ms  std_ms");
@@ -314,6 +328,7 @@ pub fn fig6(opts: &Opts) {
             cores_per_executor: 2,
             max_task_attempts: 4,
         }));
+        perf.attach(&format!("w{workers}"), &ctx);
         register_indexed(
             &ctx,
             "edges",
@@ -346,6 +361,7 @@ pub fn fig6(opts: &Opts) {
             cores_per_executor: cores,
             max_task_attempts: 4,
         }));
+        perf.attach(&format!("c{cores}"), &ctx);
         register_indexed(
             &ctx,
             "edges",
@@ -366,6 +382,7 @@ pub fn fig6(opts: &Opts) {
         csv.push(format!("vertical,{cores},{:.3},{:.3}", s.mean_ms, s.std_ms));
     }
     write_csv(opts, "fig6.csv", "sweep,size,mean_ms,std_ms", &csv);
+    perf.finish(opts);
 }
 
 // ----------------------------------------------------------------------
@@ -378,6 +395,7 @@ pub fn fig7(opts: &Opts) {
     let w = join_scales::generate(build, 0xf7);
 
     // Two contexts so caches and metrics stay independent.
+    let mut perf = Perf::start("fig7");
     let ctx_v = cluster_ctx(opts.workers_or(4));
     register_columnar(&ctx_v, "edges", snb::edge_schema(), w.data.edges.clone());
     let ctx_i = cluster_ctx(opts.workers_or(4));
@@ -388,6 +406,8 @@ pub fn fig7(opts: &Opts) {
         w.data.edges.clone(),
         "edge_source",
     );
+    perf.attach("vanilla", &ctx_v);
+    perf.attach("indexed", &ctx_i);
 
     println!("scale  probe_rows  vanilla_ms  indexed_ms  speedup  result_rows");
     let mut csv = Vec::new();
@@ -435,6 +455,7 @@ pub fn fig7(opts: &Opts) {
         "scale,probe_rows,vanilla_ms,indexed_ms,speedup,result_rows",
         &csv,
     );
+    perf.finish(opts);
     println!("shape check: paper reports 3–8x speedups across all probe sizes");
 }
 
@@ -449,6 +470,7 @@ pub fn fig8(opts: &Opts) {
     let probe_rows = w.probes[0].1.clone();
     let point_key = probe_rows[0][0].as_i64().unwrap();
 
+    let mut perf = Perf::start("fig8");
     let ctx_v = cluster_ctx(opts.workers_or(4));
     register_columnar(&ctx_v, "edges", snb::edge_schema(), w.data.edges.clone());
     let ctx_i = cluster_ctx(opts.workers_or(4));
@@ -459,6 +481,8 @@ pub fn fig8(opts: &Opts) {
         w.data.edges.clone(),
         "edge_source",
     );
+    perf.attach("vanilla", &ctx_v);
+    perf.attach("indexed", &ctx_i);
     register_probe(&ctx_v, "probe", probe_rows.clone());
     register_probe(&ctx_i, "probe", probe_rows.clone());
 
@@ -536,6 +560,7 @@ pub fn fig8(opts: &Opts) {
         "operator,vanilla_ms,indexed_ms,speedup",
         &csv,
     );
+    perf.finish(opts);
     println!("shape check: join/filter-eq win big; projection (and often range filters)");
     println!("lose — the row store must materialize full rows (paper §IV-D)");
 }

@@ -1,6 +1,7 @@
 //! Real-world-workload figures: Fig. 13 (SNB short reads), Fig. 14
 //! (TPC-DS scale sweep), Fig. 15 (US Flights Q1–Q7), Tables I–II.
 
+use crate::perf::Perf;
 use crate::{banner, time_reps, write_csv, Opts, Stats};
 use dataframe::Context;
 use sparklet::{Cluster, ClusterConfig};
@@ -30,6 +31,7 @@ pub fn fig13(opts: &Opts) {
         data.edges.len()
     );
 
+    let mut perf = Perf::start("fig13");
     let ctx_v = cluster_ctx(opts.workers_or(4));
     register_columnar(
         &ctx_v,
@@ -40,6 +42,8 @@ pub fn fig13(opts: &Opts) {
     register_columnar(&ctx_v, "edges", snb::edge_schema(), data.edges.clone());
 
     let ctx_i = cluster_ctx(opts.workers_or(4));
+    perf.attach("vanilla", &ctx_v);
+    perf.attach("indexed", &ctx_i);
     register_indexed(
         &ctx_i,
         "persons",
@@ -94,6 +98,7 @@ pub fn fig13(opts: &Opts) {
         "query,vanilla_ms,indexed_ms,speedup,uses_index",
         &csv,
     );
+    perf.finish(opts);
     println!("shape check: all queries speed up except SQ5/SQ6 (index-oblivious access");
     println!("patterns favor the columnar cache — §IV-E)");
 }
@@ -111,12 +116,14 @@ pub fn fig14(opts: &Opts) {
     println!(" selective BI form — dimension filtered to one year — which exercises the");
     println!(" paper's stated mechanism: 'data filtered out by using the index'.)");
     println!("sf  fact_rows    variant    vanilla_ms  indexed_ms  speedup");
+    let mut perf = Perf::start("fig14");
     let mut csv = Vec::new();
     for sf in [1u64, 10, 100] {
         let sf = sf * opts.scale;
         let data = tpcds::generate(tpcds::TpcdsConfig::new(sf));
 
         let ctx_v = cluster_ctx(opts.workers_or(4));
+        perf.attach(&format!("sf{sf}-vanilla"), &ctx_v);
         register_columnar(
             &ctx_v,
             "store_sales",
@@ -131,6 +138,7 @@ pub fn fig14(opts: &Opts) {
         );
 
         let ctx_i = cluster_ctx(opts.workers_or(4));
+        perf.attach(&format!("sf{sf}-indexed"), &ctx_i);
         // The fact table is indexed on the join key; the dimension probes.
         register_indexed(
             &ctx_i,
@@ -176,6 +184,7 @@ pub fn fig14(opts: &Opts) {
         "sf,fact_rows,variant,vanilla_ms,indexed_ms,speedup",
         &csv,
     );
+    perf.finish(opts);
     println!("shape check: selective joins widen the indexed advantage as data grows;");
     println!("full-output joins are bound by result materialization in any engine");
 }
@@ -193,6 +202,7 @@ pub fn fig15(opts: &Opts) {
         data.planes.len()
     );
 
+    let mut perf = Perf::start("fig15");
     let ctx_v = cluster_ctx(opts.workers_or(4));
     register_columnar(
         &ctx_v,
@@ -210,6 +220,8 @@ pub fn fig15(opts: &Opts) {
     // Indexed run: string-keyed registration for Q1/Q2, integer-keyed for
     // Q3–Q7 (Table II's two index columns).
     let ctx_i = cluster_ctx(opts.workers_or(4));
+    perf.attach("vanilla", &ctx_v);
+    perf.attach("indexed", &ctx_i);
     register_indexed(
         &ctx_i,
         "flights_str",
@@ -267,6 +279,7 @@ pub fn fig15(opts: &Opts) {
         "query,key_type,vanilla_ms,indexed_ms,speedup",
         &csv,
     );
+    perf.finish(opts);
     println!("shape check: paper reports 5–20x; integer-key point queries (Q5–Q7) gain");
     println!("the most, string keys (Q1–Q2) pay hashing overhead");
 }
@@ -275,7 +288,8 @@ pub fn fig15(opts: &Opts) {
 // Tables I and II
 // ----------------------------------------------------------------------
 
-pub fn tab1(_opts: &Opts) {
+pub fn tab1(opts: &Opts) {
+    let perf = Perf::start("tab1");
     banner("Table I — hardware configuration (this reproduction's host)");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -297,9 +311,11 @@ pub fn tab1(_opts: &Opts) {
         mem_kb / 1_048_576
     );
     println!("        workers = thread pools; network = cross-thread buffer exchange");
+    perf.finish(opts);
 }
 
 pub fn tab2(opts: &Opts) {
+    let perf = Perf::start("tab2");
     banner("Table II — datasets and queries generated by this reproduction");
     let s = snb::SnbConfig::scaled(opts.scale);
     let f = flights::FlightsConfig::scaled(opts.scale);
@@ -316,4 +332,5 @@ pub fn tab2(opts: &Opts) {
         tpcds::DATE_DIM_ROWS
     );
     println!("Join scales:  Table III S/M/L/XL probe progression (run `figures table3`)");
+    perf.finish(opts);
 }

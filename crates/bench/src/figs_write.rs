@@ -1,5 +1,6 @@
 //! Write-path and reliability figures: Fig. 9, Fig. 10, Fig. 11, Fig. 12.
 
+use crate::perf::Perf;
 use crate::{banner, time_once, write_csv, Opts, Stats};
 use dataframe::Context;
 use indexed_df::IndexedDataFrame;
@@ -45,11 +46,13 @@ pub fn fig9(opts: &Opts) {
     let w = join_scales::generate(build, 0xf9);
     let probe_rows = w.probes[0].1.clone();
 
+    let mut perf = Perf::start("fig9");
     let mut csv = Vec::new();
     println!("append_rows  mean_read_ms  slowdown_vs_no_append");
     let mut baseline_ms = 0.0;
     for append_size in [0usize, 1_000, 10_000, 100_000] {
         let ctx = cluster_ctx(opts.workers_or(4));
+        perf.attach(&format!("append{append_size}"), &ctx);
         let mut idf = IndexedDataFrame::from_rows(
             &ctx,
             snb::edge_schema(),
@@ -86,6 +89,7 @@ pub fn fig9(opts: &Opts) {
         csv.push(format!("{append_size},{:.3},{slowdown:.3}", s.mean_ms));
     }
     write_csv(opts, "fig9.csv", "append_rows,mean_read_ms,slowdown", &csv);
+    perf.finish(opts);
     println!("shape check: paper sees ~3x for ≤100K-row appends, ~6x for larger ones");
 }
 
@@ -96,10 +100,12 @@ pub fn fig9(opts: &Opts) {
 pub fn fig10(opts: &Opts) {
     banner("Fig. 10 — append throughput (createIndex and appendRows share this path)");
     let appends = 20 * opts.reps.max(1);
+    let mut perf = Perf::start("fig10");
     let mut csv = Vec::new();
     println!("rows/append  appends  total_rows  cum_time_s  rows_per_s  shuffle_share");
     for append_size in [1_000usize, 10_000, 100_000] {
         let ctx = cluster_ctx(opts.workers_or(4));
+        perf.attach(&format!("append{append_size}"), &ctx);
         let mut idf = IndexedDataFrame::from_rows(
             &ctx,
             snb::edge_schema(),
@@ -137,6 +143,7 @@ pub fn fig10(opts: &Opts) {
         "rows_per_append,appends,total_rows,cum_time_s,rows_per_s,shuffle_share",
         &csv,
     );
+    perf.finish(opts);
     println!("shape check: throughput grows with append size; shuffle dominates write time");
 }
 
@@ -148,7 +155,9 @@ pub fn fig11(opts: &Opts) {
     banner("Fig. 11 — cTrie index memory overhead per partition (JAMM analogue)");
     let build = 500_000 * opts.scale;
     let w = join_scales::generate(build, 0x11);
+    let mut perf = Perf::start("fig11");
     let ctx = cluster_ctx(opts.workers_or(4));
+    perf.attach("cluster", &ctx);
     // The paper measures 64 partitions of the 30 GB edge table.
     let idf = IndexedDataFrame::builder(&ctx, snb::edge_schema(), "edge_source")
         .unwrap()
@@ -178,6 +187,7 @@ pub fn fig11(opts: &Opts) {
         "partition,index_bytes,data_bytes,overhead_pct",
         &csv,
     );
+    perf.finish(opts);
     println!("shape check: paper reports consistently < 2% (at 30 GB scale; small partitions");
     println!("carry proportionally more trie overhead, so expect a higher % at toy scale)");
 }
@@ -201,6 +211,8 @@ pub fn fig12(opts: &Opts) {
         max_task_attempts: 4,
     });
     let ctx = Context::new(Arc::clone(&cluster));
+    let mut perf = Perf::start("fig12");
+    perf.attach("cluster", &ctx);
     let idf = IndexedDataFrame::from_rows(
         &ctx,
         snb::edge_schema(),
@@ -249,5 +261,6 @@ pub fn fig12(opts: &Opts) {
         spike_ms / steady_stats.mean_ms
     );
     write_csv(opts, "fig12.csv", "query,latency_ms,recompute_ms", &csv);
+    perf.finish(opts);
     println!("shape check: one slow query (index rebuild from lineage), then normal speed");
 }

@@ -27,8 +27,19 @@ use crate::node::{
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use std::fmt;
 use std::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
+
+/// Process-wide count of committed snapshots across every `Ctrie` instance.
+/// Observability hook only — the algorithm never reads it. The ctrie crate
+/// sits below the engine's metrics registry, so the engine polls this via
+/// [`snapshot_generations`] instead of ctrie pushing into a registry.
+static SNAPSHOT_GENERATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total snapshots committed by any `Ctrie` in this process (monotonic).
+pub fn snapshot_generations() -> u64 {
+    SNAPSHOT_GENERATIONS.load(SeqCst)
+}
 
 /// Root-pointer tag marking an in-flight RDCSS descriptor.
 const ROOT_DESC_TAG: usize = 1;
@@ -413,6 +424,7 @@ where
                         unsafe {
                             g.defer_unchecked(move || drop(Box::from_raw(r_raw)));
                         }
+                        SNAPSHOT_GENERATIONS.fetch_add(1, SeqCst);
                         // Build the returned snapshot around the same main.
                         unsafe { retain(exp_main) };
                         let snap_root = Box::into_raw(Box::new(INode::new(exp_main, next_gen())));

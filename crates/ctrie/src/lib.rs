@@ -39,7 +39,7 @@ mod ctrie;
 mod hash;
 mod node;
 
-pub use crate::ctrie::Ctrie;
+pub use crate::ctrie::{snapshot_generations, Ctrie};
 pub use crate::hash::{FxBuildHasher, FxHasher};
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 //! aggregate).
 
 use crate::context::Context;
-use crate::physical::{describe_node, ExecError, ExecPlan, GroupKey, Partitions};
+use crate::physical::{
+    count_rows, describe_node, observe_operator, ExecError, ExecPlan, GroupKey, Partitions,
+};
 use crate::plan::AggFunc;
 use rowstore::{Row, Schema, Value};
 use std::collections::HashMap;
@@ -216,49 +218,51 @@ impl ExecPlan for HashAggExec {
         let aggs = self.aggs.clone();
         let inputs2 = Arc::clone(&inputs);
 
-        // Phase 1: partial aggregation per partition, in parallel.
-        let partials: Vec<HashMap<GroupKey, Vec<Acc>>> =
-            ctx.cluster()
-                .run_stage_partitions(inputs.len(), move |tc| {
-                    let mut table: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
-                    for row in &inputs2[tc.partition] {
-                        let key = GroupKey(group_by.iter().map(|&i| row[i].clone()).collect());
-                        let accs = table
-                            .entry(key)
-                            .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.func)).collect());
-                        for (acc, spec) in accs.iter_mut().zip(&aggs) {
-                            acc.update(spec.input.map(|i| &row[i]));
+        observe_operator(ctx, "agg", count_rows(&inputs), || {
+            // Phase 1: partial aggregation per partition, in parallel.
+            let partials: Vec<HashMap<GroupKey, Vec<Acc>>> =
+                ctx.cluster()
+                    .run_stage_partitions(inputs.len(), move |tc| {
+                        let mut table: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
+                        for row in &inputs2[tc.partition] {
+                            let key = GroupKey(group_by.iter().map(|&i| row[i].clone()).collect());
+                            let accs = table
+                                .entry(key)
+                                .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.func)).collect());
+                            for (acc, spec) in accs.iter_mut().zip(&aggs) {
+                                acc.update(spec.input.map(|i| &row[i]));
+                            }
                         }
-                    }
-                    table
-                })?;
+                        table
+                    })?;
 
-        // Phase 2: final merge on the driver.
-        let mut merged: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
-        for partial in partials {
-            for (key, accs) in partial {
-                match merged.entry(key) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(accs);
-                    }
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        for (a, b) in e.get_mut().iter_mut().zip(&accs) {
-                            a.merge(b);
+            // Phase 2: final merge on the driver.
+            let mut merged: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
+            for partial in partials {
+                for (key, accs) in partial {
+                    match merged.entry(key) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(accs);
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            for (a, b) in e.get_mut().iter_mut().zip(&accs) {
+                                a.merge(b);
+                            }
                         }
                     }
                 }
             }
-        }
 
-        let rows: Vec<Row> = merged
-            .into_iter()
-            .map(|(key, accs)| {
-                let mut row = key.0;
-                row.extend(accs.iter().map(|a| a.finish()));
-                row
-            })
-            .collect();
-        Ok(vec![rows])
+            let rows: Vec<Row> = merged
+                .into_iter()
+                .map(|(key, accs)| {
+                    let mut row = key.0;
+                    row.extend(accs.iter().map(|a| a.finish()));
+                    row
+                })
+                .collect();
+            Ok(vec![rows])
+        })
     }
 
     fn describe(&self, indent: usize) -> String {

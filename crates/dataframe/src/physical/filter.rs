@@ -2,7 +2,9 @@
 
 use crate::context::Context;
 use crate::expr::BoundExpr;
-use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
+use crate::physical::{
+    count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
+};
 use rowstore::Schema;
 use std::sync::Arc;
 
@@ -21,15 +23,17 @@ impl ExecPlan for FilterExec {
         let inputs: Arc<Vec<Vec<rowstore::Row>>> = Arc::new(parts);
         let predicate = self.predicate.clone();
         let inputs2 = Arc::clone(&inputs);
-        Ok(ctx
-            .cluster()
-            .run_stage_partitions(inputs.len(), move |tc| {
-                inputs2[tc.partition]
-                    .iter()
-                    .filter(|r| BoundExpr::is_true(&predicate.eval_row(r)))
-                    .cloned()
-                    .collect()
-            })?)
+        observe_operator(ctx, "filter", count_rows(&inputs), || {
+            Ok(ctx
+                .cluster()
+                .run_stage_partitions(inputs.len(), move |tc| {
+                    inputs2[tc.partition]
+                        .iter()
+                        .filter(|r| BoundExpr::is_true(&predicate.eval_row(r)))
+                        .cloned()
+                        .collect()
+                })?)
+        })
     }
 
     fn describe(&self, indent: usize) -> String {

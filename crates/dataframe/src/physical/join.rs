@@ -13,7 +13,9 @@
 //! the Indexed DataFrame amortizes away (Fig. 1).
 
 use crate::context::Context;
-use crate::physical::{describe_node, ExecError, ExecPlan, KeyWrap, Partitions};
+use crate::physical::{
+    count_rows, describe_node, observe_operator, ExecError, ExecPlan, KeyWrap, Partitions,
+};
 use rowstore::{Row, Schema, Value};
 use sparklet::metrics::Metrics;
 use sparklet::ShuffleItem;
@@ -65,51 +67,59 @@ impl ExecPlan for BroadcastHashJoinExec {
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let metrics = ctx.cluster().metrics();
 
-        // Build phase: collect + hash the build side.
+        // Children first so the operator span covers only the join's own
+        // build/broadcast/probe work.
         let build_parts = self.build.execute(ctx)?;
-        let build_key = self.build_key;
-        let table = Metrics::timed(&metrics.build_ns, || {
-            Arc::new(build_table(build_parts.into_iter().flatten(), build_key))
-        });
-
-        // Broadcast: account one copy of the table per alive worker.
-        let table_bytes: u64 = table
-            .values()
-            .flat_map(|rows| rows.iter().map(|r| r.approx_bytes() as u64))
-            .sum();
-        let alive = ctx.cluster().alive_workers().len() as u64;
-        metrics
-            .broadcast_bytes
-            .fetch_add(table_bytes * alive, std::sync::atomic::Ordering::Relaxed);
-
-        // Probe phase: local hash lookups per probe partition.
         let probe_parts = Arc::new(self.probe.execute(ctx)?);
+        let rows_in = count_rows(&build_parts) + count_rows(&probe_parts);
+        let build_key = self.build_key;
         let probe_key = self.probe_key;
         let build_is_left = self.build_is_left;
-        let probe_parts2 = Arc::clone(&probe_parts);
-        let table2 = Arc::clone(&table);
-        Ok(Metrics::timed(&metrics.probe_ns, || {
-            ctx.cluster()
-                .run_stage_partitions(probe_parts.len(), move |tc| {
-                    let mut out = Vec::new();
-                    for probe_row in &probe_parts2[tc.partition] {
-                        let k = &probe_row[probe_key];
-                        if k.is_null() {
-                            continue;
-                        }
-                        if let Some(matches) = table2.get(&KeyWrap(k.clone())) {
-                            for build_row in matches {
-                                out.push(if build_is_left {
-                                    joined(build_row, probe_row)
-                                } else {
-                                    joined(probe_row, build_row)
-                                });
+        observe_operator(ctx, "join.broadcast", rows_in, || {
+            // Build phase: collect + hash the build side.
+            let table = Metrics::timed(&metrics.build_ns, || {
+                Arc::new(build_table(build_parts.into_iter().flatten(), build_key))
+            });
+
+            // Broadcast: account one copy of the table per alive worker.
+            let table_bytes: u64 = table
+                .values()
+                .flat_map(|rows| rows.iter().map(|r| r.approx_bytes() as u64))
+                .sum();
+            let alive = ctx.cluster().alive_workers().len() as u64;
+            metrics
+                .broadcast_bytes
+                .fetch_add(table_bytes * alive, std::sync::atomic::Ordering::Relaxed);
+            let reg = ctx.cluster().registry();
+            reg.counter("broadcast.bytes").add(table_bytes * alive);
+            reg.counter("broadcast.copies").add(alive);
+
+            // Probe phase: local hash lookups per probe partition.
+            let probe_parts2 = Arc::clone(&probe_parts);
+            let table2 = Arc::clone(&table);
+            Ok(Metrics::timed(&metrics.probe_ns, || {
+                ctx.cluster()
+                    .run_stage_partitions(probe_parts.len(), move |tc| {
+                        let mut out = Vec::new();
+                        for probe_row in &probe_parts2[tc.partition] {
+                            let k = &probe_row[probe_key];
+                            if k.is_null() {
+                                continue;
+                            }
+                            if let Some(matches) = table2.get(&KeyWrap(k.clone())) {
+                                for build_row in matches {
+                                    out.push(if build_is_left {
+                                        joined(build_row, probe_row)
+                                    } else {
+                                        joined(probe_row, build_row)
+                                    });
+                                }
                             }
                         }
-                    }
-                    out
-                })
-        })?)
+                        out
+                    })
+            })?)
+        })
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -158,45 +168,48 @@ impl ExecPlan for ShuffledHashJoinExec {
         let p = ctx.shuffle_partitions();
         let left_parts = self.left.execute(ctx)?;
         let right_parts = self.right.execute(ctx)?;
-        let left_shuffled = Arc::new(sparklet::exchange(
-            ctx.cluster(),
-            keyed(left_parts, self.left_key),
-            p,
-        )?);
-        let right_shuffled = Arc::new(sparklet::exchange(
-            ctx.cluster(),
-            keyed(right_parts, self.right_key),
-            p,
-        )?);
-
+        let rows_in = count_rows(&left_parts) + count_rows(&right_parts);
         let (left_key, right_key, build_left) = (self.left_key, self.right_key, self.build_left);
-        let metrics = ctx.cluster().metrics();
-        Ok(Metrics::timed(&metrics.probe_ns, || {
-            let ls = Arc::clone(&left_shuffled);
-            let rs = Arc::clone(&right_shuffled);
-            ctx.cluster().run_stage_partitions(p, move |tc| {
-                let (build_rows, probe_rows, build_key, probe_key) = if build_left {
-                    (&ls[tc.partition], &rs[tc.partition], left_key, right_key)
-                } else {
-                    (&rs[tc.partition], &ls[tc.partition], right_key, left_key)
-                };
-                let table = build_table(build_rows.iter().cloned(), build_key);
-                let mut out = Vec::new();
-                for probe_row in probe_rows {
-                    if let Some(matches) = table.get(&KeyWrap(probe_row[probe_key].clone())) {
-                        for build_row in matches {
-                            // Output is always left ++ right.
-                            out.push(if build_left {
-                                joined(build_row, probe_row)
-                            } else {
-                                joined(probe_row, build_row)
-                            });
+        observe_operator(ctx, "join.shuffled", rows_in, || {
+            let left_shuffled = Arc::new(sparklet::exchange(
+                ctx.cluster(),
+                keyed(left_parts, left_key),
+                p,
+            )?);
+            let right_shuffled = Arc::new(sparklet::exchange(
+                ctx.cluster(),
+                keyed(right_parts, right_key),
+                p,
+            )?);
+
+            let metrics = ctx.cluster().metrics();
+            Ok(Metrics::timed(&metrics.probe_ns, || {
+                let ls = Arc::clone(&left_shuffled);
+                let rs = Arc::clone(&right_shuffled);
+                ctx.cluster().run_stage_partitions(p, move |tc| {
+                    let (build_rows, probe_rows, build_key, probe_key) = if build_left {
+                        (&ls[tc.partition], &rs[tc.partition], left_key, right_key)
+                    } else {
+                        (&rs[tc.partition], &ls[tc.partition], right_key, left_key)
+                    };
+                    let table = build_table(build_rows.iter().cloned(), build_key);
+                    let mut out = Vec::new();
+                    for probe_row in probe_rows {
+                        if let Some(matches) = table.get(&KeyWrap(probe_row[probe_key].clone())) {
+                            for build_row in matches {
+                                // Output is always left ++ right.
+                                out.push(if build_left {
+                                    joined(build_row, probe_row)
+                                } else {
+                                    joined(probe_row, build_row)
+                                });
+                            }
                         }
                     }
-                }
-                out
-            })
-        })?)
+                    out
+                })
+            })?)
+        })
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -234,58 +247,61 @@ impl ExecPlan for SortMergeJoinExec {
         let p = ctx.shuffle_partitions();
         let left_parts = self.left.execute(ctx)?;
         let right_parts = self.right.execute(ctx)?;
-        let left_shuffled = Arc::new(sparklet::exchange(
-            ctx.cluster(),
-            keyed(left_parts, self.left_key),
-            p,
-        )?);
-        let right_shuffled = Arc::new(sparklet::exchange(
-            ctx.cluster(),
-            keyed(right_parts, self.right_key),
-            p,
-        )?);
-
+        let rows_in = count_rows(&left_parts) + count_rows(&right_parts);
         let (left_key, right_key) = (self.left_key, self.right_key);
-        let metrics = ctx.cluster().metrics();
-        Ok(Metrics::timed(&metrics.probe_ns, || {
-            let ls = Arc::clone(&left_shuffled);
-            let rs = Arc::clone(&right_shuffled);
-            ctx.cluster().run_stage_partitions(p, move |tc| {
-                // Sort both sides by key (the "build" analogue).
-                let mut left: Vec<&Row> = ls[tc.partition].iter().collect();
-                let mut right: Vec<&Row> = rs[tc.partition].iter().collect();
-                left.sort_by(|a, b| cmp_vals(&a[left_key], &b[left_key]));
-                right.sort_by(|a, b| cmp_vals(&a[right_key], &b[right_key]));
+        observe_operator(ctx, "join.sortmerge", rows_in, || {
+            let left_shuffled = Arc::new(sparklet::exchange(
+                ctx.cluster(),
+                keyed(left_parts, left_key),
+                p,
+            )?);
+            let right_shuffled = Arc::new(sparklet::exchange(
+                ctx.cluster(),
+                keyed(right_parts, right_key),
+                p,
+            )?);
 
-                // Merge equal runs.
-                let mut out = Vec::new();
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < left.len() && j < right.len() {
-                    match cmp_vals(&left[i][left_key], &right[j][right_key]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            // Find the extent of the equal run on both sides.
-                            let key = &left[i][left_key];
-                            let i_end = (i..left.len())
-                                .find(|&x| !left[x][left_key].sql_eq(key))
-                                .unwrap_or(left.len());
-                            let j_end = (j..right.len())
-                                .find(|&x| !right[x][right_key].sql_eq(key))
-                                .unwrap_or(right.len());
-                            for l in &left[i..i_end] {
-                                for r in &right[j..j_end] {
-                                    out.push(joined(l, r));
+            let metrics = ctx.cluster().metrics();
+            Ok(Metrics::timed(&metrics.probe_ns, || {
+                let ls = Arc::clone(&left_shuffled);
+                let rs = Arc::clone(&right_shuffled);
+                ctx.cluster().run_stage_partitions(p, move |tc| {
+                    // Sort both sides by key (the "build" analogue).
+                    let mut left: Vec<&Row> = ls[tc.partition].iter().collect();
+                    let mut right: Vec<&Row> = rs[tc.partition].iter().collect();
+                    left.sort_by(|a, b| cmp_vals(&a[left_key], &b[left_key]));
+                    right.sort_by(|a, b| cmp_vals(&a[right_key], &b[right_key]));
+
+                    // Merge equal runs.
+                    let mut out = Vec::new();
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < left.len() && j < right.len() {
+                        match cmp_vals(&left[i][left_key], &right[j][right_key]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                // Find the extent of the equal run on both sides.
+                                let key = &left[i][left_key];
+                                let i_end = (i..left.len())
+                                    .find(|&x| !left[x][left_key].sql_eq(key))
+                                    .unwrap_or(left.len());
+                                let j_end = (j..right.len())
+                                    .find(|&x| !right[x][right_key].sql_eq(key))
+                                    .unwrap_or(right.len());
+                                for l in &left[i..i_end] {
+                                    for r in &right[j..j_end] {
+                                        out.push(joined(l, r));
+                                    }
                                 }
+                                i = i_end;
+                                j = j_end;
                             }
-                            i = i_end;
-                            j = j_end;
                         }
                     }
-                }
-                out
-            })
-        })?)
+                    out
+                })
+            })?)
+        })
     }
 
     fn describe(&self, indent: usize) -> String {

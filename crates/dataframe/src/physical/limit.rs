@@ -1,7 +1,9 @@
 //! LIMIT: take the first `n` rows across partitions (in partition order).
 
 use crate::context::Context;
-use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
+use crate::physical::{
+    count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
+};
 use rowstore::Schema;
 use std::sync::Arc;
 
@@ -17,20 +19,23 @@ impl ExecPlan for LimitExec {
 
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let parts = self.input.execute(ctx)?;
-        let mut remaining = self.n;
-        let mut out = Vec::with_capacity(parts.len());
-        for mut p in parts {
-            if remaining == 0 {
-                out.push(Vec::new());
-                continue;
+        let n = self.n;
+        observe_operator(ctx, "limit", count_rows(&parts), move || {
+            let mut remaining = n;
+            let mut out = Vec::with_capacity(parts.len());
+            for mut p in parts {
+                if remaining == 0 {
+                    out.push(Vec::new());
+                    continue;
+                }
+                if p.len() > remaining {
+                    p.truncate(remaining);
+                }
+                remaining -= p.len();
+                out.push(p);
             }
-            if p.len() > remaining {
-                p.truncate(remaining);
-            }
-            remaining -= p.len();
-            out.push(p);
-        }
-        Ok(out)
+            Ok(out)
+        })
     }
 
     fn describe(&self, indent: usize) -> String {

@@ -61,6 +61,57 @@ pub trait ExecPlan: Send + Sync {
     fn describe(&self, indent: usize) -> String;
 }
 
+/// Total row count across partitions (for rows_in/rows_out accounting).
+pub fn count_rows(parts: &Partitions) -> u64 {
+    parts.iter().map(|p| p.len() as u64).sum()
+}
+
+/// Instrument one operator's own work: counts `op.<name>.calls`,
+/// `op.<name>.rows_in` / `rows_out`, times the body into the
+/// `op.<name>.ns` histogram, and records an operator span. While the body
+/// runs, the operator span is installed as the trace parent, so the
+/// cluster stages it launches (and their tasks) nest beneath it —
+/// reconstructing the operator → stage → task hierarchy.
+///
+/// Callers should execute child operators *before* entering the body so
+/// the measured time covers only this operator's own work.
+pub fn observe_operator(
+    ctx: &Arc<Context>,
+    name: &str,
+    rows_in: u64,
+    f: impl FnOnce() -> Result<Partitions, ExecError>,
+) -> Result<Partitions, ExecError> {
+    let cluster = ctx.cluster();
+    let trace = cluster.trace();
+    let span_id = trace.next_span_id();
+    let parent = trace.set_parent(span_id);
+    let start_us = trace.now_us();
+    let start = std::time::Instant::now();
+    let result = f();
+    let dur = start.elapsed();
+    trace.set_parent(parent);
+    trace.record(sparklet::SpanRecord {
+        id: span_id,
+        parent,
+        kind: sparklet::SpanKind::Operator,
+        name: name.to_string(),
+        start_us,
+        dur_us: dur.as_micros() as u64,
+        worker: -1,
+        partition: -1,
+    });
+    let reg = cluster.registry();
+    reg.counter(&format!("op.{name}.calls")).inc();
+    reg.counter(&format!("op.{name}.rows_in")).add(rows_in);
+    reg.histogram(&format!("op.{name}.ns"))
+        .record(dur.as_nanos() as u64);
+    if let Ok(parts) = &result {
+        reg.counter(&format!("op.{name}.rows_out"))
+            .add(count_rows(parts));
+    }
+    result
+}
+
 /// Flatten partitions into a single row vector (driver-side collect).
 pub fn gather(parts: Partitions) -> Vec<Row> {
     let total = parts.iter().map(|p| p.len()).sum();

@@ -2,7 +2,9 @@
 
 use crate::context::Context;
 use crate::expr::BoundExpr;
-use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
+use crate::physical::{
+    count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
+};
 use rowstore::Schema;
 use std::sync::Arc;
 
@@ -21,14 +23,16 @@ impl ExecPlan for ProjectExec {
         let inputs = Arc::new(self.input.execute(ctx)?);
         let exprs = self.exprs.clone();
         let inputs2 = Arc::clone(&inputs);
-        Ok(ctx
-            .cluster()
-            .run_stage_partitions(inputs.len(), move |tc| {
-                inputs2[tc.partition]
-                    .iter()
-                    .map(|r| exprs.iter().map(|e| e.eval_row(r)).collect())
-                    .collect()
-            })?)
+        observe_operator(ctx, "project", count_rows(&inputs), || {
+            Ok(ctx
+                .cluster()
+                .run_stage_partitions(inputs.len(), move |tc| {
+                    inputs2[tc.partition]
+                        .iter()
+                        .map(|r| exprs.iter().map(|e| e.eval_row(r)).collect())
+                        .collect()
+                })?)
+        })
     }
 
     fn describe(&self, indent: usize) -> String {

@@ -9,7 +9,7 @@
 use crate::column::ColumnarTable;
 use crate::context::{Context, TableProvider};
 use crate::expr::BoundExpr;
-use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
+use crate::physical::{describe_node, observe_operator, ExecError, ExecPlan, Partitions};
 use rowstore::Schema;
 use std::sync::Arc;
 
@@ -48,27 +48,30 @@ impl ExecPlan for ColumnarScanExec {
 
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let table = Arc::clone(&self.table);
+        let rows_in = table.num_rows() as u64;
         let predicate = self.predicate.clone();
         let projection = self.projection.clone();
-        Ok(ctx
-            .cluster()
-            .run_stage_partitions(table.num_partitions(), move |tc| {
-                let part = &table.partitions[tc.partition];
-                let n = part.num_rows();
-                let mut out = Vec::new();
-                for i in 0..n {
-                    if let Some(pred) = &predicate {
-                        if !BoundExpr::is_true(&pred.eval_columnar(part, i)) {
-                            continue;
+        observe_operator(ctx, "scan", rows_in, || {
+            Ok(ctx
+                .cluster()
+                .run_stage_partitions(table.num_partitions(), move |tc| {
+                    let part = &table.partitions[tc.partition];
+                    let n = part.num_rows();
+                    let mut out = Vec::new();
+                    for i in 0..n {
+                        if let Some(pred) = &predicate {
+                            if !BoundExpr::is_true(&pred.eval_columnar(part, i)) {
+                                continue;
+                            }
+                        }
+                        match &projection {
+                            Some(cols) => out.push(part.row_projected(i, cols)),
+                            None => out.push(part.row(i)),
                         }
                     }
-                    match &projection {
-                        Some(cols) => out.push(part.row_projected(i, cols)),
-                        None => out.push(part.row(i)),
-                    }
-                }
-                out
-            })?)
+                    out
+                })?)
+        })
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -127,17 +130,20 @@ impl ExecPlan for ProviderScanExec {
 
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let provider = Arc::clone(&self.provider);
+        let rows_in = provider.num_rows() as u64;
         let predicate = self.predicate.clone();
         let projection = self.projection.clone();
-        Ok(ctx
-            .cluster()
-            .run_stage_partitions(provider.num_partitions(), move |tc| {
-                provider.scan_partition_pushdown(
-                    tc.partition,
-                    predicate.as_ref(),
-                    projection.as_deref(),
-                )
-            })?)
+        observe_operator(ctx, "scan", rows_in, || {
+            Ok(ctx
+                .cluster()
+                .run_stage_partitions(provider.num_partitions(), move |tc| {
+                    provider.scan_partition_pushdown(
+                        tc.partition,
+                        predicate.as_ref(),
+                        projection.as_deref(),
+                    )
+                })?)
+        })
     }
 
     fn describe(&self, indent: usize) -> String {

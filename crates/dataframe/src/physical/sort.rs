@@ -7,7 +7,9 @@
 //! default `NULLS LAST` for ascending order.
 
 use crate::context::Context;
-use crate::physical::{describe_node, ExecError, ExecPlan, Partitions};
+use crate::physical::{
+    count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
+};
 use rowstore::{Schema, Value};
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -34,24 +36,26 @@ impl ExecPlan for SortExec {
 
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let parts = self.input.execute(ctx)?;
-        let mut rows: Vec<rowstore::Row> = parts.into_iter().flatten().collect();
         let keys = self.keys.clone();
-        rows.sort_by(|a, b| {
-            for (col, desc) in &keys {
-                let ord = cmp_nulls_last(&a[*col], &b[*col]);
-                // Descending reverses value order but keeps nulls last.
-                let ord = if *desc && !a[*col].is_null() && !b[*col].is_null() {
-                    ord.reverse()
-                } else {
-                    ord
-                };
-                if ord != Ordering::Equal {
-                    return ord;
+        observe_operator(ctx, "sort", count_rows(&parts), move || {
+            let mut rows: Vec<rowstore::Row> = parts.into_iter().flatten().collect();
+            rows.sort_by(|a, b| {
+                for (col, desc) in &keys {
+                    let ord = cmp_nulls_last(&a[*col], &b[*col]);
+                    // Descending reverses value order but keeps nulls last.
+                    let ord = if *desc && !a[*col].is_null() && !b[*col].is_null() {
+                        ord.reverse()
+                    } else {
+                        ord
+                    };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
                 }
-            }
-            Ordering::Equal
-        });
-        Ok(vec![rows])
+                Ordering::Equal
+            });
+            Ok(vec![rows])
+        })
     }
 
     fn describe(&self, indent: usize) -> String {

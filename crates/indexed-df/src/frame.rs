@@ -62,19 +62,27 @@ impl IdfInner {
     }
 
     /// Fetch (or lazily rebuild) partition `p`.
+    ///
+    /// MVCC guard: the cache is consulted with [`Cluster::get_block_at_version`]
+    /// so a reader of version `v` can never be served a block belonging to a
+    /// *newer* append of the same dataset — each version has its own
+    /// `dataset_id`, and within that id only an exact version match is a hit.
     pub(crate) fn get_partition(self: &Arc<Self>, p: usize) -> Arc<IndexedPartition> {
         let cluster = self.ctx.cluster();
+        let registry = cluster.registry();
         let worker = self.home_worker(p);
         let id = BlockId {
             dataset: self.dataset_id,
             partition: p,
         };
-        if let Some(block) = cluster.get_block_min_version(worker, id, self.version) {
+        if let Some(block) = cluster.get_block_at_version(worker, id, self.version) {
             if let Ok(part) = block.data.downcast::<IndexedPartition>() {
+                registry.counter("index.cache.hits").inc();
                 return part;
             }
         }
         // Lost or never built: recompute from lineage (Fig. 12's recovery).
+        registry.counter("index.cache.misses").inc();
         let metrics = cluster.metrics();
         let part = Metrics::timed(&metrics.recompute_ns, || Arc::new(self.build_partition(p)));
         cluster.put_block(worker, id, self.version, Arc::clone(&part) as _);
@@ -102,7 +110,7 @@ impl IdfInner {
             }
             Provenance::Append { parent, rows } => {
                 let parent_part = parent.get_partition(p);
-                let mut part = parent_part.snapshot();
+                let mut part = self.timed_snapshot(&parent_part);
                 let delta: Vec<Row> = rows
                     .iter()
                     .filter(|r| self.partition_of_row(r) == p)
@@ -112,6 +120,22 @@ impl IdfInner {
                 part
             }
         }
+    }
+
+    /// Take an O(1) partition snapshot, recording `index.snapshots`,
+    /// `index.snapshot_ns`, and the process-wide ctrie generation gauge.
+    fn timed_snapshot(&self, parent_part: &IndexedPartition) -> IndexedPartition {
+        let registry = self.ctx.cluster().registry();
+        let start = std::time::Instant::now();
+        let part = parent_part.snapshot();
+        registry.counter("index.snapshots").inc();
+        registry
+            .histogram("index.snapshot_ns")
+            .record(start.elapsed().as_nanos() as u64);
+        registry
+            .gauge("ctrie.snapshot_generations")
+            .set_max(ctrie::snapshot_generations());
+        part
     }
 
     #[inline]
@@ -128,7 +152,7 @@ impl IdfInner {
                 partition: p,
             };
             cluster
-                .get_block_min_version(self.home_worker(p), id, self.version)
+                .get_block_at_version(self.home_worker(p), id, self.version)
                 .is_some()
         })
     }
@@ -160,7 +184,7 @@ impl IdfInner {
                     partition: i,
                 };
                 cluster
-                    .get_block_min_version(self.home_worker(i), id, self.version)
+                    .get_block_at_version(self.home_worker(i), id, self.version)
                     .is_none()
             })
             .collect();
@@ -229,7 +253,7 @@ impl IdfInner {
                     }
                     Provenance::Append { parent, .. } => {
                         let parent_part = parent.get_partition(pidx);
-                        let mut part = parent_part.snapshot();
+                        let mut part = inner.timed_snapshot(&parent_part);
                         part.insert_rows(&shuffled2[pidx])
                             .expect("appended rows insert");
                         part
@@ -378,14 +402,22 @@ impl IndexedDataFrame {
             partition: p,
             preferred_worker: Some(self.inner.home_worker(p)),
         };
-        Ok(Metrics::timed(&metrics.probe_ns, || {
+        let rows = Metrics::timed(&metrics.probe_ns, || {
             cluster.run_stage(&[task], move |tc| {
                 let _ = tc;
                 inner.get_partition(p).lookup(&key)
             })
         })?
         .pop()
-        .unwrap_or_default())
+        .unwrap_or_default();
+        let registry = cluster.registry();
+        registry.counter("index.lookups").inc();
+        // Matching rows are chained newest-first through backward pointers
+        // (§III-C); the result length is the chain length walked.
+        registry
+            .histogram("index.chain_len")
+            .record(rows.len() as u64);
+        Ok(rows)
     }
 
     /// `getRows` with the paper's exact signature (Listing 1 returns a
@@ -545,4 +577,67 @@ impl IdfBuilder {
 /// fault-tolerance figure to separate recovery time).
 pub fn recompute_ns(ctx: &Arc<Context>) -> u64 {
     ctx.cluster().metrics().recompute_ns.load(Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowstore::{DataType, Field};
+    use sparklet::{Cluster, ClusterConfig};
+
+    /// MVCC visibility: a block stamped with a *newer* version than the
+    /// reader's snapshot must never be served — the exact-version guard
+    /// forces a lineage recompute instead (regression for the floor-match
+    /// bug where `get_block_min_version` would have returned it).
+    #[test]
+    fn newer_version_block_is_never_served() {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        let rows: Vec<Row> = (0..40)
+            .map(|i| vec![Value::Int64(i % 4), Value::Int64(i)])
+            .collect();
+        let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "k").unwrap();
+        idf.cache_index().unwrap();
+        let baseline = idf.get_rows(&Value::Int64(1)).unwrap();
+        assert_eq!(baseline.len(), 10);
+
+        // Poison every cache slot of this version with an *empty* partition
+        // stamped one version ahead, as if a buggy writer reused the slots.
+        let cluster = ctx.cluster();
+        let inner = &idf.inner;
+        for p in 0..inner.num_partitions {
+            let id = BlockId {
+                dataset: inner.dataset_id,
+                partition: p,
+            };
+            let bogus = IndexedPartition::new(
+                Arc::clone(&inner.schema),
+                inner.index_col,
+                inner.store_config,
+            );
+            cluster.put_block(
+                inner.home_worker(p),
+                id,
+                inner.version + 1,
+                Arc::new(bogus) as _,
+            );
+        }
+
+        let misses_before = cluster.registry().counter_value("index.cache.misses");
+        let rows = idf.get_rows(&Value::Int64(1)).unwrap();
+        assert_eq!(
+            rows,
+            baseline,
+            "reader at version {} must not see the poisoned v{} block",
+            inner.version,
+            inner.version + 1
+        );
+        assert!(
+            cluster.registry().counter_value("index.cache.misses") > misses_before,
+            "the exact-version guard must have rejected the newer block and recomputed"
+        );
+    }
 }

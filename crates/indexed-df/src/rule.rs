@@ -18,7 +18,9 @@
 use crate::columnar::ColumnarIndexedTable;
 use crate::frame::IndexedDataFrame;
 use crate::table::IndexedTable;
-use dataframe::physical::{describe_node, ExecError, ExecPlan, Partitions};
+use dataframe::physical::{
+    count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
+};
 use dataframe::{Context, LogicalPlan, PlanError, Planner, PlannerRule};
 use rowstore::{Row, Schema, Value};
 use sparklet::metrics::Metrics;
@@ -147,8 +149,10 @@ impl ExecPlan for IndexedLookupExec {
     }
 
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
-        let _ = ctx;
-        Ok(vec![self.table.lookup_routed(&self.key)?])
+        // rows_in = 1: one probe key enters the operator.
+        observe_operator(ctx, "indexed_lookup", 1, || {
+            Ok(vec![self.table.lookup_routed(&self.key)?])
+        })
     }
 
     fn describe(&self, indent: usize) -> String {
@@ -186,87 +190,89 @@ impl ExecPlan for IndexedJoinExec {
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
         let cluster = ctx.cluster();
         let metrics = cluster.metrics();
-        // Ensure the index is materialized (first use pays the build; later
-        // queries amortize it — the effect of Fig. 1).
-        self.table.ensure_cached()?;
-
         let probe_parts = self.probe.execute(ctx)?;
-        let probe_bytes: usize = probe_parts.iter().flatten().map(|r| r.approx_bytes()).sum();
-        let p = self.table.num_partitions();
-        let probe_key = self.probe_key;
-        let indexed_is_left = self.indexed_is_left;
-        let table = Arc::clone(&self.table);
+        observe_operator(ctx, "join.indexed", count_rows(&probe_parts), || {
+            // Ensure the index is materialized (first use pays the build; later
+            // queries amortize it — the effect of Fig. 1).
+            self.table.ensure_cached()?;
 
-        // Choose probe distribution: broadcast when small (§III-C: "if the
-        // Dataframe size is small enough to be broadcasted efficiently, we
-        // fall back to a broadcast-based join instead of a shuffle").
-        // Broadcast shares one copy per worker (modelled as one shared
-        // allocation plus per-worker byte accounting); every partition
-        // probes all rows but key ownership makes each match unique.
-        let broadcast = probe_bytes <= ctx.config().broadcast_threshold_bytes;
-        enum ProbeDist {
-            Broadcast(Arc<Vec<Row>>),
-            Shuffled(Arc<Vec<Vec<Row>>>),
-        }
-        let probe_dist = if broadcast {
-            let all: Vec<Row> = probe_parts.into_iter().flatten().collect();
-            metrics.broadcast_bytes.fetch_add(
-                (probe_bytes * cluster.alive_workers().len()) as u64,
-                Relaxed,
-            );
-            ProbeDist::Broadcast(Arc::new(all))
-        } else {
-            let keyed: Vec<Vec<(u64, Row)>> = probe_parts
-                .into_iter()
-                .map(|rows| {
-                    rows.into_iter()
-                        .filter(|r| !r[probe_key].is_null())
-                        .map(|r| (r[probe_key].key_hash(), r))
-                        .collect()
+            let probe_bytes: usize = probe_parts.iter().flatten().map(|r| r.approx_bytes()).sum();
+            let p = self.table.num_partitions();
+            let probe_key = self.probe_key;
+            let indexed_is_left = self.indexed_is_left;
+            let table = Arc::clone(&self.table);
+
+            // Choose probe distribution: broadcast when small (§III-C: "if the
+            // Dataframe size is small enough to be broadcasted efficiently, we
+            // fall back to a broadcast-based join instead of a shuffle").
+            // Broadcast shares one copy per worker (modelled as one shared
+            // allocation plus per-worker byte accounting); every partition
+            // probes all rows but key ownership makes each match unique.
+            let broadcast = probe_bytes <= ctx.config().broadcast_threshold_bytes;
+            enum ProbeDist {
+                Broadcast(Arc<Vec<Row>>),
+                Shuffled(Arc<Vec<Vec<Row>>>),
+            }
+            let probe_dist = if broadcast {
+                let all: Vec<Row> = probe_parts.into_iter().flatten().collect();
+                metrics.broadcast_bytes.fetch_add(
+                    (probe_bytes * cluster.alive_workers().len()) as u64,
+                    Relaxed,
+                );
+                ProbeDist::Broadcast(Arc::new(all))
+            } else {
+                let keyed: Vec<Vec<(u64, Row)>> = probe_parts
+                    .into_iter()
+                    .map(|rows| {
+                        rows.into_iter()
+                            .filter(|r| !r[probe_key].is_null())
+                            .map(|r| (r[probe_key].key_hash(), r))
+                            .collect()
+                    })
+                    .collect();
+                ProbeDist::Shuffled(Arc::new(sparklet::exchange(cluster, keyed, p)?))
+            };
+            let per_partition_probe = Arc::new(probe_dist);
+
+            let tasks: Vec<TaskSpec> = (0..p)
+                .map(|i| TaskSpec {
+                    partition: i,
+                    preferred_worker: Some(cluster.worker_for_partition(i)),
                 })
                 .collect();
-            ProbeDist::Shuffled(Arc::new(sparklet::exchange(cluster, keyed, p)?))
-        };
-        let per_partition_probe = Arc::new(probe_dist);
-
-        let tasks: Vec<TaskSpec> = (0..p)
-            .map(|i| TaskSpec {
-                partition: i,
-                preferred_worker: Some(cluster.worker_for_partition(i)),
-            })
-            .collect();
-        Ok(Metrics::timed(&metrics.probe_ns, || {
-            let probes = Arc::clone(&per_partition_probe);
-            cluster.run_stage(&tasks, move |tc| {
-                let part = table.partition_handle(tc.partition);
-                let probe_rows: &[Row] = match probes.as_ref() {
-                    ProbeDist::Broadcast(all) => all,
-                    ProbeDist::Shuffled(parts) => &parts[tc.partition],
-                };
-                let mut out = Vec::new();
-                for probe_row in probe_rows {
-                    let key = &probe_row[probe_key];
-                    if key.is_null() {
-                        continue;
-                    }
-                    if broadcast && partition_of(key.key_hash(), p) != tc.partition {
-                        continue; // another partition owns this key
-                    }
-                    for indexed_row in part.lookup(key) {
-                        let mut row = Vec::with_capacity(indexed_row.len() + probe_row.len());
-                        if indexed_is_left {
-                            row.extend(indexed_row);
-                            row.extend_from_slice(probe_row);
-                        } else {
-                            row.extend_from_slice(probe_row);
-                            row.extend(indexed_row);
+            Ok(Metrics::timed(&metrics.probe_ns, || {
+                let probes = Arc::clone(&per_partition_probe);
+                cluster.run_stage(&tasks, move |tc| {
+                    let part = table.partition_handle(tc.partition);
+                    let probe_rows: &[Row] = match probes.as_ref() {
+                        ProbeDist::Broadcast(all) => all,
+                        ProbeDist::Shuffled(parts) => &parts[tc.partition],
+                    };
+                    let mut out = Vec::new();
+                    for probe_row in probe_rows {
+                        let key = &probe_row[probe_key];
+                        if key.is_null() {
+                            continue;
                         }
-                        out.push(row);
+                        if broadcast && partition_of(key.key_hash(), p) != tc.partition {
+                            continue; // another partition owns this key
+                        }
+                        for indexed_row in part.lookup(key) {
+                            let mut row = Vec::with_capacity(indexed_row.len() + probe_row.len());
+                            if indexed_is_left {
+                                row.extend(indexed_row);
+                                row.extend_from_slice(probe_row);
+                            } else {
+                                row.extend_from_slice(probe_row);
+                                row.extend(indexed_row);
+                            }
+                            out.push(row);
+                        }
                     }
-                }
-                out
-            })
-        })?)
+                    out
+                })
+            })?)
+        })
     }
 
     fn describe(&self, indent: usize) -> String {

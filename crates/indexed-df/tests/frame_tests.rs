@@ -335,8 +335,8 @@ fn mid_stage_worker_kill_recovers_via_retry_and_lineage() {
         "victim's in-flight tasks must be retried"
     );
     assert_eq!(
-        after.task_failures, after.task_retries,
-        "every failure retried, none exhausted"
+        after.task_failures, 0,
+        "every failed attempt was retried, so none is terminal"
     );
     assert!(
         recompute_ns(&ctx) > rec_before,
@@ -365,6 +365,52 @@ fn fault_tolerance_replays_appends() {
     let rows = v2.get_rows(&Value::Int64(4)).unwrap();
     assert_eq!(rows.len(), 11);
     assert!(rows.iter().any(|r| r[1] == Value::Int64(-1)));
+}
+
+#[test]
+fn mvcc_visibility_survives_kill_and_recompute() {
+    // Append + worker-kill + recompute cycle: after the victim's blocks are
+    // lost and rebuilt from lineage on survivors, a v1 handle must still see
+    // only v1 rows and a v2 handle must see the append — the cache never
+    // serves a block newer than the requested snapshot version.
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 4,
+        executors_per_worker: 1,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+    });
+    let ctx = Context::new(Arc::clone(&cluster));
+    let v1 = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(200, 10), "src").unwrap();
+    v1.cache_index().unwrap();
+    let v2 = v1.append_rows(vec![vec![Value::Int64(7), Value::Int64(7777)]]);
+    v2.cache_index().unwrap();
+
+    cluster.kill_worker(1);
+    // Force both versions to rebuild whatever the victim held.
+    let v1_all = v1.collect().unwrap();
+    let v2_all = v2.collect().unwrap();
+    assert_eq!(v1_all.len(), 200);
+    assert_eq!(v2_all.len(), 201);
+
+    let v1_rows = v1.get_rows(&Value::Int64(7)).unwrap();
+    assert_eq!(v1_rows.len(), 20, "v1 sees exactly the pre-append rows");
+    assert!(
+        v1_rows.iter().all(|r| r[1] != Value::Int64(7777)),
+        "v1 must never observe the v2 append"
+    );
+    let v2_rows = v2.get_rows(&Value::Int64(7)).unwrap();
+    assert_eq!(v2_rows.len(), 21);
+    assert_eq!(v2_rows[0][1], Value::Int64(7777), "newest-first chain");
+
+    let registry = cluster.registry();
+    assert!(
+        registry.counter_value("index.cache.misses") > 0,
+        "lost partitions must recompute (cache misses)"
+    );
+    assert!(
+        registry.counter_value("index.cache.hits") > 0,
+        "surviving partitions must be served from cache (hits)"
+    );
 }
 
 #[test]

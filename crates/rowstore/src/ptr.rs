@@ -6,16 +6,25 @@
 //! the size of the previous row indexed on the same key."
 //!
 //! The default layout matches the paper's maxima — up to 2³¹ row batches of
-//! up to 4 MB holding rows of up to 1 KB:
+//! up to 4 MB holding rows of up to 1 KB (+ the 10-byte record header):
 //!
 //! ```text
 //!  63 ........ 33 | 32 ......... 11 | 10 ........ 0
 //!  batch (31 bits)| offset (22 bits)| prev size (11 bits)
 //! ```
 //!
+//! Offsets are *exclusive*-bound: a record's offset is always strictly less
+//! than the batch capacity (every record occupies at least its header at
+//! that offset), so a 4 MB batch needs exactly 22 offset bits. Sizes are
+//! *inclusive*-bound: a record can be exactly `max_row_size` bytes long, so
+//! the size field must represent the boundary value itself — 11 bits for
+//! 1 KB rows plus header.
+//!
 //! Both the batch size and the row-size bound are configurable (the Fig. 5
 //! experiment sweeps batch sizes from 4 KB to 128 MB), so the layout is
-//! parameterized and validated at pack time.
+//! parameterized and validated at pack time. [`PtrLayout::DEFAULT`] is
+//! *derived* from [`PtrLayout::for_config`] at compile time so the two can
+//! never disagree.
 
 /// Bit layout of a [`PackedPtr`], derived from the configured batch size and
 /// maximum row size.
@@ -26,21 +35,26 @@ pub struct PtrLayout {
 }
 
 impl PtrLayout {
-    /// The paper's defaults: 4 MB batches, 1 KB rows.
-    pub const DEFAULT: PtrLayout = PtrLayout {
-        offset_bits: 22,
-        size_bits: 11,
-    };
+    /// The paper's defaults: 4 MB batches, 1 KB rows (plus the record
+    /// header a stored row carries). Derived from [`PtrLayout::for_config`]
+    /// so `DEFAULT` and a store built via `for_config` agree by
+    /// construction — they briefly diverged (22 vs. 23 offset bits), which
+    /// made a consumer assuming `DEFAULT` unpack garbage batch indices
+    /// from pointers packed by the store.
+    pub const DEFAULT: PtrLayout =
+        PtrLayout::for_config(4 << 20, 1024 + crate::store::RECORD_HEADER);
 
     /// Derive a layout for the given batch capacity and maximum encoded row
-    /// size (both in bytes). Panics if the layout cannot fit in 64 bits with
-    /// at least one batch bit.
-    pub fn for_config(batch_size: usize, max_row_size: usize) -> PtrLayout {
-        let offset_bits = bits_for(batch_size as u64);
-        let size_bits = bits_for(max_row_size as u64);
+    /// size (both in bytes). Offsets are exclusive-bound (a record's offset
+    /// is strictly less than the batch capacity); sizes are inclusive-bound
+    /// (a record may be exactly `max_row_size` bytes). Panics if the layout
+    /// cannot fit in 64 bits with at least one batch bit.
+    pub const fn for_config(batch_size: usize, max_row_size: usize) -> PtrLayout {
+        let offset_bits = bits_for_exclusive(batch_size as u64);
+        let size_bits = bits_for_inclusive(max_row_size as u64);
         assert!(
             offset_bits + size_bits < 64,
-            "batch size {batch_size} and row size {max_row_size} cannot be packed in 64 bits"
+            "batch size and row size cannot be packed in 64 bits"
         );
         PtrLayout {
             offset_bits,
@@ -108,9 +122,22 @@ impl PtrLayout {
     }
 }
 
-/// Smallest number of bits that can represent values `0..=n-1` *and* the
-/// boundary value `n` itself (offsets may equal the batch size).
-fn bits_for(n: u64) -> u32 {
+/// Smallest number of bits that can represent every value in `0..n`
+/// (exclusive bound). Record offsets never equal the batch capacity —
+/// every record occupies at least its header at that offset — so this is
+/// the right width for offsets: 22 bits for 4 MB batches, not 23.
+const fn bits_for_exclusive(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Smallest number of bits that can represent every value in `0..=n`
+/// (inclusive bound). Record sizes *can* equal `max_row_size` exactly, so
+/// the size field must cover the boundary value itself.
+const fn bits_for_inclusive(n: u64) -> u32 {
     64 - n.leading_zeros()
 }
 
@@ -143,8 +170,40 @@ mod tests {
     fn default_layout_matches_paper() {
         let l = PtrLayout::DEFAULT;
         assert_eq!(l.batch_bits(), 31, "paper allows 2^31 batches");
+        assert_eq!(
+            l.offset_bits, 22,
+            "4 MB batches need exactly 22 offset bits"
+        );
         assert_eq!(l.max_offset(), (1 << 22) - 1, "4 MB offsets");
         assert_eq!(l.max_size(), 2047, "1 KB rows plus header");
+    }
+
+    #[test]
+    fn default_agrees_with_for_config_for_paper_config() {
+        // Regression: DEFAULT (22 offset bits) used to disagree with
+        // for_config(4 MB, …) (23 offset bits under the old inclusive
+        // bound), so pointers packed by a store built via for_config
+        // unpacked garbage under DEFAULT. The paper config — 4 MB batches,
+        // 1 KB rows plus the record header — must yield DEFAULT exactly.
+        let derived = PtrLayout::for_config(4 << 20, 1024 + crate::store::RECORD_HEADER);
+        assert_eq!(derived, PtrLayout::DEFAULT);
+        // And cross-layout unpacking is therefore safe:
+        let p = derived.pack(77, 4_194_303, 1034);
+        assert_eq!(PtrLayout::DEFAULT.batch(p), 77);
+        assert_eq!(PtrLayout::DEFAULT.offset(p), 4_194_303);
+        assert_eq!(PtrLayout::DEFAULT.prev_size(p), 1034);
+    }
+
+    #[test]
+    fn exclusive_and_inclusive_bit_widths() {
+        assert_eq!(bits_for_exclusive(1), 0);
+        assert_eq!(bits_for_exclusive(2), 1);
+        assert_eq!(bits_for_exclusive(4096), 12);
+        assert_eq!(bits_for_exclusive(4 << 20), 22);
+        assert_eq!(bits_for_exclusive(128 << 20), 27);
+        assert_eq!(bits_for_inclusive(1034), 11);
+        assert_eq!(bits_for_inclusive(1024), 11);
+        assert_eq!(bits_for_inclusive(1023), 10);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Property-based tests of the packed-pointer layout: pack/unpack must
+//! round-trip for *random* layouts derived by `PtrLayout::for_config`
+//! across the Fig. 5 sweep range (4 KB – 128 MB batches, 64 B – 4 KB
+//! rows), not just the paper-default layout, and `PackedPtr::NONE` must be
+//! unreachable from `pack` in every such layout.
+
+use proptest::prelude::*;
+use rowstore::{PackedPtr, PtrLayout};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// pack → (batch, offset, prev_size) is the identity for every field
+    /// value representable in a `for_config`-derived layout.
+    #[test]
+    fn pack_roundtrips_in_random_layouts(
+        batch_size in 4096usize..134_217_729,  // 4 KB ..= 128 MB
+        max_row in 64usize..4097,              // 64 B ..= 4 KB
+        b_raw in any::<u64>(),
+        o_raw in any::<u64>(),
+        s_raw in any::<u64>(),
+    ) {
+        let l = PtrLayout::for_config(batch_size, max_row);
+        prop_assert_eq!(l.batch_bits() + l.offset_bits + l.size_bits, 64);
+        // Every configured batch offset must be representable (offsets are
+        // strictly below the batch capacity)...
+        prop_assert!(l.max_offset() >= batch_size as u64 - 1);
+        // ...and every row size up to the inclusive bound must fit.
+        prop_assert!(l.max_size() >= max_row as u64);
+
+        let batch = (b_raw % l.max_batches()) as u32;
+        let offset = (o_raw % batch_size as u64) as u32;
+        let prev = (s_raw % (max_row as u64 + 1)) as u32;
+        let p = l.pack(batch, offset, prev);
+        prop_assert_eq!(l.batch(p), batch);
+        prop_assert_eq!(l.offset(p), offset);
+        prop_assert_eq!(l.prev_size(p), prev);
+    }
+
+    /// The all-ones NONE sentinel cannot be produced by pack: the top
+    /// batch index is reserved, so even packing every field at its maximum
+    /// stays distinct from NONE.
+    #[test]
+    fn none_unreachable_in_random_layouts(
+        batch_size in 4096usize..134_217_729,
+        max_row in 64usize..4097,
+        b_raw in any::<u64>(),
+    ) {
+        let l = PtrLayout::for_config(batch_size, max_row);
+        let max = l.pack(
+            (l.max_batches() - 1) as u32,
+            l.max_offset() as u32,
+            l.max_size() as u32,
+        );
+        prop_assert!(max.is_some());
+        prop_assert!(max != PackedPtr::NONE);
+        // And an arbitrary in-range pointer is never NONE either.
+        let p = l.pack(
+            (b_raw % l.max_batches()) as u32,
+            (b_raw % batch_size as u64) as u32,
+            (b_raw % (max_row as u64 + 1)) as u32,
+        );
+        prop_assert!(p != PackedPtr::NONE);
+    }
+}

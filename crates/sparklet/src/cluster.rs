@@ -16,7 +16,7 @@
 //! partitions).
 
 use crate::config::ClusterConfig;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Registry, SpanKind, SpanRecord, Trace};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
@@ -160,6 +160,10 @@ pub struct Cluster {
     config: ClusterConfig,
     workers: Vec<WorkerState>,
     metrics: Metrics,
+    /// Named counters/gauges/histograms, sharded per worker.
+    registry: Arc<Registry>,
+    /// Bounded operator → stage → task span buffer.
+    trace: Arc<Trace>,
     next_dataset: AtomicU64,
     /// Round-robin fallback cursor for non-local scheduling.
     fallback: AtomicUsize,
@@ -190,10 +194,13 @@ impl Cluster {
                 next_executor: AtomicUsize::new(0),
             })
             .collect();
+        let num_workers = config.workers;
         Arc::new(Cluster {
             config,
             workers,
             metrics: Metrics::new(),
+            registry: Arc::new(Registry::new(num_workers)),
+            trace: Arc::new(Trace::default()),
             next_dataset: AtomicU64::new(1),
             fallback: AtomicUsize::new(0),
         })
@@ -205,6 +212,53 @@ impl Cluster {
 
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Named-metric registry (counters, gauges, log₂ histograms).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span trace buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Serialize every metric — named registry, legacy phase counters and
+    /// a trace summary — as one JSON object (`sparklet-metrics-v1`; schema
+    /// documented in DESIGN.md).
+    pub fn metrics_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"sparklet-metrics-v1\",\"workers\":{},{},\"legacy\":{},\
+             \"trace\":{{\"spans\":{},\"dropped\":{}}}}}",
+            self.workers.len(),
+            self.registry.merged().to_json_fields(),
+            self.metrics.snapshot().to_json(),
+            self.trace.len(),
+            self.trace.dropped()
+        )
+    }
+
+    /// Serialize the recorded spans as JSON (`sparklet-trace-v1`).
+    pub fn trace_report(&self) -> String {
+        let spans = self.trace.spans();
+        let mut s = String::from("{\"schema\":\"sparklet-trace-v1\",\"spans\":[");
+        for (i, rec) in spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&rec.to_json());
+        }
+        s.push_str(&format!("],\"dropped\":{}}}", self.trace.dropped()));
+        s
+    }
+
+    /// Zero all metrics and clear the trace (per-figure isolation in
+    /// benchmarks).
+    pub fn reset_observability(&self) {
+        self.metrics.reset();
+        self.registry.reset();
+        self.trace.reset();
     }
 
     /// Allocate a fresh dataset id for block-cache keys.
@@ -278,6 +332,11 @@ impl Cluster {
     /// Fetch a block only if it is at least `min_version` — the staleness
     /// guard of §III-D: after an append bumps the version, older copies on
     /// other workers must not serve tasks.
+    ///
+    /// This is a *floor* guard only: it will happily return a block newer
+    /// than `min_version`. Snapshot readers that must not see past their
+    /// own version (MVCC visibility) need [`Cluster::get_block_at_version`]
+    /// instead.
     pub fn get_block_min_version(
         &self,
         worker: usize,
@@ -286,6 +345,14 @@ impl Cluster {
     ) -> Option<Block> {
         self.get_block(worker, id)
             .filter(|b| b.version >= min_version)
+    }
+
+    /// Fetch a block only if it is *exactly* `version`: the MVCC
+    /// visibility bound. A snapshot pinned at version `v` must never be
+    /// served a block from a later append, or it would observe rows that
+    /// did not exist when the snapshot was taken.
+    pub fn get_block_at_version(&self, worker: usize, id: BlockId, version: u64) -> Option<Block> {
+        self.get_block(worker, id).filter(|b| b.version == version)
     }
 
     /// Drop one block (tests / manual eviction).
@@ -362,11 +429,47 @@ impl Cluster {
         F: Fn(TaskContext) -> R + Send + Sync + 'static,
     {
         self.metrics.stages.fetch_add(1, Relaxed);
+        self.registry.counter("stage.launched").inc();
+        let span_id = self.trace.next_span_id();
+        let parent = self.trace.current_parent();
+        let start_us = self.trace.now_us();
+        let start = std::time::Instant::now();
+        let result = self.run_stage_inner(span_id, tasks, f);
+        if result.is_err() {
+            self.registry.counter("stage.failed").inc();
+        }
+        self.trace.record(SpanRecord {
+            id: span_id,
+            parent,
+            kind: SpanKind::Stage,
+            name: format!("stage[{} tasks]", tasks.len()),
+            start_us,
+            dur_us: start.elapsed().as_micros() as u64,
+            worker: -1,
+            partition: -1,
+        });
+        result
+    }
+
+    fn run_stage_inner<R, F>(
+        &self,
+        stage_span: u64,
+        tasks: &[TaskSpec],
+        f: F,
+    ) -> Result<Vec<R>, StageError>
+    where
+        R: Send + 'static,
+        F: Fn(TaskContext) -> R + Send + Sync + 'static,
+    {
         let f = Arc::new(f);
         let (tx, rx) = mpsc::channel::<(usize, usize, TaskResult<R>)>();
         let n = tasks.len();
 
-        let dispatch = |idx: usize, spec: &TaskSpec, exclude: &[usize]| -> Result<(), StageError> {
+        let dispatch = |idx: usize,
+                        spec: &TaskSpec,
+                        exclude: &[usize],
+                        attempt: usize|
+         -> Result<(), StageError> {
             let (worker, non_local) = self.schedule_excluding(spec, exclude)?;
             let ws = &self.workers[worker];
             let executor = ws.next_executor.fetch_add(1, Relaxed) % ws.executors.len();
@@ -383,7 +486,17 @@ impl Cluster {
             let f = Arc::clone(&f);
             let tx = tx.clone();
             let alive = Arc::clone(&ws.alive);
+            let queue_wait_hist = self
+                .registry
+                .histogram_on(Some(worker), "task.queue_wait_ns");
+            let run_hist = self.registry.histogram_on(Some(worker), "task.run_ns");
+            let trace = Arc::clone(&self.trace);
+            let task_span = trace.next_span_id();
+            let dispatched = std::time::Instant::now();
             ws.executors[executor].spawn(move || {
+                queue_wait_hist.record(dispatched.elapsed().as_nanos() as u64);
+                let start_us = trace.now_us();
+                let run_start = std::time::Instant::now();
                 let outcome = match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
                     Err(payload) => {
                         TaskResult::Failed(FailureReason::Panicked(panic_message(payload)))
@@ -393,6 +506,21 @@ impl Cluster {
                     Ok(_) if !alive.load(Relaxed) => TaskResult::Failed(FailureReason::WorkerLost),
                     Ok(r) => TaskResult::Ok(r),
                 };
+                run_hist.record(run_start.elapsed().as_nanos() as u64);
+                trace.record(SpanRecord {
+                    id: task_span,
+                    parent: stage_span,
+                    kind: SpanKind::Task,
+                    name: if attempt > 1 {
+                        format!("task(attempt {attempt})")
+                    } else {
+                        "task".to_string()
+                    },
+                    start_us,
+                    dur_us: run_start.elapsed().as_micros() as u64,
+                    worker: ctx.worker as i64,
+                    partition: ctx.partition as i64,
+                });
                 // Receiver hung up only if the stage already failed.
                 let _ = tx.send((idx, ctx.worker, outcome));
             });
@@ -403,7 +531,7 @@ impl Cluster {
         let mut attempts = vec![1usize; n];
         let mut failed_workers: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (idx, spec) in tasks.iter().enumerate() {
-            dispatch(idx, spec, &[])?;
+            dispatch(idx, spec, &[], 1)?;
         }
 
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -419,11 +547,27 @@ impl Cluster {
                     remaining -= 1;
                 }
                 TaskResult::Failed(reason) => {
-                    self.metrics.task_failures.fetch_add(1, Relaxed);
+                    // Attempt-level accounting: every failed attempt counts
+                    // here, with its cause; `task_failures` is reserved for
+                    // *terminal* failures (retry exhaustion) so a task that
+                    // fails on worker A and succeeds on worker B leaves the
+                    // stage with one retry and zero failures.
+                    self.registry.counter("task.attempt_failures").inc();
+                    match &reason {
+                        FailureReason::Panicked(_) => {
+                            self.registry.counter("task.failure_cause.panicked").inc()
+                        }
+                        FailureReason::WorkerLost => self
+                            .registry
+                            .counter("task.failure_cause.worker_lost")
+                            .inc(),
+                    }
                     if !failed_workers[idx].contains(&worker) {
                         failed_workers[idx].push(worker);
                     }
                     if attempts[idx] >= self.config.max_task_attempts {
+                        self.metrics.task_failures.fetch_add(1, Relaxed);
+                        self.registry.counter("task.terminal_failures").inc();
                         return Err(StageError::TaskFailed {
                             partition: tasks[idx].partition,
                             attempts: attempts[idx],
@@ -433,7 +577,7 @@ impl Cluster {
                     }
                     attempts[idx] += 1;
                     self.metrics.task_retries.fetch_add(1, Relaxed);
-                    dispatch(idx, &tasks[idx], &failed_workers[idx])?;
+                    dispatch(idx, &tasks[idx], &failed_workers[idx], attempts[idx])?;
                 }
             }
         }
@@ -662,10 +806,40 @@ mod tests {
             .expect("stage must recover via retry");
         assert_eq!(out, (0..6).map(|p| p * 10).collect::<Vec<_>>());
         let m = c.metrics().snapshot();
-        assert_eq!(m.task_failures, 1);
+        assert_eq!(
+            m.task_failures, 0,
+            "recovered task is not a terminal failure"
+        );
         assert_eq!(m.task_retries, 1);
         assert_eq!(m.stages, 1);
         assert_eq!(m.tasks, 7, "6 first attempts + 1 retry");
+        let r = c.registry();
+        assert_eq!(r.counter_value("task.attempt_failures"), 1);
+        assert_eq!(r.counter_value("task.failure_cause.panicked"), 1);
+        assert_eq!(r.counter_value("task.terminal_failures"), 0);
+    }
+
+    #[test]
+    fn fail_on_a_succeed_on_b_is_one_retry_zero_failures() {
+        // The exact accounting contract: a task that fails on worker A and
+        // succeeds on worker B is one retry, zero terminal failures —
+        // regardless of whether the failure was a panic or a worker loss.
+        let c = cluster();
+        let out = c
+            .run_stage_partitions(3, |ctx| {
+                if ctx.partition == 1 && ctx.worker == 1 {
+                    panic!("first attempt dies on preferred worker");
+                }
+                ctx.partition
+            })
+            .unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+        let m = c.metrics().snapshot();
+        assert_eq!(m.task_retries, 1, "exactly one retry");
+        assert_eq!(m.task_failures, 0, "zero terminal failures");
+        assert_eq!(c.registry().counter_value("task.attempt_failures"), 1);
+        assert_eq!(c.registry().counter_value("stage.launched"), 1);
+        assert_eq!(c.registry().counter_value("stage.failed"), 0);
     }
 
     #[test]
@@ -694,7 +868,16 @@ mod tests {
             m.task_retries > 0,
             "kill must have forced at least one retry"
         );
-        assert_eq!(m.task_failures, m.task_retries);
+        assert_eq!(
+            m.task_failures, 0,
+            "every attempt recovered, so no terminal failures"
+        );
+        assert_eq!(
+            c.registry().counter_value("task.attempt_failures"),
+            m.task_retries,
+            "each retry corresponds to exactly one failed attempt"
+        );
+        assert!(c.registry().counter_value("task.failure_cause.worker_lost") > 0);
         assert!(!c.is_alive(1));
     }
 
@@ -728,7 +911,69 @@ mod tests {
         assert!(!workers_tried.is_empty());
         assert!(matches!(last_error, FailureReason::Panicked(ref m) if m.contains("always fails")));
         let m = c.metrics().snapshot();
-        assert_eq!(m.task_failures, 3);
+        assert_eq!(m.task_failures, 1, "one task exhausted its attempts");
         assert_eq!(m.task_retries, 2, "retries exclude the first attempt");
+        assert_eq!(c.registry().counter_value("task.attempt_failures"), 3);
+        assert_eq!(c.registry().counter_value("task.terminal_failures"), 1);
+        assert_eq!(c.registry().counter_value("stage.failed"), 1);
+    }
+
+    #[test]
+    fn exact_version_guard_rejects_newer_blocks() {
+        // MVCC visibility bound: a reader pinned at version 2 must not be
+        // served a version-3 block, even though the min-version guard
+        // would accept it.
+        let c = cluster();
+        let id = BlockId {
+            dataset: 11,
+            partition: 0,
+        };
+        c.put_block(0, id, 3, Arc::new(3u32));
+        assert!(
+            c.get_block_min_version(0, id, 2).is_some(),
+            "floor guard accepts newer blocks (by design)"
+        );
+        assert!(
+            c.get_block_at_version(0, id, 2).is_none(),
+            "exact guard must reject a block newer than the snapshot"
+        );
+        assert_eq!(
+            c.get_block_at_version(0, id, 3)
+                .unwrap()
+                .data
+                .downcast_ref::<u32>(),
+            Some(&3)
+        );
+    }
+
+    #[test]
+    fn run_stage_records_spans_and_task_histograms() {
+        let c = cluster();
+        c.run_partitions(6, |_| {
+            std::thread::sleep(std::time::Duration::from_micros(50))
+        });
+        let spans = c.trace().spans();
+        let stage_spans: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Stage).collect();
+        let task_spans: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Task).collect();
+        assert_eq!(stage_spans.len(), 1);
+        assert_eq!(task_spans.len(), 6);
+        for t in &task_spans {
+            assert_eq!(t.parent, stage_spans[0].id, "tasks nest under the stage");
+            assert!(t.worker >= 0 && t.partition >= 0);
+        }
+        let run = c.registry().histogram_snapshot("task.run_ns").unwrap();
+        assert_eq!(run.count, 6);
+        assert!(run.min >= 50_000, "each task slept ≥50µs");
+        let wait = c
+            .registry()
+            .histogram_snapshot("task.queue_wait_ns")
+            .unwrap();
+        assert_eq!(wait.count, 6);
+        let json = c.metrics_json();
+        assert!(json.contains("\"schema\":\"sparklet-metrics-v1\""));
+        assert!(json.contains("\"task.run_ns\""));
+        let report = c.trace_report();
+        assert!(report.contains("\"schema\":\"sparklet-trace-v1\""));
+        assert!(report.contains("\"kind\":\"task\""));
     }
 }

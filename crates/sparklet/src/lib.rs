@@ -18,7 +18,10 @@
 //! * failure injection ([`Cluster::kill_worker`]) for the Fig. 12
 //!   fault-tolerance experiment;
 //! * phase [`metrics::Metrics`] (shuffle/build/probe) replacing the paper's
-//!   flame graphs (Fig. 1).
+//!   flame graphs (Fig. 1), plus a named-metric [`metrics::Registry`]
+//!   (counters / gauges / log₂ histograms, per-worker sharded) and a
+//!   [`metrics::Trace`] of operator → stage → task spans, serialized by
+//!   [`Cluster::metrics_json`] and [`Cluster::trace_report`].
 //!
 //! ## Example
 //!
@@ -40,5 +43,8 @@ pub use cluster::{
     TaskSpec,
 };
 pub use config::ClusterConfig;
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, Registry,
+    RegistrySnapshot, SpanKind, SpanRecord, Trace,
+};
 pub use shuffle::{broadcast, exchange, partition_of, ShuffleItem};

@@ -99,9 +99,11 @@ pub fn exchange<T: ShuffleItem + Clone + Sync>(
     let mut outputs: Vec<Vec<T>> = Vec::with_capacity(num_out);
     let mut rows = 0u64;
     let mut bytes = 0u64;
+    let mut per_partition_bytes: Vec<u64> = Vec::with_capacity(num_out);
     for (out, r, b) in regrouped {
         rows += r;
         bytes += b;
+        per_partition_bytes.push(b);
         outputs.push(out);
     }
     let m = cluster.metrics();
@@ -109,6 +111,25 @@ pub fn exchange<T: ShuffleItem + Clone + Sync>(
         .fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
     m.shuffle_rows.fetch_add(rows, Relaxed);
     m.shuffle_bytes.fetch_add(bytes, Relaxed);
+
+    // Named-registry mirror plus skew accounting: the per-partition byte
+    // histogram is what shows a hot key (one bucket far above the rest),
+    // and `shuffle.skewed_partitions` counts partitions receiving more
+    // than twice the mean.
+    let reg = cluster.registry();
+    reg.counter("shuffle.exchanges").inc();
+    reg.counter("shuffle.rows").add(rows);
+    reg.counter("shuffle.bytes").add(bytes);
+    let part_hist = reg.histogram("shuffle.partition_bytes");
+    let mean = bytes / num_out as u64;
+    let mut skewed = 0u64;
+    for &b in &per_partition_bytes {
+        part_hist.record(b);
+        if mean > 0 && b > 2 * mean {
+            skewed += 1;
+        }
+    }
+    reg.counter("shuffle.skewed_partitions").add(skewed);
     Ok(outputs)
 }
 
@@ -122,10 +143,13 @@ pub fn broadcast<T: Clone + ShuffleItem>(
     data: &[T],
 ) -> Vec<Option<Arc<Vec<T>>>> {
     let bytes: u64 = data.iter().map(|i| i.approx_bytes() as u64).sum();
+    let reg = cluster.registry();
     (0..cluster.num_workers())
         .map(|w| {
             if cluster.is_alive(w) {
                 cluster.metrics().broadcast_bytes.fetch_add(bytes, Relaxed);
+                reg.counter("broadcast.bytes").add(bytes);
+                reg.counter("broadcast.copies").inc();
                 Some(Arc::new(data.to_vec()))
             } else {
                 None
@@ -191,6 +215,13 @@ mod tests {
         assert_eq!(m.shuffle_rows, 200);
         assert!(m.shuffle_bytes >= 200);
         assert!(m.shuffle_ns > 0);
+        let r = c.registry();
+        assert_eq!(r.counter_value("shuffle.exchanges"), 1);
+        assert_eq!(r.counter_value("shuffle.rows"), 200);
+        assert_eq!(r.counter_value("shuffle.bytes"), m.shuffle_bytes);
+        let h = r.histogram_snapshot("shuffle.partition_bytes").unwrap();
+        assert_eq!(h.count, num_out as u64, "one sample per output partition");
+        assert_eq!(h.sum, m.shuffle_bytes);
     }
 
     #[test]

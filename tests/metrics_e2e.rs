@@ -1,0 +1,126 @@
+//! End-to-end observability: a 4-worker run must populate the metrics
+//! registry across every layer — shuffle bytes, per-operator timings,
+//! index cache hits *and* misses, multi-bucket histograms — and the
+//! `metrics_json()` / `trace_report()` documents must carry all of it.
+
+use dataframe::{Context, ExecConfig};
+use indexed_df::IndexedDataFrame;
+use rowstore::{DataType, Field, Row, Schema, Value};
+use sparklet::{Cluster, ClusterConfig, SpanKind};
+use std::sync::Arc;
+
+fn edge_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ])
+}
+
+fn rows(n: i64, keys: i64) -> Vec<Row> {
+    (0..n)
+        .map(|i| vec![Value::Int64(i % keys), Value::Int64(i)])
+        .collect()
+}
+
+#[test]
+fn four_worker_run_populates_every_metric_layer() {
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 4,
+        executors_per_worker: 1,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+    });
+    // Force the shuffled join path so shuffle counters are exercised.
+    let ctx = Context::with_config(
+        Arc::clone(&cluster),
+        ExecConfig {
+            broadcast_threshold_bytes: 0,
+            ..ExecConfig::default()
+        },
+    );
+
+    workloads::register_columnar(&ctx, "edges", edge_schema(), rows(4000, 50));
+    workloads::register_columnar(&ctx, "probe", edge_schema(), rows(400, 50));
+
+    // scan + shuffled join + aggregation through the SQL surface.
+    let joined = ctx
+        .table("edges")
+        .unwrap()
+        .join(ctx.table("probe").unwrap(), "k", "k")
+        .count()
+        .unwrap();
+    assert!(joined > 0);
+    let grouped = ctx
+        .table("edges")
+        .unwrap()
+        .group_by(&["k"])
+        .agg(vec![(dataframe::AggFunc::Count, None, "n")])
+        .count()
+        .unwrap();
+    assert_eq!(grouped, 50);
+
+    // Indexed layer: a lazy lookup pays a cache miss (build from lineage),
+    // the repeat is a hit.
+    let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), rows(2000, 50), "k").unwrap();
+    assert_eq!(idf.get_rows(&Value::Int64(7)).unwrap().len(), 40);
+    assert_eq!(idf.get_rows(&Value::Int64(7)).unwrap().len(), 40);
+
+    let registry = cluster.registry();
+    assert!(registry.counter_value("shuffle.bytes") > 0, "shuffle bytes");
+    assert!(registry.counter_value("shuffle.rows") > 0);
+    assert!(registry.counter_value("index.cache.misses") > 0, "miss");
+    assert!(registry.counter_value("index.cache.hits") > 0, "hit");
+
+    // Per-operator timings for at least scan / join / agg.
+    for op in ["op.scan.ns", "op.join.shuffled.ns", "op.agg.ns"] {
+        let h = registry.histogram_snapshot(op).unwrap_or_else(|| {
+            panic!("histogram {op} must exist");
+        });
+        assert!(h.count > 0, "{op} recorded");
+        assert!(h.sum > 0, "{op} nonzero time");
+    }
+    assert!(registry.counter_value("op.scan.rows_in") > 0);
+    assert!(registry.counter_value("op.join.shuffled.rows_out") > 0);
+    assert!(registry.counter_value("op.agg.rows_out") > 0);
+
+    // At least one histogram spreads over more than one log2 bucket.
+    let spread = [
+        "task.run_ns",
+        "task.queue_wait_ns",
+        "shuffle.partition_bytes",
+    ]
+    .iter()
+    .filter_map(|name| registry.histogram_snapshot(name))
+    .any(|h| h.buckets.len() > 1);
+    assert!(spread, "expected a histogram with >1 occupied bucket");
+
+    // The JSON document carries all of it.
+    let json = cluster.metrics_json();
+    assert!(json.starts_with("{\"schema\":\"sparklet-metrics-v1\""));
+    for needle in [
+        "\"shuffle.bytes\"",
+        "\"op.scan.ns\"",
+        "\"op.join.shuffled.ns\"",
+        "\"op.agg.ns\"",
+        "\"index.cache.hits\"",
+        "\"index.cache.misses\"",
+        "\"legacy\"",
+        "\"trace\"",
+    ] {
+        assert!(json.contains(needle), "metrics_json missing {needle}");
+    }
+
+    // The span trace nests operator → stage → task.
+    let spans = cluster.trace().spans();
+    assert!(spans.iter().any(|s| s.kind == SpanKind::Operator));
+    assert!(spans.iter().any(|s| s.kind == SpanKind::Stage));
+    assert!(spans.iter().any(|s| s.kind == SpanKind::Task));
+    let report = cluster.trace_report();
+    assert!(report.starts_with("{\"schema\":\"sparklet-trace-v1\""));
+    assert!(report.contains("\"kind\":\"operator\""));
+
+    // Reset restores a clean slate for per-figure isolation.
+    cluster.reset_observability();
+    assert_eq!(cluster.registry().counter_value("shuffle.bytes"), 0);
+    assert!(cluster.trace().is_empty());
+}
