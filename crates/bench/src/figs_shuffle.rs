@@ -1,0 +1,156 @@
+//! Shuffle microbench: exchange throughput of the three data-movement
+//! paths (not a paper figure — the regression record for the zero-copy
+//! shuffle work; the paper's Fig. 10 shows this shuffle dominating append
+//! time).
+//!
+//! Paths compared, same workload (rows with a string payload, keyed by an
+//! Int64 column):
+//!
+//! * `cloning`    — the pre-zero-copy baseline (`exchange_cloning`): every
+//!   row cloned into map buckets, cloned again reduce-side;
+//! * `zerocopy`   — move-based `exchange`: counting pass + pre-sized
+//!   pointer-move drain, zero clones;
+//! * `serialized` — `exchange_rows`: rows packed into length-prefixed wire
+//!   blocks and decoded per reduce partition (exact byte accounting).
+//!
+//! Row generation is excluded from the timed region (the exchanges consume
+//! their inputs, so each rep gets fresh inputs built outside the clock).
+
+use crate::perf::Perf;
+use crate::{banner, write_csv, Opts, Stats};
+use dataframe::Context;
+use rowstore::{DataType, Field, Row, Schema, Value};
+use sparklet::{Cluster, ClusterConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn shuffle_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("payload", DataType::Utf8),
+        Field::new("v", DataType::Int64),
+    ])
+}
+
+/// Keyed input partitions: `rows` rows spread over `parts` partitions.
+fn make_inputs(rows: usize, parts: usize) -> Vec<Vec<(u64, Row)>> {
+    let per = rows.div_ceil(parts);
+    (0..parts)
+        .map(|p| {
+            (0..per.min(rows.saturating_sub(p * per)))
+                .map(|i| {
+                    let k = (p * per + i) as i64 % 10_000;
+                    let row: Row = vec![
+                        Value::Int64(k),
+                        Value::Utf8(format!("payload-{p}-{i:08}")),
+                        Value::Int64(i as i64),
+                    ];
+                    (Value::Int64(k).key_hash(), row)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn cluster_ctx(workers: usize) -> Arc<Context> {
+    Context::new(Cluster::new(ClusterConfig {
+        workers,
+        executors_per_worker: 2,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+    }))
+}
+
+/// Time `reps` runs (after one warmup), building fresh inputs outside the
+/// clock because every path consumes them.
+fn time_exchange(
+    reps: usize,
+    rows: usize,
+    parts: usize,
+    mut run: impl FnMut(Vec<Vec<(u64, Row)>>),
+) -> Vec<Duration> {
+    run(make_inputs(rows, parts)); // warmup
+    (0..reps)
+        .map(|_| {
+            let inputs = make_inputs(rows, parts);
+            let start = Instant::now();
+            run(inputs);
+            start.elapsed()
+        })
+        .collect()
+}
+
+pub fn shuffle(opts: &Opts) {
+    banner("shuffle — exchange throughput: cloning vs zero-copy vs serialized");
+    let rows = (200_000 * opts.scale) as usize;
+    let parts = 8;
+    let num_out = 8;
+    let reps = opts.reps.max(1);
+    let workers = opts.workers_or(4);
+    let schema = shuffle_schema();
+
+    let mut perf = Perf::start("shuffle");
+    let mut csv = Vec::new();
+    let mut mean_ms = Vec::new();
+    println!("path        rows      mean_ms   std_ms  mrows_per_s");
+    type Runner = Box<dyn FnMut(&Arc<Context>, Vec<Vec<(u64, Row)>>)>;
+    let paths: Vec<(&str, Runner)> = vec![
+        (
+            "cloning",
+            Box::new(move |ctx: &Arc<Context>, inputs| {
+                sparklet::exchange_cloning(ctx.cluster(), inputs, num_out).unwrap();
+            }),
+        ),
+        (
+            "zerocopy",
+            Box::new(move |ctx: &Arc<Context>, inputs| {
+                sparklet::exchange(ctx.cluster(), inputs, num_out).unwrap();
+            }),
+        ),
+        (
+            "serialized",
+            Box::new({
+                let schema = Arc::clone(&schema);
+                move |ctx: &Arc<Context>, inputs| {
+                    sparklet::exchange_rows(ctx.cluster(), &schema, inputs, num_out).unwrap();
+                }
+            }),
+        ),
+    ];
+    for (label, mut run) in paths {
+        let ctx = cluster_ctx(workers);
+        perf.attach(label, &ctx);
+        let samples = time_exchange(reps, rows, parts, |inputs| run(&ctx, inputs));
+        let s = Stats::of(&samples);
+        let mrows = rows as f64 / 1e6 / (s.mean_ms / 1e3);
+        println!(
+            "{label:<10}  {rows:>8}  {:>8.2}  {:>7.2}  {mrows:>11.2}",
+            s.mean_ms, s.std_ms
+        );
+        csv.push(format!(
+            "{label},{rows},{:.3},{:.3},{mrows:.3}",
+            s.mean_ms, s.std_ms
+        ));
+        perf.extra(&format!("{label}_ms"), s.mean_ms);
+        perf.extra(&format!("{label}_mrows_per_s"), mrows);
+        mean_ms.push((label, s.mean_ms));
+    }
+
+    let ms_of = |name: &str| mean_ms.iter().find(|(l, _)| *l == name).unwrap().1;
+    let zerocopy_speedup = ms_of("cloning") / ms_of("zerocopy");
+    let serialized_speedup = ms_of("cloning") / ms_of("serialized");
+    perf.extra("rows", rows as f64);
+    perf.extra("zerocopy_speedup", zerocopy_speedup);
+    perf.extra("serialized_speedup", serialized_speedup);
+    println!("zero-copy speedup vs cloning:  {zerocopy_speedup:.2}x");
+    println!("serialized speedup vs cloning: {serialized_speedup:.2}x");
+
+    write_csv(
+        opts,
+        "shuffle.csv",
+        "path,rows,mean_ms,std_ms,mrows_per_s",
+        &csv,
+    );
+    perf.finish(opts);
+    println!("shape check: zerocopy ≥ 1.5x cloning (moves instead of two full copies)");
+}

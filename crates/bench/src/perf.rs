@@ -28,6 +28,7 @@ pub struct Perf {
     figure: String,
     start: Instant,
     clusters: Vec<(String, Arc<Context>)>,
+    extras: Vec<(String, f64)>,
 }
 
 impl Perf {
@@ -37,6 +38,7 @@ impl Perf {
             figure: figure.to_string(),
             start: Instant::now(),
             clusters: Vec::new(),
+            extras: Vec::new(),
         }
     }
 
@@ -45,6 +47,13 @@ impl Perf {
     /// "indexed"); the snapshot is taken at [`Perf::finish`] time.
     pub fn attach(&mut self, label: &str, ctx: &Arc<Context>) {
         self.clusters.push((label.to_string(), Arc::clone(ctx)));
+    }
+
+    /// Record a figure-specific scalar (a throughput, a speedup ratio, ...)
+    /// into the record's `extras` map, so regression tooling can compare
+    /// headline numbers without re-deriving them from raw counters.
+    pub fn extra(&mut self, name: &str, value: f64) {
+        self.extras.push((name.to_string(), value));
     }
 
     /// Write `BENCH_<figure>.json` into `opts.out_dir`.
@@ -61,14 +70,20 @@ impl Perf {
                 )
             })
             .collect();
+        let extras: Vec<String> = self
+            .extras
+            .iter()
+            .map(|(name, value)| format!("\"{}\":{value:.6}", json_escape(name)))
+            .collect();
         let json = format!(
             "{{\"schema\":\"bench-perf-v1\",\"figure\":\"{}\",\"wall_ms\":{:.3},\
-             \"scale\":{},\"reps\":{},\"workers\":{},\"metrics\":{{{}}}}}",
+             \"scale\":{},\"reps\":{},\"workers\":{},\"extras\":{{{}}},\"metrics\":{{{}}}}}",
             json_escape(&self.figure),
             wall_ms,
             opts.scale,
             opts.reps,
             opts.workers,
+            extras.join(","),
             metrics.join(",")
         );
         let _ = fs::create_dir_all(&opts.out_dir);
@@ -97,12 +112,14 @@ mod tests {
         ctx.cluster().registry().counter("x").add(3);
         let mut perf = Perf::start("unit");
         perf.attach("cluster", &ctx);
+        perf.extra("speedup", 1.5);
         perf.finish(&opts);
         let content = std::fs::read_to_string(dir.join("BENCH_unit.json")).unwrap();
         assert!(content.starts_with("{\"schema\":\"bench-perf-v1\""));
         assert!(content.contains("\"figure\":\"unit\""));
         assert!(content.contains("\"cluster\":{\"schema\":\"sparklet-metrics-v1\""));
         assert!(content.contains("\"x\":3"));
+        assert!(content.contains("\"extras\":{\"speedup\":1.500000}"));
         let _ = std::fs::remove_dir_all(dir);
     }
 }

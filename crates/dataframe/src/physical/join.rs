@@ -22,9 +22,15 @@ use sparklet::ShuffleItem;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Build a key → rows multimap, dropping null keys.
-fn build_table(rows: impl IntoIterator<Item = Row>, key: usize) -> HashMap<KeyWrap, Vec<Row>> {
-    let mut table: HashMap<KeyWrap, Vec<Row>> = HashMap::new();
+/// Build a key → rows multimap, dropping null keys. `capacity` is a row
+/// count hint (callers know it exactly from `count_rows`/`len`); the table
+/// is pre-sized for it so the build loop never rehashes.
+fn build_table(
+    rows: impl IntoIterator<Item = Row>,
+    key: usize,
+    capacity: usize,
+) -> HashMap<KeyWrap, Vec<Row>> {
+    let mut table: HashMap<KeyWrap, Vec<Row>> = HashMap::with_capacity(capacity);
     for row in rows {
         if row[key].is_null() {
             continue;
@@ -71,28 +77,30 @@ impl ExecPlan for BroadcastHashJoinExec {
         // build/broadcast/probe work.
         let build_parts = self.build.execute(ctx)?;
         let probe_parts = Arc::new(self.probe.execute(ctx)?);
-        let rows_in = count_rows(&build_parts) + count_rows(&probe_parts);
+        let build_rows_in = count_rows(&build_parts);
+        let rows_in = build_rows_in + count_rows(&probe_parts);
         let build_key = self.build_key;
         let probe_key = self.probe_key;
         let build_is_left = self.build_is_left;
         observe_operator(ctx, "join.broadcast", rows_in, || {
             // Build phase: collect + hash the build side.
             let table = Metrics::timed(&metrics.build_ns, || {
-                Arc::new(build_table(build_parts.into_iter().flatten(), build_key))
+                Arc::new(build_table(
+                    build_parts.into_iter().flatten(),
+                    build_key,
+                    build_rows_in as usize,
+                ))
             });
 
-            // Broadcast: account one copy of the table per alive worker.
+            // Broadcast: the table is materialized once and refcounted to
+            // every alive worker (the probe tasks below share `table2`);
+            // account wire traffic per worker, memory once.
             let table_bytes: u64 = table
                 .values()
                 .flat_map(|rows| rows.iter().map(|r| r.approx_bytes() as u64))
                 .sum();
             let alive = ctx.cluster().alive_workers().len() as u64;
-            metrics
-                .broadcast_bytes
-                .fetch_add(table_bytes * alive, std::sync::atomic::Ordering::Relaxed);
-            let reg = ctx.cluster().registry();
-            reg.counter("broadcast.bytes").add(table_bytes * alive);
-            reg.counter("broadcast.copies").add(alive);
+            sparklet::account_broadcast(ctx.cluster(), table_bytes, alive);
 
             // Probe phase: local hash lookups per probe partition.
             let probe_parts2 = Arc::clone(&probe_parts);
@@ -106,7 +114,7 @@ impl ExecPlan for BroadcastHashJoinExec {
                             if k.is_null() {
                                 continue;
                             }
-                            if let Some(matches) = table2.get(&KeyWrap(k.clone())) {
+                            if let Some(matches) = table2.get(KeyWrap::from_ref(k)) {
                                 for build_row in matches {
                                     out.push(if build_is_left {
                                         joined(build_row, probe_row)
@@ -170,14 +178,19 @@ impl ExecPlan for ShuffledHashJoinExec {
         let right_parts = self.right.execute(ctx)?;
         let rows_in = count_rows(&left_parts) + count_rows(&right_parts);
         let (left_key, right_key, build_left) = (self.left_key, self.right_key, self.build_left);
+        let (left_schema, right_schema) = (self.left.schema(), self.right.schema());
         observe_operator(ctx, "join.shuffled", rows_in, || {
-            let left_shuffled = Arc::new(sparklet::exchange(
+            // Both sides travel through the serialized wire format: packed
+            // blocks with exact byte accounting instead of cloned rows.
+            let left_shuffled = Arc::new(sparklet::exchange_rows(
                 ctx.cluster(),
+                &left_schema,
                 keyed(left_parts, left_key),
                 p,
             )?);
-            let right_shuffled = Arc::new(sparklet::exchange(
+            let right_shuffled = Arc::new(sparklet::exchange_rows(
                 ctx.cluster(),
+                &right_schema,
                 keyed(right_parts, right_key),
                 p,
             )?);
@@ -192,10 +205,11 @@ impl ExecPlan for ShuffledHashJoinExec {
                     } else {
                         (&rs[tc.partition], &ls[tc.partition], right_key, left_key)
                     };
-                    let table = build_table(build_rows.iter().cloned(), build_key);
+                    let table =
+                        build_table(build_rows.iter().cloned(), build_key, build_rows.len());
                     let mut out = Vec::new();
                     for probe_row in probe_rows {
-                        if let Some(matches) = table.get(&KeyWrap(probe_row[probe_key].clone())) {
+                        if let Some(matches) = table.get(KeyWrap::from_ref(&probe_row[probe_key])) {
                             for build_row in matches {
                                 // Output is always left ++ right.
                                 out.push(if build_left {
@@ -249,14 +263,17 @@ impl ExecPlan for SortMergeJoinExec {
         let right_parts = self.right.execute(ctx)?;
         let rows_in = count_rows(&left_parts) + count_rows(&right_parts);
         let (left_key, right_key) = (self.left_key, self.right_key);
+        let (left_schema, right_schema) = (self.left.schema(), self.right.schema());
         observe_operator(ctx, "join.sortmerge", rows_in, || {
-            let left_shuffled = Arc::new(sparklet::exchange(
+            let left_shuffled = Arc::new(sparklet::exchange_rows(
                 ctx.cluster(),
+                &left_schema,
                 keyed(left_parts, left_key),
                 p,
             )?);
-            let right_shuffled = Arc::new(sparklet::exchange(
+            let right_shuffled = Arc::new(sparklet::exchange_rows(
                 ctx.cluster(),
+                &right_schema,
                 keyed(right_parts, right_key),
                 p,
             )?);

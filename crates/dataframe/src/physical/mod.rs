@@ -126,8 +126,25 @@ pub fn gather(parts: Partitions) -> Vec<Row> {
 /// (Int32/Int64 cross-width equality, byte-wise strings). Null keys never
 /// equal anything — callers must filter them out before building tables,
 /// matching inner equi-join semantics.
+///
+/// `repr(transparent)` licenses [`KeyWrap::from_ref`], the borrowed-key
+/// probe used on join hot paths: hash tables keyed by `KeyWrap` can be
+/// probed with a `&Value` straight out of the row, with no per-probe-row
+/// clone.
 #[derive(Debug, Clone)]
+#[repr(transparent)]
 pub struct KeyWrap(pub Value);
+
+impl KeyWrap {
+    /// View a borrowed [`Value`] as a borrowed key — sound because the
+    /// wrapper is `repr(transparent)` over its single field.
+    #[inline]
+    pub fn from_ref(v: &Value) -> &KeyWrap {
+        // SAFETY: KeyWrap is #[repr(transparent)] over Value, so the
+        // pointer cast preserves layout and validity.
+        unsafe { &*(v as *const Value as *const KeyWrap) }
+    }
+}
 
 impl PartialEq for KeyWrap {
     fn eq(&self, other: &Self) -> bool {
@@ -184,6 +201,16 @@ mod tests {
         m.insert(KeyWrap(Value::Int32(7)), "seven");
         assert_eq!(m.get(&KeyWrap(Value::Int64(7))), Some(&"seven"));
         assert_eq!(m.get(&KeyWrap(Value::Int64(8))), None);
+    }
+
+    #[test]
+    fn keywrap_borrowed_probe_matches_owned_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(KeyWrap(Value::Int64(7)), "seven");
+        let probe = Value::Int32(7); // borrowed straight out of a row
+        assert_eq!(m.get(KeyWrap::from_ref(&probe)), Some(&"seven"));
+        assert_eq!(m.get(KeyWrap::from_ref(&Value::Int64(8))), None);
     }
 
     #[test]

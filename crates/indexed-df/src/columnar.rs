@@ -71,7 +71,7 @@ impl ColumnarIndexedPartition {
 impl PartitionHandle for ColumnarIndexedPartition {
     fn lookup(&self, key: &Value) -> Vec<Row> {
         let mut out = Vec::new();
-        let Some(mut cur) = self.index.lookup(&KeyWrap(key.clone())) else {
+        let Some(mut cur) = self.index.lookup(KeyWrap::from_ref(key)) else {
             return out;
         };
         loop {
@@ -124,13 +124,17 @@ impl ColumnarIndexedTable {
             .index_of(index_col)
             .ok_or_else(|| dataframe::PlanError::UnknownColumn(index_col.to_string()))?;
         let p = ctx.cluster().config().default_partitions();
-        // Shuffle rows to their hash partitions (counted in metrics).
+        // Shuffle rows to their hash partitions (counted in metrics) via
+        // the serialized wire path — rows are moved into chunks, never
+        // cloned.
         let chunk = rows.len().div_ceil(p).max(1);
-        let inputs: Vec<Vec<(u64, Row)>> = rows
-            .chunks(chunk)
-            .map(|c| c.iter().map(|r| (r[col].key_hash(), r.clone())).collect())
+        let mut inputs: Vec<Vec<(u64, Row)>> = (0..rows.len().div_ceil(chunk))
+            .map(|_| Vec::with_capacity(chunk))
             .collect();
-        let shuffled = Arc::new(sparklet::exchange(ctx.cluster(), inputs, p)?);
+        for (i, r) in rows.into_iter().enumerate() {
+            inputs[i / chunk].push((r[col].key_hash(), r));
+        }
+        let shuffled = Arc::new(sparklet::exchange_rows(ctx.cluster(), &schema, inputs, p)?);
         let schema2 = Arc::clone(&schema);
         let shuffled2 = Arc::clone(&shuffled);
         let partitions: Vec<Arc<ColumnarIndexedPartition>> =

@@ -88,7 +88,7 @@ impl IndexedPartition {
     /// Point lookup: all rows whose index key equals `key`, newest first
     /// (a cTrie search followed by a backward-pointer traversal, §III-C).
     pub fn lookup(&self, key: &Value) -> Vec<Row> {
-        match self.index.lookup(&KeyWrap(key.clone())) {
+        match self.index.lookup(KeyWrap::from_ref(key)) {
             None => Vec::new(),
             Some(bits) => self.store.get_chain(PackedPtr(bits)),
         }
@@ -98,7 +98,7 @@ impl IndexedPartition {
     /// encoded bytes. Returns the number of matching rows.
     pub fn probe(&self, key: &Value, mut f: impl FnMut(&[u8])) -> usize {
         let mut n = 0;
-        if let Some(bits) = self.index.lookup(&KeyWrap(key.clone())) {
+        if let Some(bits) = self.index.lookup(KeyWrap::from_ref(key)) {
             self.store.for_each_in_chain(PackedPtr(bits), |bytes| {
                 f(bytes);
                 n += 1;
@@ -110,7 +110,7 @@ impl IndexedPartition {
 
     /// Whether `key` is present.
     pub fn contains_key(&self, key: &Value) -> bool {
-        self.index.contains_key(&KeyWrap(key.clone()))
+        self.index.contains_key(KeyWrap::from_ref(key))
     }
 
     /// Full scan of all visible rows.

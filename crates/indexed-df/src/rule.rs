@@ -25,7 +25,6 @@ use dataframe::{Context, LogicalPlan, PlanError, Planner, PlannerRule};
 use rowstore::{Row, Schema, Value};
 use sparklet::metrics::Metrics;
 use sparklet::{partition_of, ShuffleItem, TaskSpec};
-use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
 /// Install the indexed planning rule into a context (idempotent).
@@ -215,9 +214,10 @@ impl ExecPlan for IndexedJoinExec {
             }
             let probe_dist = if broadcast {
                 let all: Vec<Row> = probe_parts.into_iter().flatten().collect();
-                metrics.broadcast_bytes.fetch_add(
-                    (probe_bytes * cluster.alive_workers().len()) as u64,
-                    Relaxed,
+                sparklet::account_broadcast(
+                    cluster,
+                    probe_bytes as u64,
+                    cluster.alive_workers().len() as u64,
                 );
                 ProbeDist::Broadcast(Arc::new(all))
             } else {
@@ -230,7 +230,12 @@ impl ExecPlan for IndexedJoinExec {
                             .collect()
                     })
                     .collect();
-                ProbeDist::Shuffled(Arc::new(sparklet::exchange(cluster, keyed, p)?))
+                ProbeDist::Shuffled(Arc::new(sparklet::exchange_rows(
+                    cluster,
+                    &self.probe.schema(),
+                    keyed,
+                    p,
+                )?))
             };
             let per_partition_probe = Arc::new(probe_dist);
 

@@ -167,6 +167,133 @@ pub fn decode_column(schema: &Schema, bytes: &[u8], col: usize) -> Result<Value,
     })
 }
 
+/// Streaming writer of a length-prefixed row block (the shuffle wire
+/// format). Layout:
+///
+/// ```text
+/// [ num_rows: u32 ] ( [ row_len: u32 ][ row bytes ] )*
+/// ```
+///
+/// Rows are appended into one growing buffer, so a partition's worth of
+/// rows costs one amortized allocation instead of one `Vec`/`String` pair
+/// per value. The resulting block is relocatable and self-describing
+/// (given the schema), so it can cross a shuffle as raw bytes and be
+/// decoded on the other side with [`BlockReader`].
+pub struct BlockWriter {
+    buf: Vec<u8>,
+    rows: u32,
+}
+
+impl Default for BlockWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockWriter {
+    pub fn new() -> BlockWriter {
+        Self::with_capacity(0)
+    }
+
+    /// Pre-size the underlying buffer (`bytes` is a payload hint; the
+    /// 4-byte row-count header is added on top).
+    pub fn with_capacity(bytes: usize) -> BlockWriter {
+        let mut buf = Vec::with_capacity(bytes + 4);
+        buf.extend_from_slice(&0u32.to_le_bytes()); // row count, backfilled
+        BlockWriter { buf, rows: 0 }
+    }
+
+    /// Append one encoded row; returns the encoded row's byte length.
+    /// On error the buffer is left exactly as it was.
+    pub fn push(&mut self, schema: &Schema, values: &[Value]) -> Result<usize, CodecError> {
+        let len_at = self.buf.len();
+        self.buf.extend_from_slice(&0u32.to_le_bytes()); // length, backfilled
+        match encode_row(schema, values, &mut self.buf) {
+            Ok(n) => {
+                self.buf[len_at..len_at + 4].copy_from_slice(&(n as u32).to_le_bytes());
+                self.rows += 1;
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(len_at);
+                Err(e)
+            }
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Total bytes the finished block will occupy.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Seal the block: backfill the row count and hand over the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[0..4].copy_from_slice(&self.rows.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Iterator over the rows of a block produced by [`BlockWriter`].
+pub struct BlockReader<'a> {
+    schema: &'a Schema,
+    block: &'a [u8],
+    cursor: usize,
+    remaining: u32,
+}
+
+impl<'a> BlockReader<'a> {
+    pub fn new(schema: &'a Schema, block: &'a [u8]) -> Result<BlockReader<'a>, CodecError> {
+        if block.len() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let remaining = u32::from_le_bytes(block[0..4].try_into().unwrap());
+        Ok(BlockReader {
+            schema,
+            block,
+            cursor: 4,
+            remaining,
+        })
+    }
+
+    /// Rows left to decode (the header count before any `next`).
+    pub fn num_rows(&self) -> usize {
+        self.remaining as usize
+    }
+}
+
+impl Iterator for BlockReader<'_> {
+    type Item = Result<Vec<Value>, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.block.len() < self.cursor + 4 {
+            self.remaining = 0;
+            return Some(Err(CodecError::Truncated));
+        }
+        let len = u32::from_le_bytes(self.block[self.cursor..self.cursor + 4].try_into().unwrap())
+            as usize;
+        self.cursor += 4;
+        if self.block.len() < self.cursor + len {
+            self.remaining = 0;
+            return Some(Err(CodecError::Truncated));
+        }
+        let row = decode_row(self.schema, &self.block[self.cursor..self.cursor + len]);
+        self.cursor += len;
+        Some(row)
+    }
+}
+
 /// Read an integer column (Int32 or Int64) directly as `i64`, skipping the
 /// `Value` allocation entirely. Returns `None` for nulls.
 #[inline]
@@ -318,6 +445,66 @@ mod tests {
         let row = vec![Value::Utf8("héllo wörld — 日本語".into())];
         encode_row(&s, &row, &mut buf).unwrap();
         assert_eq!(decode_row(&s, &buf).unwrap(), row);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let s = schema();
+        let mut w = BlockWriter::with_capacity(256);
+        let mut rows = Vec::new();
+        for i in 0..10i64 {
+            let mut row = sample_row();
+            row[0] = Value::Int64(i);
+            row[4] = Value::Utf8(format!("row-{i}"));
+            w.push(&s, &row).unwrap();
+            rows.push(row);
+        }
+        assert_eq!(w.num_rows(), 10);
+        let block = w.finish();
+        let r = BlockReader::new(&s, &block).unwrap();
+        assert_eq!(r.num_rows(), 10);
+        let decoded: Vec<Vec<Value>> = r.map(|r| r.unwrap()).collect();
+        assert_eq!(decoded, rows);
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let s = schema();
+        let block = BlockWriter::new().finish();
+        let mut r = BlockReader::new(&s, &block).unwrap();
+        assert_eq!(r.num_rows(), 0);
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn block_push_error_restores_buffer() {
+        let s = schema();
+        let mut w = BlockWriter::new();
+        w.push(&s, &sample_row()).unwrap();
+        let before = w.len();
+        let mut bad = sample_row();
+        bad[1] = Value::Utf8("oops".into());
+        assert!(w.push(&s, &bad).is_err());
+        assert_eq!(w.len(), before, "failed push must not leave partial bytes");
+        assert_eq!(w.num_rows(), 1);
+        let block = w.finish();
+        let decoded: Vec<_> = BlockReader::new(&s, &block)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(decoded, vec![sample_row()]);
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let s = schema();
+        let mut w = BlockWriter::new();
+        w.push(&s, &sample_row()).unwrap();
+        let block = w.finish();
+        assert!(BlockReader::new(&s, &[1, 2]).is_err());
+        let cut = &block[..block.len() - 2];
+        let got: Result<Vec<_>, _> = BlockReader::new(&s, cut).unwrap().collect();
+        assert!(got.is_err());
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod store;
 mod types;
 
 pub use batch::RowBatch;
-pub use codec::CodecError;
+pub use codec::{BlockReader, BlockWriter, CodecError};
 pub use ptr::{PackedPtr, PtrLayout};
 pub use store::{PartitionStore, StoreConfig, StoreError, RECORD_HEADER};
 pub use types::{rows_key_hash, DataType, Field, Row, Schema, Value};

@@ -47,4 +47,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, Registry,
     RegistrySnapshot, SpanKind, SpanRecord, Trace,
 };
-pub use shuffle::{broadcast, exchange, partition_of, ShuffleItem};
+pub use shuffle::{
+    account_broadcast, broadcast, exchange, exchange_cloning, exchange_rows, partition_of,
+    ShuffleCodec, ShuffleItem,
+};
