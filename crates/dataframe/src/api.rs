@@ -317,7 +317,7 @@ mod tests {
             .unwrap();
         assert!(text.contains("== Logical =="));
         assert!(text.contains("== Physical =="));
-        assert!(text.contains("ColumnarScan"));
+        assert!(text.contains("ColumnarPipeline"));
     }
 
     #[test]

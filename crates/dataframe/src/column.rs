@@ -8,6 +8,7 @@
 //! in Fig. 8 / SQ5–SQ6 of Fig. 13.
 
 use rowstore::{DataType, Row, Schema, Value};
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// A typed column vector with a validity mask.
@@ -193,6 +194,101 @@ impl ColumnVec {
         }
     }
 
+    /// Whether slot `i` is null (kernel fast path: no `Value` boxing).
+    #[inline]
+    pub fn null_at(&self, i: usize) -> bool {
+        match self {
+            ColumnVec::Int32 { nulls, .. }
+            | ColumnVec::Int64 { nulls, .. }
+            | ColumnVec::Float64 { nulls, .. }
+            | ColumnVec::Bool { nulls, .. }
+            | ColumnVec::Utf8 { nulls, .. } => nulls[i],
+        }
+    }
+
+    /// Numeric view widened to f64 without allocation (`Value::as_f64`).
+    #[inline]
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        match self {
+            ColumnVec::Int32 { values, nulls } => (!nulls[i]).then(|| values[i] as f64),
+            ColumnVec::Int64 { values, nulls } => (!nulls[i]).then(|| values[i] as f64),
+            ColumnVec::Float64 { values, nulls } => (!nulls[i]).then(|| values[i]),
+            _ => None,
+        }
+    }
+
+    /// Hash slot `i` exactly like `Value::key_hash` hashes the
+    /// materialized value, without materializing it.
+    #[inline]
+    pub fn key_hash_at(&self, i: usize) -> u64 {
+        if self.null_at(i) {
+            return rowstore::key_hash_u64(rowstore::NULL_KEY_PAYLOAD);
+        }
+        match self {
+            ColumnVec::Int32 { values, .. } => rowstore::key_hash_u64(values[i] as i64 as u64),
+            ColumnVec::Int64 { values, .. } => rowstore::key_hash_u64(values[i] as u64),
+            ColumnVec::Float64 { values, .. } => rowstore::key_hash_u64(values[i].to_bits()),
+            ColumnVec::Bool { values, .. } => rowstore::key_hash_u64(values[i] as u64),
+            ColumnVec::Utf8 { values, .. } => rowstore::key_hash_bytes(values[i].as_bytes()),
+        }
+    }
+
+    /// `Value::sql_cmp` between slot `i` and `v` without materializing the
+    /// slot: `None` when either side is null or the types are incomparable.
+    pub fn cmp_value(&self, i: usize, v: &Value) -> Option<Ordering> {
+        if self.null_at(i) || v.is_null() {
+            return None;
+        }
+        match (self, v) {
+            (ColumnVec::Int32 { values, .. }, _) => match v {
+                Value::Int32(_) | Value::Int64(_) => (values[i] as i64).partial_cmp(&v.as_i64()?),
+                Value::Float64(b) => (values[i] as f64).partial_cmp(b),
+                _ => None,
+            },
+            (ColumnVec::Int64 { values, .. }, _) => match v {
+                Value::Int32(_) | Value::Int64(_) => values[i].partial_cmp(&v.as_i64()?),
+                Value::Float64(b) => (values[i] as f64).partial_cmp(b),
+                _ => None,
+            },
+            (ColumnVec::Float64 { values, .. }, _) => values[i].partial_cmp(&v.as_f64()?),
+            (ColumnVec::Bool { values, .. }, Value::Bool(b)) => Some(values[i].cmp(b)),
+            (ColumnVec::Utf8 { values, .. }, Value::Utf8(s)) => Some(values[i].as_str().cmp(s)),
+            _ => None,
+        }
+    }
+
+    /// A dense copy of the slots at `indices` (selection-vector gather).
+    pub fn gather(&self, indices: &[u32]) -> ColumnVec {
+        fn take<T: Clone>(src: &[T], nulls: &[bool], idx: &[u32]) -> (Vec<T>, Vec<bool>) {
+            (
+                idx.iter().map(|&i| src[i as usize].clone()).collect(),
+                idx.iter().map(|&i| nulls[i as usize]).collect(),
+            )
+        }
+        match self {
+            ColumnVec::Int32 { values, nulls } => {
+                let (values, nulls) = take(values, nulls, indices);
+                ColumnVec::Int32 { values, nulls }
+            }
+            ColumnVec::Int64 { values, nulls } => {
+                let (values, nulls) = take(values, nulls, indices);
+                ColumnVec::Int64 { values, nulls }
+            }
+            ColumnVec::Float64 { values, nulls } => {
+                let (values, nulls) = take(values, nulls, indices);
+                ColumnVec::Float64 { values, nulls }
+            }
+            ColumnVec::Bool { values, nulls } => {
+                let (values, nulls) = take(values, nulls, indices);
+                ColumnVec::Bool { values, nulls }
+            }
+            ColumnVec::Utf8 { values, nulls } => {
+                let (values, nulls) = take(values, nulls, indices);
+                ColumnVec::Utf8 { values, nulls }
+            }
+        }
+    }
+
     /// Approximate heap bytes held by this column.
     pub fn heap_bytes(&self) -> usize {
         let n = self.len();
@@ -237,6 +333,32 @@ impl ColumnarPartition {
             p.push_row(r);
         }
         p
+    }
+
+    /// Wrap kernel-produced columns of equal length (fused pipeline output;
+    /// no row materialization).
+    pub fn from_columns(columns: Vec<ColumnVec>) -> ColumnarPartition {
+        let rows = columns.first().map_or(0, |c| c.len());
+        for c in &columns {
+            assert_eq!(c.len(), rows, "column length mismatch");
+        }
+        ColumnarPartition { columns, rows }
+    }
+
+    /// Gather the rows selected by `indices`, keeping only `cols` (or all
+    /// columns when `None`) — the fused projection step, column-at-a-time.
+    pub fn gather_project(&self, indices: &[u32], cols: Option<&[usize]>) -> ColumnarPartition {
+        let columns = match cols {
+            Some(cols) => cols
+                .iter()
+                .map(|&c| self.columns[c].gather(indices))
+                .collect(),
+            None => self.columns.iter().map(|c| c.gather(indices)).collect(),
+        };
+        ColumnarPartition {
+            columns,
+            rows: indices.len(),
+        }
     }
 
     pub fn push_row(&mut self, row: &Row) {
@@ -318,6 +440,36 @@ impl ColumnarTable {
 
     pub fn heap_bytes(&self) -> usize {
         self.partitions.iter().map(|p| p.heap_bytes()).sum()
+    }
+}
+
+/// A table whose partitions can be handed to the vectorized pipeline as
+/// shared columnar storage. Providers advertise it via
+/// [`crate::context::TableProvider::columnar_source`]; the planner fuses
+/// scan→filter→project(→limit) chains over any source that does.
+pub trait ColumnarSource: Send + Sync {
+    fn schema(&self) -> Arc<Schema>;
+    fn num_partitions(&self) -> usize;
+    /// Shared handle to partition `i` (cheap: refcount bump, no copy).
+    fn partition(&self, i: usize) -> Arc<ColumnarPartition>;
+    fn num_rows(&self) -> usize;
+}
+
+impl ColumnarSource for ColumnarTable {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn partition(&self, i: usize) -> Arc<ColumnarPartition> {
+        Arc::clone(&self.partitions[i])
+    }
+
+    fn num_rows(&self) -> usize {
+        ColumnarTable::num_rows(self)
     }
 }
 

@@ -60,6 +60,15 @@ pub trait TableProvider: Send + Sync + 'static {
     /// can evaluate on their native representation (the Indexed Batch
     /// RDD's binary rows) override this to skip materializing rejected
     /// rows and unused columns.
+    /// Expose partitions as shared columnar storage for the vectorized
+    /// pipeline. Providers whose native layout is typed column vectors
+    /// (the columnar cache, the indexed columnar table) return `Some`;
+    /// row-layout providers keep the default `None` and stay on the
+    /// row-at-a-time scan.
+    fn columnar_source(&self) -> Option<Arc<dyn crate::column::ColumnarSource>> {
+        None
+    }
+
     fn scan_partition_pushdown(
         &self,
         partition: usize,
@@ -105,6 +114,10 @@ impl TableProvider for ColumnarTable {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn columnar_source(&self) -> Option<Arc<dyn crate::column::ColumnarSource>> {
+        Some(Arc::new(self.clone()))
     }
 }
 

@@ -332,6 +332,26 @@ impl BoundExpr {
     pub fn is_true(v: &Value) -> bool {
         matches!(v, Value::Bool(true))
     }
+
+    /// Vectorized evaluation: one dense output slot per row selected by
+    /// `sel`, computed by typed batch kernels instead of a per-row tree
+    /// walk. Semantics match `eval_row` exactly (see [`crate::vector`]);
+    /// callers must have checked [`BoundExpr::batch_compatible`].
+    pub fn eval_batch(
+        &self,
+        part: &ColumnarPartition,
+        sel: &crate::vector::SelVec,
+    ) -> crate::column::ColumnVec {
+        crate::vector::eval_batch(self, part, sel)
+    }
+
+    /// Whether the batch kernels cover this expression against `schema`.
+    /// When false, plan nodes keep the row-at-a-time path (today only
+    /// `NOT` over a statically non-boolean operand, which must keep the
+    /// row path's panic behaviour).
+    pub fn batch_compatible(&self, schema: &Schema) -> bool {
+        crate::vector::batch_kind(self, schema).is_some()
+    }
 }
 
 fn eval_not(v: Value) -> Value {

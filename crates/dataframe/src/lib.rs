@@ -44,14 +44,17 @@ mod plan;
 mod planner;
 mod rows_table;
 mod sql;
+pub mod vector;
 
 pub use api::{DataFrame, GroupedFrame};
-pub use column::{ColumnVec, ColumnarPartition, ColumnarTable};
+pub use column::{ColumnVec, ColumnarPartition, ColumnarSource, ColumnarTable};
 pub use context::{Context, ExecConfig, PlannerRule, TableProvider};
 pub use expr::{col, eval_binary, lit, BinOp, BoundExpr, Expr, PlanError};
 pub use optimizer::optimize;
+pub use physical::pipeline::{ColumnarPipelineExec, Projection};
 pub use physical::{gather, ExecPlan, GroupKey, KeyWrap, Partitions};
 pub use plan::{infer_type, AggFunc, AggSpec, LogicalPlan};
 pub use planner::{estimate_bytes, Planner};
 pub use rows_table::RowsTable;
 pub use sql::parse_query;
+pub use vector::SelVec;

@@ -66,6 +66,12 @@ fn rewrite_bottom_up(plan: LogicalPlan) -> LogicalPlan {
             input,
             predicate: Expr::Lit(Value::Bool(true)),
         } => *input,
+        // Filter(FALSE) / Filter(NULL) keeps no rows → Limit 0. Planning
+        // then pushes the zero cap into the scan, which stops immediately.
+        LogicalPlan::Filter {
+            input,
+            predicate: Expr::Lit(Value::Bool(false)) | Expr::Lit(Value::Null),
+        } => LogicalPlan::Limit { input, n: 0 },
         // Filter(Filter(x, p2), p1) → Filter(x, p2 AND p1).
         LogicalPlan::Filter { input, predicate } => match *input {
             LogicalPlan::Filter {
@@ -250,6 +256,21 @@ mod tests {
             }
             other => panic!("expected merged filter, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn false_filter_becomes_limit_zero() {
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: lit(1i64).lt(lit(0i64)), // folds to FALSE
+        };
+        assert_eq!(
+            optimize(p),
+            LogicalPlan::Limit {
+                input: Box::new(scan()),
+                n: 0
+            }
+        );
     }
 
     #[test]

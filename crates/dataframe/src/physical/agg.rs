@@ -1,13 +1,24 @@
 //! Hash aggregation: per-partition partial aggregation on the cluster,
 //! followed by a driver-side final merge (Spark's partial/final two-phase
 //! aggregate).
+//!
+//! Phase 1 has two implementations sharing one group table: a vectorized
+//! path that consumes columnar partitions directly (group hashes from
+//! column slices, typed accumulator updates, no per-row `GroupKey`
+//! materialization) and the row fallback. Both probe an open-addressed
+//! index keyed by the group hash and clone key values only when a group is
+//! first seen, so the common case — a row landing in an existing group —
+//! allocates nothing.
 
+use crate::column::{ColumnVec, ColumnarPartition};
 use crate::context::Context;
 use crate::physical::{
-    count_rows, describe_node, observe_operator, ExecError, ExecPlan, GroupKey, Partitions,
+    count_path, count_rows, describe_node, observe_operator, ExecError, ExecPlan, GroupKey,
+    Partitions,
 };
 use crate::plan::AggFunc;
 use rowstore::{Row, Schema, Value};
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -88,7 +99,7 @@ impl Acc {
                     if !val.is_null()
                         && cur
                             .as_ref()
-                            .is_none_or(|c| val.sql_cmp(c) == Some(std::cmp::Ordering::Less))
+                            .is_none_or(|c| val.sql_cmp(c) == Some(Ordering::Less))
                     {
                         *cur = Some(val.clone());
                     }
@@ -99,7 +110,7 @@ impl Acc {
                     if !val.is_null()
                         && cur
                             .as_ref()
-                            .is_none_or(|c| val.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
+                            .is_none_or(|c| val.sql_cmp(c) == Some(Ordering::Greater))
                     {
                         *cur = Some(val.clone());
                     }
@@ -111,6 +122,66 @@ impl Acc {
                         *sum += f;
                         *count += 1;
                     }
+                }
+            }
+        }
+    }
+
+    /// Vectorized update: read slot `i` of a column slice directly, without
+    /// materializing a [`Value`] except when a new MIN/MAX extremum must be
+    /// retained.
+    fn update_from_col(&mut self, col: &ColumnVec, i: usize) {
+        match self {
+            Acc::Count(n) => {
+                if !col.null_at(i) {
+                    *n += 1;
+                }
+            }
+            Acc::Sum {
+                int,
+                float,
+                any_float,
+                seen,
+            } => match col {
+                ColumnVec::Float64 { values, nulls } if !nulls[i] => {
+                    *float += values[i];
+                    *any_float = true;
+                    *seen = true;
+                }
+                ColumnVec::Int64 { values, nulls } if !nulls[i] => {
+                    *int += values[i];
+                    *seen = true;
+                }
+                ColumnVec::Int32 { values, nulls } if !nulls[i] => {
+                    *int += values[i] as i64;
+                    *seen = true;
+                }
+                _ => {}
+            },
+            // cmp_value orders col[i] relative to the current extremum, so
+            // Less/Greater read exactly as the row path's val.sql_cmp(cur).
+            Acc::Min(cur) => {
+                if !col.null_at(i)
+                    && cur
+                        .as_ref()
+                        .is_none_or(|c| col.cmp_value(i, c) == Some(Ordering::Less))
+                {
+                    *cur = Some(col.value(i));
+                }
+            }
+            Acc::Max(cur) => {
+                if !col.null_at(i)
+                    && cur
+                        .as_ref()
+                        .is_none_or(|c| col.cmp_value(i, c) == Some(Ordering::Greater))
+                {
+                    *cur = Some(col.value(i));
+                }
+            }
+            Acc::Avg { sum, count } => {
+                if let Some(f) = col.f64_at(i) {
+                    *sum += f;
+                    *count += 1;
                 }
             }
         }
@@ -140,14 +211,14 @@ impl Acc {
             }
             (Acc::Min(a), Acc::Min(Some(b))) => {
                 if a.as_ref()
-                    .is_none_or(|c| b.sql_cmp(c) == Some(std::cmp::Ordering::Less))
+                    .is_none_or(|c| b.sql_cmp(c) == Some(Ordering::Less))
                 {
                     *a = Some(b.clone());
                 }
             }
             (Acc::Max(a), Acc::Max(Some(b))) => {
                 if a.as_ref()
-                    .is_none_or(|c| b.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
+                    .is_none_or(|c| b.sql_cmp(c) == Some(Ordering::Greater))
                 {
                     *a = Some(b.clone());
                 }
@@ -199,6 +270,161 @@ impl Acc {
     }
 }
 
+/// Seed of [`rowstore::rows_key_hash`], replicated so the columnar path can
+/// fold per-column [`ColumnVec::key_hash_at`] hashes with the identical
+/// combine and land in the same buckets as row-built keys.
+const GROUP_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Don't reserve more group slots up front than this, however large the
+/// partition — high-cardinality inputs grow organically past it.
+const GROUP_PRESIZE_CAP: usize = 1 << 14;
+
+/// Partial-aggregation hash table: groups indexed by key hash, with key
+/// values cloned only when a group is first created. Dense `keys`/`accs`
+/// vectors keep accumulator updates off the map entirely once a group's
+/// slot is known.
+struct GroupTable {
+    map: HashMap<u64, Vec<u32>>,
+    keys: Vec<GroupKey>,
+    accs: Vec<Vec<Acc>>,
+}
+
+impl GroupTable {
+    fn with_capacity(cap: usize) -> GroupTable {
+        GroupTable {
+            map: HashMap::with_capacity(cap),
+            keys: Vec::with_capacity(cap),
+            accs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Find the slot for the group with hash `h`, or create one. `eq` tests
+    /// a candidate stored key against the probing row; `make_key`
+    /// materializes the key only if the group is new.
+    fn slot(
+        &mut self,
+        h: u64,
+        aggs: &[BoundAgg],
+        eq: impl Fn(&GroupKey) -> bool,
+        make_key: impl FnOnce() -> GroupKey,
+    ) -> usize {
+        if let Some(bucket) = self.map.get(&h) {
+            for &gi in bucket {
+                if eq(&self.keys[gi as usize]) {
+                    return gi as usize;
+                }
+            }
+        }
+        let gi = self.keys.len() as u32;
+        self.map.entry(h).or_default().push(gi);
+        self.keys.push(make_key());
+        self.accs
+            .push(aggs.iter().map(|a| Acc::new(a.func)).collect());
+        gi as usize
+    }
+
+    fn into_pairs(self) -> Vec<(GroupKey, Vec<Acc>)> {
+        self.keys.into_iter().zip(self.accs).collect()
+    }
+}
+
+/// Row-path phase 1 (fallback when the input is not columnar).
+fn partial_from_rows(
+    rows: &[Row],
+    group_by: &[usize],
+    aggs: &[BoundAgg],
+) -> Vec<(GroupKey, Vec<Acc>)> {
+    let mut table = GroupTable::with_capacity(rows.len().min(GROUP_PRESIZE_CAP));
+    for row in rows {
+        let mut h = GROUP_HASH_SEED;
+        for &gi in group_by {
+            h = h.rotate_left(13) ^ row[gi].key_hash();
+        }
+        let slot = table.slot(
+            h,
+            aggs,
+            |k| {
+                k.0.iter().zip(group_by).all(|(kv, &ci)| {
+                    // Group-by treats NULL as its own group.
+                    (kv.is_null() && row[ci].is_null()) || kv.sql_eq(&row[ci])
+                })
+            },
+            || GroupKey(group_by.iter().map(|&i| row[i].clone()).collect()),
+        );
+        for (acc, spec) in table.accs[slot].iter_mut().zip(aggs) {
+            acc.update(spec.input.map(|i| &row[i]));
+        }
+    }
+    table.into_pairs()
+}
+
+/// Vectorized phase 1: hash, probe, and accumulate straight off column
+/// slices. No `GroupKey` is built for rows that land in an existing group.
+fn partial_from_columns(
+    part: &ColumnarPartition,
+    group_by: &[usize],
+    aggs: &[BoundAgg],
+) -> Vec<(GroupKey, Vec<Acc>)> {
+    let n = part.num_rows();
+    let mut table = GroupTable::with_capacity(n.min(GROUP_PRESIZE_CAP));
+    let key_cols: Vec<&ColumnVec> = group_by.iter().map(|&i| part.column(i)).collect();
+    let agg_cols: Vec<Option<&ColumnVec>> = aggs
+        .iter()
+        .map(|a| a.input.map(|i| part.column(i)))
+        .collect();
+    for i in 0..n {
+        let mut h = GROUP_HASH_SEED;
+        for c in &key_cols {
+            h = h.rotate_left(13) ^ c.key_hash_at(i);
+        }
+        let slot = table.slot(
+            h,
+            aggs,
+            |k| {
+                k.0.iter().zip(&key_cols).all(|(kv, c)| {
+                    (c.null_at(i) && kv.is_null()) || c.cmp_value(i, kv) == Some(Ordering::Equal)
+                })
+            },
+            || GroupKey(key_cols.iter().map(|c| c.value(i)).collect()),
+        );
+        for (acc, col) in table.accs[slot].iter_mut().zip(&agg_cols) {
+            match col {
+                Some(c) => acc.update_from_col(c, i),
+                None => acc.update(None), // COUNT(*)
+            }
+        }
+    }
+    table.into_pairs()
+}
+
+/// Phase 2: merge the per-partition partials on the driver and emit final
+/// rows (group key columns, then one value per aggregate).
+fn final_merge(partials: Vec<Vec<(GroupKey, Vec<Acc>)>>) -> Vec<Row> {
+    let mut merged: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
+    for partial in partials {
+        for (key, accs) in partial {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(&accs) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut row = key.0;
+            row.extend(accs.iter().map(|a| a.finish()));
+            row
+        })
+        .collect()
+}
+
 pub struct HashAggExec {
     pub input: Arc<dyn ExecPlan>,
     /// Indices of group-by columns in the input schema.
@@ -213,55 +439,34 @@ impl ExecPlan for HashAggExec {
     }
 
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
-        let inputs = Arc::new(self.input.execute(ctx)?);
         let group_by = self.group_by.clone();
         let aggs = self.aggs.clone();
+
+        // Vectorized phase 1 whenever the child can hand over columnar
+        // partitions (fused pipelines do); rows otherwise.
+        if let Some(res) = self.input.execute_columnar(ctx) {
+            let parts = Arc::new(res?);
+            let rows_in = parts.iter().map(|p| p.num_rows() as u64).sum();
+            let parts2 = Arc::clone(&parts);
+            count_path(ctx, true);
+            return observe_operator(ctx, "agg", rows_in, move || {
+                let partials = ctx.cluster().run_stage_partitions(parts.len(), move |tc| {
+                    partial_from_columns(&parts2[tc.partition], &group_by, &aggs)
+                })?;
+                Ok(vec![final_merge(partials)])
+            });
+        }
+
+        let inputs = Arc::new(self.input.execute(ctx)?);
         let inputs2 = Arc::clone(&inputs);
-
-        observe_operator(ctx, "agg", count_rows(&inputs), || {
-            // Phase 1: partial aggregation per partition, in parallel.
-            let partials: Vec<HashMap<GroupKey, Vec<Acc>>> =
-                ctx.cluster()
-                    .run_stage_partitions(inputs.len(), move |tc| {
-                        let mut table: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
-                        for row in &inputs2[tc.partition] {
-                            let key = GroupKey(group_by.iter().map(|&i| row[i].clone()).collect());
-                            let accs = table
-                                .entry(key)
-                                .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.func)).collect());
-                            for (acc, spec) in accs.iter_mut().zip(&aggs) {
-                                acc.update(spec.input.map(|i| &row[i]));
-                            }
-                        }
-                        table
-                    })?;
-
-            // Phase 2: final merge on the driver.
-            let mut merged: HashMap<GroupKey, Vec<Acc>> = HashMap::new();
-            for partial in partials {
-                for (key, accs) in partial {
-                    match merged.entry(key) {
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(accs);
-                        }
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            for (a, b) in e.get_mut().iter_mut().zip(&accs) {
-                                a.merge(b);
-                            }
-                        }
-                    }
-                }
-            }
-
-            let rows: Vec<Row> = merged
-                .into_iter()
-                .map(|(key, accs)| {
-                    let mut row = key.0;
-                    row.extend(accs.iter().map(|a| a.finish()));
-                    row
-                })
-                .collect();
-            Ok(vec![rows])
+        count_path(ctx, false);
+        observe_operator(ctx, "agg", count_rows(&inputs), move || {
+            let partials = ctx
+                .cluster()
+                .run_stage_partitions(inputs.len(), move |tc| {
+                    partial_from_rows(&inputs2[tc.partition], &group_by, &aggs)
+                })?;
+            Ok(vec![final_merge(partials)])
         })
     }
 
@@ -283,6 +488,7 @@ mod tests {
     use super::*;
     use crate::column::ColumnarTable;
     use crate::physical::gather;
+    use crate::physical::pipeline::{ColumnarPipelineExec, Projection};
     use crate::physical::scan::ColumnarScanExec;
     use rowstore::{DataType, Field};
     use sparklet::{Cluster, ClusterConfig};
@@ -313,10 +519,37 @@ mod tests {
         (ctx, scan, schema)
     }
 
-    #[test]
-    fn grouped_aggregation() {
-        let (ctx, scan, _) = setup();
-        let out_schema = Schema::new(vec![
+    fn all_aggs() -> Vec<BoundAgg> {
+        vec![
+            BoundAgg {
+                func: AggFunc::Count,
+                input: None,
+            },
+            BoundAgg {
+                func: AggFunc::Count,
+                input: Some(1),
+            },
+            BoundAgg {
+                func: AggFunc::Sum,
+                input: Some(1),
+            },
+            BoundAgg {
+                func: AggFunc::Min,
+                input: Some(1),
+            },
+            BoundAgg {
+                func: AggFunc::Max,
+                input: Some(1),
+            },
+            BoundAgg {
+                func: AggFunc::Avg,
+                input: Some(2),
+            },
+        ]
+    }
+
+    fn agg_out_schema() -> Arc<Schema> {
+        Schema::new(vec![
             Field::new("g", DataType::Int64),
             Field::new("cnt", DataType::Int64),
             Field::new("cnt_v", DataType::Int64),
@@ -324,37 +557,17 @@ mod tests {
             Field::nullable("min_v", DataType::Int64),
             Field::nullable("max_v", DataType::Int64),
             Field::nullable("avg_f", DataType::Float64),
-        ]);
+        ])
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let (ctx, scan, _) = setup();
         let agg = HashAggExec {
             input: scan,
             group_by: vec![0],
-            aggs: vec![
-                BoundAgg {
-                    func: AggFunc::Count,
-                    input: None,
-                },
-                BoundAgg {
-                    func: AggFunc::Count,
-                    input: Some(1),
-                },
-                BoundAgg {
-                    func: AggFunc::Sum,
-                    input: Some(1),
-                },
-                BoundAgg {
-                    func: AggFunc::Min,
-                    input: Some(1),
-                },
-                BoundAgg {
-                    func: AggFunc::Max,
-                    input: Some(1),
-                },
-                BoundAgg {
-                    func: AggFunc::Avg,
-                    input: Some(2),
-                },
-            ],
-            out_schema,
+            aggs: all_aggs(),
+            out_schema: agg_out_schema(),
         };
         let mut rows = gather(agg.execute(&ctx).unwrap());
         rows.sort_by_key(|r| r[0].as_i64().unwrap());
@@ -406,5 +619,64 @@ mod tests {
             ]),
         };
         assert!(gather(agg.execute(&ctx).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn vectorized_phase_matches_row_path() {
+        // Same aggregation, once over the row-producing scan and once over
+        // a fused pipeline that yields columnar partitions; the vectorized
+        // phase 1 must agree with the row fallback on every accumulator,
+        // including null handling.
+        let (ctx, scan, schema) = setup();
+        let row_agg = HashAggExec {
+            input: scan,
+            group_by: vec![0],
+            aggs: all_aggs(),
+            out_schema: agg_out_schema(),
+        };
+        let mut row_out = gather(row_agg.execute(&ctx).unwrap());
+        row_out.sort_by_key(|r| r[0].as_i64().unwrap());
+
+        let rows: Vec<Row> = (0..30)
+            .map(|i| {
+                vec![
+                    Value::Int64(i % 3),
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int64(i)
+                    },
+                    Value::Float64(i as f64),
+                ]
+            })
+            .collect();
+        let table = ColumnarTable::from_rows(Arc::clone(&schema), rows, 3);
+        let pipeline = Arc::new(ColumnarPipelineExec::new(
+            Arc::new(table),
+            "t",
+            None,
+            Projection::All,
+            schema,
+        ));
+        let vec_before = ctx
+            .cluster()
+            .registry()
+            .counter_value("operator.vectorized");
+        let vec_agg = HashAggExec {
+            input: pipeline,
+            group_by: vec![0],
+            aggs: all_aggs(),
+            out_schema: agg_out_schema(),
+        };
+        let mut vec_out = gather(vec_agg.execute(&ctx).unwrap());
+        vec_out.sort_by_key(|r| r[0].as_i64().unwrap());
+        assert_eq!(row_out, vec_out);
+        assert!(
+            ctx.cluster()
+                .registry()
+                .counter_value("operator.vectorized")
+                > vec_before,
+            "aggregation over a pipeline takes the vectorized path"
+        );
     }
 }

@@ -3,7 +3,7 @@
 use crate::context::Context;
 use crate::expr::BoundExpr;
 use crate::physical::{
-    count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
+    count_path, count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
 };
 use rowstore::Schema;
 use std::sync::Arc;
@@ -23,6 +23,9 @@ impl ExecPlan for FilterExec {
         let inputs: Arc<Vec<Vec<rowstore::Row>>> = Arc::new(parts);
         let predicate = self.predicate.clone();
         let inputs2 = Arc::clone(&inputs);
+        // Standalone filters walk the expression tree per row and clone
+        // every survivor — the path fused pipelines exist to avoid.
+        count_path(ctx, false);
         observe_operator(ctx, "filter", count_rows(&inputs), || {
             Ok(ctx
                 .cluster()

@@ -9,6 +9,7 @@ pub mod agg;
 pub mod filter;
 pub mod join;
 pub mod limit;
+pub mod pipeline;
 pub mod project;
 pub mod scan;
 pub mod sort;
@@ -59,6 +60,23 @@ pub trait ExecPlan: Send + Sync {
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError>;
     /// One-line description plus indented children (for `explain`).
     fn describe(&self, indent: usize) -> String;
+
+    /// Execute and hand the output over as columnar partitions instead of
+    /// rows, when this operator can produce them without materializing a
+    /// single `Row` (the fused pipeline). `None` means "row output only" —
+    /// consumers then call [`ExecPlan::execute`] as usual.
+    fn execute_columnar(
+        &self,
+        _ctx: &Arc<Context>,
+    ) -> Option<Result<Vec<Arc<crate::column::ColumnarPartition>>, ExecError>> {
+        None
+    }
+
+    /// Downcast hook for planner fusion: a fused pipeline returns itself so
+    /// the planner can push a LIMIT into it without `as_any` gymnastics.
+    fn as_pipeline(&self) -> Option<&pipeline::ColumnarPipelineExec> {
+        None
+    }
 }
 
 /// Total row count across partitions (for rows_in/rows_out accounting).
@@ -81,6 +99,20 @@ pub fn observe_operator(
     rows_in: u64,
     f: impl FnOnce() -> Result<Partitions, ExecError>,
 ) -> Result<Partitions, ExecError> {
+    observe_operator_with(ctx, name, rows_in, count_rows, f)
+}
+
+/// [`observe_operator`] generalized over the output container, so operators
+/// producing columnar partitions (the fused pipeline) record the same
+/// span + counter + histogram shape as row-producing ones. `count_out`
+/// extracts rows_out from a successful result.
+pub fn observe_operator_with<T>(
+    ctx: &Arc<Context>,
+    name: &str,
+    rows_in: u64,
+    count_out: impl FnOnce(&T) -> u64,
+    f: impl FnOnce() -> Result<T, ExecError>,
+) -> Result<T, ExecError> {
     let cluster = ctx.cluster();
     let trace = cluster.trace();
     let span_id = trace.next_span_id();
@@ -105,11 +137,23 @@ pub fn observe_operator(
     reg.counter(&format!("op.{name}.rows_in")).add(rows_in);
     reg.histogram(&format!("op.{name}.ns"))
         .record(dur.as_nanos() as u64);
-    if let Ok(parts) = &result {
+    if let Ok(out) = &result {
         reg.counter(&format!("op.{name}.rows_out"))
-            .add(count_rows(parts));
+            .add(count_out(out));
     }
     result
+}
+
+/// Count one operator invocation that ran the vectorized batch path
+/// (`operator.vectorized`) or fell back to row-at-a-time where a
+/// vectorized alternative exists (`operator.fallback`).
+pub fn count_path(ctx: &Arc<Context>, vectorized: bool) {
+    let name = if vectorized {
+        "operator.vectorized"
+    } else {
+        "operator.fallback"
+    };
+    ctx.cluster().registry().counter(name).inc();
 }
 
 /// Flatten partitions into a single row vector (driver-side collect).

@@ -3,7 +3,7 @@
 use crate::context::Context;
 use crate::expr::BoundExpr;
 use crate::physical::{
-    count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
+    count_path, count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
 };
 use rowstore::Schema;
 use std::sync::Arc;
@@ -23,6 +23,7 @@ impl ExecPlan for ProjectExec {
         let inputs = Arc::new(self.input.execute(ctx)?);
         let exprs = self.exprs.clone();
         let inputs2 = Arc::clone(&inputs);
+        count_path(ctx, false);
         observe_operator(ctx, "project", count_rows(&inputs), || {
             Ok(ctx
                 .cluster()

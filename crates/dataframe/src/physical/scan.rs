@@ -9,7 +9,9 @@
 use crate::column::ColumnarTable;
 use crate::context::{Context, TableProvider};
 use crate::expr::BoundExpr;
-use crate::physical::{describe_node, observe_operator, ExecError, ExecPlan, Partitions};
+use crate::physical::{
+    count_path, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
+};
 use rowstore::Schema;
 use std::sync::Arc;
 
@@ -51,6 +53,9 @@ impl ExecPlan for ColumnarScanExec {
         let rows_in = table.num_rows() as u64;
         let predicate = self.predicate.clone();
         let projection = self.projection.clone();
+        // Row-at-a-time per-row expression walk: the planner only picks
+        // this exec when the batch kernels don't cover the predicate.
+        count_path(ctx, false);
         observe_operator(ctx, "scan", rows_in, || {
             Ok(ctx
                 .cluster()
@@ -133,6 +138,7 @@ impl ExecPlan for ProviderScanExec {
         let rows_in = provider.num_rows() as u64;
         let predicate = self.predicate.clone();
         let projection = self.projection.clone();
+        count_path(ctx, false);
         observe_operator(ctx, "scan", rows_in, || {
             Ok(ctx
                 .cluster()

@@ -15,6 +15,7 @@ use crate::physical::agg::{BoundAgg, HashAggExec};
 use crate::physical::filter::FilterExec;
 use crate::physical::join::{BroadcastHashJoinExec, ShuffledHashJoinExec, SortMergeJoinExec};
 use crate::physical::limit::LimitExec;
+use crate::physical::pipeline::{ColumnarPipelineExec, Projection};
 use crate::physical::project::ProjectExec;
 use crate::physical::scan::{ColumnarScanExec, ProviderScanExec};
 use crate::physical::ExecPlan;
@@ -105,7 +106,28 @@ impl Planner {
                         _ => {}
                     }
                 }
-                let child = self.plan(input, ctx)?;
+                // Computed projection. Extension rules get the child shape
+                // first; failing that, fuse the whole scan→filter→project
+                // chain into a vectorized pipeline when the batch kernels
+                // cover every expression.
+                let mut rule_child: Option<Arc<dyn ExecPlan>> = None;
+                for rule in ctx.rules() {
+                    if let Some(result) = rule.plan(input, ctx, self) {
+                        rule_child = Some(result?);
+                        break;
+                    }
+                }
+                let child = match rule_child {
+                    Some(c) => c,
+                    None => {
+                        if let Some(fused) =
+                            self.fuse_computed_projection(plan, input, exprs, ctx)?
+                        {
+                            return Ok(fused);
+                        }
+                        self.plan_default(input, ctx)?
+                    }
+                };
                 let in_schema = child.schema();
                 let bound = exprs
                     .iter()
@@ -178,6 +200,15 @@ impl Planner {
 
             LogicalPlan::Limit { input, n } => {
                 let child = self.plan(input, ctx)?;
+                // Push a per-partition cap into a fused pipeline so the
+                // scan stops early; the outer LimitExec still enforces the
+                // global cap across partitions.
+                if let Some(p) = child.as_pipeline() {
+                    return Ok(Arc::new(LimitExec {
+                        input: Arc::new(p.with_limit(*n)),
+                        n: *n,
+                    }));
+                }
                 Ok(Arc::new(LimitExec {
                     input: child,
                     n: *n,
@@ -197,8 +228,29 @@ impl Planner {
     ) -> Result<Arc<dyn ExecPlan>, PlanError> {
         let provider = ctx.provider(table)?;
         let schema = provider.schema();
+        let predicate = predicate.map(|p| BoundExpr::bind(p, &schema)).transpose()?;
+        // Vectorized pipeline whenever the provider exposes columnar
+        // partitions and the batch kernels cover the predicate.
+        if let Some(source) = provider.columnar_source() {
+            if predicate
+                .as_ref()
+                .is_none_or(|p| p.batch_compatible(&schema))
+            {
+                let (projection, out_schema) = match projection {
+                    Some(idx) => {
+                        let out = schema.project(&idx);
+                        (Projection::Columns(idx), out)
+                    }
+                    None => (Projection::All, Arc::clone(&schema)),
+                };
+                return Ok(Arc::new(ColumnarPipelineExec::new(
+                    source, table, predicate, projection, out_schema,
+                )));
+            }
+        }
+        // Kernel-incompatible predicate over the built-in cache: row-at-a-
+        // time columnar scan.
         if let Some(columnar) = provider.as_any().downcast_ref::<ColumnarTable>() {
-            let predicate = predicate.map(|p| BoundExpr::bind(p, &schema)).transpose()?;
             return Ok(Arc::new(ColumnarScanExec::new(
                 Arc::new(columnar.clone()),
                 predicate,
@@ -207,10 +259,58 @@ impl Planner {
         }
         // Generic provider: row scan with pushdown delegated to the
         // provider (the Indexed Batch RDD filters on encoded rows).
-        let predicate = predicate.map(|p| BoundExpr::bind(p, &schema)).transpose()?;
         Ok(Arc::new(ProviderScanExec::with_pushdown(
             provider, table, predicate, projection,
         )))
+    }
+
+    /// Try to fuse a computed projection (with optional filter underneath)
+    /// over a base scan into one vectorized pipeline. `None` when the plan
+    /// shape doesn't match, the provider has no columnar partitions, or
+    /// the batch kernels don't cover some expression.
+    fn fuse_computed_projection(
+        &self,
+        plan: &LogicalPlan,
+        input: &LogicalPlan,
+        exprs: &[(Expr, String)],
+        ctx: &Arc<Context>,
+    ) -> Result<Option<Arc<dyn ExecPlan>>, PlanError> {
+        let (table, schema, predicate) = match input {
+            LogicalPlan::Scan { table, schema } => (table, schema, None),
+            LogicalPlan::Filter {
+                input: inner,
+                predicate,
+            } => match inner.as_ref() {
+                LogicalPlan::Scan { table, schema } => (table, schema, Some(predicate)),
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        let provider = ctx.provider(table)?;
+        let Some(source) = provider.columnar_source() else {
+            return Ok(None);
+        };
+        let predicate = predicate.map(|p| BoundExpr::bind(p, schema)).transpose()?;
+        if predicate
+            .as_ref()
+            .is_some_and(|p| !p.batch_compatible(schema))
+        {
+            return Ok(None);
+        }
+        let bound = exprs
+            .iter()
+            .map(|(e, _)| BoundExpr::bind(e, schema))
+            .collect::<Result<Vec<_>, _>>()?;
+        if !bound.iter().all(|b| b.batch_compatible(schema)) {
+            return Ok(None);
+        }
+        Ok(Some(Arc::new(ColumnarPipelineExec::new(
+            source,
+            table,
+            predicate,
+            Projection::Exprs(bound),
+            plan.schema()?,
+        ))))
     }
 
     fn plan_join(
@@ -422,7 +522,7 @@ mod tests {
         let phys = Planner::new().plan(&plan, &ctx).unwrap();
         let desc = phys.describe(0);
         assert!(
-            desc.contains("ColumnarScan") && desc.contains("+filter"),
+            desc.contains("ColumnarPipeline") && desc.contains("+filter"),
             "{desc}"
         );
         assert!(!desc.contains("Filter\n"), "no separate FilterExec: {desc}");
@@ -441,20 +541,63 @@ mod tests {
         let phys = Planner::new().plan(&plan, &ctx).unwrap();
         let desc = phys.describe(0);
         assert!(
-            desc.contains("+filter") && desc.contains("+project"),
+            desc.contains("ColumnarPipeline")
+                && desc.contains("+filter")
+                && desc.contains("+project"),
             "{desc}"
         );
         assert_eq!(phys.schema().arity(), 1);
     }
 
     #[test]
-    fn computed_projection_not_fused() {
+    fn computed_projection_is_fused() {
         let ctx = ctx_with_tables(1 << 20);
         let plan = LogicalPlan::Project {
             input: Box::new(scan(&ctx, "big")),
             exprs: vec![(col("k").add(lit(1i64)), "k1".into())],
         };
         let phys = Planner::new().plan(&plan, &ctx).unwrap();
-        assert!(phys.describe(0).contains("Project"), "{}", phys.describe(0));
+        let desc = phys.describe(0);
+        assert!(
+            desc.contains("ColumnarPipeline") && desc.contains("+project(1 exprs)"),
+            "{desc}"
+        );
+        assert_eq!(phys.schema().arity(), 1);
+    }
+
+    #[test]
+    fn kernel_incompatible_predicate_falls_back_to_row_scan() {
+        // NOT over a non-boolean column has no batch kernel (the row path
+        // defines its panic semantics), so the planner must keep the
+        // row-at-a-time columnar scan.
+        let ctx = ctx_with_tables(1 << 20);
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(&ctx, "big")),
+            predicate: col("k").not(),
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        let desc = phys.describe(0);
+        assert!(
+            desc.contains("ColumnarScan") && !desc.contains("ColumnarPipeline"),
+            "{desc}"
+        );
+    }
+
+    #[test]
+    fn limit_is_pushed_into_pipeline() {
+        let ctx = ctx_with_tables(1 << 20);
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan(&ctx, "big")),
+                predicate: col("k").lt(lit(5i64)),
+            }),
+            n: 7,
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        let desc = phys.describe(0);
+        assert!(
+            desc.contains("Limit 7") && desc.contains("+limit(7)"),
+            "global limit plus per-partition pushdown: {desc}"
+        );
     }
 }

@@ -11,16 +11,18 @@
 //! user needs to support").
 
 use crate::table::{IndexedTable, PartitionHandle};
-use dataframe::{BoundExpr, ColumnarPartition, Context, KeyWrap, TableProvider};
+use dataframe::{BoundExpr, ColumnarPartition, ColumnarSource, Context, KeyWrap, TableProvider};
 use rowstore::{Row, Schema, Value};
 use sparklet::partition_of;
 use std::any::Any;
 use std::sync::Arc;
 
 /// One partition: columns plus a cTrie from key to newest row index, with
-/// per-row backward links (row indices; `u32::MAX` terminates).
+/// per-row backward links (row indices; `u32::MAX` terminates). Columns
+/// are `Arc`-shared so the vectorized pipeline can borrow them without
+/// copying (the index structures stay private to this crate).
 pub struct ColumnarIndexedPartition {
-    columns: ColumnarPartition,
+    columns: Arc<ColumnarPartition>,
     index: ctrie::Ctrie<KeyWrap, u32>,
     prev: Vec<u32>,
     index_col: usize,
@@ -34,7 +36,7 @@ impl ColumnarIndexedPartition {
             rows.len() < CHAIN_END as usize,
             "partition too large for u32 row ids"
         );
-        let columns = ColumnarPartition::from_rows(schema, rows);
+        let columns = Arc::new(ColumnarPartition::from_rows(schema, rows));
         let index = ctrie::Ctrie::new();
         let mut prev = Vec::with_capacity(rows.len());
         for (i, row) in rows.iter().enumerate() {
@@ -232,6 +234,14 @@ impl TableProvider for ColumnarIndexedTable {
         self
     }
 
+    /// Hand the column vectors to the vectorized pipeline: indexed rules
+    /// still win point lookups and joins (the planner consults them
+    /// first), but plain scans/filters/projections over this layout run
+    /// the batch kernels on the shared partitions.
+    fn columnar_source(&self) -> Option<Arc<dyn ColumnarSource>> {
+        Some(Arc::new(self.clone()))
+    }
+
     /// Columnar pushdown: evaluate the predicate on column vectors and
     /// materialize only projected columns of surviving rows — the whole
     /// point of this layout.
@@ -256,6 +266,24 @@ impl TableProvider for ColumnarIndexedTable {
             });
         }
         out
+    }
+}
+
+impl ColumnarSource for ColumnarIndexedTable {
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn partition(&self, i: usize) -> Arc<ColumnarPartition> {
+        Arc::clone(&self.partitions[i].columns)
+    }
+
+    fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.num_rows()).sum()
     }
 }
 
@@ -340,6 +368,38 @@ mod tests {
             .unwrap();
         assert_eq!(got.len(), 30);
         assert_eq!(got[0].len(), 1);
+    }
+
+    #[test]
+    fn range_scan_takes_vectorized_pipeline() {
+        // Non-indexable predicate over the columnar layout: the planner
+        // must fuse it into a vectorized pipeline over the shared column
+        // vectors (no index involved, no row materialization mid-plan) —
+        // while indexed point queries keep their IndexedLookup plan.
+        let ctx = ctx();
+        let t = ColumnarIndexedTable::from_rows(&ctx, schema(), rows(200, 20), "k").unwrap();
+        let df = t.register("events").unwrap();
+        let plan = df.clone().filter(col("k").lt(lit(3i64))).explain().unwrap();
+        assert!(plan.contains("ColumnarPipeline"), "{plan}");
+        let before = ctx
+            .cluster()
+            .registry()
+            .counter_value("operator.vectorized");
+        let got = ctx
+            .sql("SELECT v FROM events WHERE k < 3")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(got.len(), 30);
+        assert!(
+            ctx.cluster()
+                .registry()
+                .counter_value("operator.vectorized")
+                > before
+        );
+        // Index precedence is untouched.
+        let point = df.filter(col("k").eq(lit(7i64))).explain().unwrap();
+        assert!(point.contains("IndexedLookup"), "{point}");
     }
 
     #[test]

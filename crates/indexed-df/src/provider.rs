@@ -118,4 +118,38 @@ mod tests {
             .unwrap();
         assert_eq!(n, 25);
     }
+
+    #[test]
+    fn row_layout_scan_does_not_vectorize() {
+        // The row-layout Indexed DataFrame exposes no columnar source, so
+        // its scans stay on the row fallback: the fallback counter moves,
+        // the vectorized counter doesn't.
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        let rows: Vec<Row> = (0..60)
+            .map(|i| vec![Value::Int64(i), Value::Int64(i * 2)])
+            .collect();
+        let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "k").unwrap();
+        idf.register("events").unwrap();
+        let reg = ctx.cluster().registry();
+        let (vec_before, fb_before) = (
+            reg.counter_value("operator.vectorized"),
+            reg.counter_value("operator.fallback"),
+        );
+        let n = ctx
+            .sql("SELECT * FROM events WHERE v < 50")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 25);
+        assert_eq!(
+            reg.counter_value("operator.vectorized"),
+            vec_before,
+            "no vectorized operator ran"
+        );
+        assert!(reg.counter_value("operator.fallback") > fb_before);
+    }
 }

@@ -297,3 +297,37 @@ impl ExecPlan for IndexedJoinExec {
         )
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataframe::{col, lit};
+    use rowstore::{DataType, Field};
+    use sparklet::{Cluster, ClusterConfig};
+
+    /// The rule is consulted before default planning, so equality on the
+    /// index column must beat the vectorized pipeline — while any other
+    /// predicate over the columnar layout must still fuse into one.
+    #[test]
+    fn index_rule_beats_pipeline_fusion_only_on_index_column() {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        let rows: Vec<Row> = (0..100)
+            .map(|i| vec![Value::Int64(i % 10), Value::Int64(i)])
+            .collect();
+        let t = ColumnarIndexedTable::from_rows(&ctx, schema, rows, "k").unwrap();
+        let df = t.register("events").unwrap();
+
+        let point = df.clone().filter(col("k").eq(lit(3i64))).explain().unwrap();
+        assert!(point.contains("IndexedLookup"), "{point}");
+        assert!(!point.contains("ColumnarPipeline"), "{point}");
+
+        // Equality on a non-index column: no index applies, kernels do.
+        let scan = df.filter(col("v").eq(lit(42i64))).explain().unwrap();
+        assert!(scan.contains("ColumnarPipeline"), "{scan}");
+        assert!(!scan.contains("IndexedLookup"), "{scan}");
+    }
+}

@@ -48,4 +48,7 @@ pub use batch::RowBatch;
 pub use codec::{BlockReader, BlockWriter, CodecError};
 pub use ptr::{PackedPtr, PtrLayout};
 pub use store::{PartitionStore, StoreConfig, StoreError, RECORD_HEADER};
-pub use types::{rows_key_hash, DataType, Field, Row, Schema, Value};
+pub use types::{
+    key_hash_bytes, key_hash_u64, rows_key_hash, DataType, Field, Row, Schema, Value,
+    NULL_KEY_PAYLOAD,
+};

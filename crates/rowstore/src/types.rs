@@ -208,18 +208,39 @@ impl Value {
     /// hashed byte-wise — the paper notes string keys pay a hashing penalty
     /// relative to integer keys (§IV-E), which this reproduces.
     pub fn key_hash(&self) -> u64 {
-        use std::hash::BuildHasher;
-        let mut h = ctrie::FxBuildHasher.build_hasher();
         match self {
-            Value::Null => h.write_u64(0x6e75_6c6c),
-            Value::Int32(v) => h.write_u64(*v as i64 as u64),
-            Value::Int64(v) => h.write_u64(*v as u64),
-            Value::Float64(v) => h.write_u64(v.to_bits()),
-            Value::Bool(b) => h.write_u64(*b as u64),
-            Value::Utf8(s) => h.write(s.as_bytes()),
+            Value::Null => key_hash_u64(NULL_KEY_PAYLOAD),
+            Value::Int32(v) => key_hash_u64(*v as i64 as u64),
+            Value::Int64(v) => key_hash_u64(*v as u64),
+            Value::Float64(v) => key_hash_u64(v.to_bits()),
+            Value::Bool(b) => key_hash_u64(*b as u64),
+            Value::Utf8(s) => key_hash_bytes(s.as_bytes()),
         }
-        h.finish()
     }
+}
+
+/// The fixed payload [`Value::key_hash`] feeds the hasher for `NULL`.
+pub const NULL_KEY_PAYLOAD: u64 = 0x6e75_6c6c;
+
+/// Hash one fixed-width key payload exactly like [`Value::key_hash`] does.
+/// Exported so columnar kernels can hash typed column slots without
+/// materializing a [`Value`] per row.
+#[inline]
+pub fn key_hash_u64(payload: u64) -> u64 {
+    use std::hash::BuildHasher;
+    let mut h = ctrie::FxBuildHasher.build_hasher();
+    h.write_u64(payload);
+    h.finish()
+}
+
+/// Hash a byte-string key exactly like [`Value::key_hash`] does for
+/// `Utf8` values.
+#[inline]
+pub fn key_hash_bytes(bytes: &[u8]) -> u64 {
+    use std::hash::BuildHasher;
+    let mut h = ctrie::FxBuildHasher.build_hasher();
+    h.write(bytes);
+    h.finish()
 }
 
 impl fmt::Display for Value {
@@ -344,6 +365,19 @@ mod tests {
             Value::Utf8("N123".into()).key_hash(),
             Value::Utf8("N124".into()).key_hash()
         );
+    }
+
+    #[test]
+    fn key_hash_component_helpers_match_value_hash() {
+        assert_eq!(Value::Int64(-9).key_hash(), key_hash_u64(-9i64 as u64));
+        assert_eq!(Value::Int32(-9).key_hash(), key_hash_u64(-9i64 as u64));
+        assert_eq!(
+            Value::Float64(2.5).key_hash(),
+            key_hash_u64(2.5f64.to_bits())
+        );
+        assert_eq!(Value::Bool(true).key_hash(), key_hash_u64(1));
+        assert_eq!(Value::Null.key_hash(), key_hash_u64(NULL_KEY_PAYLOAD));
+        assert_eq!(Value::Utf8("xy".into()).key_hash(), key_hash_bytes(b"xy"));
     }
 
     #[test]

@@ -83,6 +83,13 @@ fn four_worker_run_populates_every_metric_layer() {
     assert!(registry.counter_value("op.join.shuffled.rows_out") > 0);
     assert!(registry.counter_value("op.agg.rows_out") > 0);
 
+    // Execution-path split: the columnar scans and the aggregation above
+    // run vectorized; the indexed-row layer stays on the fallback.
+    assert!(
+        registry.counter_value("operator.vectorized") > 0,
+        "vectorized operators ran"
+    );
+
     // At least one histogram spreads over more than one log2 bucket.
     let spread = [
         "task.run_ns",
@@ -104,6 +111,7 @@ fn four_worker_run_populates_every_metric_layer() {
         "\"op.agg.ns\"",
         "\"index.cache.hits\"",
         "\"index.cache.misses\"",
+        "\"operator.vectorized\"",
         "\"legacy\"",
         "\"trace\"",
     ] {
