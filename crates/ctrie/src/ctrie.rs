@@ -60,6 +60,19 @@ struct Desc<K, V> {
 /// cleanup or losing a CAS race).
 struct Restart;
 
+/// Why an upsert attempt did not commit: a retryable restart, or an abort
+/// requested by the caller's closure (which leaves the trie unchanged).
+enum UpsertFail<E> {
+    Restart,
+    Abort(E),
+}
+
+impl<E> From<Restart> for UpsertFail<E> {
+    fn from(_: Restart) -> Self {
+        UpsertFail::Restart
+    }
+}
+
 /// A concurrent hash trie map with lock-free constant-time snapshots.
 ///
 /// * `insert`, `lookup`, `remove` are lock-free and linearizable.
@@ -352,6 +365,53 @@ where
                     return old;
                 }
                 Err(Restart) => continue,
+            }
+        }
+    }
+
+    /// Single-traversal read-modify-write: look up `key` and replace (or
+    /// create) its value with `f(old)` in one trie walk, using the same
+    /// GCAS retry loop as [`Ctrie::insert`]. Returns the previous value.
+    ///
+    /// This is the index hot path of §III-C chaining: appending a row with
+    /// an existing key needs the old chain head (the backward pointer) and
+    /// must then point the key at the new row — with `upsert` that is one
+    /// traversal instead of `lookup` + `insert`, and the updated leaf is
+    /// rebuilt from the *existing* node's key, so the caller's key is only
+    /// cloned when the key is new to the trie.
+    ///
+    /// `f` may be invoked more than once if the update loses a CAS race or
+    /// collides with a snapshot and restarts; it must be a pure function of
+    /// the observed old value (or idempotent).
+    pub fn upsert(&self, key: K, mut f: impl FnMut(Option<&V>) -> V) -> Option<V> {
+        match self.try_upsert::<std::convert::Infallible>(key, |old| Ok(f(old))) {
+            Ok(old) => old,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible [`Ctrie::upsert`]: when `f` returns `Err`, the upsert aborts
+    /// and the trie is left exactly as it was (no entry is created and the
+    /// existing value, if any, is untouched).
+    pub fn try_upsert<E>(
+        &self,
+        key: K,
+        mut f: impl FnMut(Option<&V>) -> Result<V, E>,
+    ) -> Result<Option<V>, E> {
+        let g = epoch::pin();
+        let h = self.hash_key(&key);
+        loop {
+            let r = self.read_root(&g);
+            let r_ref = unsafe { r.deref() };
+            match self.iupsert(r_ref, &key, &mut f, h, 0, None, r_ref.gen, &g) {
+                Ok(old) => {
+                    if old.is_none() {
+                        self.len.fetch_add(1, SeqCst);
+                    }
+                    return Ok(old);
+                }
+                Err(UpsertFail::Restart) => continue,
+                Err(UpsertFail::Abort(e)) => return Err(e),
             }
         }
     }
@@ -677,6 +737,141 @@ where
                     Ok(old)
                 } else {
                     Err(Restart)
+                }
+            }
+        }
+    }
+
+    /// Recursive worker of [`Ctrie::try_upsert`]. Structurally identical to
+    /// [`Ctrie::iinsert`], except the new value is computed *at the leaf* by
+    /// `f` from the committed old value — so the read and the write happen
+    /// in the same traversal — and a caller abort (`f` returning `Err`)
+    /// propagates out before any GCAS is attempted.
+    #[allow(clippy::too_many_arguments)]
+    fn iupsert<E>(
+        &self,
+        in_: &INode<K, V>,
+        key: &K,
+        f: &mut dyn FnMut(Option<&V>) -> Result<V, E>,
+        h: u64,
+        lev: u32,
+        parent: Option<&INode<K, V>>,
+        startgen: u64,
+        g: &Guard,
+    ) -> Result<Option<V>, UpsertFail<E>> {
+        let m = self.gcas_read(in_, g);
+        match &unsafe { m.deref() }.kind {
+            Kind::C(cn) => {
+                // Lazy copy-on-write: bring the C-node up to the current
+                // generation before modifying anything beneath it.
+                if cn.gen != in_.gen {
+                    let renewed = cn.renewed(in_.gen, &mut |inode| self.gcas_read(inode, g));
+                    return if self.gcas(in_, m, Kind::C(renewed), g) {
+                        self.iupsert(in_, key, f, h, lev, parent, startgen, g)
+                    } else {
+                        Err(UpsertFail::Restart)
+                    };
+                }
+                let (flag, pos) = flag_pos(h, lev, cn.bitmap);
+                if cn.bitmap & flag == 0 {
+                    let val = f(None).map_err(UpsertFail::Abort)?;
+                    let ncn = cn.inserted(
+                        flag,
+                        pos,
+                        Branch::S(SNode {
+                            hash: h,
+                            key: key.clone(),
+                            val,
+                        }),
+                    );
+                    return if self.gcas(in_, m, Kind::C(ncn), g) {
+                        Ok(None)
+                    } else {
+                        Err(UpsertFail::Restart)
+                    };
+                }
+                match &cn.array[pos] {
+                    Branch::I(sub) => {
+                        if sub.gen == startgen {
+                            self.iupsert(sub, key, f, h, lev + W, Some(in_), startgen, g)
+                        } else {
+                            let renewed =
+                                cn.renewed(startgen, &mut |inode| self.gcas_read(inode, g));
+                            if self.gcas(in_, m, Kind::C(renewed), g) {
+                                self.iupsert(in_, key, f, h, lev, parent, startgen, g)
+                            } else {
+                                Err(UpsertFail::Restart)
+                            }
+                        }
+                    }
+                    Branch::S(sn) => {
+                        if sn.hash == h && sn.key == *key {
+                            let old = sn.val.clone();
+                            let val = f(Some(&sn.val)).map_err(UpsertFail::Abort)?;
+                            // Rebuild the leaf from the existing node's key:
+                            // the caller's key is not cloned on this path.
+                            let ncn = cn.updated(
+                                pos,
+                                Branch::S(SNode {
+                                    hash: h,
+                                    key: sn.key.clone(),
+                                    val,
+                                }),
+                            );
+                            if self.gcas(in_, m, Kind::C(ncn), g) {
+                                Ok(Some(old))
+                            } else {
+                                Err(UpsertFail::Restart)
+                            }
+                        } else {
+                            let val = f(None).map_err(UpsertFail::Abort)?;
+                            // Two distinct keys in one slot: expand downward.
+                            let sub_main = self.dual(
+                                sn.duplicate(),
+                                SNode {
+                                    hash: h,
+                                    key: key.clone(),
+                                    val,
+                                },
+                                lev + W,
+                                startgen,
+                                g,
+                            );
+                            let nin = Arc::new(INode::new(sub_main, startgen));
+                            let ncn = cn.updated(pos, Branch::I(nin));
+                            if self.gcas(in_, m, Kind::C(ncn), g) {
+                                Ok(None)
+                            } else {
+                                Err(UpsertFail::Restart)
+                            }
+                        }
+                    }
+                }
+            }
+            Kind::T(_) => {
+                if let Some(p) = parent {
+                    self.clean(p, lev - W, g);
+                }
+                Err(UpsertFail::Restart)
+            }
+            Kind::L(list) => {
+                let mut nl: Vec<SNode<K, V>> = list.iter().map(|s| s.duplicate()).collect();
+                let mut old = None;
+                if let Some(s) = nl.iter_mut().find(|s| s.hash == h && s.key == *key) {
+                    let val = f(Some(&s.val)).map_err(UpsertFail::Abort)?;
+                    old = Some(std::mem::replace(&mut s.val, val));
+                } else {
+                    let val = f(None).map_err(UpsertFail::Abort)?;
+                    nl.push(SNode {
+                        hash: h,
+                        key: key.clone(),
+                        val,
+                    });
+                }
+                if self.gcas(in_, m, Kind::L(nl), g) {
+                    Ok(old)
+                } else {
+                    Err(UpsertFail::Restart)
                 }
             }
         }

@@ -77,6 +77,79 @@ mod tests {
     }
 
     #[test]
+    fn upsert_single_traversal_semantics() {
+        let t = Ctrie::new();
+        // Miss: f sees None, inserts.
+        assert_eq!(t.upsert(1u64, |old| old.copied().unwrap_or(10)), None);
+        assert_eq!(t.lookup(&1), Some(10));
+        assert_eq!(t.len(), 1);
+        // Hit: f sees the old value and replaces it; old is returned.
+        assert_eq!(t.upsert(1, |old| old.copied().unwrap() + 1), Some(10));
+        assert_eq!(t.lookup(&1), Some(11));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn try_upsert_abort_leaves_trie_unchanged() {
+        let t = Ctrie::new();
+        t.insert(1u64, 10u64);
+        // Abort on an existing key: value untouched.
+        assert_eq!(t.try_upsert(1, |_| Err::<u64, &str>("no")), Err("no"));
+        assert_eq!(t.lookup(&1), Some(10));
+        // Abort on a missing key: no entry created, len unchanged.
+        assert_eq!(t.try_upsert(2, |_| Err::<u64, &str>("no")), Err("no"));
+        assert_eq!(t.lookup(&2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn upsert_under_collisions_and_snapshots() {
+        let t = Ctrie::new();
+        for i in 0..20u64 {
+            t.upsert(Colliding(i), move |_| i);
+        }
+        let snap = t.snapshot();
+        for i in 0..20u64 {
+            assert_eq!(t.upsert(Colliding(i), |old| old.unwrap() + 100), Some(i));
+        }
+        t.upsert(Colliding(99), |_| 99);
+        for i in 0..20u64 {
+            assert_eq!(snap.lookup(&Colliding(i)), Some(i), "snapshot frozen");
+            assert_eq!(t.lookup(&Colliding(i)), Some(i + 100));
+        }
+        assert_eq!(snap.lookup(&Colliding(99)), None);
+        assert_eq!(t.len(), 21);
+    }
+
+    #[test]
+    fn concurrent_upserts_count_atomically() {
+        // N threads × M upserts over a small key space: the final value of
+        // each key must be exactly the number of upserts that targeted it
+        // (the single-traversal RMW must never lose an increment).
+        let t: Arc<Ctrie<u64, u64>> = Arc::new(Ctrie::new());
+        let threads = 8u64;
+        let per = 2_000u64;
+        let keys = 16u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let k = (tid.wrapping_mul(31).wrapping_add(i)) % keys;
+                        t.upsert(k, |old| old.copied().unwrap_or(0) + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = (0..keys).map(|k| t.lookup(&k).unwrap_or(0)).sum();
+        assert_eq!(total, threads * per, "no lost updates");
+        assert_eq!(t.len(), keys as usize);
+    }
+
+    #[test]
     fn remove_returns_value() {
         let t = Ctrie::new();
         t.insert(1u64, 10u64);

@@ -1,0 +1,119 @@
+//! Property-based model checks for `upsert` / `try_upsert`: the
+//! single-traversal read-modify-write must be indistinguishable from a
+//! `lookup` followed by `insert`, including across snapshots taken
+//! mid-history and under hash collisions.
+
+use ctrie::Ctrie;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random op sequences: upsert against the trie, lookup+insert against
+    /// a HashMap model. Returned old values and final contents must match.
+    #[test]
+    fn upsert_matches_lookup_then_insert(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..300)
+    ) {
+        let trie = Ctrie::<u16, u64>::new();
+        let mut model = HashMap::<u16, u64>::new();
+        for (action, key, arg) in ops {
+            match action % 4 {
+                // Accumulating upsert: f(None) seeds, f(Some) folds.
+                0..=1 => {
+                    let old = trie.upsert(key, |o| match o {
+                        None => arg as u64,
+                        Some(v) => v.wrapping_add(arg as u64),
+                    });
+                    let model_old = model.get(&key).copied();
+                    prop_assert_eq!(old, model_old);
+                    let next = match model_old {
+                        None => arg as u64,
+                        Some(v) => v.wrapping_add(arg as u64),
+                    };
+                    model.insert(key, next);
+                }
+                2 => {
+                    prop_assert_eq!(trie.remove(&key), model.remove(&key));
+                }
+                _ => {
+                    prop_assert_eq!(trie.lookup(&key), model.get(&key).copied());
+                }
+            }
+            prop_assert_eq!(trie.len(), model.len());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(trie.lookup(k), Some(*v));
+        }
+    }
+
+    /// Snapshots interleaved with upserts: a snapshot taken mid-history
+    /// freezes the model state at that point; later upserts on the live
+    /// trie never leak into it, and upserts *on the snapshot* diverge
+    /// independently (MVCC forks).
+    #[test]
+    fn upserts_respect_snapshot_isolation(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 1..200)
+    ) {
+        let mut forks = vec![(Ctrie::<u16, u64>::new(), HashMap::<u16, u64>::new())];
+        for (action, key) in ops {
+            let idx = (action as usize / 8) % forks.len();
+            match action % 8 {
+                0..=4 => {
+                    let (t, m) = &mut forks[idx];
+                    let old = t.upsert(key, |o| o.copied().unwrap_or(0) + 1);
+                    let model_old = m.get(&key).copied();
+                    prop_assert_eq!(old, model_old);
+                    m.insert(key, model_old.unwrap_or(0) + 1);
+                }
+                5 => {
+                    let (t, m) = &mut forks[idx];
+                    prop_assert_eq!(t.remove(&key), m.remove(&key));
+                }
+                _ => {
+                    if forks.len() < 4 {
+                        let (t, m) = &forks[idx];
+                        let fork = (t.snapshot(), m.clone());
+                        forks.push(fork);
+                    }
+                }
+            }
+        }
+        // Every fork's final state matches its own model exactly.
+        for (t, m) in &forks {
+            prop_assert_eq!(t.len(), m.len());
+            for (k, v) in m {
+                prop_assert_eq!(t.lookup(k), Some(*v));
+            }
+        }
+    }
+}
+
+/// Colliding keys force L-node (hash bucket) paths; the upsert must still
+/// behave as lookup+insert there.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Colliding(u64);
+
+impl std::hash::Hash for Colliding {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0 % 3); // 3 distinct hashes → guaranteed collisions
+    }
+}
+
+#[test]
+fn upsert_on_colliding_keys_matches_model() {
+    let trie = Ctrie::<Colliding, u64>::new();
+    let mut model = HashMap::<u64, u64>::new();
+    for round in 0..5u64 {
+        for k in 0..64u64 {
+            let old = trie.upsert(Colliding(k), |o| o.copied().unwrap_or(0) + k + round);
+            assert_eq!(old, model.get(&k).copied(), "key {k} round {round}");
+            model.insert(k, model.get(&k).copied().unwrap_or(0) + k + round);
+        }
+    }
+    assert_eq!(trie.len(), 64);
+    for (k, v) in &model {
+        assert_eq!(trie.lookup(&Colliding(*k)), Some(*v));
+    }
+}

@@ -21,7 +21,7 @@ use rowstore::{Row, Schema, StoreConfig, Value};
 use sparklet::metrics::Metrics;
 use sparklet::{partition_of, BlockId, StageError, TaskSpec};
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// How an Indexed DataFrame version came to be (its lineage).
 pub(crate) enum Provenance {
@@ -45,6 +45,16 @@ pub(crate) struct IdfInner {
     /// Version number (§III-D), bumped on every append.
     pub(crate) version: u64,
     pub(crate) provenance: Provenance,
+    /// Whether partition builds take the grouped bulk path (the default)
+    /// or the retained row-at-a-time baseline (benchmarks).
+    pub(crate) use_bulk: bool,
+    /// This version's delta (base rows or appended rows), drained **once**
+    /// into per-partition buckets on first use. Every partition build —
+    /// lazy lookup, full materialize, post-failure recompute — draws from
+    /// these buckets, so the base source is replayed at most once per
+    /// version (one pass instead of one per partition) and the append
+    /// delta is never re-filtered per partition.
+    buckets: OnceLock<Arc<Vec<Vec<Row>>>>,
 }
 
 impl IdfInner {
@@ -89,37 +99,77 @@ impl IdfInner {
         part
     }
 
-    /// Rebuild one partition from lineage: replay the base source filtered
-    /// to this partition, or snapshot the parent partition and replay the
-    /// appended delta.
-    fn build_partition(self: &Arc<Self>, p: usize) -> IndexedPartition {
+    /// This version's delta rows, partitioned. Built at most once: a single
+    /// replay of the base source (or a single pass over the append delta)
+    /// drained into per-partition buckets, then shared by every partition
+    /// build and post-failure recompute of this version.
+    fn partition_buckets(self: &Arc<Self>) -> Arc<Vec<Vec<Row>>> {
+        Arc::clone(self.buckets.get_or_init(|| {
+            let rows: Vec<Row> = match &self.provenance {
+                Provenance::Base { source } => {
+                    self.ctx.cluster().registry().counter("index.replays").inc();
+                    source.replay()
+                }
+                Provenance::Append { rows, .. } => rows.as_ref().clone(),
+            };
+            Arc::new(self.bucketize(rows))
+        }))
+    }
+
+    /// One pass over `rows`, moving each into its hash partition's bucket.
+    fn bucketize(&self, rows: Vec<Row>) -> Vec<Vec<Row>> {
+        let p = self.num_partitions;
+        let mut buckets: Vec<Vec<Row>> = (0..p)
+            .map(|_| Vec::with_capacity(rows.len() / p + 1))
+            .collect();
+        for r in rows {
+            let i = self.partition_of_row(&r);
+            buckets[i].push(r);
+        }
+        buckets
+    }
+
+    /// Insert this version's delta rows into a partition through the
+    /// grouped bulk path (default) or the retained row-at-a-time baseline,
+    /// recording `index.build_ns` / `index.bulk_rows` / `index.upserts`.
+    fn insert_delta(&self, part: &mut IndexedPartition, rows: &[Row]) {
+        let registry = self.ctx.cluster().registry();
+        let start = std::time::Instant::now();
+        if self.use_bulk {
+            let stats = part.bulk_insert(rows).expect("delta rows insert");
+            registry.counter("index.bulk_rows").add(stats.rows);
+            registry.counter("index.upserts").add(stats.distinct_keys);
+        } else {
+            part.insert_rows(rows).expect("delta rows insert");
+        }
+        registry
+            .counter("index.build_ns")
+            .add(start.elapsed().as_nanos() as u64);
+    }
+
+    /// The partition a delta lands in before its rows arrive: empty for a
+    /// base build, an O(1) snapshot of the parent's partition for an append.
+    fn fresh_partition(self: &Arc<Self>, p: usize) -> IndexedPartition {
         match &self.provenance {
-            Provenance::Base { source } => {
-                let mut part = IndexedPartition::new(
-                    Arc::clone(&self.schema),
-                    self.index_col,
-                    self.store_config,
-                );
-                let rows: Vec<Row> = source
-                    .replay()
-                    .into_iter()
-                    .filter(|r| self.partition_of_row(r) == p)
-                    .collect();
-                part.insert_rows(&rows).expect("replayed rows insert");
-                part
+            Provenance::Base { .. } => {
+                IndexedPartition::new(Arc::clone(&self.schema), self.index_col, self.store_config)
             }
-            Provenance::Append { parent, rows } => {
+            Provenance::Append { parent, .. } => {
                 let parent_part = parent.get_partition(p);
-                let mut part = self.timed_snapshot(&parent_part);
-                let delta: Vec<Row> = rows
-                    .iter()
-                    .filter(|r| self.partition_of_row(r) == p)
-                    .cloned()
-                    .collect();
-                part.insert_rows(&delta).expect("appended rows insert");
-                part
+                self.timed_snapshot(&parent_part)
             }
         }
+    }
+
+    /// Rebuild one partition from lineage: an empty partition (base) or a
+    /// snapshot of the parent partition (append), plus this version's
+    /// delta bucket for `p`. The delta is drained once per version, not
+    /// once per partition — see [`IdfInner::partition_buckets`].
+    fn build_partition(self: &Arc<Self>, p: usize) -> IndexedPartition {
+        let buckets = self.partition_buckets();
+        let mut part = self.fresh_partition(p);
+        self.insert_delta(&mut part, &buckets[p]);
+        part
     }
 
     /// Take an O(1) partition snapshot, recording `index.snapshots`,
@@ -208,25 +258,38 @@ impl IdfInner {
             return Ok(());
         }
 
-        // Rows that must move: the base source or the appended delta.
-        let rows: Vec<Row> = match &self.provenance {
-            Provenance::Base { source } => source.replay(),
-            Provenance::Append { rows, .. } => rows.as_ref().clone(),
-        };
+        // The delta that must move, already partitioned if some earlier
+        // build drained it; otherwise replay the source exactly once and
+        // shuffle. The shuffle output is cached into `buckets`, so a
+        // post-failure recompute of any partition never replays again.
+        let shuffled: Arc<Vec<Vec<Row>>> = if let Some(b) = self.buckets.get() {
+            Arc::clone(b)
+        } else {
+            // Rows that must move: the base source or the appended delta.
+            let rows: Vec<Row> = match &self.provenance {
+                Provenance::Base { source } => {
+                    cluster.registry().counter("index.replays").inc();
+                    source.replay()
+                }
+                Provenance::Append { rows, .. } => rows.as_ref().clone(),
+            };
 
-        // Map side: chunk the incoming rows as the "source partitions" and
-        // key them by index-column hash. The rows are moved, not cloned —
-        // this shuffle dominates append time (Fig. 10), so they travel as
-        // packed wire blocks through the serialized exchange.
-        let chunk = rows.len().div_ceil(p.max(1)).max(1);
-        let index_col = self.index_col;
-        let mut inputs: Vec<Vec<(u64, Row)>> = (0..rows.len().div_ceil(chunk))
-            .map(|_| Vec::with_capacity(chunk))
-            .collect();
-        for (i, r) in rows.into_iter().enumerate() {
-            inputs[i / chunk].push((r[index_col].key_hash(), r));
-        }
-        let shuffled = Arc::new(sparklet::exchange_rows(cluster, &self.schema, inputs, p)?);
+            // Map side: chunk the incoming rows as the "source partitions"
+            // and key them by index-column hash. The rows are moved, not
+            // cloned — this shuffle dominates append time (Fig. 10), so
+            // they travel as packed wire blocks through the serialized
+            // exchange.
+            let chunk = rows.len().div_ceil(p.max(1)).max(1);
+            let index_col = self.index_col;
+            let mut inputs: Vec<Vec<(u64, Row)>> = (0..rows.len().div_ceil(chunk))
+                .map(|_| Vec::with_capacity(chunk))
+                .collect();
+            for (i, r) in rows.into_iter().enumerate() {
+                inputs[i / chunk].push((r[index_col].key_hash(), r));
+            }
+            let out = Arc::new(sparklet::exchange_rows(cluster, &self.schema, inputs, p)?);
+            Arc::clone(self.buckets.get_or_init(|| out))
+        };
 
         // Build side: one task per partition, on its home worker.
         let inner = Arc::clone(self);
@@ -240,25 +303,8 @@ impl IdfInner {
         Metrics::timed(&metrics.build_ns, || {
             cluster.run_stage(&tasks, move |tc| {
                 let pidx = tc.partition;
-                let part = match &inner.provenance {
-                    Provenance::Base { .. } => {
-                        let mut part = IndexedPartition::new(
-                            Arc::clone(&inner.schema),
-                            inner.index_col,
-                            inner.store_config,
-                        );
-                        part.insert_rows(&shuffled2[pidx])
-                            .expect("shuffled rows insert");
-                        part
-                    }
-                    Provenance::Append { parent, .. } => {
-                        let parent_part = parent.get_partition(pidx);
-                        let mut part = inner.timed_snapshot(&parent_part);
-                        part.insert_rows(&shuffled2[pidx])
-                            .expect("appended rows insert");
-                        part
-                    }
-                };
+                let mut part = inner.fresh_partition(pidx);
+                inner.insert_delta(&mut part, &shuffled2[pidx]);
                 let id = BlockId {
                     dataset: inner.dataset_id,
                     partition: pidx,
@@ -330,6 +376,7 @@ impl IndexedDataFrame {
             num_partitions: None,
             store_config: StoreConfig::default(),
             source: None,
+            use_bulk: true,
         })
     }
 
@@ -456,6 +503,8 @@ impl IndexedDataFrame {
                     parent: Arc::clone(&self.inner),
                     rows: Arc::new(rows),
                 },
+                use_bulk: self.inner.use_bulk,
+                buckets: OnceLock::new(),
             }),
         }
     }
@@ -524,6 +573,7 @@ pub struct IdfBuilder {
     num_partitions: Option<usize>,
     store_config: StoreConfig,
     source: Option<Arc<dyn ReplayableSource>>,
+    use_bulk: bool,
 }
 
 impl IdfBuilder {
@@ -550,6 +600,14 @@ impl IdfBuilder {
         self
     }
 
+    /// Build partitions row-at-a-time instead of with the grouped bulk
+    /// loader. This is the correctness/perf baseline the bulk path is
+    /// benchmarked against; appends inherit the setting.
+    pub fn row_at_a_time(mut self) -> IdfBuilder {
+        self.use_bulk = false;
+        self
+    }
+
     pub fn build(self) -> Result<IndexedDataFrame, PlanError> {
         let source = self
             .source
@@ -568,6 +626,8 @@ impl IdfBuilder {
                 dataset_id,
                 version: 1,
                 provenance: Provenance::Base { source },
+                use_bulk: self.use_bulk,
+                buckets: OnceLock::new(),
             }),
         })
     }

@@ -59,7 +59,7 @@ pub mod table;
 
 pub use columnar::{ColumnarIndexedPartition, ColumnarIndexedTable};
 pub use frame::{recompute_ns, IdfBuilder, IndexedDataFrame};
-pub use partition::IndexedPartition;
+pub use partition::{BulkInsertStats, IndexedPartition};
 pub use rule::{install, IndexedRule};
 pub use source::{FileSource, InMemorySource, ReplayableSource};
 pub use table::{IndexedTable, PartitionHandle};

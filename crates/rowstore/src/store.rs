@@ -120,6 +120,12 @@ pub struct PartitionStore {
     rows: u64,
     /// Scratch encode buffer, reused across appends.
     scratch: Vec<u8>,
+    /// Pointer and total record size of the most recent append. Chained
+    /// appends (a bulk group threading its backward chain) name the row
+    /// just written as `prev`, so its size is answered from here instead
+    /// of a directory lookup per row. Records are immutable once written,
+    /// making the cached size always valid.
+    last_appended: Option<(PackedPtr, u32)>,
 }
 
 impl PartitionStore {
@@ -136,6 +142,7 @@ impl PartitionStore {
             next_batch_cap: config.initial_batch_size.min(config.batch_size),
             rows: 0,
             scratch: Vec::new(),
+            last_appended: None,
         }
     }
 
@@ -175,8 +182,11 @@ impl PartitionStore {
         values: &[Value],
         prev: PackedPtr,
     ) -> Result<PackedPtr, StoreError> {
+        // Encode straight into the record scratch, after a header
+        // placeholder, so a failed encode leaves no trace and a good one
+        // needs no second copy into a record buffer.
         self.scratch.clear();
-        // Encode off-buffer first so a failed encode leaves no trace.
+        self.scratch.resize(RECORD_HEADER, 0);
         let mut buf = std::mem::take(&mut self.scratch);
         let encode = codec::encode_row(&self.schema, values, &mut buf);
         self.scratch = buf;
@@ -192,10 +202,14 @@ impl PartitionStore {
         prev: PackedPtr,
     ) -> Result<PackedPtr, StoreError> {
         self.scratch.clear();
+        self.scratch.resize(RECORD_HEADER, 0);
         self.scratch.extend_from_slice(row);
         self.append_encoded(prev, row.len())
     }
 
+    /// Append the record staged in `scratch` as `[header placeholder][row]`,
+    /// filling in the `[prev][len]` header in place — no per-row record
+    /// allocation.
     fn append_encoded(&mut self, prev: PackedPtr, row_len: usize) -> Result<PackedPtr, StoreError> {
         if row_len > self.config.max_row_size {
             return Err(StoreError::RowTooLarge {
@@ -207,23 +221,27 @@ impl PartitionStore {
         let prev_size = if prev.is_none() {
             0
         } else {
-            self.record_size(prev) as u32
+            match self.last_appended {
+                // Chained append: `prev` is the row just written.
+                Some((last, size)) if last == prev => size,
+                _ => self.record_size(prev) as u32,
+            }
         };
 
-        // Build the record: [prev][len][row].
-        let mut record = Vec::with_capacity(record_len);
-        record.extend_from_slice(&prev.0.to_le_bytes());
-        record.extend_from_slice(&(row_len as u16).to_le_bytes());
-        record.extend_from_slice(&self.scratch[..row_len]);
+        // Fill the header in place: [prev][len][row].
+        self.scratch[..8].copy_from_slice(&prev.0.to_le_bytes());
+        self.scratch[8..RECORD_HEADER].copy_from_slice(&(row_len as u16).to_le_bytes());
 
         // Find or allocate a batch with room.
         let (batch_idx, view) = self.writable_batch(record_len)?;
         let offset = view
             .batch
-            .append(&record)
+            .append(&self.scratch[..record_len])
             .expect("writable_batch guaranteed room");
         self.rows += 1;
-        Ok(self.layout.pack(batch_idx, offset as u32, prev_size))
+        let ptr = self.layout.pack(batch_idx, offset as u32, prev_size);
+        self.last_appended = Some((ptr, record_len as u32));
+        Ok(ptr)
     }
 
     /// Return the tail batch if owned and roomy, else allocate a new one.
@@ -284,6 +302,7 @@ impl PartitionStore {
             next_batch_cap: self.config.initial_batch_size.min(self.config.batch_size),
             rows: self.rows,
             scratch: Vec::new(),
+            last_appended: None,
         }
     }
 

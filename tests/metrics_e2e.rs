@@ -64,12 +64,23 @@ fn four_worker_run_populates_every_metric_layer() {
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), rows(2000, 50), "k").unwrap();
     assert_eq!(idf.get_rows(&Value::Int64(7)).unwrap().len(), 40);
     assert_eq!(idf.get_rows(&Value::Int64(7)).unwrap().len(), 40);
+    // Finish building the remaining partitions from the shared bucket cache.
+    idf.cache_index().unwrap();
 
     let registry = cluster.registry();
     assert!(registry.counter_value("shuffle.bytes") > 0, "shuffle bytes");
     assert!(registry.counter_value("shuffle.rows") > 0);
     assert!(registry.counter_value("index.cache.misses") > 0, "miss");
     assert!(registry.counter_value("index.cache.hits") > 0, "hit");
+
+    // Index-build fast path: the lazy lookup plus the full cache_index
+    // drained the base source through exactly one shared replay,
+    // bulk-loaded all 2000 rows grouped by key (50 distinct keys, each
+    // owned by one partition → 50 single-traversal upserts), and timed it.
+    assert_eq!(registry.counter_value("index.replays"), 1, "one replay");
+    assert_eq!(registry.counter_value("index.bulk_rows"), 2000);
+    assert_eq!(registry.counter_value("index.upserts"), 50);
+    assert!(registry.counter_value("index.build_ns") > 0, "build timed");
 
     // Per-operator timings for at least scan / join / agg.
     for op in ["op.scan.ns", "op.join.shuffled.ns", "op.agg.ns"] {
@@ -111,6 +122,10 @@ fn four_worker_run_populates_every_metric_layer() {
         "\"op.agg.ns\"",
         "\"index.cache.hits\"",
         "\"index.cache.misses\"",
+        "\"index.replays\"",
+        "\"index.bulk_rows\"",
+        "\"index.upserts\"",
+        "\"index.build_ns\"",
         "\"operator.vectorized\"",
         "\"legacy\"",
         "\"trace\"",
