@@ -10,20 +10,22 @@
 //!   shuffle    — exchange-throughput microbench (regression record)
 //!   vectorized — batch kernels vs row operators (regression record)
 //!   index_build — bulk-load + single-replay build vs row-at-a-time (regression record)
+//!   serve      — closed-loop multi-tenant SQL serving, 1/4/16 clients (regression record)
 //!   ablate-layout ablate-broadcast ablate-mvcc ablate-partitioning
 //!   all        — everything above
 //!   quick      — a fast subset (tab1 tab2 table3 fig7 fig8 fig11)
 //! ```
 
 use bench::{
-    ablations, figs_index, figs_micro, figs_real, figs_shuffle, figs_vectorized, figs_write, Opts,
+    ablations, figs_index, figs_micro, figs_real, figs_serve, figs_shuffle, figs_vectorized,
+    figs_write, Opts,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: figures <experiment> [--scale N] [--reps N] [--workers N] [--out DIR]\n\
          experiments: tab1 tab2 table3 fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11\n\
-         fig12 fig13 fig14 fig15 shuffle vectorized index_build ablate-layout\n\
+         fig12 fig13 fig14 fig15 shuffle vectorized index_build serve ablate-layout\n\
          ablate-broadcast ablate-mvcc ablate-partitioning all quick"
     );
     std::process::exit(2);
@@ -89,6 +91,7 @@ fn run(name: &str, opts: &Opts) {
         "shuffle" => figs_shuffle::shuffle(opts),
         "vectorized" => figs_vectorized::vectorized(opts),
         "index_build" => figs_index::index_build(opts),
+        "serve" => figs_serve::serve(opts),
         "ablate-layout" => ablations::ablate_layout(opts),
         "ablate-broadcast" => ablations::ablate_broadcast(opts),
         "ablate-mvcc" => ablations::ablate_mvcc(opts),
@@ -117,6 +120,7 @@ const ALL: &[&str] = &[
     "shuffle",
     "vectorized",
     "index_build",
+    "serve",
     "ablate-layout",
     "ablate-broadcast",
     "ablate-mvcc",

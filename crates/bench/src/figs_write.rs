@@ -78,7 +78,8 @@ pub fn fig9(opts: &Opts) {
                     .unwrap()
             });
             read_times.push(d);
-            ctx.deregister_table(&name);
+            ctx.deregister_table(&name)
+                .expect("no query pins this table");
         }
         let s = Stats::of(&read_times);
         if append_size == 0 {

@@ -19,6 +19,7 @@ pub mod ablations;
 pub mod figs_index;
 pub mod figs_micro;
 pub mod figs_real;
+pub mod figs_serve;
 pub mod figs_shuffle;
 pub mod figs_vectorized;
 pub mod figs_write;

@@ -142,6 +142,32 @@ pub struct Context {
     config: ExecConfig,
     catalog: Mutex<HashMap<String, Arc<dyn TableProvider>>>,
     rules: RwLock<Vec<Arc<dyn PlannerRule>>>,
+    /// Tables pinned by running queries (name → pin count). Physical
+    /// plans snapshot their providers at plan time, so execution never
+    /// touches the catalog — the pin exists so DDL gets a typed error
+    /// instead of silently yanking a table out from under a session.
+    pins: Mutex<HashMap<String, usize>>,
+}
+
+/// RAII pin over the tables a running query scans: created at submit,
+/// released when the query finishes (success, failure or cancellation).
+pub(crate) struct TablePinGuard {
+    ctx: Arc<Context>,
+    tables: Vec<String>,
+}
+
+impl Drop for TablePinGuard {
+    fn drop(&mut self) {
+        let mut pins = self.ctx.pins.lock();
+        for t in &self.tables {
+            if let Some(c) = pins.get_mut(t) {
+                *c -= 1;
+                if *c == 0 {
+                    pins.remove(t);
+                }
+            }
+        }
+    }
 }
 
 impl Context {
@@ -155,6 +181,7 @@ impl Context {
             config,
             catalog: Mutex::new(HashMap::new()),
             rules: RwLock::new(Vec::new()),
+            pins: Mutex::new(HashMap::new()),
         })
     }
 
@@ -180,9 +207,37 @@ impl Context {
         self.catalog.lock().insert(name.into(), provider);
     }
 
-    /// Remove a table from the catalog.
-    pub fn deregister_table(&self, name: &str) -> Option<Arc<dyn TableProvider>> {
-        self.catalog.lock().remove(name)
+    /// Remove a table from the catalog. Fails with
+    /// [`PlanError::TablePinned`] while a running query pins the table
+    /// (submitted via [`Context::submit_sql`] and not yet finished) —
+    /// retry after the query completes.
+    pub fn deregister_table(
+        &self,
+        name: &str,
+    ) -> Result<Option<Arc<dyn TableProvider>>, PlanError> {
+        let pins = self.pins.lock();
+        if pins.get(name).copied().unwrap_or(0) > 0 {
+            return Err(PlanError::TablePinned(name.to_string()));
+        }
+        Ok(self.catalog.lock().remove(name))
+    }
+
+    /// Pin `tables` for the lifetime of the returned guard.
+    pub(crate) fn pin_tables(self: &Arc<Self>, tables: Vec<String>) -> TablePinGuard {
+        let mut pins = self.pins.lock();
+        for t in &tables {
+            *pins.entry(t.clone()).or_insert(0) += 1;
+        }
+        drop(pins);
+        TablePinGuard {
+            ctx: Arc::clone(self),
+            tables,
+        }
+    }
+
+    /// How many running queries pin `name` (diagnostics/tests).
+    pub fn table_pin_count(&self, name: &str) -> usize {
+        self.pins.lock().get(name).copied().unwrap_or(0)
     }
 
     /// Resolve a table by name.
@@ -232,7 +287,7 @@ mod tests {
         assert_eq!(p.num_partitions(), 2);
         assert_eq!(ctx.table_names(), vec!["t".to_string()]);
         assert!(ctx.provider("missing").is_err());
-        assert!(ctx.deregister_table("t").is_some());
+        assert!(ctx.deregister_table("t").unwrap().is_some());
         assert!(ctx.provider("t").is_err());
     }
 

@@ -213,6 +213,11 @@ pub enum PlanError {
     Unsupported(String),
     /// Physical execution failed (a stage exhausted its task retries).
     Exec(crate::physical::ExecError),
+    /// The table cannot be deregistered while a running query pins it.
+    TablePinned(String),
+    /// The admission controller rejected the submission (queue full, or
+    /// cancelled while waiting for a slot).
+    Admission(String),
 }
 
 impl fmt::Display for PlanError {
@@ -223,6 +228,10 @@ impl fmt::Display for PlanError {
             PlanError::Parse(m) => write!(f, "SQL parse error: {m}"),
             PlanError::Unsupported(m) => write!(f, "unsupported: {m}"),
             PlanError::Exec(e) => write!(f, "{e}"),
+            PlanError::TablePinned(t) => {
+                write!(f, "table {t} is pinned by a running query")
+            }
+            PlanError::Admission(m) => write!(f, "admission rejected: {m}"),
         }
     }
 }

@@ -43,6 +43,7 @@ pub mod physical;
 mod plan;
 mod planner;
 mod rows_table;
+mod session;
 mod sql;
 pub mod vector;
 
@@ -56,5 +57,6 @@ pub use physical::{gather, ExecPlan, GroupKey, KeyWrap, Partitions};
 pub use plan::{infer_type, AggFunc, AggSpec, LogicalPlan};
 pub use planner::{estimate_bytes, Planner};
 pub use rows_table::RowsTable;
+pub use session::QueryHandle;
 pub use sql::parse_query;
 pub use vector::SelVec;

@@ -81,6 +81,35 @@ pub enum LogicalPlan {
     Limit { input: Box<LogicalPlan>, n: usize },
 }
 
+impl LogicalPlan {
+    /// Catalog tables this plan scans (deduplicated, in scan order) —
+    /// the provider set a session pins for the lifetime of a running
+    /// query.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        fn walk(plan: &LogicalPlan, out: &mut Vec<String>) {
+            match plan {
+                LogicalPlan::Scan { table, .. } => {
+                    if !out.contains(table) {
+                        out.push(table.clone());
+                    }
+                }
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Aggregate { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. } => walk(input, out),
+                LogicalPlan::Join { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
 /// Infer the type an expression produces against `schema`.
 pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<(DataType, bool), PlanError> {
     Ok(match expr {

@@ -1,0 +1,319 @@
+//! SQL sessions: asynchronous query submission over the shared cluster.
+//!
+//! [`Context::submit_sql`] turns the one-shot `ctx.sql(..).collect()` path
+//! into a *serving* interface: the statement is parsed, optimized and
+//! physically planned synchronously (snapshotting the provider set — DDL
+//! after submission cannot tear the running query), admission control is
+//! consulted (typed rejection when the wait queue is full), and execution
+//! proceeds on a background driver thread attributed to a scheduler
+//! [`QueryRef`] so its tasks interleave fairly with other queries'. The
+//! returned [`QueryHandle`] supports `poll` / `wait` / `cancel`.
+//!
+//! Per-session observability (all in the cluster registry, asserted in
+//! `tests/metrics_e2e.rs`):
+//!
+//! * `session.queue_ns` — histogram of submit → admission latency;
+//! * `session.exec_ns` — histogram of admission → completion latency;
+//! * `session.admitted` / `session.rejected` / `session.cancelled` —
+//!   admission outcomes.
+
+use crate::expr::PlanError;
+use crate::physical::{gather, ExecError};
+use rowstore::Row;
+use sparklet::{Admission, AdmitError, QueryRef, StageError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::context::Context;
+
+/// Shared completion slot between the driver thread and the handle.
+#[derive(Default)]
+struct HandleShared {
+    result: Mutex<Option<Result<Vec<Row>, PlanError>>>,
+    done: Condvar,
+}
+
+impl HandleShared {
+    fn finish(&self, result: Result<Vec<Row>, PlanError>) {
+        *self.result.lock().unwrap() = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// Handle to a query submitted with [`Context::submit_sql`].
+pub struct QueryHandle {
+    shared: Arc<HandleShared>,
+    query: QueryRef,
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("query", &self.query.id())
+            .field("finished", &self.shared.result.lock().unwrap().is_some())
+            .finish()
+    }
+}
+
+impl QueryHandle {
+    /// The scheduler-wide query id.
+    pub fn id(&self) -> u64 {
+        self.query.id()
+    }
+
+    /// Non-blocking: `Some(result)` once the query finished (the result
+    /// stays available for repeated polls), `None` while it runs.
+    pub fn poll(&self) -> Option<Result<Vec<Row>, PlanError>> {
+        self.shared.result.lock().unwrap().clone()
+    }
+
+    /// Block until the query finishes and return its result.
+    pub fn wait(&self) -> Result<Vec<Row>, PlanError> {
+        let mut slot = self.shared.result.lock().unwrap();
+        while slot.is_none() {
+            slot = self.shared.done.wait(slot).unwrap();
+        }
+        slot.as_ref().expect("slot filled").clone()
+    }
+
+    /// Request cooperative cancellation: a query waiting for admission
+    /// aborts immediately; a running query fails at its next task
+    /// dispatch / queued-task pop (tasks already running finish). A
+    /// query that already completed keeps its result.
+    pub fn cancel(&self) {
+        self.query.cancel();
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.query.is_cancelled()
+    }
+}
+
+fn is_cancellation(err: &PlanError) -> bool {
+    matches!(
+        err,
+        PlanError::Exec(ExecError::Stage(StageError::Cancelled { .. }))
+    )
+}
+
+impl Context {
+    /// Submit a SQL statement for asynchronous execution. Planning —
+    /// including snapshotting every scanned table's provider into the
+    /// physical plan — happens synchronously, so the returned handle's
+    /// result is immune to concurrent `register_table` /
+    /// `deregister_table` calls. Admission is also decided synchronously
+    /// when the queue is full: the typed [`PlanError::Admission`] is
+    /// returned instead of a handle.
+    pub fn submit_sql(self: &Arc<Self>, sql: &str) -> Result<QueryHandle, PlanError> {
+        self.submit_sql_weighted(sql, 1)
+    }
+
+    /// [`Context::submit_sql`] with an explicit fairness weight: the
+    /// scheduler serves `weight` consecutive tasks of this query per
+    /// round-robin turn (≥1; higher = larger share of the pool).
+    pub fn submit_sql_weighted(
+        self: &Arc<Self>,
+        sql: &str,
+        weight: u32,
+    ) -> Result<QueryHandle, PlanError> {
+        let df = self.sql(sql)?;
+        // Provider snapshot: ScanExec nodes hold their `Arc<dyn
+        // TableProvider>` from this point on.
+        let phys = df.physical_plan()?;
+        let pins = self.pin_tables(df.plan().referenced_tables());
+
+        let scheduler = self.cluster().scheduler();
+        let registry = self.cluster().registry();
+        let query = scheduler.new_query(weight);
+        let admission = match scheduler.try_admit(&query) {
+            Ok(a) => a,
+            Err(e) => {
+                registry.counter("session.rejected").inc();
+                return Err(PlanError::Admission(e.to_string()));
+            }
+        };
+
+        let shared = Arc::new(HandleShared::default());
+        let handle = QueryHandle {
+            shared: Arc::clone(&shared),
+            query: query.clone(),
+        };
+        let ctx = Arc::clone(self);
+        let submitted = Instant::now();
+        // Detached driver thread: owns the admission wait (so `submit_sql`
+        // never blocks), the table pins, and the execution itself.
+        std::thread::spawn(move || {
+            let registry = ctx.cluster().registry();
+            let admitted = match admission {
+                Admission::Ready(guard) => Ok(guard),
+                Admission::Queued(ticket) => ticket.wait(),
+            };
+            registry
+                .histogram("session.queue_ns")
+                .record(submitted.elapsed().as_nanos() as u64);
+            let result = match admitted {
+                Err(e) => {
+                    if matches!(e, AdmitError::Cancelled { .. }) {
+                        registry.counter("session.cancelled").inc();
+                    } else {
+                        registry.counter("session.rejected").inc();
+                    }
+                    Err(PlanError::Admission(e.to_string()))
+                }
+                Ok(_slot) => {
+                    registry.counter("session.admitted").inc();
+                    let exec_start = Instant::now();
+                    let result = ctx.cluster().with_query(&query, || {
+                        phys.execute(&ctx).map(gather).map_err(PlanError::from)
+                    });
+                    registry
+                        .histogram("session.exec_ns")
+                        .record(exec_start.elapsed().as_nanos() as u64);
+                    if result.as_ref().is_err_and(is_cancellation) {
+                        registry.counter("session.cancelled").inc();
+                    }
+                    result
+                    // `_slot` drops here: the admission slot frees and a
+                    // queued query wakes up.
+                }
+            };
+            drop(pins);
+            shared.finish(result);
+        });
+        Ok(handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnarTable;
+    use rowstore::{DataType, Field, Schema, Value};
+    use sparklet::{Cluster, ClusterConfig};
+
+    fn ctx_with_table(rows: i64) -> Arc<Context> {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        let data: Vec<Row> = (0..rows)
+            .map(|i| vec![Value::Int64(i % 10), Value::Int64(i)])
+            .collect();
+        ctx.register_table("t", Arc::new(ColumnarTable::from_rows(schema, data, 4)));
+        ctx
+    }
+
+    #[test]
+    fn submit_poll_wait_roundtrip() {
+        let ctx = ctx_with_table(100);
+        let handle = ctx.submit_sql("SELECT * FROM t WHERE k = 3").unwrap();
+        let rows = handle.wait().unwrap();
+        assert_eq!(rows.len(), 10);
+        // Result is sticky: poll after wait still sees it.
+        assert_eq!(handle.poll().unwrap().unwrap().len(), 10);
+        // Matches the synchronous path bit for bit.
+        let mut expect = ctx
+            .sql("SELECT * FROM t WHERE k = 3")
+            .unwrap()
+            .collect()
+            .unwrap();
+        let mut got = rows;
+        expect.sort_by_key(|r| format!("{r:?}"));
+        got.sort_by_key(|r| format!("{r:?}"));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn submit_errors_on_unknown_table() {
+        let ctx = ctx_with_table(10);
+        let err = ctx.submit_sql("SELECT * FROM nope").unwrap_err();
+        assert_eq!(err, PlanError::UnknownTable("nope".into()));
+    }
+
+    #[test]
+    fn ddl_after_submit_cannot_tear_the_query() {
+        let ctx = ctx_with_table(5000);
+        let handle = ctx
+            .submit_sql("SELECT k, count(*) AS n FROM t GROUP BY k")
+            .unwrap();
+        // Replace the provider mid-flight: the running query planned
+        // against the old snapshot and must not notice.
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        ctx.register_table(
+            "t",
+            Arc::new(ColumnarTable::from_rows(
+                schema,
+                vec![vec![Value::Int64(0)]],
+                1,
+            )),
+        );
+        let rows = handle.wait().unwrap();
+        assert_eq!(rows.len(), 10, "snapshot saw the original 10 groups");
+    }
+
+    #[test]
+    fn deregister_fails_while_pinned_then_succeeds() {
+        let ctx = ctx_with_table(2000);
+        let handle = ctx
+            .submit_sql("SELECT k, count(*) AS n FROM t GROUP BY k")
+            .unwrap();
+        // The pin is taken synchronously in submit_sql; if the query is
+        // still running the deregister must fail typed, and once it
+        // finishes the pin releases and deregistration succeeds.
+        match ctx.deregister_table("t") {
+            Err(PlanError::TablePinned(t)) => {
+                assert_eq!(t, "t");
+                handle.wait().unwrap();
+                // Pins release when the driver thread finishes; give it
+                // a moment.
+                for _ in 0..500 {
+                    if ctx.table_pin_count("t") == 0 {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                assert!(ctx.deregister_table("t").unwrap().is_some());
+            }
+            // The query already finished and released its pin before we
+            // got here — the deregister legitimately removed the table.
+            Ok(Some(_)) => {
+                handle.wait().unwrap();
+            }
+            other => panic!(
+                "unexpected deregister outcome: {:?}",
+                other.map(|o| o.is_some())
+            ),
+        }
+    }
+
+    #[test]
+    fn admission_queue_full_rejects_synchronously() {
+        let ctx = ctx_with_table(100);
+        ctx.cluster().scheduler().set_admission_limits(1, 0);
+        // Occupy the only slot out-of-band so the next submit must reject.
+        let blocker = ctx.cluster().scheduler().new_query(1);
+        let _slot = ctx.cluster().scheduler().admit(&blocker).unwrap();
+        let err = ctx.submit_sql("SELECT * FROM t").unwrap_err();
+        assert!(matches!(err, PlanError::Admission(_)), "got {err:?}");
+        assert_eq!(
+            ctx.cluster().registry().counter_value("session.rejected"),
+            1
+        );
+        assert_eq!(ctx.table_pin_count("t"), 0, "rejected submit leaves no pin");
+    }
+
+    #[test]
+    fn cancel_while_queued_for_admission() {
+        let ctx = ctx_with_table(100);
+        ctx.cluster().scheduler().set_admission_limits(1, 4);
+        let blocker = ctx.cluster().scheduler().new_query(1);
+        let slot = ctx.cluster().scheduler().admit(&blocker).unwrap();
+        let handle = ctx.submit_sql("SELECT * FROM t").unwrap();
+        handle.cancel();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, PlanError::Admission(_)), "got {err:?}");
+        drop(slot);
+        assert!(ctx.cluster().registry().counter_value("session.cancelled") >= 1);
+    }
+}

@@ -54,7 +54,15 @@ pub(crate) struct IdfInner {
     /// these buckets, so the base source is replayed at most once per
     /// version (one pass instead of one per partition) and the append
     /// delta is never re-filtered per partition.
+    ///
+    /// Cross-query safety: `OnceLock::get_or_init` already guarantees a
+    /// single initialization when concurrent *lazy* builds race, and
+    /// `build_lock` extends the same exactly-once guarantee to
+    /// [`IdfInner::materialize`]'s shuffle path (which replays outside
+    /// the `OnceLock` closure because it runs cluster stages).
     buckets: OnceLock<Arc<Vec<Vec<Row>>>>,
+    /// Serializes the materialize-side bucket build across queries.
+    build_lock: parking_lot::Mutex<()>,
 }
 
 impl IdfInner {
@@ -262,6 +270,12 @@ impl IdfInner {
         // build drained it; otherwise replay the source exactly once and
         // shuffle. The shuffle output is cached into `buckets`, so a
         // post-failure recompute of any partition never replays again.
+        //
+        // `build_lock` serializes racing materializations (two queries
+        // hitting the same un-built version concurrently): the loser of
+        // the race re-checks under the lock and reuses the winner's
+        // buckets instead of replaying the source a second time.
+        let _build = self.build_lock.lock();
         let shuffled: Arc<Vec<Vec<Row>>> = if let Some(b) = self.buckets.get() {
             Arc::clone(b)
         } else {
@@ -290,6 +304,9 @@ impl IdfInner {
             let out = Arc::new(sparklet::exchange_rows(cluster, &self.schema, inputs, p)?);
             Arc::clone(self.buckets.get_or_init(|| out))
         };
+        // Buckets exist now; racing materializations may run their
+        // (idempotent) build stages concurrently.
+        drop(_build);
 
         // Build side: one task per partition, on its home worker.
         let inner = Arc::clone(self);
@@ -505,6 +522,7 @@ impl IndexedDataFrame {
                 },
                 use_bulk: self.inner.use_bulk,
                 buckets: OnceLock::new(),
+                build_lock: parking_lot::Mutex::new(()),
             }),
         }
     }
@@ -628,6 +646,7 @@ impl IdfBuilder {
                 provenance: Provenance::Base { source },
                 use_bulk: self.use_bulk,
                 buckets: OnceLock::new(),
+                build_lock: parking_lot::Mutex::new(()),
             }),
         })
     }
@@ -698,6 +717,75 @@ mod tests {
         assert!(
             cluster.registry().counter_value("index.cache.misses") > misses_before,
             "the exact-version guard must have rejected the newer block and recomputed"
+        );
+    }
+
+    fn race_fixture() -> (Arc<Context>, IndexedDataFrame) {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        let rows: Vec<Row> = (0..200)
+            .map(|i| vec![Value::Int64(i % 8), Value::Int64(i)])
+            .collect();
+        let idf = IndexedDataFrame::from_rows(&ctx, schema, rows, "k").unwrap();
+        (ctx, idf)
+    }
+
+    /// Cross-query safety: two queries calling `cache_index` on the same
+    /// un-built version concurrently must replay the base source exactly
+    /// once — the loser of the `build_lock` race reuses the winner's
+    /// buckets.
+    #[test]
+    fn concurrent_cache_index_replays_source_once() {
+        let (ctx, idf) = race_fixture();
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let idf = idf.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    idf.cache_index()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        assert_eq!(
+            ctx.cluster().registry().counter_value("index.replays"),
+            1,
+            "racing materializations must share one source replay"
+        );
+        assert_eq!(idf.get_rows(&Value::Int64(3)).unwrap().len(), 25);
+    }
+
+    /// The lazy path (point lookups triggering per-partition builds) races
+    /// through `OnceLock::get_or_init`, which already serializes the drain:
+    /// concurrent first-touch lookups also replay exactly once.
+    #[test]
+    fn concurrent_lazy_lookups_replay_source_once() {
+        let (ctx, idf) = race_fixture();
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let idf = idf.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    idf.get_rows(&Value::Int64(t)).map(|r| r.len())
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().unwrap(), 25);
+        }
+        assert_eq!(
+            ctx.cluster().registry().counter_value("index.replays"),
+            1,
+            "concurrent lazy partition builds must share one source replay"
         );
     }
 }

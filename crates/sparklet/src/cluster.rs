@@ -17,6 +17,7 @@
 
 use crate::config::ClusterConfig;
 use crate::metrics::{Metrics, Registry, SpanKind, SpanRecord, Trace};
+use crate::scheduler::{self, QueryId, QueryRef, Scheduler};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
@@ -78,6 +79,9 @@ pub enum FailureReason {
     /// The worker was killed while the task ran, so its result (and any
     /// blocks it cached) cannot be trusted.
     WorkerLost,
+    /// The owning query was cancelled before the attempt ran; the queued
+    /// task was dropped without executing.
+    Cancelled,
 }
 
 impl fmt::Display for FailureReason {
@@ -85,6 +89,7 @@ impl fmt::Display for FailureReason {
         match self {
             FailureReason::Panicked(msg) => write!(f, "task panicked: {msg}"),
             FailureReason::WorkerLost => write!(f, "worker lost mid-task"),
+            FailureReason::Cancelled => write!(f, "query cancelled"),
         }
     }
 }
@@ -114,6 +119,8 @@ pub enum StageError {
     },
     /// No alive workers remain to schedule the task on.
     NoAliveWorkers { partition: usize },
+    /// The owning query was cancelled; the stage was abandoned.
+    Cancelled { query: QueryId },
 }
 
 impl fmt::Display for StageError {
@@ -131,6 +138,9 @@ impl fmt::Display for StageError {
             ),
             StageError::NoAliveWorkers { partition } => {
                 write!(f, "no alive workers to run task for partition {partition}")
+            }
+            StageError::Cancelled { query } => {
+                write!(f, "query {query} cancelled")
             }
         }
     }
@@ -155,7 +165,8 @@ pub enum TaskResult<R> {
     Failed(FailureReason),
 }
 
-/// The simulated cluster.
+/// The simulated cluster: a shared resource substrate (workers, block
+/// store, metrics) plus the multi-query [`Scheduler`].
 pub struct Cluster {
     config: ClusterConfig,
     workers: Vec<WorkerState>,
@@ -164,9 +175,14 @@ pub struct Cluster {
     registry: Arc<Registry>,
     /// Bounded operator → stage → task span buffer.
     trace: Arc<Trace>,
+    /// Fair per-worker task queues + admission control.
+    scheduler: Scheduler,
     next_dataset: AtomicU64,
     /// Round-robin fallback cursor for non-local scheduling.
     fallback: AtomicUsize,
+    /// Serializes observability snapshots against resets (see
+    /// [`Cluster::metrics_json`] / [`Cluster::reset_observability`]).
+    obs: std::sync::Mutex<()>,
 }
 
 impl Cluster {
@@ -195,14 +211,18 @@ impl Cluster {
             })
             .collect();
         let num_workers = config.workers;
+        let registry = Arc::new(Registry::new(num_workers));
+        let scheduler = Scheduler::new(num_workers, &registry);
         Arc::new(Cluster {
             config,
             workers,
             metrics: Metrics::new(),
-            registry: Arc::new(Registry::new(num_workers)),
+            registry,
             trace: Arc::new(Trace::default()),
+            scheduler,
             next_dataset: AtomicU64::new(1),
             fallback: AtomicUsize::new(0),
+            obs: std::sync::Mutex::new(()),
         })
     }
 
@@ -224,10 +244,30 @@ impl Cluster {
         &self.trace
     }
 
+    /// The multi-query scheduler (fair queues, admission control).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Run `f` with `query` installed as the current thread's ambient
+    /// query: every [`Cluster::run_stage`] issued inside (including from
+    /// operators deep in a plan) is attributed to it for fair scheduling
+    /// and cancellation. Session drivers wrap query execution in this.
+    pub fn with_query<R>(&self, query: &QueryRef, f: impl FnOnce() -> R) -> R {
+        scheduler::with_ambient_query(query, f)
+    }
+
     /// Serialize every metric — named registry, legacy phase counters and
     /// a trace summary — as one JSON object (`sparklet-metrics-v1`; schema
     /// documented in DESIGN.md).
+    ///
+    /// Concurrency contract: safe to call while queries are in flight.
+    /// The snapshot is *monotonic*, not atomic — counters incremented
+    /// concurrently may or may not be included — but it is serialized
+    /// against [`Cluster::reset_observability`], so it never observes a
+    /// half-reset registry (some shards zeroed, others not).
     pub fn metrics_json(&self) -> String {
+        let _obs = self.obs.lock().unwrap();
         format!(
             "{{\"schema\":\"sparklet-metrics-v1\",\"workers\":{},{},\"legacy\":{},\
              \"trace\":{{\"spans\":{},\"dropped\":{}}}}}",
@@ -240,7 +280,9 @@ impl Cluster {
     }
 
     /// Serialize the recorded spans as JSON (`sparklet-trace-v1`).
+    /// Same concurrency contract as [`Cluster::metrics_json`].
     pub fn trace_report(&self) -> String {
+        let _obs = self.obs.lock().unwrap();
         let spans = self.trace.spans();
         let mut s = String::from("{\"schema\":\"sparklet-trace-v1\",\"spans\":[");
         for (i, rec) in spans.iter().enumerate() {
@@ -255,7 +297,14 @@ impl Cluster {
 
     /// Zero all metrics and clear the trace (per-figure isolation in
     /// benchmarks).
+    ///
+    /// Concurrency contract: serialized against [`Cluster::metrics_json`]
+    /// / [`Cluster::trace_report`], so a concurrent snapshot sees either
+    /// the pre-reset or the post-reset registry, never a torn mix.
+    /// Queries in flight keep running — their subsequent increments land
+    /// in the freshly zeroed registry.
     pub fn reset_observability(&self) {
+        let _obs = self.obs.lock().unwrap();
         self.metrics.reset();
         self.registry.reset();
         self.trace.reset();
@@ -419,11 +468,35 @@ impl Cluster {
     /// [`StageError::TaskFailed`] naming the partition, attempt count and
     /// worker history.
     ///
+    /// Compatibility wrapper over [`Cluster::run_stage_for`]: the stage is
+    /// attributed to the ambient query installed by [`Cluster::with_query`]
+    /// if any, otherwise to a fresh single-stage query (which bypasses
+    /// admission — bare stages are internal work, not tenant submissions).
+    ///
     /// `f` must be cheap to share (it is called concurrently from many
     /// executor threads) and safe to re-run for the same partition: a
     /// retried attempt sees the same `TaskContext::partition` but possibly
     /// a different worker.
     pub fn run_stage<R, F>(&self, tasks: &[TaskSpec], f: F) -> Result<Vec<R>, StageError>
+    where
+        R: Send + 'static,
+        F: Fn(TaskContext) -> R + Send + Sync + 'static,
+    {
+        let query = scheduler::ambient_query().unwrap_or_else(|| self.scheduler.new_query(1));
+        self.run_stage_for(&query, tasks, f)
+    }
+
+    /// Run one stage on behalf of `query`: tasks are pushed into the
+    /// per-worker fair queues and interleave with other queries' tasks on
+    /// the shared executor pools. Fails fast with
+    /// [`StageError::Cancelled`] if the query is cancelled at stage entry,
+    /// at a dispatch, or while any of its attempts are still queued.
+    pub fn run_stage_for<R, F>(
+        &self,
+        query: &QueryRef,
+        tasks: &[TaskSpec],
+        f: F,
+    ) -> Result<Vec<R>, StageError>
     where
         R: Send + 'static,
         F: Fn(TaskContext) -> R + Send + Sync + 'static,
@@ -434,7 +507,7 @@ impl Cluster {
         let parent = self.trace.current_parent();
         let start_us = self.trace.now_us();
         let start = std::time::Instant::now();
-        let result = self.run_stage_inner(span_id, tasks, f);
+        let result = self.run_stage_inner(query, span_id, tasks, f);
         if result.is_err() {
             self.registry.counter("stage.failed").inc();
         }
@@ -453,6 +526,7 @@ impl Cluster {
 
     fn run_stage_inner<R, F>(
         &self,
+        query: &QueryRef,
         stage_span: u64,
         tasks: &[TaskSpec],
         f: F,
@@ -461,15 +535,22 @@ impl Cluster {
         R: Send + 'static,
         F: Fn(TaskContext) -> R + Send + Sync + 'static,
     {
+        if query.is_cancelled() {
+            return Err(StageError::Cancelled { query: query.id() });
+        }
         let f = Arc::new(f);
         let (tx, rx) = mpsc::channel::<(usize, usize, TaskResult<R>)>();
         let n = tasks.len();
+        let rtt_ns = self.scheduler.dispatch_rtt_ns();
 
         let dispatch = |idx: usize,
                         spec: &TaskSpec,
                         exclude: &[usize],
                         attempt: usize|
          -> Result<(), StageError> {
+            if query.is_cancelled() {
+                return Err(StageError::Cancelled { query: query.id() });
+            }
             let (worker, non_local) = self.schedule_excluding(spec, exclude)?;
             let ws = &self.workers[worker];
             let executor = ws.next_executor.fetch_add(1, Relaxed) % ws.executors.len();
@@ -492,8 +573,29 @@ impl Cluster {
             let run_hist = self.registry.histogram_on(Some(worker), "task.run_ns");
             let trace = Arc::clone(&self.trace);
             let task_span = trace.next_span_id();
+            // Simulated driver→worker dispatch round-trip (serving
+            // benchmarks; 0 = off). The *driver* pays it, like a Spark
+            // driver pushing a task over the wire — worker cores stay free
+            // and concurrent queries' drivers overlap their RTTs.
+            if rtt_ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(rtt_ns));
+            }
             let dispatched = std::time::Instant::now();
-            ws.executors[executor].spawn(move || {
+            // The task goes into the worker's fair queue; the drainer job
+            // spawned into the executor pool pops the *fairest* pending
+            // task at run time (not necessarily this one), so tasks from
+            // different queries interleave on the shared pool.
+            let task: Box<dyn FnOnce(bool) + Send> = Box::new(move |cancelled: bool| {
+                if cancelled {
+                    // Popped after the owning query was cancelled: report
+                    // without executing.
+                    let _ = tx.send((
+                        idx,
+                        ctx.worker,
+                        TaskResult::Failed(FailureReason::Cancelled),
+                    ));
+                    return;
+                }
                 queue_wait_hist.record(dispatched.elapsed().as_nanos() as u64);
                 let start_us = trace.now_us();
                 let run_start = std::time::Instant::now();
@@ -524,6 +626,9 @@ impl Cluster {
                 // Receiver hung up only if the stage already failed.
                 let _ = tx.send((idx, ctx.worker, outcome));
             });
+            self.scheduler.enqueue(worker, query, task);
+            let queue = Arc::clone(self.scheduler.queue(worker));
+            ws.executors[executor].spawn(move || queue.drain_one());
             Ok(())
         };
 
@@ -546,6 +651,13 @@ impl Cluster {
                     slots[idx] = Some(r);
                     remaining -= 1;
                 }
+                TaskResult::Failed(FailureReason::Cancelled) => {
+                    // A queued attempt was dropped because the query was
+                    // cancelled: abandon the stage. Attempts still running
+                    // send into a closed channel harmlessly; no retry
+                    // accounting — cancellation is not a failure.
+                    return Err(StageError::Cancelled { query: query.id() });
+                }
                 TaskResult::Failed(reason) => {
                     // Attempt-level accounting: every failed attempt counts
                     // here, with its cause; `task_failures` is reserved for
@@ -561,6 +673,7 @@ impl Cluster {
                             .registry
                             .counter("task.failure_cause.worker_lost")
                             .inc(),
+                        FailureReason::Cancelled => unreachable!("handled above"),
                     }
                     if !failed_workers[idx].contains(&worker) {
                         failed_workers[idx].push(worker);
@@ -916,6 +1029,112 @@ mod tests {
         assert_eq!(c.registry().counter_value("task.attempt_failures"), 3);
         assert_eq!(c.registry().counter_value("task.terminal_failures"), 1);
         assert_eq!(c.registry().counter_value("stage.failed"), 1);
+    }
+
+    #[test]
+    fn cancelled_query_fails_stage_entry() {
+        let c = cluster();
+        let q = c.scheduler().new_query(1);
+        q.cancel();
+        let err = c
+            .run_stage_for(
+                &q,
+                &[TaskSpec {
+                    partition: 0,
+                    preferred_worker: None,
+                }],
+                |_| (),
+            )
+            .unwrap_err();
+        assert_eq!(err, StageError::Cancelled { query: q.id() });
+        assert_eq!(c.registry().counter_value("stage.failed"), 1);
+    }
+
+    #[test]
+    fn cancel_mid_stage_drops_queued_tasks() {
+        // One worker × one executor × one core: task 0 runs while tasks
+        // 1–3 sit in the fair queue. Cancelling mid-run must drop the
+        // queued tasks unexecuted and surface StageError::Cancelled; the
+        // running task finishes (task-boundary granularity).
+        use std::sync::atomic::AtomicUsize;
+        let c = Cluster::new(ClusterConfig {
+            workers: 1,
+            executors_per_worker: 1,
+            cores_per_executor: 1,
+            max_task_attempts: 2,
+        });
+        let q = c.scheduler().new_query(1);
+        let q2 = q.clone();
+        let executed = Arc::new(AtomicUsize::new(0));
+        let executed2 = Arc::clone(&executed);
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            q2.cancel();
+        });
+        let tasks: Vec<TaskSpec> = (0..4)
+            .map(|p| TaskSpec {
+                partition: p,
+                preferred_worker: Some(0),
+            })
+            .collect();
+        let err = c
+            .run_stage_for(&q, &tasks, move |_| {
+                executed2.fetch_add(1, Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(60));
+            })
+            .unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(err, StageError::Cancelled { query: q.id() });
+        assert!(
+            executed.load(Relaxed) < 4,
+            "queued tasks of a cancelled query must not execute"
+        );
+        assert_eq!(
+            c.registry().counter_value("task.attempt_failures"),
+            0,
+            "cancellation is not a failure"
+        );
+    }
+
+    #[test]
+    fn concurrent_queries_interleave_on_shared_pool() {
+        // Two queries submitted from two threads share one single-slot
+        // worker; the fair queue must alternate their tasks rather than
+        // running one query's backlog to completion first.
+        let c = Cluster::new(ClusterConfig {
+            workers: 1,
+            executors_per_worker: 1,
+            cores_per_executor: 1,
+            max_task_attempts: 2,
+        });
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let q = c.scheduler().new_query(1);
+                    barrier.wait();
+                    let tasks: Vec<TaskSpec> = (0..6)
+                        .map(|p| TaskSpec {
+                            partition: p,
+                            preferred_worker: Some(0),
+                        })
+                        .collect();
+                    c.run_stage_for(&q, &tasks, |_| {
+                        std::thread::sleep(std::time::Duration::from_millis(5))
+                    })
+                    .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            c.registry().counter_value("scheduler.interleaves") > 0,
+            "tasks from distinct queries must interleave"
+        );
     }
 
     #[test]

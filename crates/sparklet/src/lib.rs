@@ -36,6 +36,7 @@
 mod cluster;
 mod config;
 pub mod metrics;
+pub mod scheduler;
 pub mod shuffle;
 
 pub use cluster::{
@@ -46,6 +47,9 @@ pub use config::ClusterConfig;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, Registry,
     RegistrySnapshot, SpanKind, SpanRecord, Trace,
+};
+pub use scheduler::{
+    Admission, AdmissionGuard, AdmissionTicket, AdmitError, QueryId, QueryRef, Scheduler,
 };
 pub use shuffle::{
     account_broadcast, broadcast, exchange, exchange_cloning, exchange_rows, partition_of,

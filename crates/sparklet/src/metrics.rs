@@ -296,6 +296,26 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets:
+    /// the upper edge of the bucket holding the `⌈q·count⌉`-th value,
+    /// clamped to the observed `[min, max]` so single-bucket histograms
+    /// report exact values. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(b, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = Histogram::bucket_range(b as usize);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Merge another snapshot into this one (shard merge on read).
     fn merge(&mut self, other: &HistogramSnapshot) {
         if other.count == 0 {
@@ -783,6 +803,35 @@ mod tests {
         assert_eq!(s.max, 1_000_000);
         assert_eq!(s.buckets.len(), 5, "five distinct buckets occupied");
         assert!(s.mean() > 200_000.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_from_buckets() {
+        assert_eq!(HistogramSnapshot::default().percentile(0.99), 0);
+
+        // 90 fast values (bucket of 100) + 10 slow ones (bucket of 10_000):
+        // p50 lands in the fast bucket, p99 in the slow one.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile(0.50);
+        let p99 = s.percentile(0.99);
+        assert!((100..=127).contains(&p50), "p50 in the fast bucket: {p50}");
+        assert!(
+            (8192..=10_000).contains(&p99),
+            "p99 in the slow bucket: {p99}"
+        );
+        assert!(s.percentile(1.0) >= p99);
+
+        // Single-value histograms are exact thanks to the min/max clamp.
+        let h = Histogram::default();
+        h.record(777);
+        assert_eq!(h.snapshot().percentile(0.5), 777);
     }
 
     #[test]

@@ -210,6 +210,34 @@ pub fn short_read_uses_index(q: usize) -> bool {
     !matches!(q, 5 | 6)
 }
 
+/// SQL text of short read SQ`q` — the same queries as [`short_read`], but
+/// as statements for the serving path ([`Context::submit_sql`]): the serve
+/// bench and stress tests submit these concurrently over one shared
+/// cluster.
+///
+/// # Panics
+///
+/// Panics on `q` outside `1..=7`.
+pub fn short_read_sql(q: usize, persons_table: &str, edges_table: &str, person_id: i64) -> String {
+    let p = persons_table;
+    let e = edges_table;
+    match q {
+        1 => format!("SELECT * FROM {p} WHERE id = {person_id}"),
+        2 => format!("SELECT * FROM {e} WHERE edge_source = {person_id} LIMIT 10"),
+        3 => {
+            format!("SELECT * FROM {e} JOIN {p} ON edge_dest = id WHERE edge_source = {person_id}")
+        }
+        4 => format!("SELECT creation_date FROM {e} WHERE edge_source = {person_id}"),
+        5 => format!("SELECT edge_dest, creation_date, weight FROM {e}"),
+        6 => format!("SELECT edge_dest, count(*) AS n FROM {e} GROUP BY edge_dest"),
+        7 => format!(
+            "SELECT * FROM {e} JOIN {e} ON edge_dest = edge_source \
+             WHERE edge_source = {person_id}"
+        ),
+        other => panic!("short read SQ{other} does not exist"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +327,40 @@ mod tests {
             }
         }
         assert!(short_read(&ctx, 8, "persons", "edges", 1).is_err());
+    }
+
+    #[test]
+    fn short_read_sql_matches_dataframe_api() {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let d = tiny();
+        ctx.register_table(
+            "persons",
+            Arc::new(ColumnarTable::from_rows(
+                person_schema(),
+                d.persons.clone(),
+                2,
+            )),
+        );
+        ctx.register_table(
+            "edges",
+            Arc::new(ColumnarTable::from_rows(edge_schema(), d.edges.clone(), 2)),
+        );
+        for q in 1..=7 {
+            let sql = short_read_sql(q, "persons", "edges", 5);
+            let mut got = ctx.sql(&sql).unwrap().collect().unwrap();
+            let mut expect = short_read(&ctx, q, "persons", "edges", 5)
+                .unwrap()
+                .collect()
+                .unwrap();
+            got.sort_by_key(|r| format!("{r:?}"));
+            expect.sort_by_key(|r| format!("{r:?}"));
+            // SQ2's LIMIT is order-sensitive across plans; compare count.
+            if q == 2 {
+                assert_eq!(got.len(), expect.len(), "SQ2 row count");
+            } else {
+                assert_eq!(got, expect, "SQ{q} SQL vs DataFrame API");
+            }
+        }
     }
 
     #[test]

@@ -128,6 +128,7 @@ fn main() {
             t.elapsed().as_secs_f64() * 1e3,
             edges.version()
         );
-        ctx.deregister_table(&name);
+        ctx.deregister_table(&name)
+            .expect("no query pins this table");
     }
 }

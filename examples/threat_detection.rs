@@ -107,7 +107,8 @@ fn main() {
             .unwrap();
         let join_ms = t.elapsed().as_secs_f64() * 1e3;
         let _ = conns_df;
-        ctx.deregister_table(&name);
+        ctx.deregister_table(&name)
+            .expect("no query pins this table");
 
         println!(
             "tick {tick}: +10k rows in {append_ms:6.1} ms | host-42 history: {:4} rows in {lookup_ms:5.2} ms | intel matches: {hits:6} in {join_ms:6.1} ms (v{})",

@@ -147,3 +147,66 @@ fn four_worker_run_populates_every_metric_layer() {
     assert_eq!(cluster.registry().counter_value("shuffle.bytes"), 0);
     assert!(cluster.trace().is_empty());
 }
+
+/// The serving path records every per-session metric: admission outcomes
+/// (`session.admitted` / `session.rejected` / `session.cancelled`) and the
+/// queue/execution latency split (`session.queue_ns` / `session.exec_ns`).
+#[test]
+fn session_metrics_cover_every_admission_outcome() {
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 4,
+        executors_per_worker: 1,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+    });
+    let ctx = Context::new(Arc::clone(&cluster));
+    workloads::register_columnar(&ctx, "edges", edge_schema(), rows(1000, 20));
+    let registry = cluster.registry();
+
+    // Admitted: three concurrent sessions complete.
+    let handles: Vec<_> = (0..3)
+        .map(|k| {
+            ctx.submit_sql(&format!("SELECT * FROM edges WHERE k = {k}"))
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait().unwrap().len(), 50);
+    }
+    assert_eq!(registry.counter_value("session.admitted"), 3);
+    let queue = registry.histogram_snapshot("session.queue_ns").unwrap();
+    assert_eq!(queue.count, 3, "one queue-latency sample per session");
+    let exec = registry.histogram_snapshot("session.exec_ns").unwrap();
+    assert_eq!(exec.count, 3, "one exec-latency sample per session");
+    assert!(exec.sum > 0, "execution took measurable time");
+
+    // Rejected: a full wait queue turns the submit into a typed error.
+    let scheduler = cluster.scheduler();
+    scheduler.set_admission_limits(1, 0);
+    let blocker = scheduler.new_query(1);
+    let slot = scheduler.admit(&blocker).unwrap();
+    assert!(ctx.submit_sql("SELECT * FROM edges").is_err());
+    assert_eq!(registry.counter_value("session.rejected"), 1);
+
+    // Cancelled: a session cancelled while queued for admission counts
+    // as cancelled, not rejected.
+    scheduler.set_admission_limits(1, 4);
+    let handle = ctx.submit_sql("SELECT * FROM edges").unwrap();
+    handle.cancel();
+    assert!(handle.wait().is_err());
+    drop(slot);
+    assert_eq!(registry.counter_value("session.cancelled"), 1);
+    assert_eq!(registry.counter_value("session.rejected"), 1, "unchanged");
+
+    // All five series travel in the metrics document.
+    let json = cluster.metrics_json();
+    for needle in [
+        "\"session.admitted\"",
+        "\"session.rejected\"",
+        "\"session.cancelled\"",
+        "\"session.queue_ns\"",
+        "\"session.exec_ns\"",
+    ] {
+        assert!(json.contains(needle), "metrics_json missing {needle}");
+    }
+}
