@@ -11,22 +11,23 @@
 //!   vectorized — batch kernels vs row operators (regression record)
 //!   index_build — bulk-load + single-replay build vs row-at-a-time (regression record)
 //!   serve      — closed-loop multi-tenant SQL serving, 1/4/16 clients (regression record)
+//!   memory     — governed serving under a byte budget: spill vs recompute (regression record)
 //!   ablate-layout ablate-broadcast ablate-mvcc ablate-partitioning
 //!   all        — everything above
 //!   quick      — a fast subset (tab1 tab2 table3 fig7 fig8 fig11)
 //! ```
 
 use bench::{
-    ablations, figs_index, figs_micro, figs_real, figs_serve, figs_shuffle, figs_vectorized,
-    figs_write, Opts,
+    ablations, figs_index, figs_memory, figs_micro, figs_real, figs_serve, figs_shuffle,
+    figs_vectorized, figs_write, Opts,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: figures <experiment> [--scale N] [--reps N] [--workers N] [--out DIR]\n\
          experiments: tab1 tab2 table3 fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11\n\
-         fig12 fig13 fig14 fig15 shuffle vectorized index_build serve ablate-layout\n\
-         ablate-broadcast ablate-mvcc ablate-partitioning all quick"
+         fig12 fig13 fig14 fig15 shuffle vectorized index_build serve memory\n\
+         ablate-layout ablate-broadcast ablate-mvcc ablate-partitioning all quick"
     );
     std::process::exit(2);
 }
@@ -92,6 +93,7 @@ fn run(name: &str, opts: &Opts) {
         "vectorized" => figs_vectorized::vectorized(opts),
         "index_build" => figs_index::index_build(opts),
         "serve" => figs_serve::serve(opts),
+        "memory" => figs_memory::memory(opts),
         "ablate-layout" => ablations::ablate_layout(opts),
         "ablate-broadcast" => ablations::ablate_broadcast(opts),
         "ablate-mvcc" => ablations::ablate_mvcc(opts),
@@ -121,6 +123,7 @@ const ALL: &[&str] = &[
     "vectorized",
     "index_build",
     "serve",
+    "memory",
     "ablate-layout",
     "ablate-broadcast",
     "ablate-mvcc",

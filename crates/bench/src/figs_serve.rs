@@ -102,8 +102,8 @@ fn serve_point(ctx: &Arc<Context>, clients: usize, per_client: usize) -> (f64, f
     let total = (clients * per_client) as f64;
     (
         total / wall,
-        snap.percentile(0.50) as f64 / 1e6,
-        snap.percentile(0.99) as f64 / 1e6,
+        snap.percentile(0.50).unwrap_or(0) as f64 / 1e6,
+        snap.percentile(0.99).unwrap_or(0) as f64 / 1e6,
     )
 }
 

@@ -17,6 +17,7 @@
 
 pub mod ablations;
 pub mod figs_index;
+pub mod figs_memory;
 pub mod figs_micro;
 pub mod figs_real;
 pub mod figs_serve;

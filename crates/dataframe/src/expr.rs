@@ -218,6 +218,10 @@ pub enum PlanError {
     /// The admission controller rejected the submission (queue full, or
     /// cancelled while waiting for a slot).
     Admission(String),
+    /// The session driver itself failed (e.g. a panic escaped query
+    /// execution); carries the rendered panic payload. The query's
+    /// resources (admission slot, table pins) are still released.
+    Internal(String),
 }
 
 impl fmt::Display for PlanError {
@@ -232,6 +236,7 @@ impl fmt::Display for PlanError {
                 write!(f, "table {t} is pinned by a running query")
             }
             PlanError::Admission(m) => write!(f, "admission rejected: {m}"),
+            PlanError::Internal(m) => write!(f, "internal driver error: {m}"),
         }
     }
 }

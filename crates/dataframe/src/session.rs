@@ -21,23 +21,42 @@ use crate::expr::PlanError;
 use crate::physical::{gather, ExecError};
 use rowstore::Row;
 use sparklet::{Admission, AdmitError, QueryRef, StageError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use crate::context::Context;
+use crate::context::{Context, TablePinGuard};
 
 /// Shared completion slot between the driver thread and the handle.
+///
+/// Also owns the query's [`TablePinGuard`]: the pins live here (not as a
+/// plain local of the driver thread) so that *every* way a query can end
+/// — normal completion, admission rejection, cancellation, or a panic
+/// escaping execution — releases them through the same `finish` path.
 #[derive(Default)]
 struct HandleShared {
     result: Mutex<Option<Result<Vec<Row>, PlanError>>>,
     done: Condvar,
+    pins: Mutex<Option<TablePinGuard>>,
 }
 
 impl HandleShared {
     fn finish(&self, result: Result<Vec<Row>, PlanError>) {
+        // Release table pins before publishing the result: a waiter that
+        // observes completion may immediately deregister the table.
+        drop(self.pins.lock().unwrap().take());
         *self.result.lock().unwrap() = Some(result);
         self.done.notify_all();
     }
+}
+
+/// Render a panic payload the way `std` would print it.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "query driver panicked".to_string())
 }
 
 /// Handle to a query submitted with [`Context::submit_sql`].
@@ -89,6 +108,20 @@ impl QueryHandle {
     }
 }
 
+impl Drop for QueryHandle {
+    /// Dropping the last observer of an unfinished query cancels it:
+    /// nobody can consume the result, so holding its admission slot and
+    /// table pins any longer only starves other queries. A query still
+    /// queued for admission aborts immediately (releasing its pins); a
+    /// running query fails at its next task dispatch. Finished queries
+    /// are unaffected.
+    fn drop(&mut self) {
+        if self.shared.result.lock().unwrap().is_none() {
+            self.query.cancel();
+        }
+    }
+}
+
 fn is_cancellation(err: &PlanError) -> bool {
     matches!(
         err,
@@ -134,14 +167,19 @@ impl Context {
         };
 
         let shared = Arc::new(HandleShared::default());
+        *shared.pins.lock().unwrap() = Some(pins);
         let handle = QueryHandle {
             shared: Arc::clone(&shared),
             query: query.clone(),
         };
         let ctx = Arc::clone(self);
         let submitted = Instant::now();
+        #[cfg(test)]
+        let sql_probe = sql.to_string();
         // Detached driver thread: owns the admission wait (so `submit_sql`
-        // never blocks), the table pins, and the execution itself.
+        // never blocks) and the execution itself. The table pins live in
+        // `shared` and are released by `finish` on every exit path,
+        // including a panic escaping execution.
         std::thread::spawn(move || {
             let registry = ctx.cluster().registry();
             let admitted = match admission {
@@ -163,12 +201,29 @@ impl Context {
                 Ok(_slot) => {
                     registry.counter("session.admitted").inc();
                     let exec_start = Instant::now();
-                    let result = ctx.cluster().with_query(&query, || {
-                        phys.execute(&ctx).map(gather).map_err(PlanError::from)
-                    });
+                    // Worker-task panics are already converted to typed
+                    // `StageError`s by the cluster; this guards the driver
+                    // side (planning glue, gather, provider code running on
+                    // this thread). Without it a panic here would leave
+                    // `finish` uncalled: waiters would block forever and the
+                    // table pins would leak until process exit.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(test)]
+                        tests::inject_test_panic(&sql_probe);
+                        ctx.cluster().with_query(&query, || {
+                            phys.execute(&ctx).map(gather).map_err(PlanError::from)
+                        })
+                    }));
                     registry
                         .histogram("session.exec_ns")
                         .record(exec_start.elapsed().as_nanos() as u64);
+                    let result = match outcome {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            registry.counter("session.driver_panics").inc();
+                            Err(PlanError::Internal(panic_text(payload.as_ref())))
+                        }
+                    };
                     if result.as_ref().is_err_and(is_cancellation) {
                         registry.counter("session.cancelled").inc();
                     }
@@ -177,7 +232,6 @@ impl Context {
                     // queued query wakes up.
                 }
             };
-            drop(pins);
             shared.finish(result);
         });
         Ok(handle)
@@ -190,6 +244,18 @@ mod tests {
     use crate::column::ColumnarTable;
     use rowstore::{DataType, Field, Schema, Value};
     use sparklet::{Cluster, ClusterConfig};
+
+    /// Marker-based panic injection: a submitted statement containing
+    /// this identifier panics on the driver thread right after
+    /// admission. Keyed on the SQL text (not a global flag) so parallel
+    /// tests in this module cannot trip each other's injection.
+    pub(super) const PANIC_MARKER: &str = "panic_in_driver";
+
+    pub(super) fn inject_test_panic(sql: &str) {
+        if sql.contains(PANIC_MARKER) {
+            panic!("injected driver panic");
+        }
+    }
 
     fn ctx_with_table(rows: i64) -> Arc<Context> {
         let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
@@ -301,6 +367,53 @@ mod tests {
             1
         );
         assert_eq!(ctx.table_pin_count("t"), 0, "rejected submit leaves no pin");
+    }
+
+    #[test]
+    fn driver_panic_releases_pins_and_reports_internal() {
+        let ctx = ctx_with_table(100);
+        let handle = ctx
+            .submit_sql(&format!("SELECT k AS {PANIC_MARKER} FROM t"))
+            .unwrap();
+        // The panic is caught on the driver thread and surfaced as a
+        // typed internal error — `wait` must not hang.
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, PlanError::Internal(_)), "got {err:?}");
+        assert_eq!(
+            ctx.cluster()
+                .registry()
+                .counter_value("session.driver_panics"),
+            1
+        );
+        // `finish` releases pins before publishing the result, so the
+        // table is deregistrable as soon as `wait` returns.
+        assert_eq!(ctx.table_pin_count("t"), 0, "panic path must release pins");
+        assert!(ctx.deregister_table("t").unwrap().is_some());
+    }
+
+    #[test]
+    fn dropping_queued_handle_cancels_and_releases_pins() {
+        let ctx = ctx_with_table(100);
+        ctx.cluster().scheduler().set_admission_limits(1, 4);
+        // Occupy the only slot so the submitted query queues for
+        // admission — the window where pins used to be unreclaimable.
+        let blocker = ctx.cluster().scheduler().new_query(1);
+        let slot = ctx.cluster().scheduler().admit(&blocker).unwrap();
+        let handle = ctx.submit_sql("SELECT * FROM t").unwrap();
+        assert_eq!(ctx.table_pin_count("t"), 1);
+        drop(handle);
+        // Dropping the unfinished handle cancels the query; the driver
+        // thread aborts its admission wait and finishes, releasing the
+        // pin without the blocker ever yielding its slot.
+        for _ in 0..500 {
+            if ctx.table_pin_count("t") == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(ctx.table_pin_count("t"), 0);
+        assert!(ctx.deregister_table("t").unwrap().is_some());
+        drop(slot);
     }
 
     #[test]

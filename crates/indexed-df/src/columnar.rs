@@ -147,6 +147,20 @@ impl ColumnarIndexedTable {
                     col,
                 ))
             })?;
+        // Columnar tables are driver-held (the partitions live in this
+        // struct, not the governed block cache), so their footprint is
+        // *reported* to the memory metrics but sits outside the evictable
+        // budget: counters for cumulative construction, a high-water gauge
+        // for occupancy.
+        let built_bytes: u64 = partitions
+            .iter()
+            .map(|p| (p.index_bytes() + p.data_bytes()) as u64)
+            .sum();
+        let registry = ctx.cluster().registry();
+        registry
+            .counter("memory.columnar_built_bytes")
+            .add(built_bytes);
+        registry.gauge("memory.columnar_bytes").set_max(built_bytes);
         Ok(ColumnarIndexedTable {
             ctx: Arc::clone(ctx),
             schema,

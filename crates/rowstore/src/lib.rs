@@ -41,12 +41,14 @@
 mod batch;
 pub mod codec;
 mod ptr;
+pub mod spill;
 mod store;
 mod types;
 
 pub use batch::RowBatch;
 pub use codec::{BlockReader, BlockWriter, CodecError};
 pub use ptr::{PackedPtr, PtrLayout};
+pub use spill::SpillError;
 pub use store::{PartitionStore, StoreConfig, StoreError, RECORD_HEADER};
 pub use types::{
     key_hash_bytes, key_hash_u64, rows_key_hash, DataType, Field, Row, Schema, Value,

@@ -16,6 +16,7 @@
 //! partitions).
 
 use crate::config::ClusterConfig;
+use crate::memory::{BlockCharge, EvictionPolicy, MemoryGovernor};
 use crate::metrics::{Metrics, Registry, SpanKind, SpanRecord, Trace};
 use crate::scheduler::{self, QueryId, QueryRef, Scheduler};
 use parking_lot::Mutex;
@@ -177,6 +178,9 @@ pub struct Cluster {
     trace: Arc<Trace>,
     /// Fair per-worker task queues + admission control.
     scheduler: Scheduler,
+    /// Per-cluster memory accountant and governance (byte budget,
+    /// cost-based eviction, spill, version retirement).
+    memory: MemoryGovernor,
     next_dataset: AtomicU64,
     /// Round-robin fallback cursor for non-local scheduling.
     fallback: AtomicUsize,
@@ -213,17 +217,31 @@ impl Cluster {
         let num_workers = config.workers;
         let registry = Arc::new(Registry::new(num_workers));
         let scheduler = Scheduler::new(num_workers, &registry);
-        Arc::new(Cluster {
+        let memory = MemoryGovernor::new(&registry);
+        let cluster = Arc::new(Cluster {
             config,
             workers,
             metrics: Metrics::new(),
             registry,
             trace: Arc::new(Trace::default()),
             scheduler,
+            memory,
             next_dataset: AtomicU64::new(1),
             fallback: AtomicUsize::new(0),
             obs: std::sync::Mutex::new(()),
-        })
+        });
+        // Sweep retirable dataset versions whenever a query releases its
+        // admission slot: the last reader of a superseded version is gone
+        // by then, so its blocks can be reclaimed eagerly. Weak: the hook
+        // must not keep the cluster alive.
+        let weak = Arc::downgrade(&cluster);
+        cluster.scheduler.set_release_hook(Arc::new(move || {
+            if let Some(c) = weak.upgrade() {
+                let victims = c.memory.sweep_retired();
+                c.apply_victims(victims);
+            }
+        }));
+        cluster
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -340,10 +358,14 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Kill a worker: drop its cached blocks and stop scheduling onto it.
-    /// Models the executor kill of Fig. 12.
+    /// Models the executor kill of Fig. 12. The memory accountant is
+    /// reconciled in the same step: the worker's resident blocks and its
+    /// refcounted broadcast copies died with it, so their bytes must not
+    /// linger in `memory.resident_bytes` / `broadcast.unique_bytes`.
     pub fn kill_worker(&self, worker: usize) {
         self.workers[worker].alive.store(false, Relaxed);
         self.workers[worker].cache.lock().clear();
+        self.memory.on_worker_killed(worker);
     }
 
     /// Bring a worker back (empty-cached, as a restarted executor).
@@ -419,6 +441,86 @@ impl Cluster {
     /// Total cached blocks on a worker.
     pub fn cached_block_count(&self, worker: usize) -> usize {
         self.workers[worker].cache.lock().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Memory governance
+    // ------------------------------------------------------------------
+
+    /// The memory accountant/governor.
+    pub fn memory(&self) -> &MemoryGovernor {
+        &self.memory
+    }
+
+    /// Set the cluster-wide cache byte budget (0 = ungoverned). If the
+    /// resident set already exceeds the new budget, victims are evicted
+    /// (and spilled, under [`EvictionPolicy::CostSpill`]) immediately.
+    pub fn set_memory_budget(&self, bytes: u64) {
+        let victims = self.memory.set_budget(bytes);
+        self.apply_victims(victims);
+    }
+
+    pub fn set_memory_policy(&self, policy: EvictionPolicy) {
+        self.memory.set_policy(policy);
+    }
+
+    /// Governed block insert: the accountant admits (possibly evicting
+    /// colder blocks first) or rejects the block; only admitted blocks
+    /// enter the worker cache. Returns whether the block was cached —
+    /// rejection is not an error, the caller just stays uncached.
+    pub fn put_block_charged(
+        &self,
+        worker: usize,
+        id: BlockId,
+        version: u64,
+        data: Arc<dyn Any + Send + Sync>,
+        charge: BlockCharge,
+    ) -> bool {
+        let (admitted, victims) = self.memory.admit(worker, id, charge);
+        self.apply_victims(victims);
+        if admitted {
+            self.put_block(worker, id, version, data);
+        }
+        admitted
+    }
+
+    /// Record a cache hit on a governed block (reuse-count feedback for
+    /// the cost-based eviction score).
+    pub fn touch_block(&self, id: BlockId) {
+        self.memory.touch(id);
+    }
+
+    /// Register a dataset version with a live handle lease (see
+    /// [`MemoryGovernor::register_dataset`]).
+    pub fn register_dataset_version(&self, dataset: u64) {
+        self.memory.register_dataset(dataset);
+    }
+
+    /// The last handle to `dataset` dropped; retire it if superseded.
+    pub fn release_dataset(&self, dataset: u64) {
+        let victims = self.memory.release_dataset(dataset);
+        self.apply_victims(victims);
+    }
+
+    /// A newer committed version replaced `dataset`; retire it if no live
+    /// handle pins it.
+    pub fn dataset_superseded(&self, dataset: u64) {
+        let victims = self.memory.mark_superseded(dataset);
+        self.apply_victims(victims);
+    }
+
+    /// Safety-net retirement sweep (also run automatically at query
+    /// admission-slot release).
+    pub fn sweep_retired(&self) {
+        let victims = self.memory.sweep_retired();
+        self.apply_victims(victims);
+    }
+
+    /// Drop governor-selected victims from the worker caches.
+    fn apply_victims(&self, victims: Vec<(usize, BlockId)>) {
+        for (worker, id) in victims {
+            self.evict_block(worker, id);
+        }
     }
 
     // ------------------------------------------------------------------

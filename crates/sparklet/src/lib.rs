@@ -35,6 +35,7 @@
 
 mod cluster;
 mod config;
+pub mod memory;
 pub mod metrics;
 pub mod scheduler;
 pub mod shuffle;
@@ -44,6 +45,7 @@ pub use cluster::{
     TaskSpec,
 };
 pub use config::ClusterConfig;
+pub use memory::{BlockCharge, EvictionPolicy, MemoryGovernor, SpillFn};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, Registry,
     RegistrySnapshot, SpanKind, SpanRecord, Trace,

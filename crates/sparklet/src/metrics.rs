@@ -296,24 +296,28 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Approximate `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets:
-    /// the upper edge of the bucket holding the `⌈q·count⌉`-th value,
-    /// clamped to the observed `[min, max]` so single-bucket histograms
-    /// report exact values. Returns 0 for an empty histogram.
-    pub fn percentile(&self, q: f64) -> u64 {
+    /// Approximate `q`-quantile from the log₂ buckets: the upper edge of
+    /// the bucket holding the `⌈q·count⌉`-th value, clamped to the observed
+    /// `[min, max]` so single-bucket histograms report exact values and
+    /// `q = 1.0` never reports the unbounded top-bucket edge. `q` itself is
+    /// clamped into `0.0 ..= 1.0`. Returns `None` for an empty histogram —
+    /// an empty distribution has no quantiles, and the previous `0` return
+    /// was indistinguishable from a real all-zero sample.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
+        let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for &(b, c) in &self.buckets {
             seen += c;
             if seen >= rank {
                 let (_, hi) = Histogram::bucket_range(b as usize);
-                return hi.clamp(self.min, self.max);
+                return Some(hi.clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Merge another snapshot into this one (shard merge on read).
@@ -807,8 +811,6 @@ mod tests {
 
     #[test]
     fn histogram_percentiles_from_buckets() {
-        assert_eq!(HistogramSnapshot::default().percentile(0.99), 0);
-
         // 90 fast values (bucket of 100) + 10 slow ones (bucket of 10_000):
         // p50 lands in the fast bucket, p99 in the slow one.
         let h = Histogram::default();
@@ -819,19 +821,51 @@ mod tests {
             h.record(10_000);
         }
         let s = h.snapshot();
-        let p50 = s.percentile(0.50);
-        let p99 = s.percentile(0.99);
+        let p50 = s.percentile(0.50).unwrap();
+        let p99 = s.percentile(0.99).unwrap();
         assert!((100..=127).contains(&p50), "p50 in the fast bucket: {p50}");
         assert!(
             (8192..=10_000).contains(&p99),
             "p99 in the slow bucket: {p99}"
         );
-        assert!(s.percentile(1.0) >= p99);
+        assert!(s.percentile(1.0).unwrap() >= p99);
+    }
 
-        // Single-value histograms are exact thanks to the min/max clamp.
+    /// Regression: an empty histogram has no quantiles (the old code
+    /// returned a fake 0), and `p = 1.0` must report the observed max, not
+    /// the unbounded top-bucket edge.
+    #[test]
+    fn histogram_percentile_edge_cases() {
+        // Empty: every quantile is None.
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0] {
+            assert_eq!(HistogramSnapshot::default().percentile(q), None);
+        }
+
+        // Single sample: p0, p50 and p100 are all exactly the sample,
+        // thanks to the min/max clamp.
         let h = Histogram::default();
         h.record(777);
-        assert_eq!(h.snapshot().percentile(0.5), 777);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.0), Some(777));
+        assert_eq!(s.percentile(0.5), Some(777));
+        assert_eq!(s.percentile(1.0), Some(777));
+        // Out-of-range q clamps rather than panicking or extrapolating.
+        assert_eq!(s.percentile(-1.0), Some(777));
+        assert_eq!(s.percentile(2.0), Some(777));
+
+        // Saturated histogram: u64::MAX lands in the open-ended top bucket
+        // whose `hi` is u64::MAX; the max clamp keeps p100 exact and p0
+        // pinned to the observed minimum.
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(1.0), Some(u64::MAX));
+        assert_eq!(s.percentile(0.0), Some(1));
+        // The p100 of a 1-sample saturated histogram is the sample itself.
+        let h = Histogram::default();
+        h.record(u64::MAX - 3);
+        assert_eq!(h.snapshot().percentile(1.0), Some(u64::MAX - 3));
     }
 
     #[test]

@@ -171,12 +171,26 @@ struct AdmissionCounts {
     waiting: usize,
 }
 
-#[derive(Debug)]
 struct AdmissionShared {
     state: Mutex<AdmissionCounts>,
     cv: Condvar,
     max_concurrent: AtomicUsize,
     max_waiting: AtomicUsize,
+    /// Invoked after every admission-slot release (query completion). The
+    /// cluster hooks memory-governance sweeps here: a query releasing its
+    /// slot is the natural boundary at which superseded dataset versions
+    /// stop being referenced and can be retired.
+    release_hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl fmt::Debug for AdmissionShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdmissionShared")
+            .field("state", &self.state)
+            .field("max_concurrent", &self.max_concurrent)
+            .field("max_waiting", &self.max_waiting)
+            .finish_non_exhaustive()
+    }
 }
 
 /// RAII admission slot: dropping it releases the slot and wakes waiters.
@@ -191,6 +205,12 @@ impl Drop for AdmissionGuard {
         st.running -= 1;
         drop(st);
         self.shared.cv.notify_all();
+        // Run the release hook outside every admission lock: it may take
+        // unrelated locks (memory-governor sweeps).
+        let hook = self.shared.release_hook.lock().unwrap().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 }
 
@@ -370,6 +390,7 @@ impl Scheduler {
                 cv: Condvar::new(),
                 max_concurrent: AtomicUsize::new(DEFAULT_MAX_CONCURRENT_QUERIES),
                 max_waiting: AtomicUsize::new(DEFAULT_MAX_WAITING_QUERIES),
+                release_hook: Mutex::new(None),
             }),
             queues: (0..num_workers)
                 .map(|_| Arc::new(FairQueue::new(interleaves.clone())))
@@ -441,6 +462,13 @@ impl Scheduler {
             Admission::Ready(guard) => Ok(guard),
             Admission::Queued(ticket) => ticket.wait(),
         }
+    }
+
+    /// Install the hook invoked after each admission-slot release. Used by
+    /// [`crate::Cluster`] to sweep retirable dataset versions at query
+    /// boundaries.
+    pub fn set_release_hook(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        *self.admission.release_hook.lock().unwrap() = Some(hook);
     }
 
     /// Model a per-task driver→worker dispatch round-trip (see module

@@ -386,6 +386,13 @@ pub fn broadcast<T: ShuffleItem>(cluster: &Cluster, data: Vec<T>) -> Vec<Option<
 /// handed to `copies` workers (shared by [`broadcast`] and the operators
 /// that broadcast their own structures, e.g. the broadcast-hash join's
 /// build table).
+///
+/// Besides the cumulative traffic counters, the broadcast is registered in
+/// the memory governor's *live* ledger, refcounted on the workers that
+/// actually hold a copy. The cumulative counters never decrease (they are
+/// traffic, not occupancy); the ledger is what [`Cluster::kill_worker`]
+/// reconciles so `broadcast.live_{copies,bytes}` drop when the copies die
+/// with their worker instead of drifting upward forever.
 pub fn account_broadcast(cluster: &Cluster, unique_bytes: u64, copies: u64) {
     cluster
         .metrics()
@@ -395,6 +402,11 @@ pub fn account_broadcast(cluster: &Cluster, unique_bytes: u64, copies: u64) {
     reg.counter("broadcast.bytes").add(unique_bytes * copies);
     reg.counter("broadcast.unique_bytes").add(unique_bytes);
     reg.counter("broadcast.copies").add(copies);
+    // Every caller hands one copy to each currently-alive worker (the
+    // `copies` count and this list can differ only under a concurrent
+    // kill, in which case the kill's reconcile pass fixes the ledger).
+    let holders = cluster.alive_workers();
+    cluster.memory().register_broadcast(unique_bytes, &holders);
 }
 
 /// Time a closure into the shuffle counter (for operators that move data
@@ -684,6 +696,41 @@ mod tests {
         assert_eq!(r.counter_value("broadcast.copies"), 2);
         assert_eq!(r.counter_value("broadcast.bytes"), 8);
         assert_eq!(r.counter_value("broadcast.unique_bytes"), 4);
+    }
+
+    #[test]
+    fn broadcast_ledger_reconciled_on_worker_death() {
+        // Regression: broadcast occupancy accounting was append-only — a
+        // worker dying with its refcounted copy left broadcast.unique_bytes
+        // and broadcast.copies permanently inflated. The live ledger must
+        // shrink on kill while the cumulative traffic counters stay put.
+        let c = Cluster::new(ClusterConfig {
+            workers: 3,
+            executors_per_worker: 1,
+            cores_per_executor: 1,
+            max_task_attempts: 4,
+        });
+        broadcast(&c, vec![vec![0u8; 100]]);
+        assert_eq!(c.memory().broadcast_live(), (3, 300));
+        let r = c.registry();
+        assert_eq!(r.gauge_value("broadcast.live_copies"), 3);
+        assert_eq!(r.gauge_value("broadcast.live_bytes"), 300);
+        c.kill_worker(2);
+        assert_eq!(
+            c.memory().broadcast_live(),
+            (2, 200),
+            "the dead worker's copy must leave the live ledger"
+        );
+        assert_eq!(r.gauge_value("broadcast.live_copies"), 2);
+        assert_eq!(r.gauge_value("broadcast.live_bytes"), 200);
+        assert_eq!(r.counter_value("broadcast.reclaimed_copies"), 1);
+        assert_eq!(r.counter_value("broadcast.reclaimed_bytes"), 100);
+        // Cumulative traffic is history, not occupancy: unchanged by death.
+        assert_eq!(r.counter_value("broadcast.copies"), 3);
+        assert_eq!(r.counter_value("broadcast.unique_bytes"), 100);
+        // A second kill of the same worker must not double-reclaim.
+        c.kill_worker(2);
+        assert_eq!(r.counter_value("broadcast.reclaimed_copies"), 1);
     }
 
     #[test]

@@ -148,6 +148,71 @@ fn four_worker_run_populates_every_metric_layer() {
     assert!(cluster.trace().is_empty());
 }
 
+/// The memory governor records every governance metric in a 4-worker run:
+/// resident accounting, budget-driven evictions with spill, spill
+/// restores, and lineage recomputes after the spill volume is lost.
+#[test]
+fn memory_governance_metrics_populate_in_four_worker_run() {
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 4,
+        executors_per_worker: 1,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+    });
+    let ctx = Context::new(Arc::clone(&cluster));
+    let registry = cluster.registry();
+
+    let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), rows(2000, 50), "k").unwrap();
+    idf.cache_index().unwrap();
+    let resident = cluster.memory().resident_bytes();
+    assert!(resident > 0, "cached index accounts resident bytes");
+    assert_eq!(registry.gauge_value("memory.resident_bytes"), resident);
+    assert!(registry.gauge_value("memory.resident_peak_bytes") >= resident);
+    assert_eq!(registry.counter_value("memory.evictions"), 0);
+
+    // Halving the budget forces evictions; CostSpill writes spill images.
+    let budget = resident / 2;
+    cluster.set_memory_budget(budget);
+    assert_eq!(registry.gauge_value("memory.budget_bytes"), budget);
+    assert!(registry.counter_value("memory.evictions") > 0, "evictions");
+    assert!(registry.counter_value("memory.spilled_bytes") > 0, "spill");
+    assert!(cluster.memory().resident_bytes() <= budget, "under budget");
+
+    // Touching every key restores evicted partitions from their images.
+    for k in 0..50 {
+        assert_eq!(idf.get_rows(&Value::Int64(k)).unwrap().len(), 40);
+    }
+    assert!(registry.counter_value("memory.unspills") > 0, "unspills");
+
+    // Lose the spill volume: further rebuilds pay lineage recomputes.
+    assert!(cluster.memory().discard_spill_images() > 0);
+    for k in 0..50 {
+        assert_eq!(idf.get_rows(&Value::Int64(k)).unwrap().len(), 40);
+    }
+    assert!(
+        registry.counter_value("memory.recomputes") > 0,
+        "recomputes"
+    );
+    assert!(
+        registry.gauge_value("memory.resident_peak_bytes") <= resident,
+        "peak never exceeded the ungoverned full working set"
+    );
+
+    // The governance series travel in the metrics document.
+    let json = cluster.metrics_json();
+    for needle in [
+        "\"memory.resident_bytes\"",
+        "\"memory.resident_peak_bytes\"",
+        "\"memory.budget_bytes\"",
+        "\"memory.evictions\"",
+        "\"memory.spilled_bytes\"",
+        "\"memory.unspills\"",
+        "\"memory.recomputes\"",
+    ] {
+        assert!(json.contains(needle), "metrics_json missing {needle}");
+    }
+}
+
 /// The serving path records every per-session metric: admission outcomes
 /// (`session.admitted` / `session.rejected` / `session.cancelled`) and the
 /// queue/execution latency split (`session.queue_ns` / `session.exec_ns`).

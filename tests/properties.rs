@@ -267,3 +267,124 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case stands up a cluster and races reader threads against
+    // version churn, so the case budget is deliberately small.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Memory-governance safety: with the budget held far below the
+    /// working set (continuous eviction/spill churn), concurrent appends
+    /// that commit new MVCC versions — retiring superseded ancestors —
+    /// never reclaim state visible to a live handle. Standing readers on
+    /// the base version race the churn and must always see exactly the
+    /// base rows; afterwards every retained version handle still serves
+    /// its exact per-key view, and dropping the superseded handles
+    /// retires them without disturbing the survivor.
+    #[test]
+    fn eviction_never_reclaims_versions_visible_to_live_handles(
+        batches in proptest::collection::vec(proptest::collection::vec(0i64..8, 1..8), 1..5),
+        divisor in 2u64..6,
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("seq", DataType::Int64),
+        ]);
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let cluster = Arc::clone(ctx.cluster());
+        let registry = cluster.registry();
+        let base: Vec<Row> = (0..32)
+            .map(|i| vec![Value::Int64(i % 8), Value::Int64(i)])
+            .collect();
+        let idf = IndexedDataFrame::from_rows(&ctx, schema, base, "k").unwrap();
+        idf.cache_index().unwrap();
+        let resident = cluster.memory().resident_bytes();
+        prop_assert!(resident > 0, "cached base version accounts resident bytes");
+        cluster.set_memory_budget((resident / divisor).max(1));
+        prop_assert!(
+            registry.counter_value("memory.evictions") > 0,
+            "the budget squeeze evicted part of the base working set"
+        );
+
+        // Standing readers hammer the *base* version while the appender
+        // commits new versions on top of it; every read races eviction,
+        // spill restore, and ancestor supersession, and must still see
+        // exactly the 4 base rows per key.
+        let (versions, expected, fault) = std::thread::scope(|s| {
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let idf = idf.clone();
+                    s.spawn(move || {
+                        for _ in 0..4 {
+                            for k in 0..8i64 {
+                                let n = idf.get_rows(&Value::Int64(k)).unwrap().len();
+                                if n != 4 {
+                                    return Some(format!("base key {k}: {n} rows, want 4"));
+                                }
+                            }
+                        }
+                        None
+                    })
+                })
+                .collect();
+
+            let mut versions = vec![idf.clone()];
+            let mut expected: Vec<[usize; 8]> = vec![[4; 8]];
+            for (b, batch) in batches.iter().enumerate() {
+                let rows: Vec<Row> = batch
+                    .iter()
+                    .enumerate()
+                    .map(|(i, k)| vec![Value::Int64(*k), Value::Int64((100 * b + i) as i64)])
+                    .collect();
+                let next = versions.last().unwrap().append_rows(rows);
+                // Fully materialize the child: that commits it, marking
+                // the parent superseded (retirable once unpinned).
+                next.cache_index().unwrap();
+                let mut counts = *expected.last().unwrap();
+                for k in batch {
+                    counts[*k as usize] += 1;
+                }
+                expected.push(counts);
+                versions.push(next);
+            }
+            let fault = readers.into_iter().filter_map(|r| r.join().unwrap()).next();
+            (versions, expected, fault)
+        });
+        prop_assert!(fault.is_none(), "standing read diverged: {:?}", fault);
+
+        // Every version handle — all still live, so none retirable — keeps
+        // serving its exact per-key view through the churn.
+        for (v, counts) in versions.iter().zip(&expected) {
+            for k in 0..8i64 {
+                prop_assert_eq!(
+                    v.get_rows(&Value::Int64(k)).unwrap().len(),
+                    counts[k as usize],
+                    "version view for key {}", k
+                );
+            }
+        }
+
+        // Re-touch the base so it holds at least one resident block, then
+        // drop every superseded handle: those versions retire (blocks,
+        // spill images, and history reclaimed) and the survivor is
+        // untouched.
+        let mut versions = versions;
+        let newest = versions.pop().unwrap();
+        let newest_counts = *expected.last().unwrap();
+        versions[0].get_rows(&Value::Int64(0)).unwrap();
+        drop(versions);
+        drop(idf);
+        prop_assert!(
+            registry.counter_value("memory.retired_versions") > 0,
+            "dropping superseded handles retired dead versions"
+        );
+        for k in 0..8i64 {
+            prop_assert_eq!(
+                newest.get_rows(&Value::Int64(k)).unwrap().len(),
+                newest_counts[k as usize],
+                "surviving version after ancestor retirement, key {}", k
+            );
+        }
+        prop_assert_eq!(registry.counter_value("task.terminal_failures"), 0);
+    }
+}

@@ -252,4 +252,91 @@ fn worker_kill_mid_serve_poisons_no_query() {
         "every task recovered within its retry budget"
     );
     assert!(registry.counter_value("session.admitted") >= 8);
+
+    // Broadcast ledger reconciliation (the accounting-drift bugfix): the
+    // pre-kill joins handed broadcast copies to all four workers; the
+    // victim's copies must be reclaimed on its death instead of counting
+    // as live occupancy forever. The cumulative traffic counters are
+    // monotone and unaffected.
+    assert!(
+        registry.counter_value("broadcast.copies") > 0,
+        "the SNB mix exercised broadcast joins"
+    );
+    assert!(
+        registry.counter_value("broadcast.reclaimed_copies") > 0,
+        "worker loss reconciled the live broadcast ledger"
+    );
+    assert!(
+        registry.gauge_value("broadcast.live_copies")
+            + registry.counter_value("broadcast.reclaimed_copies")
+            == registry.counter_value("broadcast.copies"),
+        "live + reclaimed copies account for every copy ever handed out"
+    );
+}
+
+/// The budget-constrained chaos variant: the same interleaved mix, but
+/// with the memory governor holding the cluster to half the cached
+/// working set — queries run against a mix of resident, spilled, and
+/// (after the kill) lost blocks, and must still match the healthy
+/// ungoverned baselines exactly.
+#[test]
+fn budget_constrained_serving_survives_eviction_and_worker_loss() {
+    let ctx = serve_ctx();
+    snb_tables(&ctx);
+    let cluster = Arc::clone(ctx.cluster());
+    let mix = mix();
+
+    // Healthy, ungoverned baselines first.
+    let baselines: Vec<Vec<Row>> = mix
+        .iter()
+        .map(|(_, sql)| sorted(ctx.sql(sql).unwrap().collect().unwrap()))
+        .collect();
+
+    let resident = cluster.memory().resident_bytes();
+    assert!(resident > 0, "indexed tables are cached and accounted");
+    let budget = resident / 2;
+    cluster.set_memory_budget(budget);
+    let registry = cluster.registry();
+    assert!(
+        registry.counter_value("memory.evictions") > 0,
+        "halving the budget evicted cold partitions"
+    );
+    assert!(registry.counter_value("memory.spilled_bytes") > 0);
+
+    let check = |round: &str| {
+        let handles: Vec<_> = mix
+            .iter()
+            .map(|(_, sql)| ctx.submit_sql(sql).unwrap())
+            .collect();
+        for (((q, _), handle), baseline) in mix.iter().zip(&handles).zip(&baselines) {
+            let got = sorted(handle.wait().unwrap());
+            if *q == 2 {
+                assert_eq!(got.len(), baseline.len(), "SQ2 row count ({round})");
+            } else {
+                assert_eq!(&got, baseline, "SQ{q} diverged ({round})");
+            }
+        }
+    };
+
+    // Round 1: serving out of a part-resident, part-spilled working set.
+    check("under budget");
+    assert!(
+        registry.counter_value("memory.unspills") > 0,
+        "evicted partitions were restored from spill images"
+    );
+
+    // Round 2: a worker dies on top of the memory pressure; lost blocks
+    // restore from spill or lineage on the survivors.
+    cluster.kill_worker(1);
+    check("under budget after worker loss");
+
+    assert!(
+        cluster.memory().resident_bytes() <= budget,
+        "governed resident never exceeds the budget"
+    );
+    assert_eq!(
+        registry.counter_value("task.terminal_failures"),
+        0,
+        "every task recovered within its retry budget"
+    );
 }
