@@ -18,8 +18,8 @@
 //! ```
 
 use bench::{
-    ablations, figs_index, figs_memory, figs_micro, figs_real, figs_serve, figs_shuffle,
-    figs_vectorized, figs_write, Opts,
+    ablations, figs_adaptive, figs_index, figs_memory, figs_micro, figs_real, figs_serve,
+    figs_shuffle, figs_vectorized, figs_write, Opts,
 };
 
 fn usage() -> ! {
@@ -90,6 +90,7 @@ fn run(name: &str, opts: &Opts) {
         "fig14" => figs_real::fig14(opts),
         "fig15" => figs_real::fig15(opts),
         "shuffle" => figs_shuffle::shuffle(opts),
+        "adaptive" => figs_adaptive::adaptive(opts),
         "vectorized" => figs_vectorized::vectorized(opts),
         "index_build" => figs_index::index_build(opts),
         "serve" => figs_serve::serve(opts),
@@ -120,6 +121,7 @@ const ALL: &[&str] = &[
     "fig14",
     "fig15",
     "shuffle",
+    "adaptive",
     "vectorized",
     "index_build",
     "serve",

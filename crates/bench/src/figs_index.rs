@@ -52,6 +52,7 @@ fn cluster_ctx(workers: usize) -> Arc<Context> {
         executors_per_worker: 2,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     }))
 }
 

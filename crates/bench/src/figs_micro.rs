@@ -20,6 +20,7 @@ fn cluster_ctx(workers: usize) -> Arc<Context> {
         executors_per_worker: 2,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     }))
 }
 
@@ -181,6 +182,7 @@ pub fn fig4(opts: &Opts) {
             executors_per_worker: execs,
             cores_per_executor: cores,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         }));
         perf.attach(&format!("e{execs}c{cores}"), &ctx);
         register_indexed(
@@ -327,6 +329,7 @@ pub fn fig6(opts: &Opts) {
             executors_per_worker: 1,
             cores_per_executor: 2,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         }));
         perf.attach(&format!("w{workers}"), &ctx);
         register_indexed(
@@ -360,6 +363,7 @@ pub fn fig6(opts: &Opts) {
             executors_per_worker: 1,
             cores_per_executor: cores,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         }));
         perf.attach(&format!("c{cores}"), &ctx);
         register_indexed(

@@ -15,6 +15,7 @@ fn cluster_ctx(workers: usize) -> Arc<Context> {
         executors_per_worker: 2,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     }))
 }
 
@@ -210,6 +211,7 @@ pub fn fig12(opts: &Opts) {
         executors_per_worker: 1,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let mut perf = Perf::start("fig12");

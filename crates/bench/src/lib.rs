@@ -16,6 +16,7 @@
 //! reproduction target, recorded in EXPERIMENTS.md.
 
 pub mod ablations;
+pub mod figs_adaptive;
 pub mod figs_index;
 pub mod figs_memory;
 pub mod figs_micro;

@@ -28,6 +28,7 @@ pub struct Perf {
     figure: String,
     start: Instant,
     clusters: Vec<(String, Arc<Context>)>,
+    snapshots: Vec<(String, String)>,
     extras: Vec<(String, f64)>,
 }
 
@@ -38,6 +39,7 @@ impl Perf {
             figure: figure.to_string(),
             start: Instant::now(),
             clusters: Vec::new(),
+            snapshots: Vec::new(),
             extras: Vec::new(),
         }
     }
@@ -47,6 +49,15 @@ impl Perf {
     /// "indexed"); the snapshot is taken at [`Perf::finish`] time.
     pub fn attach(&mut self, label: &str, ctx: &Arc<Context>) {
         self.clusters.push((label.to_string(), Arc::clone(ctx)));
+    }
+
+    /// [`Perf::attach`] that snapshots the metrics immediately instead of
+    /// holding the context until [`Perf::finish`] — for figures that drive
+    /// many large clusters sequentially and want each one (and its tables)
+    /// freed before the next starts.
+    pub fn snapshot(&mut self, label: &str, ctx: &Arc<Context>) {
+        self.snapshots
+            .push((label.to_string(), ctx.cluster().metrics_json()));
     }
 
     /// Record a figure-specific scalar (a throughput, a speedup ratio, ...)
@@ -69,6 +80,11 @@ impl Perf {
                     ctx.cluster().metrics_json()
                 )
             })
+            .chain(
+                self.snapshots
+                    .iter()
+                    .map(|(label, json)| format!("\"{}\":{json}", json_escape(label))),
+            )
             .collect();
         let extras: Vec<String> = self
             .extras

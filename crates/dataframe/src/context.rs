@@ -28,6 +28,13 @@ pub struct ExecConfig {
     /// (Spark's default; the paper's production runs use broadcast-hash,
     /// "faster than the notoriously slow SortMerge Join", §IV-E).
     pub prefer_sort_merge: bool,
+    /// Enable runtime-adaptive execution: shuffled/sort-merge joins
+    /// re-decide their strategy after materializing their inputs (demote
+    /// to broadcast-hash when the build side turns out tiny, salt hot keys
+    /// past the cluster's `skew_ratio`), exchanges split/coalesce skewed
+    /// reduce partitions, and observed cardinalities feed the
+    /// [`Context::runtime_stats`] catalog for later queries.
+    pub adaptive: bool,
 }
 
 impl Default for ExecConfig {
@@ -36,7 +43,55 @@ impl Default for ExecConfig {
             shuffle_partitions: 0, // 0 → derive from cluster geometry
             broadcast_threshold_bytes: 10 << 20,
             prefer_sort_merge: false,
+            adaptive: true,
         }
+    }
+}
+
+/// Observed (not estimated) size of a table, recorded by executed scans
+/// and consulted by the planner on subsequent queries — sessions
+/// re-running similar queries get broadcast decisions based on what the
+/// table actually weighed, not on the provider's registration-time
+/// estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    pub rows: u64,
+    pub bytes: u64,
+    /// How many executions contributed (last observation wins; the count
+    /// is for diagnostics).
+    pub observations: u64,
+}
+
+/// The cardinality-feedback catalog: per-table observed row counts and
+/// byte sizes, keyed by catalog name.
+#[derive(Default)]
+pub struct RuntimeStats {
+    tables: Mutex<HashMap<String, TableStats>>,
+}
+
+impl RuntimeStats {
+    /// Record one observed materialization of `table`. The latest
+    /// observation replaces the previous one (tables mutate between
+    /// queries; stale sizes are worse than fresh ones).
+    pub fn record_table(&self, table: &str, rows: u64, bytes: u64) {
+        let mut tables = self.tables.lock();
+        let e = tables.entry(table.to_string()).or_insert(TableStats {
+            rows: 0,
+            bytes: 0,
+            observations: 0,
+        });
+        e.rows = rows;
+        e.bytes = bytes;
+        e.observations += 1;
+    }
+
+    pub fn observed(&self, table: &str) -> Option<TableStats> {
+        self.tables.lock().get(table).copied()
+    }
+
+    /// Drop the observation for `table` (e.g. after re-registration).
+    pub fn forget(&self, table: &str) {
+        self.tables.lock().remove(table);
     }
 }
 
@@ -141,6 +196,7 @@ pub struct Context {
     cluster: Arc<Cluster>,
     config: ExecConfig,
     catalog: Mutex<HashMap<String, Arc<dyn TableProvider>>>,
+    runtime_stats: RuntimeStats,
     rules: RwLock<Vec<Arc<dyn PlannerRule>>>,
     /// Tables pinned by running queries (name → pin count). Physical
     /// plans snapshot their providers at plan time, so execution never
@@ -180,6 +236,7 @@ impl Context {
             cluster,
             config,
             catalog: Mutex::new(HashMap::new()),
+            runtime_stats: RuntimeStats::default(),
             rules: RwLock::new(Vec::new()),
             pins: Mutex::new(HashMap::new()),
         })
@@ -202,9 +259,18 @@ impl Context {
         }
     }
 
-    /// Register (or replace) a named table.
+    /// The cardinality-feedback catalog (observed table sizes).
+    pub fn runtime_stats(&self) -> &RuntimeStats {
+        &self.runtime_stats
+    }
+
+    /// Register (or replace) a named table. Replacing a table invalidates
+    /// its runtime-stats observation — the new contents may have nothing
+    /// in common with the measured ones.
     pub fn register_table(&self, name: impl Into<String>, provider: Arc<dyn TableProvider>) {
-        self.catalog.lock().insert(name.into(), provider);
+        let name = name.into();
+        self.runtime_stats.forget(&name);
+        self.catalog.lock().insert(name, provider);
     }
 
     /// Remove a table from the catalog. Fails with

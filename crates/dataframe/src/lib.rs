@@ -49,9 +49,10 @@ pub mod vector;
 
 pub use api::{DataFrame, GroupedFrame};
 pub use column::{ColumnVec, ColumnarPartition, ColumnarSource, ColumnarTable};
-pub use context::{Context, ExecConfig, PlannerRule, TableProvider};
+pub use context::{Context, ExecConfig, PlannerRule, RuntimeStats, TableProvider, TableStats};
 pub use expr::{col, eval_binary, lit, BinOp, BoundExpr, Expr, PlanError};
 pub use optimizer::optimize;
+pub use physical::adaptive::AdaptiveJoinExec;
 pub use physical::pipeline::{ColumnarPipelineExec, Projection};
 pub use physical::{gather, ExecPlan, GroupKey, KeyWrap, Partitions};
 pub use plan::{infer_type, AggFunc, AggSpec, LogicalPlan};

@@ -25,7 +25,7 @@ use std::sync::Arc;
 /// Build a key → rows multimap, dropping null keys. `capacity` is a row
 /// count hint (callers know it exactly from `count_rows`/`len`); the table
 /// is pre-sized for it so the build loop never rehashes.
-fn build_table(
+pub(crate) fn build_table(
     rows: impl IntoIterator<Item = Row>,
     key: usize,
     capacity: usize,
@@ -45,11 +45,105 @@ fn build_table(
 
 /// Concatenate a left row and a right row.
 #[inline]
-fn joined(left: &Row, right: &Row) -> Row {
+pub(crate) fn joined(left: &Row, right: &Row) -> Row {
     let mut out = Vec::with_capacity(left.len() + right.len());
     out.extend_from_slice(left);
     out.extend_from_slice(right);
     out
+}
+
+/// Exact materialized size of a set of partitions (the number the runtime
+/// stats catalog records; estimates never enter here).
+pub(crate) fn parts_bytes(parts: &Partitions) -> u64 {
+    parts
+        .iter()
+        .flat_map(|p| p.iter().map(|r| r.approx_bytes() as u64))
+        .sum()
+}
+
+/// Materialized size measured from a stride sample of the rows. Small
+/// inputs (≤ 4096 rows) are summed exactly; larger ones extrapolate from
+/// ~1024 evenly-spaced rows, so the per-query accounting cost stays flat
+/// while the number is still derived from the actual rows in memory (the
+/// distinction that matters vs planner estimates is measured-vs-guessed,
+/// not exact-vs-sampled).
+pub(crate) fn parts_bytes_sampled(parts: &Partitions) -> u64 {
+    let rows: usize = parts.iter().map(|p| p.len()).sum();
+    if rows <= 4096 {
+        return parts_bytes(parts);
+    }
+    let stride = rows.div_ceil(1024);
+    let (mut sampled, mut bytes) = (0u64, 0u64);
+    for (i, row) in parts.iter().flat_map(|p| p.iter()).enumerate() {
+        if i % stride == 0 {
+            sampled += 1;
+            bytes += row.approx_bytes() as u64;
+        }
+    }
+    bytes * rows as u64 / sampled.max(1)
+}
+
+/// The broadcast-hash join body over already-materialized inputs: hash the
+/// build side once, broadcast-account it, probe per partition. Shared by
+/// [`BroadcastHashJoinExec`] and the adaptive join's runtime demotion
+/// (which decides on materialized sizes *after* its children ran).
+pub(crate) fn broadcast_hash_core(
+    ctx: &Arc<Context>,
+    build_parts: Partitions,
+    probe_parts: Partitions,
+    build_key: usize,
+    probe_key: usize,
+    build_is_left: bool,
+) -> Result<Partitions, ExecError> {
+    let metrics = ctx.cluster().metrics();
+    let build_rows = count_rows(&build_parts) as usize;
+    let probe_parts = Arc::new(probe_parts);
+
+    // Build phase: collect + hash the build side.
+    let table = Metrics::timed(&metrics.build_ns, || {
+        Arc::new(build_table(
+            build_parts.into_iter().flatten(),
+            build_key,
+            build_rows,
+        ))
+    });
+
+    // Broadcast: the table is materialized once and refcounted to every
+    // alive worker (the probe tasks below share `table2`); account wire
+    // traffic per worker, memory once.
+    let table_bytes: u64 = table
+        .values()
+        .flat_map(|rows| rows.iter().map(|r| r.approx_bytes() as u64))
+        .sum();
+    let alive = ctx.cluster().alive_workers().len() as u64;
+    sparklet::account_broadcast(ctx.cluster(), table_bytes, alive);
+
+    // Probe phase: local hash lookups per probe partition.
+    let probe_parts2 = Arc::clone(&probe_parts);
+    let table2 = Arc::clone(&table);
+    Metrics::timed(&metrics.probe_ns, || {
+        ctx.cluster()
+            .run_stage_partitions(probe_parts.len(), move |tc| {
+                let mut out = Vec::new();
+                for probe_row in &probe_parts2[tc.partition] {
+                    let k = &probe_row[probe_key];
+                    if k.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = table2.get(KeyWrap::from_ref(k)) {
+                        for build_row in matches {
+                            out.push(if build_is_left {
+                                joined(build_row, probe_row)
+                            } else {
+                                joined(probe_row, build_row)
+                            });
+                        }
+                    }
+                }
+                out
+            })
+    })
+    .map_err(ExecError::from)
 }
 
 /// Broadcast-hash join: the build side is collected, hashed once on the
@@ -62,6 +156,11 @@ pub struct BroadcastHashJoinExec {
     /// Whether the build side is the *left* input of the logical join
     /// (controls output column order).
     pub build_is_left: bool,
+    /// Catalog name of the build side when it is a bare table scan: its
+    /// actual materialized size is recorded in the session's
+    /// [`crate::context::RuntimeStats`] so later broadcast decisions use
+    /// the measured bytes, not the registration-time estimate.
+    pub build_table_name: Option<String>,
     pub out_schema: Arc<Schema>,
 }
 
@@ -71,62 +170,27 @@ impl ExecPlan for BroadcastHashJoinExec {
     }
 
     fn execute(&self, ctx: &Arc<Context>) -> Result<Partitions, ExecError> {
-        let metrics = ctx.cluster().metrics();
-
         // Children first so the operator span covers only the join's own
         // build/broadcast/probe work.
         let build_parts = self.build.execute(ctx)?;
-        let probe_parts = Arc::new(self.probe.execute(ctx)?);
+        let probe_parts = self.probe.execute(ctx)?;
         let build_rows_in = count_rows(&build_parts);
         let rows_in = build_rows_in + count_rows(&probe_parts);
-        let build_key = self.build_key;
-        let probe_key = self.probe_key;
-        let build_is_left = self.build_is_left;
+        if let Some(name) = &self.build_table_name {
+            ctx.runtime_stats()
+                .record_table(name, build_rows_in, parts_bytes(&build_parts));
+        }
+        let (build_key, probe_key, build_is_left) =
+            (self.build_key, self.probe_key, self.build_is_left);
         observe_operator(ctx, "join.broadcast", rows_in, || {
-            // Build phase: collect + hash the build side.
-            let table = Metrics::timed(&metrics.build_ns, || {
-                Arc::new(build_table(
-                    build_parts.into_iter().flatten(),
-                    build_key,
-                    build_rows_in as usize,
-                ))
-            });
-
-            // Broadcast: the table is materialized once and refcounted to
-            // every alive worker (the probe tasks below share `table2`);
-            // account wire traffic per worker, memory once.
-            let table_bytes: u64 = table
-                .values()
-                .flat_map(|rows| rows.iter().map(|r| r.approx_bytes() as u64))
-                .sum();
-            let alive = ctx.cluster().alive_workers().len() as u64;
-            sparklet::account_broadcast(ctx.cluster(), table_bytes, alive);
-
-            // Probe phase: local hash lookups per probe partition.
-            let probe_parts2 = Arc::clone(&probe_parts);
-            let table2 = Arc::clone(&table);
-            Ok(Metrics::timed(&metrics.probe_ns, || {
-                ctx.cluster()
-                    .run_stage_partitions(probe_parts.len(), move |tc| {
-                        let mut out = Vec::new();
-                        for probe_row in &probe_parts2[tc.partition] {
-                            let k = &probe_row[probe_key];
-                            if k.is_null() {
-                                continue;
-                            }
-                            if let Some(matches) = table2.get(KeyWrap::from_ref(k)) {
-                                for build_row in matches {
-                                    out.push(if build_is_left {
-                                        joined(build_row, probe_row)
-                                    } else {
-                                        joined(probe_row, build_row)
-                                    });
-                                }
-                            }
-                        }
-                        out
-                    })
-            })?)
+            broadcast_hash_core(
+                ctx,
+                build_parts,
+                probe_parts,
+                build_key,
+                probe_key,
+                build_is_left,
+            )
         })
     }
 
@@ -155,7 +219,7 @@ pub struct ShuffledHashJoinExec {
 }
 
 /// Key rows by their join-key hash for the exchange; null keys dropped.
-fn keyed(parts: Partitions, key: usize) -> Vec<Vec<(u64, Row)>> {
+pub(crate) fn keyed(parts: Partitions, key: usize) -> Vec<Vec<(u64, Row)>> {
     parts
         .into_iter()
         .map(|rows| {
@@ -194,35 +258,14 @@ impl ExecPlan for ShuffledHashJoinExec {
                 keyed(right_parts, right_key),
                 p,
             )?);
-
-            let metrics = ctx.cluster().metrics();
-            Ok(Metrics::timed(&metrics.probe_ns, || {
-                let ls = Arc::clone(&left_shuffled);
-                let rs = Arc::clone(&right_shuffled);
-                ctx.cluster().run_stage_partitions(p, move |tc| {
-                    let (build_rows, probe_rows, build_key, probe_key) = if build_left {
-                        (&ls[tc.partition], &rs[tc.partition], left_key, right_key)
-                    } else {
-                        (&rs[tc.partition], &ls[tc.partition], right_key, left_key)
-                    };
-                    let table =
-                        build_table(build_rows.iter().cloned(), build_key, build_rows.len());
-                    let mut out = Vec::new();
-                    for probe_row in probe_rows {
-                        if let Some(matches) = table.get(KeyWrap::from_ref(&probe_row[probe_key])) {
-                            for build_row in matches {
-                                // Output is always left ++ right.
-                                out.push(if build_left {
-                                    joined(build_row, probe_row)
-                                } else {
-                                    joined(probe_row, build_row)
-                                });
-                            }
-                        }
-                    }
-                    out
-                })
-            })?)
+            shuffled_probe_core(
+                ctx,
+                left_shuffled,
+                right_shuffled,
+                left_key,
+                right_key,
+                build_left,
+            )
         })
     }
 
@@ -236,6 +279,56 @@ impl ExecPlan for ShuffledHashJoinExec {
             &[self.left.as_ref(), self.right.as_ref()],
         )
     }
+}
+
+/// Per-partition build + probe over already-shuffled sides (the reduce
+/// body of the shuffled-hash join). Shared by [`ShuffledHashJoinExec`]
+/// and the adaptive join's cold-key path. Output is always left ++ right.
+pub(crate) fn shuffled_probe_core(
+    ctx: &Arc<Context>,
+    left_shuffled: Arc<Partitions>,
+    right_shuffled: Arc<Partitions>,
+    left_key: usize,
+    right_key: usize,
+    build_left: bool,
+) -> Result<Partitions, ExecError> {
+    let p = left_shuffled.len();
+    assert_eq!(p, right_shuffled.len());
+    let metrics = ctx.cluster().metrics();
+    Metrics::timed(&metrics.probe_ns, || {
+        ctx.cluster().run_stage_partitions(p, move |tc| {
+            let (build_rows, probe_rows, build_key, probe_key) = if build_left {
+                (
+                    &left_shuffled[tc.partition],
+                    &right_shuffled[tc.partition],
+                    left_key,
+                    right_key,
+                )
+            } else {
+                (
+                    &right_shuffled[tc.partition],
+                    &left_shuffled[tc.partition],
+                    right_key,
+                    left_key,
+                )
+            };
+            let table = build_table(build_rows.iter().cloned(), build_key, build_rows.len());
+            let mut out = Vec::new();
+            for probe_row in probe_rows {
+                if let Some(matches) = table.get(KeyWrap::from_ref(&probe_row[probe_key])) {
+                    for build_row in matches {
+                        out.push(if build_left {
+                            joined(build_row, probe_row)
+                        } else {
+                            joined(probe_row, build_row)
+                        });
+                    }
+                }
+            }
+            out
+        })
+    })
+    .map_err(ExecError::from)
 }
 
 /// Sort-merge join: shuffle, sort both sides per partition, merge equal
@@ -416,6 +509,7 @@ mod tests {
             build_key: 0,
             probe_key: 0,
             build_is_left: false,
+            build_table_name: None,
             out_schema: schema,
         };
         let got = gather(j.execute(&ctx).unwrap());
@@ -435,6 +529,7 @@ mod tests {
             build_key: 0,
             probe_key: 0,
             build_is_left: true,
+            build_table_name: None,
             out_schema: schema,
         };
         let got = gather(j.execute(&ctx).unwrap());

@@ -5,6 +5,7 @@
 //! add their own (the Indexed DataFrame's indexed lookup/join operators
 //! plug in exactly here — the "strategies" of §III-B).
 
+pub mod adaptive;
 pub mod agg;
 pub mod filter;
 pub mod join;

@@ -11,6 +11,7 @@
 use crate::column::ColumnarTable;
 use crate::context::Context;
 use crate::expr::{BoundExpr, Expr, PlanError};
+use crate::physical::adaptive::AdaptiveJoinExec;
 use crate::physical::agg::{BoundAgg, HashAggExec};
 use crate::physical::filter::FilterExec;
 use crate::physical::join::{BroadcastHashJoinExec, ShuffledHashJoinExec, SortMergeJoinExec};
@@ -340,10 +341,10 @@ impl Planner {
         if lsize.min(rsize) <= threshold {
             // Broadcast the smaller side (the build relation, §IV-C).
             let build_is_left = lsize <= rsize;
-            let (build, probe, build_key, probe_key) = if build_is_left {
-                (left_phys, right_phys, lk, rk)
+            let (build, probe, build_key, probe_key, build_plan) = if build_is_left {
+                (left_phys, right_phys, lk, rk, left)
             } else {
-                (right_phys, left_phys, rk, lk)
+                (right_phys, left_phys, rk, lk, right)
             };
             return Ok(Arc::new(BroadcastHashJoinExec {
                 build,
@@ -351,6 +352,21 @@ impl Planner {
                 build_key,
                 probe_key,
                 build_is_left,
+                build_table_name: scan_table_name(build_plan),
+                out_schema,
+            }));
+        }
+        if ctx.config().adaptive {
+            // No side is estimated broadcastable — defer the strategy
+            // decision to runtime, when materialized sizes and key
+            // frequencies are known (demotion / salting / plain shuffle).
+            return Ok(Arc::new(AdaptiveJoinExec {
+                left: left_phys,
+                right: right_phys,
+                left_key: lk,
+                right_key: rk,
+                left_table: scan_table_name(left),
+                right_table: scan_table_name(right),
                 out_schema,
             }));
         }
@@ -396,10 +412,25 @@ fn resolve_cols(names: &[String], schema: &rowstore::Schema) -> Result<Vec<usize
         .collect()
 }
 
+/// The catalog table name when the plan is a bare scan — the hook for
+/// runtime cardinality feedback (observed sizes are recorded against it).
+fn scan_table_name(plan: &LogicalPlan) -> Option<String> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => Some(table.clone()),
+        _ => None,
+    }
+}
+
 /// Size estimation for join-strategy selection. `None` = unknown.
+/// Observed runtime statistics (recorded by an earlier query's join over
+/// the same table) take precedence over the provider's static estimate.
 pub fn estimate_bytes(plan: &LogicalPlan, ctx: &Arc<Context>) -> Option<usize> {
     match plan {
-        LogicalPlan::Scan { table, .. } => ctx.provider(table).ok().map(|p| p.estimated_bytes()),
+        LogicalPlan::Scan { table, .. } => ctx
+            .runtime_stats()
+            .observed(table)
+            .map(|s| s.bytes as usize)
+            .or_else(|| ctx.provider(table).ok().map(|p| p.estimated_bytes())),
         // Filters and projections only shrink their input: the input size
         // is a safe upper bound.
         LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
@@ -422,14 +453,15 @@ mod tests {
     use sparklet::{Cluster, ClusterConfig};
 
     fn ctx_with_tables(threshold: usize) -> Arc<Context> {
+        ctx_with_tables_cfg(ExecConfig {
+            broadcast_threshold_bytes: threshold,
+            ..ExecConfig::default()
+        })
+    }
+
+    fn ctx_with_tables_cfg(config: ExecConfig) -> Arc<Context> {
         let cluster = Cluster::new(ClusterConfig::test_small());
-        let ctx = Context::with_config(
-            cluster,
-            ExecConfig {
-                broadcast_threshold_bytes: threshold,
-                ..ExecConfig::default()
-            },
-        );
+        let ctx = Context::with_config(cluster, config);
         let schema = Schema::new(vec![
             Field::new("k", DataType::Int64),
             Field::new("v", DataType::Utf8),
@@ -473,7 +505,11 @@ mod tests {
 
     #[test]
     fn join_above_threshold_uses_shuffled_hash() {
-        let ctx = ctx_with_tables(1); // nothing broadcasts
+        let ctx = ctx_with_tables_cfg(ExecConfig {
+            broadcast_threshold_bytes: 1, // nothing broadcasts
+            adaptive: false,              // static strategy selection
+            ..ExecConfig::default()
+        });
         let plan = LogicalPlan::Join {
             left: Box::new(scan(&ctx, "big")),
             right: Box::new(scan(&ctx, "small")),
@@ -489,6 +525,59 @@ mod tests {
     }
 
     #[test]
+    fn join_above_threshold_defaults_to_adaptive() {
+        let ctx = ctx_with_tables(1); // nothing broadcasts statically
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan(&ctx, "big")),
+            right: Box::new(scan(&ctx, "small")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        assert!(
+            phys.describe(0).contains("AdaptiveJoin"),
+            "{}",
+            phys.describe(0)
+        );
+    }
+
+    #[test]
+    fn runtime_stats_override_provider_estimate() {
+        // Without feedback, both sides are estimated over-threshold.
+        let ctx = ctx_with_tables(256);
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(&ctx, "big")),
+            right: Box::new(scan(&ctx, "small")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let phys = Planner::new().plan(&join, &ctx).unwrap();
+        assert!(phys.describe(0).contains("AdaptiveJoin"));
+
+        // A prior query observed "small" is actually tiny: the next static
+        // plan picks broadcast straight away.
+        ctx.runtime_stats().record_table("small", 10, 100);
+        let phys = Planner::new().plan(&join, &ctx).unwrap();
+        assert!(
+            phys.describe(0).contains("BroadcastHashJoin"),
+            "{}",
+            phys.describe(0)
+        );
+
+        // Re-registering the table invalidates the observation.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Utf8),
+        ]);
+        let rows: Vec<Row> = (0..10)
+            .map(|i| vec![Value::Int64(i), Value::Utf8(format!("s{i}"))])
+            .collect();
+        ctx.register_table("small", Arc::new(ColumnarTable::from_rows(schema, rows, 2)));
+        let phys = Planner::new().plan(&join, &ctx).unwrap();
+        assert!(phys.describe(0).contains("AdaptiveJoin"));
+    }
+
+    #[test]
     fn sort_merge_when_preferred() {
         let cluster = Cluster::new(ClusterConfig::test_small());
         let ctx = Context::with_config(
@@ -496,6 +585,7 @@ mod tests {
             ExecConfig {
                 broadcast_threshold_bytes: 1,
                 prefer_sort_merge: true,
+                adaptive: false,
                 ..ExecConfig::default()
             },
         );

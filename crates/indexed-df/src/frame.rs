@@ -386,7 +386,11 @@ impl IdfInner {
             for (i, r) in rows.into_iter().enumerate() {
                 inputs[i / chunk].push((r[index_col].key_hash(), r));
             }
-            let out = Arc::new(sparklet::exchange_rows(cluster, &self.schema, inputs, p)?);
+            // The adaptive exchange splits oversized reduce buckets and
+            // coalesces near-empty ones when the index column is skewed;
+            // its output is bit-identical to the static exchange.
+            let (out, _stats) = sparklet::exchange_rows_adaptive(cluster, &self.schema, inputs, p)?;
+            let out = Arc::new(out);
             *self.buckets.lock() = Some(Arc::clone(&out));
             out
         };
@@ -394,7 +398,10 @@ impl IdfInner {
         // (idempotent) build stages concurrently.
         drop(_build);
 
-        // Build side: one task per partition, on its home worker.
+        // Build side: one task per partition, on its home worker. Tasks
+        // are dispatched heaviest-bucket-first (longest-processing-time
+        // order) so a skewed index column doesn't leave the hot bucket
+        // for last and stretch the stage's tail.
         let inner = Arc::clone(self);
         let shuffled2 = Arc::clone(&shuffled);
         let tasks: Vec<TaskSpec> = (0..p)
@@ -403,8 +410,9 @@ impl IdfInner {
                 preferred_worker: Some(self.home_worker(i)),
             })
             .collect();
+        let weights: Vec<u64> = (0..p).map(|i| shuffled[i].len() as u64).collect();
         Metrics::timed(&metrics.build_ns, || {
-            cluster.run_stage(&tasks, move |tc| {
+            cluster.run_stage_weighted(&tasks, &weights, move |tc| {
                 let pidx = tc.partition;
                 let start = std::time::Instant::now();
                 let mut part = inner.fresh_partition(pidx);

@@ -256,6 +256,7 @@ fn fault_tolerance_rebuilds_lost_partitions() {
         executors_per_worker: 1,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(600, 60), "src").unwrap();
@@ -289,6 +290,7 @@ fn mid_stage_worker_kill_recovers_via_retry_and_lineage() {
         executors_per_worker: 2,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let idf = IndexedDataFrame::builder(&ctx, edge_schema(), "src")
@@ -351,6 +353,7 @@ fn fault_tolerance_replays_appends() {
         executors_per_worker: 1,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let v1 = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(100, 10), "src").unwrap();
@@ -378,6 +381,7 @@ fn mvcc_visibility_survives_kill_and_recompute() {
         executors_per_worker: 1,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let v1 = IndexedDataFrame::from_rows(&ctx, edge_schema(), edges(200, 10), "src").unwrap();
@@ -524,4 +528,36 @@ fn analyze_reports_metrics() {
         .unwrap();
     assert_eq!(rows.len(), 100);
     assert!(metrics.probe_ns > 0, "indexed join must record probe time");
+}
+
+#[test]
+fn skewed_index_build_splits_hot_bucket_and_stays_correct() {
+    // 90% of the rows share one index key: the build shuffle's hot reduce
+    // bucket is split into slices (adaptive repartitioning) and the build
+    // stage runs heaviest-bucket-first, but the index contents must be
+    // exactly what a uniform build would produce.
+    let ctx = ctx();
+    let n = 2000i64;
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            let key = if i % 10 != 0 { 7 } else { i % 100 };
+            vec![Value::Int64(key), Value::Int64(i)]
+        })
+        .collect();
+    let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), rows.clone(), "src").unwrap();
+    idf.cache_index().unwrap();
+
+    let hot = idf.get_rows(&Value::Int64(7)).unwrap();
+    let want_hot = rows.iter().filter(|r| r[0] == Value::Int64(7)).count();
+    assert_eq!(hot.len(), want_hot);
+    let cold = idf.get_rows(&Value::Int64(30)).unwrap();
+    let want_cold = rows.iter().filter(|r| r[0] == Value::Int64(30)).count();
+    assert_eq!(cold.len(), want_cold);
+
+    let reg = ctx.cluster().registry();
+    assert!(
+        reg.counter("adaptive.splits").get() >= 1,
+        "hot bucket should have been split during the build shuffle"
+    );
+    assert!(reg.gauge("shuffle.max_partition_rows").get() >= want_hot as u64);
 }

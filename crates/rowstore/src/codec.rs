@@ -267,6 +267,32 @@ impl<'a> BlockReader<'a> {
     pub fn num_rows(&self) -> usize {
         self.remaining as usize
     }
+
+    /// Advance past `n` rows without decoding them. Rows are length-prefixed,
+    /// so skipping costs one 4-byte read per row instead of a full decode —
+    /// this is what makes sub-partition (row-range) shuffle reads cheap.
+    /// Skipping past the end of the block is an error.
+    pub fn skip_rows(&mut self, n: usize) -> Result<(), CodecError> {
+        for _ in 0..n {
+            if self.remaining == 0 {
+                return Err(CodecError::Truncated);
+            }
+            if self.block.len() < self.cursor + 4 {
+                self.remaining = 0;
+                return Err(CodecError::Truncated);
+            }
+            let len =
+                u32::from_le_bytes(self.block[self.cursor..self.cursor + 4].try_into().unwrap())
+                    as usize;
+            self.cursor += 4 + len;
+            if self.block.len() < self.cursor {
+                self.remaining = 0;
+                return Err(CodecError::Truncated);
+            }
+            self.remaining -= 1;
+        }
+        Ok(())
+    }
 }
 
 impl Iterator for BlockReader<'_> {
@@ -465,6 +491,41 @@ mod tests {
         assert_eq!(r.num_rows(), 10);
         let decoded: Vec<Vec<Value>> = r.map(|r| r.unwrap()).collect();
         assert_eq!(decoded, rows);
+    }
+
+    #[test]
+    fn block_skip_rows() {
+        let s = schema();
+        let mut w = BlockWriter::new();
+        let mut rows = Vec::new();
+        for i in 0..10i64 {
+            let mut row = sample_row();
+            row[0] = Value::Int64(i);
+            row[4] = Value::Utf8(format!("row-{i}")); // variable widths
+            w.push(&s, &row).unwrap();
+            rows.push(row);
+        }
+        let block = w.finish();
+
+        // Skip into the middle, read a range: must match a full decode.
+        let mut r = BlockReader::new(&s, &block).unwrap();
+        r.skip_rows(3).unwrap();
+        assert_eq!(r.num_rows(), 7);
+        let tail: Vec<Vec<Value>> = r.map(|r| r.unwrap()).collect();
+        assert_eq!(tail, rows[3..]);
+
+        // Skip everything is fine; one more is an error.
+        let mut r = BlockReader::new(&s, &block).unwrap();
+        r.skip_rows(10).unwrap();
+        assert!(r.next().is_none());
+        let mut r = BlockReader::new(&s, &block).unwrap();
+        assert!(r.skip_rows(11).is_err());
+
+        // Interleave skip and next.
+        let mut r = BlockReader::new(&s, &block).unwrap();
+        assert_eq!(r.next().unwrap().unwrap(), rows[0]);
+        r.skip_rows(5).unwrap();
+        assert_eq!(r.next().unwrap().unwrap(), rows[6]);
     }
 
     #[test]

@@ -818,6 +818,38 @@ impl Cluster {
         self.run_stage(&tasks, f)
     }
 
+    /// [`Cluster::run_stage`] with longest-processing-time dispatch: tasks
+    /// are enqueued heaviest-first (`weights[i]` estimates task `i`'s
+    /// cost), so a hot partition starts as early as possible instead of
+    /// landing last behind a queue of cheap tasks. Results come back in
+    /// the *original* task order — only the dispatch order changes, so
+    /// callers and retries are unaffected.
+    pub fn run_stage_weighted<R, F>(
+        &self,
+        tasks: &[TaskSpec],
+        weights: &[u64],
+        f: F,
+    ) -> Result<Vec<R>, StageError>
+    where
+        R: Send + 'static,
+        F: Fn(TaskContext) -> R + Send + Sync + 'static,
+    {
+        assert_eq!(tasks.len(), weights.len());
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        // Stable sort: equal weights keep partition order (determinism).
+        order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+        let permuted: Vec<TaskSpec> = order.iter().map(|&i| tasks[i]).collect();
+        let results = self.run_stage(&permuted, f)?;
+        let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
+        for (&i, r) in order.iter().zip(results) {
+            slots[i] = Some(r);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("missing weighted task result"))
+            .collect())
+    }
+
     /// Infallible wrapper over [`Cluster::run_stage`] for callers that
     /// treat stage failure as fatal: panics on [`StageError`].
     pub fn run_tasks<R, F>(&self, tasks: &[TaskSpec], f: F) -> Vec<R>
@@ -859,6 +891,7 @@ mod tests {
             executors_per_worker: 2,
             cores_per_executor: 2,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         })
     }
 
@@ -1103,6 +1136,7 @@ mod tests {
             executors_per_worker: 1,
             cores_per_executor: 1,
             max_task_attempts: 3,
+            skew_ratio: 2.0,
         });
         let err = c
             .run_stage_partitions(4, |ctx| {
@@ -1164,6 +1198,7 @@ mod tests {
             executors_per_worker: 1,
             cores_per_executor: 1,
             max_task_attempts: 2,
+            skew_ratio: 2.0,
         });
         let q = c.scheduler().new_query(1);
         let q2 = q.clone();
@@ -1208,6 +1243,7 @@ mod tests {
             executors_per_worker: 1,
             cores_per_executor: 1,
             max_task_attempts: 2,
+            skew_ratio: 2.0,
         });
         let barrier = Arc::new(std::sync::Barrier::new(2));
         let handles: Vec<_> = (0..2)

@@ -5,7 +5,7 @@
 //! worker machines; cores per executor).
 
 /// Shape of the simulated cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
     /// Number of worker "machines".
     pub workers: usize,
@@ -19,6 +19,11 @@ pub struct ClusterConfig {
     /// first attempt (Spark's `spark.task.maxFailures`, default 4). Retries
     /// prefer workers that have not already failed the task.
     pub max_task_attempts: usize,
+    /// A reduce partition counts as skewed when its size exceeds
+    /// `skew_ratio ×` the mean partition size. The default (2.0) matches
+    /// the previously hard-coded `2 × rounded mean` rule in `shuffle.rs`;
+    /// adaptive repartitioning splits partitions past this threshold.
+    pub skew_ratio: f64,
 }
 
 impl ClusterConfig {
@@ -31,6 +36,7 @@ impl ClusterConfig {
             executors_per_worker: 4,
             cores_per_executor: 4,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         }
     }
 
@@ -41,6 +47,7 @@ impl ClusterConfig {
             executors_per_worker: 1,
             cores_per_executor: 2,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         }
     }
 
@@ -53,6 +60,15 @@ impl ClusterConfig {
     /// per core (§III-C footnote); we default to 2.
     pub fn default_partitions(&self) -> usize {
         (self.total_cores() * 2).max(1)
+    }
+
+    /// Skew threshold for a given mean partition size: a partition larger
+    /// than this is skewed. Preserves the historical integer rule
+    /// (`2 × max(round(mean), 1)` when `skew_ratio` is 2.0) by rounding the
+    /// mean before scaling.
+    pub fn skew_threshold(&self, mean: f64) -> u64 {
+        let rounded = (mean.round() as u64).max(1);
+        (self.skew_ratio * rounded as f64).round() as u64
     }
 }
 
@@ -73,6 +89,7 @@ mod tests {
             executors_per_worker: 2,
             cores_per_executor: 8,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         };
         assert_eq!(c.total_cores(), 64);
         assert_eq!(c.default_partitions(), 128);

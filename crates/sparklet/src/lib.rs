@@ -54,6 +54,7 @@ pub use scheduler::{
     Admission, AdmissionGuard, AdmissionTicket, AdmitError, QueryId, QueryRef, Scheduler,
 };
 pub use shuffle::{
-    account_broadcast, broadcast, exchange, exchange_cloning, exchange_rows, partition_of,
-    ShuffleCodec, ShuffleItem,
+    account_broadcast, broadcast, exchange, exchange_cloning, exchange_rows,
+    exchange_rows_adaptive, exchange_rows_stats, partition_of, plan_reduce_tasks, ExchangeStats,
+    ReduceTask, ShuffleCodec, ShuffleItem,
 };

@@ -498,10 +498,13 @@ impl MemoryGovernor {
             let _ = std::fs::remove_file(&slot.path);
         }
         st.history.retain(|id, _| id.dataset != dataset);
-        if !victims.is_empty() || freed > 0 {
-            self.metrics.retired_versions.inc();
-            self.metrics.retired_bytes.add(freed);
-        }
+        // A version counts as retired even when budget pressure already
+        // evicted every block it owned (freed == 0): its history and spill
+        // slots are dismantled here either way, and callers only reach
+        // `retire` once per dataset. Gating the counter on freed bytes made
+        // retirement observability depend on eviction timing.
+        self.metrics.retired_versions.inc();
+        self.metrics.retired_bytes.add(freed);
         self.publish_resident(&st);
         victims
     }

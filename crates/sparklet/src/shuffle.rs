@@ -27,8 +27,8 @@
 //! their output partitions — happens exactly once, after the stage has
 //! committed, when the snapshot is sole-owned again.
 
-use crate::cluster::{Cluster, StageError};
-use crate::metrics::Metrics;
+use crate::cluster::{Cluster, StageError, TaskSpec};
+use crate::metrics::{Metrics, SpanKind, SpanRecord};
 use rowstore::{BlockReader, BlockWriter, Row, Schema, Value};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -87,15 +87,71 @@ fn unwrap_unique<T>(mut shared: Arc<T>) -> T {
     }
 }
 
+/// Per-partition observations from one exchange's counting stage — the
+/// "free statistics pass" that adaptive execution feeds on. Rows and bytes
+/// are exact (block headers / block lengths on the wire path, counting
+/// tallies on the move path), not estimates.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeStats {
+    pub per_partition_rows: Vec<u64>,
+    pub per_partition_bytes: Vec<u64>,
+}
+
+impl ExchangeStats {
+    pub fn total_rows(&self) -> u64 {
+        self.per_partition_rows.iter().sum()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.per_partition_bytes.iter().sum()
+    }
+
+    /// Rounded mean rows per partition with a one-row floor (same rounding
+    /// rule the byte-skew detector uses, so thresholds compose).
+    pub fn mean_rows(&self) -> u64 {
+        let n = self.per_partition_rows.len() as u64;
+        if n == 0 || self.total_rows() == 0 {
+            return 0;
+        }
+        ((self.total_rows() + n / 2) / n).max(1)
+    }
+
+    /// Indices of partitions whose row count exceeds the configured skew
+    /// threshold.
+    pub fn skewed_partitions(&self, config: &crate::ClusterConfig) -> Vec<usize> {
+        let mean = self.mean_rows();
+        if mean == 0 {
+            return Vec::new();
+        }
+        let threshold = config.skew_threshold(mean as f64);
+        self.per_partition_rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
 /// Shared metric/skew accounting for every exchange flavor.
 ///
 /// The per-partition byte histogram is what shows a hot key (one bucket far
 /// above the rest), and `shuffle.skewed_partitions` counts partitions
-/// receiving more than twice the mean. The mean is *rounded* with a
-/// one-byte floor: truncating `bytes / num_out` is 0 for exchanges smaller
-/// than their fan-out, which silently disabled skew detection.
-fn record_exchange(cluster: &Cluster, start: Instant, rows: u64, per_partition_bytes: &[u64]) {
+/// receiving more than `skew_ratio ×` the mean (configurable via
+/// [`crate::ClusterConfig::skew_ratio`], default 2.0 — the historical
+/// hard-coded rule). The mean is *rounded* with a one-byte floor:
+/// truncating `bytes / num_out` is 0 for exchanges smaller than their
+/// fan-out, which silently disabled skew detection. The largest partition's
+/// row count is also published as the `shuffle.max_partition_rows` gauge
+/// (merged by max across exchanges).
+fn record_exchange(
+    cluster: &Cluster,
+    start: Instant,
+    per_partition_rows: &[u64],
+    per_partition_bytes: &[u64],
+) {
     let num_out = per_partition_bytes.len() as u64;
+    let rows: u64 = per_partition_rows.iter().sum();
     let bytes: u64 = per_partition_bytes.iter().sum();
     let m = cluster.metrics();
     m.shuffle_ns
@@ -107,16 +163,20 @@ fn record_exchange(cluster: &Cluster, start: Instant, rows: u64, per_partition_b
     reg.counter("shuffle.exchanges").inc();
     reg.counter("shuffle.rows").add(rows);
     reg.counter("shuffle.bytes").add(bytes);
+    if let Some(&max_rows) = per_partition_rows.iter().max() {
+        reg.gauge("shuffle.max_partition_rows").set_max(max_rows);
+    }
     let part_hist = reg.histogram("shuffle.partition_bytes");
     let mean = if bytes == 0 {
         0
     } else {
         ((bytes + num_out / 2) / num_out).max(1)
     };
+    let threshold = cluster.config().skew_threshold(mean as f64);
     let mut skewed = 0u64;
     for &b in per_partition_bytes {
         part_hist.record(b);
-        if mean > 0 && b > 2 * mean {
+        if mean > 0 && b > threshold {
             skewed += 1;
         }
     }
@@ -164,11 +224,11 @@ pub fn exchange<T: ShuffleItem + Sync>(
         })?;
 
     let mut per_partition_bytes = vec![0u64; num_out];
-    let mut rows = 0u64;
+    let mut per_partition_rows = vec![0u64; num_out];
     let mut outputs: Vec<Vec<T>> = (0..num_out)
         .map(|j| {
             let c: usize = tallies.iter().map(|(counts, _)| counts[j]).sum();
-            rows += c as u64;
+            per_partition_rows[j] = c as u64;
             Vec::with_capacity(c)
         })
         .collect();
@@ -184,7 +244,7 @@ pub fn exchange<T: ShuffleItem + Sync>(
         }
     }
 
-    record_exchange(cluster, start, rows, &per_partition_bytes);
+    record_exchange(cluster, start, &per_partition_rows, &per_partition_bytes);
     Ok(outputs)
 }
 
@@ -226,14 +286,14 @@ pub fn exchange_cloning<T: ShuffleItem + Clone + Sync>(
     })?;
 
     let mut outputs: Vec<Vec<T>> = Vec::with_capacity(num_out);
-    let mut rows = 0u64;
+    let mut per_partition_rows: Vec<u64> = Vec::with_capacity(num_out);
     let mut per_partition_bytes: Vec<u64> = Vec::with_capacity(num_out);
     for (out, r, b) in regrouped {
-        rows += r;
+        per_partition_rows.push(r);
         per_partition_bytes.push(b);
         outputs.push(out);
     }
-    record_exchange(cluster, start, rows, &per_partition_bytes);
+    record_exchange(cluster, start, &per_partition_rows, &per_partition_bytes);
     Ok(outputs)
 }
 
@@ -307,24 +367,27 @@ pub fn exchange_rows(
     inputs: Vec<Vec<(u64, Row)>>,
     num_out: usize,
 ) -> Result<Vec<Vec<Row>>, StageError> {
+    exchange_rows_stats(cluster, schema, inputs, num_out).map(|(out, _)| out)
+}
+
+/// [`exchange_rows`] that also returns the per-partition row/byte
+/// [`ExchangeStats`] the counting stage produced — the statistics are free
+/// (the map side already wrote exact row counts and block lengths into the
+/// wire headers), so consumers that want to *act* on them (adaptive join
+/// operators, skew-aware index builds) pay nothing extra.
+pub fn exchange_rows_stats(
+    cluster: &Cluster,
+    schema: &Arc<Schema>,
+    inputs: Vec<Vec<(u64, Row)>>,
+    num_out: usize,
+) -> Result<(Vec<Vec<Row>>, ExchangeStats), StageError> {
     assert!(num_out > 0);
     let start = Instant::now();
-    let num_in = inputs.len();
     let codec = Arc::new(ShuffleCodec::new(Arc::clone(schema)));
-    let inputs = Arc::new(inputs);
-
-    // Map side: serialize. Read-only over the snapshot → retry-safe.
-    let inputs_for_tasks = Arc::clone(&inputs);
-    let map_codec = Arc::clone(&codec);
-    let blocks: Vec<Vec<Vec<u8>>> = cluster.run_stage_partitions(num_in, move |ctx| {
-        map_codec.encode_buckets(&inputs_for_tasks[ctx.partition], num_out)
-    })?;
-    // The source rows die here; only the packed blocks travel on.
-    drop(inputs);
+    let (blocks, num_in) = map_side_blocks(cluster, &codec, inputs, num_out)?;
 
     // Reduce side: decode bucket j of every map output. Blocks are shared
     // read-only via Arc → retry-safe; bytes are exact block lengths.
-    let blocks = Arc::new(blocks);
     let blocks_for_tasks = Arc::clone(&blocks);
     let reduce_codec = Arc::clone(&codec);
     let regrouped: Vec<(Vec<Row>, u64, u64)> =
@@ -344,19 +407,372 @@ pub fn exchange_rows(
         })?;
 
     let mut outputs: Vec<Vec<Row>> = Vec::with_capacity(num_out);
-    let mut rows = 0u64;
-    let mut per_partition_bytes: Vec<u64> = Vec::with_capacity(num_out);
+    let mut stats = ExchangeStats::default();
     for (out, r, b) in regrouped {
-        rows += r;
-        per_partition_bytes.push(b);
+        stats.per_partition_rows.push(r);
+        stats.per_partition_bytes.push(b);
         outputs.push(out);
     }
     cluster
         .registry()
         .counter("shuffle.blocks")
         .add((num_in * num_out) as u64);
-    record_exchange(cluster, start, rows, &per_partition_bytes);
-    Ok(outputs)
+    record_exchange(
+        cluster,
+        start,
+        &stats.per_partition_rows,
+        &stats.per_partition_bytes,
+    );
+    Ok((outputs, stats))
+}
+
+/// The committed map side of a row exchange: one encoded block per
+/// (map partition, reduce partition) pair, `Arc`-shared into reduce tasks.
+type BlockMatrix = Arc<Vec<Vec<Vec<u8>>>>;
+
+/// Run the serializing map side of a row exchange and return the committed
+/// block matrix (`blocks[map][reduce]`). Shared by the static and adaptive
+/// reduce paths; the source rows are freed as soon as the stage commits.
+fn map_side_blocks(
+    cluster: &Cluster,
+    codec: &Arc<ShuffleCodec>,
+    inputs: Vec<Vec<(u64, Row)>>,
+    num_out: usize,
+) -> Result<(BlockMatrix, usize), StageError> {
+    let num_in = inputs.len();
+    let inputs = Arc::new(inputs);
+    let inputs_for_tasks = Arc::clone(&inputs);
+    let map_codec = Arc::clone(codec);
+    let blocks: Vec<Vec<Vec<u8>>> = cluster.run_stage_partitions(num_in, move |ctx| {
+        map_codec.encode_buckets(&inputs_for_tasks[ctx.partition], num_out)
+    })?;
+    // The source rows die here; only the packed blocks travel on.
+    drop(inputs);
+    Ok((Arc::new(blocks), num_in))
+}
+
+/// One task of an adaptive reduce plan.
+///
+/// `Whole` decodes one or more *entire* output partitions (several when
+/// near-empty partitions are coalesced into one task); `Slice` decodes the
+/// row range `[skip, skip + take)` of a single oversized partition's
+/// concatenated map-order stream. Slices exploit the length-prefixed wire
+/// format: skipping a row costs one 4-byte read, not a decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReduceTask {
+    Whole {
+        parts: Vec<usize>,
+    },
+    Slice {
+        part: usize,
+        skip: usize,
+        take: usize,
+    },
+}
+
+/// Plan the reduce side from the counting stage's per-partition row counts:
+/// split partitions above the configured skew threshold into near-mean row
+/// ranges, coalesce runs of near-empty partitions (< ¼ of the mean) into
+/// single tasks, and leave the rest one-task-per-partition.
+///
+/// The plan is a pure function of the committed map outputs and the cluster
+/// config, computed once on the driver — a retried reduce task re-executes
+/// *its* plan entry read-only, so a mid-stage worker loss can never
+/// double-apply a split.
+pub fn plan_reduce_tasks(config: &crate::ClusterConfig, rows: &[u64]) -> Vec<ReduceTask> {
+    let num_out = rows.len();
+    let total: u64 = rows.iter().sum();
+    let mean = if num_out == 0 || total == 0 {
+        0
+    } else {
+        ((total + num_out as u64 / 2) / num_out as u64).max(1)
+    };
+    if mean == 0 {
+        return vec![ReduceTask::Whole {
+            parts: (0..num_out).collect(),
+        }];
+    }
+    let threshold = config.skew_threshold(mean as f64);
+    // Cap the fan-out of one hot partition: more slices than task slots
+    // only adds scheduling overhead.
+    let max_slices = config.total_cores().clamp(2, 16);
+
+    let mut plan: Vec<ReduceTask> = Vec::with_capacity(num_out);
+    let mut pending: Vec<usize> = Vec::new(); // coalesce accumulator
+    let mut pending_rows = 0u64;
+    let flush = |pending: &mut Vec<usize>, pending_rows: &mut u64, plan: &mut Vec<ReduceTask>| {
+        if !pending.is_empty() {
+            plan.push(ReduceTask::Whole {
+                parts: std::mem::take(pending),
+            });
+            *pending_rows = 0;
+        }
+    };
+
+    for (j, &r) in rows.iter().enumerate() {
+        if r > threshold {
+            flush(&mut pending, &mut pending_rows, &mut plan);
+            let slices = (r.div_ceil(mean) as usize).clamp(2, max_slices);
+            let chunk = (r as usize).div_ceil(slices);
+            let mut skip = 0usize;
+            while skip < r as usize {
+                let take = chunk.min(r as usize - skip);
+                plan.push(ReduceTask::Slice {
+                    part: j,
+                    skip,
+                    take,
+                });
+                skip += take;
+            }
+        } else if r * 4 < mean {
+            pending.push(j);
+            pending_rows += r;
+            if pending_rows >= mean || pending.len() >= 8 {
+                flush(&mut pending, &mut pending_rows, &mut plan);
+            }
+        } else {
+            flush(&mut pending, &mut pending_rows, &mut plan);
+            plan.push(ReduceTask::Whole { parts: vec![j] });
+        }
+    }
+    flush(&mut pending, &mut pending_rows, &mut plan);
+    plan
+}
+
+/// Adaptive [`exchange_rows`]: identical map side, but the reduce side runs
+/// the split/coalesce plan of [`plan_reduce_tasks`] instead of rigidly one
+/// task per output partition — no worker serializes behind one hot bucket,
+/// and near-empty buckets stop costing a task dispatch each.
+///
+/// The returned outputs are **bit-identical** to [`exchange_rows`]'s:
+/// slices of a split partition are decoded in row order and reassembled by
+/// `skip` offset, and a coalesced task keeps one output `Vec` per
+/// partition. Only the task decomposition changes.
+///
+/// Decisions are observable: `adaptive.splits` / `adaptive.coalesces`
+/// counters and one `Operator` trace span per decision.
+pub fn exchange_rows_adaptive(
+    cluster: &Cluster,
+    schema: &Arc<Schema>,
+    inputs: Vec<Vec<(u64, Row)>>,
+    num_out: usize,
+) -> Result<(Vec<Vec<Row>>, ExchangeStats), StageError> {
+    assert!(num_out > 0);
+    let start = Instant::now();
+    let codec = Arc::new(ShuffleCodec::new(Arc::clone(schema)));
+    let (blocks, num_in) = map_side_blocks(cluster, &codec, inputs, num_out)?;
+
+    // The free statistics pass: exact per-partition rows and bytes from the
+    // committed block headers/lengths — no extra cluster stage.
+    let mut stats = ExchangeStats {
+        per_partition_rows: vec![0; num_out],
+        per_partition_bytes: vec![0; num_out],
+    };
+    for map_out in blocks.iter() {
+        for (j, block) in map_out.iter().enumerate() {
+            stats.per_partition_rows[j] += codec.block_rows(block) as u64;
+            stats.per_partition_bytes[j] += block.len() as u64;
+        }
+    }
+
+    let plan = plan_reduce_tasks(cluster.config(), &stats.per_partition_rows);
+    record_reduce_plan_decisions(cluster, &plan, &stats);
+
+    // Reduce side: one task per plan entry. Tasks only read the shared
+    // block matrix → retry-safe; the plan itself was fixed above from
+    // committed map outputs, so a retried attempt re-runs the same slice.
+    // `ctx.partition` carries the plan index (the task body looks its
+    // entry up); locality still follows the home partition's worker.
+    // Dispatch is weighted — heaviest slices first — so the hot
+    // partition's work starts immediately.
+    let specs_idx: Vec<TaskSpec> = plan
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let home = match t {
+                ReduceTask::Whole { parts } => parts[0],
+                ReduceTask::Slice { part, .. } => *part,
+            };
+            TaskSpec {
+                partition: i,
+                preferred_worker: Some(cluster.worker_for_partition(home)),
+            }
+        })
+        .collect();
+    let weights: Vec<u64> = plan
+        .iter()
+        .map(|t| match t {
+            ReduceTask::Whole { parts } => parts.iter().map(|&j| stats.per_partition_rows[j]).sum(),
+            ReduceTask::Slice { take, .. } => *take as u64,
+        })
+        .collect();
+    let plan_for_tasks: Arc<Vec<ReduceTask>> = Arc::new(plan.clone());
+
+    let blocks_for_tasks = Arc::clone(&blocks);
+    let reduce_codec = Arc::clone(&codec);
+    let piece_results: Vec<Vec<(usize, usize, Vec<Row>)>> =
+        cluster.run_stage_weighted(&specs_idx, &weights, move |ctx| {
+            let task = &plan_for_tasks[ctx.partition];
+            let mut pieces: Vec<(usize, usize, Vec<Row>)> = Vec::new();
+            match task {
+                ReduceTask::Whole { parts } => {
+                    for &j in parts {
+                        let total: usize = blocks_for_tasks
+                            .iter()
+                            .map(|m| reduce_codec.block_rows(&m[j]))
+                            .sum();
+                        let mut out = Vec::with_capacity(total);
+                        for map_out in blocks_for_tasks.iter() {
+                            reduce_codec.decode_into(&map_out[j], &mut out);
+                        }
+                        pieces.push((j, 0, out));
+                    }
+                }
+                ReduceTask::Slice { part, skip, take } => {
+                    let mut out = Vec::with_capacity(*take);
+                    decode_slice(
+                        &reduce_codec,
+                        &blocks_for_tasks,
+                        *part,
+                        *skip,
+                        *take,
+                        &mut out,
+                    );
+                    pieces.push((*part, *skip, out));
+                }
+            }
+            pieces
+        })?;
+
+    // Reassemble: pieces of each partition ordered by row offset — the
+    // concatenation is byte-for-byte what the static reduce would produce.
+    let mut per_part: Vec<Vec<(usize, Vec<Row>)>> = (0..num_out).map(|_| Vec::new()).collect();
+    for pieces in piece_results {
+        for (j, skip, rows) in pieces {
+            per_part[j].push((skip, rows));
+        }
+    }
+    let outputs: Vec<Vec<Row>> = per_part
+        .into_iter()
+        .enumerate()
+        .map(|(j, mut pieces)| {
+            pieces.sort_by_key(|(skip, _)| *skip);
+            let mut out = Vec::with_capacity(stats.per_partition_rows[j] as usize);
+            for (_, rows) in pieces {
+                out.extend(rows);
+            }
+            out
+        })
+        .collect();
+
+    cluster
+        .registry()
+        .counter("shuffle.blocks")
+        .add((num_in * num_out) as u64);
+    record_exchange(
+        cluster,
+        start,
+        &stats.per_partition_rows,
+        &stats.per_partition_bytes,
+    );
+    Ok((outputs, stats))
+}
+
+/// Decode rows `[skip, skip + take)` of partition `part`'s concatenated
+/// map-order stream. Whole blocks before the range are skipped by header
+/// count; a partial block prefix is skipped row-by-row via the length
+/// prefixes ([`BlockReader::skip_rows`]) without decoding.
+fn decode_slice(
+    codec: &ShuffleCodec,
+    blocks: &[Vec<Vec<u8>>],
+    part: usize,
+    mut skip: usize,
+    mut take: usize,
+    out: &mut Vec<Row>,
+) {
+    for map_out in blocks {
+        if take == 0 {
+            return;
+        }
+        let block = &map_out[part];
+        let n = codec.block_rows(block);
+        if skip >= n {
+            skip -= n;
+            continue;
+        }
+        let mut reader = BlockReader::new(codec.schema(), block)
+            .unwrap_or_else(|e| panic!("shuffle codec: corrupt block header: {e}"));
+        reader
+            .skip_rows(skip)
+            .unwrap_or_else(|e| panic!("shuffle codec: corrupt block: {e}"));
+        skip = 0;
+        for row in reader {
+            out.push(row.unwrap_or_else(|e| panic!("shuffle codec: corrupt block: {e}")));
+            take -= 1;
+            if take == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// Emit the counters and per-decision trace spans for one adaptive reduce
+/// plan: one `adaptive.split[...]` span per split partition and one
+/// `adaptive.coalesce[...]` span per multi-partition task.
+fn record_reduce_plan_decisions(cluster: &Cluster, plan: &[ReduceTask], stats: &ExchangeStats) {
+    let reg = cluster.registry();
+    let trace = cluster.trace();
+    let parent = trace.current_parent();
+    let mut split_parts: Vec<usize> = Vec::new();
+    for task in plan {
+        match task {
+            ReduceTask::Slice { part, .. } => {
+                if split_parts.last() != Some(part) {
+                    split_parts.push(*part);
+                }
+            }
+            ReduceTask::Whole { parts } if parts.len() > 1 => {
+                reg.counter("adaptive.coalesces").inc();
+                trace.record(SpanRecord {
+                    id: trace.next_span_id(),
+                    parent,
+                    kind: SpanKind::Operator,
+                    name: format!(
+                        "adaptive.coalesce[parts={parts:?} rows={}]",
+                        parts
+                            .iter()
+                            .map(|&j| stats.per_partition_rows[j])
+                            .sum::<u64>()
+                    ),
+                    start_us: trace.now_us(),
+                    dur_us: 0,
+                    worker: -1,
+                    partition: parts[0] as i64,
+                });
+            }
+            ReduceTask::Whole { .. } => {}
+        }
+    }
+    for part in split_parts {
+        reg.counter("adaptive.splits").inc();
+        let slices = plan
+            .iter()
+            .filter(|t| matches!(t, ReduceTask::Slice { part: p, .. } if *p == part))
+            .count();
+        trace.record(SpanRecord {
+            id: trace.next_span_id(),
+            parent,
+            kind: SpanKind::Operator,
+            name: format!(
+                "adaptive.split[part={part} rows={} slices={slices}]",
+                stats.per_partition_rows[part]
+            ),
+            start_us: trace.now_us(),
+            dur_us: 0,
+            worker: -1,
+            partition: part as i64,
+        });
+    }
 }
 
 /// Replicate `data` to every alive worker (a broadcast variable): **one**
@@ -512,6 +928,7 @@ mod tests {
             executors_per_worker: 2,
             cores_per_executor: 2,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         });
         let killer = c.clone();
         let chaos = std::thread::spawn(move || {
@@ -679,6 +1096,7 @@ mod tests {
             executors_per_worker: 1,
             cores_per_executor: 1,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         });
         c.kill_worker(1);
         let copies = broadcast(&c, vec![vec![1u8, 2, 3], vec![4u8]]);
@@ -709,6 +1127,7 @@ mod tests {
             executors_per_worker: 1,
             cores_per_executor: 1,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         });
         broadcast(&c, vec![vec![0u8; 100]]);
         assert_eq!(c.memory().broadcast_live(), (3, 300));
@@ -737,5 +1156,197 @@ mod tests {
     fn row_shuffle_item_accounts_strings() {
         let row: Row = vec![Value::Int64(1), Value::Utf8("abcde".into())];
         assert_eq!(row.approx_bytes(), 8 + 8 + 5);
+    }
+
+    #[test]
+    fn reduce_plan_splits_hot_and_coalesces_empty() {
+        let config = ClusterConfig::test_small(); // skew_ratio 2.0, 4 cores
+                                                  // Partition 1 is hot (mean = round(1040/8) = 130, threshold 260);
+                                                  // partitions 4..8 are near-empty (< mean/4).
+        let rows = vec![100, 800, 100, 20, 5, 5, 5, 5];
+        let plan = plan_reduce_tasks(&config, &rows);
+        let slices: Vec<_> = plan
+            .iter()
+            .filter(|t| matches!(t, ReduceTask::Slice { part: 1, .. }))
+            .collect();
+        assert!(slices.len() >= 2, "hot partition must split: {plan:?}");
+        let covered: usize = slices
+            .iter()
+            .map(|t| match t {
+                ReduceTask::Slice { take, .. } => *take,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(covered, 800, "slices must cover every row exactly once");
+        assert!(
+            plan.iter()
+                .any(|t| matches!(t, ReduceTask::Whole { parts } if parts.len() > 1)),
+            "near-empty partitions must coalesce: {plan:?}"
+        );
+        // Every partition appears exactly once across Whole tasks.
+        let mut whole_parts: Vec<usize> = plan
+            .iter()
+            .flat_map(|t| match t {
+                ReduceTask::Whole { parts } => parts.clone(),
+                _ => vec![],
+            })
+            .collect();
+        whole_parts.sort_unstable();
+        assert_eq!(whole_parts, vec![0, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn reduce_plan_uniform_input_is_one_task_per_partition() {
+        let config = ClusterConfig::test_small();
+        let rows = vec![100u64; 8];
+        let plan = plan_reduce_tasks(&config, &rows);
+        assert_eq!(plan.len(), 8);
+        assert!(plan
+            .iter()
+            .all(|t| matches!(t, ReduceTask::Whole { parts } if parts.len() == 1)));
+    }
+
+    fn skewed_row_inputs(maps: usize, rows_per_map: i64) -> Vec<Vec<(u64, Row)>> {
+        // ~70% of rows share one hot key; the rest spread uniformly.
+        let hot = Value::Int64(42).key_hash();
+        (0..maps)
+            .map(|p| {
+                (0..rows_per_map)
+                    .map(|i| {
+                        let (h, k) = if i % 10 < 7 {
+                            (hot, 42)
+                        } else {
+                            let k = i * maps as i64 + p as i64;
+                            (Value::Int64(k).key_hash(), k)
+                        };
+                        let row: Row = vec![
+                            Value::Int64(k),
+                            Value::Utf8(format!("p{p}-{i}")),
+                            if i % 3 == 0 {
+                                Value::Null
+                            } else {
+                                Value::Int64(i)
+                            },
+                        ];
+                        (h, row)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adaptive_exchange_is_bit_identical_to_static() {
+        let c = Cluster::new(ClusterConfig::test_small());
+        let schema = wire_schema();
+        let inputs = skewed_row_inputs(3, 400);
+        let static_out = exchange_rows(&c, &schema, inputs.clone(), 4).unwrap();
+        let (adaptive_out, stats) = exchange_rows_adaptive(&c, &schema, inputs, 4).unwrap();
+        // Ordered equality, not multiset: the reassembled slices must
+        // reproduce the exact static row order in every partition.
+        assert_eq!(adaptive_out, static_out);
+        assert_eq!(stats.total_rows(), 1200);
+        assert!(
+            c.registry().counter_value("adaptive.splits") >= 1,
+            "the hot partition must have split"
+        );
+        let spans = c.trace().spans();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Operator && s.name.starts_with("adaptive.split[")),
+            "split decisions must be traced"
+        );
+    }
+
+    #[test]
+    fn adaptive_exchange_coalesces_near_empty_partitions() {
+        let c = Cluster::new(ClusterConfig::test_small());
+        let schema = wire_schema();
+        // One dominant key into many output partitions → most buckets hold
+        // nearly nothing and must coalesce. 96% of rows share the hot key.
+        let hot = Value::Int64(42).key_hash();
+        let inputs: Vec<Vec<(u64, Row)>> = (0..2)
+            .map(|p: i64| {
+                (0..500i64)
+                    .map(|i| {
+                        let (h, k) = if i % 25 != 0 {
+                            (hot, 42)
+                        } else {
+                            let k = i * 2 + p;
+                            (Value::Int64(k).key_hash(), k)
+                        };
+                        let row: Row = vec![
+                            Value::Int64(k),
+                            Value::Utf8(format!("p{p}-{i}")),
+                            Value::Null,
+                        ];
+                        (h, row)
+                    })
+                    .collect()
+            })
+            .collect();
+        let static_out = exchange_rows(&c, &schema, inputs.clone(), 16).unwrap();
+        let (adaptive_out, _) = exchange_rows_adaptive(&c, &schema, inputs, 16).unwrap();
+        assert_eq!(adaptive_out, static_out);
+        assert!(
+            c.registry().counter_value("adaptive.coalesces") >= 1,
+            "near-empty buckets must coalesce"
+        );
+    }
+
+    #[test]
+    fn adaptive_exchange_survives_mid_stage_worker_kill() {
+        // A worker dies while the split reduce plan runs. Retries re-execute
+        // the same plan entries read-only — the output must stay *ordered*
+        // identical to the static exchange, proving a split is never
+        // double-applied.
+        for attempt in 0..3 {
+            let c = Cluster::new(ClusterConfig {
+                workers: 3,
+                executors_per_worker: 2,
+                cores_per_executor: 2,
+                max_task_attempts: 6,
+                skew_ratio: 2.0,
+            });
+            let schema = wire_schema();
+            let inputs = skewed_row_inputs(6, 500);
+            let reference = exchange_rows(&c, &schema, inputs.clone(), 4).unwrap();
+            let killer = c.clone();
+            let chaos = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2 + attempt));
+                killer.kill_worker(1);
+            });
+            let (out, _) = exchange_rows_adaptive(&c, &schema, inputs, 4).unwrap();
+            chaos.join().unwrap();
+            assert_eq!(out, reference, "attempt {attempt}");
+        }
+    }
+
+    #[test]
+    fn skew_ratio_is_configurable() {
+        // With a huge ratio nothing is skewed and nothing splits.
+        let c = Cluster::new(ClusterConfig {
+            skew_ratio: 1000.0,
+            ..ClusterConfig::test_small()
+        });
+        let schema = wire_schema();
+        let inputs = skewed_row_inputs(3, 400);
+        exchange_rows_adaptive(&c, &schema, inputs, 4).unwrap();
+        assert_eq!(c.registry().counter_value("shuffle.skewed_partitions"), 0);
+        assert_eq!(c.registry().counter_value("adaptive.splits"), 0);
+    }
+
+    #[test]
+    fn max_partition_rows_gauge_tracks_hottest_bucket() {
+        let c = Cluster::new(ClusterConfig::test_small());
+        let hot = Value::Int64(7).key_hash();
+        let inputs: Vec<Vec<(u64, Vec<u8>)>> = vec![(0..50).map(|_| (hot, vec![1u8])).collect()];
+        exchange(&c, inputs, 4).unwrap();
+        assert_eq!(
+            c.registry().gauge_value("shuffle.max_partition_rows"),
+            50,
+            "all 50 rows land in one bucket"
+        );
     }
 }

@@ -113,6 +113,7 @@ proptest! {
             executors_per_worker: 1,
             cores_per_executor: 2,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         });
         let inputs: Vec<Vec<(u64, Vec<u8>)>> = parts
             .iter()
@@ -165,6 +166,7 @@ proptest! {
             executors_per_worker: 1,
             cores_per_executor: 2,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         });
         let schema = wire_schema();
         let expected = reference_exchange(&inputs, num_out);
@@ -199,6 +201,7 @@ proptest! {
             executors_per_worker: 1,
             cores_per_executor: 1,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         });
         for w in &dead {
             cluster.kill_worker(*w);

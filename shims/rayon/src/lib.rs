@@ -112,7 +112,17 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         drop(self.tx.take()); // close the channel so workers drain and exit
+        let me = std::thread::current().id();
         for h in self.handles.drain(..) {
+            // The pool can be dropped *from one of its own workers*: a job
+            // closure may hold the last Arc to the structure owning the
+            // pool, so finishing the job runs this Drop on that worker.
+            // Joining the current thread would deadlock (std panics with
+            // EDEADLK) — detach it instead; it exits on its own once the
+            // closed channel drains.
+            if h.thread().id() == me {
+                continue;
+            }
             let _ = h.join();
         }
     }

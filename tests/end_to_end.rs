@@ -16,6 +16,7 @@ fn ctx() -> Arc<Context> {
         executors_per_worker: 2,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     }))
 }
 
@@ -289,6 +290,7 @@ fn lifecycle_with_failure() {
         executors_per_worker: 1,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let schema = Schema::new(vec![

@@ -29,12 +29,16 @@ fn four_worker_run_populates_every_metric_layer() {
         executors_per_worker: 1,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     });
-    // Force the shuffled join path so shuffle counters are exercised.
+    // Force the *static* shuffled join path so the op.join.shuffled series
+    // are exercised (adaptive planning would emit op.join.adaptive instead;
+    // that layer is covered by adaptive_metrics_populate_in_skewed_run).
     let ctx = Context::with_config(
         Arc::clone(&cluster),
         ExecConfig {
             broadcast_threshold_bytes: 0,
+            adaptive: false,
             ..ExecConfig::default()
         },
     );
@@ -148,6 +152,109 @@ fn four_worker_run_populates_every_metric_layer() {
     assert!(cluster.trace().is_empty());
 }
 
+/// Every adaptive-execution decision type fires in one skewed 4-worker
+/// run — split, coalesce, runtime join demotion, salted join — and each
+/// leaves its counter, its decision span in the trace, and its series in
+/// the metrics document.
+#[test]
+fn adaptive_metrics_populate_in_skewed_run() {
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 4,
+        executors_per_worker: 1,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+        skew_ratio: 2.0,
+    });
+    let ctx = Context::with_config(
+        Arc::clone(&cluster),
+        ExecConfig {
+            broadcast_threshold_bytes: 1000,
+            ..ExecConfig::default()
+        },
+    );
+    let registry = cluster.registry();
+
+    // Runtime demotion: both sides are *estimated* over the broadcast
+    // threshold (so the planner emits the adaptive join), but the filter
+    // leaves one actual row on the build side — the runtime demotes to
+    // broadcast-hash instead of shuffling 4000 probe rows.
+    workloads::register_columnar(&ctx, "edges", edge_schema(), rows(4000, 50));
+    workloads::register_columnar(&ctx, "probe", edge_schema(), rows(4000, 50));
+    let n = ctx
+        .table("edges")
+        .unwrap()
+        .filter(dataframe::col("v").eq(dataframe::lit(7i64)))
+        .join(ctx.table("probe").unwrap(), "k", "k")
+        .count()
+        .unwrap();
+    assert_eq!(n, 80, "one build row (k=7) against 80 probe rows");
+    assert_eq!(registry.counter_value("adaptive.join_demotions"), 1);
+
+    // Salted join: the build side (200 single-row keys, ~5 KB) is over
+    // the threshold so no demotion, but 90% of the probe rows share key 7
+    // — only that key's build row is broadcast and only cold rows shuffle.
+    workloads::register_columnar(&ctx, "dims", edge_schema(), rows(200, 200));
+    let mut facts = rows(3600, 1); // all key 0... remap to hot key 7
+    for r in &mut facts {
+        r[0] = Value::Int64(7);
+    }
+    facts.extend(rows(400, 200));
+    workloads::register_columnar(&ctx, "facts", edge_schema(), facts);
+    let n = ctx
+        .table("dims")
+        .unwrap()
+        .join(ctx.table("facts").unwrap(), "k", "k")
+        .count()
+        .unwrap();
+    assert_eq!(n, 3600 + 400, "every fact row matches exactly one dim");
+    assert_eq!(registry.counter_value("adaptive.salted_joins"), 1);
+
+    // Split + coalesce: a 96%-hot index column makes the build shuffle
+    // slice its hot reduce bucket and merge the near-empty cold ones.
+    let skewed: Vec<Row> = (0..2000)
+        .map(|i| {
+            let key = if i % 25 != 0 { 42 } else { i % 100 };
+            vec![Value::Int64(key), Value::Int64(i)]
+        })
+        .collect();
+    let idf = IndexedDataFrame::from_rows(&ctx, edge_schema(), skewed, "k").unwrap();
+    idf.cache_index().unwrap();
+    assert!(registry.counter_value("adaptive.splits") >= 1, "splits");
+    assert!(
+        registry.counter_value("adaptive.coalesces") >= 1,
+        "coalesces"
+    );
+    assert!(registry.gauge_value("shuffle.max_partition_rows") >= 1920);
+
+    // Cardinality feedback observed the bare-scan join inputs.
+    let observed = ctx.runtime_stats().observed("facts").unwrap();
+    assert_eq!(observed.rows, 4000);
+    assert!(observed.bytes > 0);
+
+    // Every decision left a span in the trace...
+    let report = cluster.trace_report();
+    for needle in [
+        "adaptive.demote[",
+        "adaptive.salt[",
+        "adaptive.split[",
+        "adaptive.coalesce[",
+    ] {
+        assert!(report.contains(needle), "trace missing {needle}");
+    }
+    // ...and every series travels in the metrics document.
+    let json = cluster.metrics_json();
+    for needle in [
+        "\"adaptive.join_demotions\"",
+        "\"adaptive.salted_joins\"",
+        "\"adaptive.splits\"",
+        "\"adaptive.coalesces\"",
+        "\"shuffle.max_partition_rows\"",
+        "\"op.join.adaptive.ns\"",
+    ] {
+        assert!(json.contains(needle), "metrics_json missing {needle}");
+    }
+}
+
 /// The memory governor records every governance metric in a 4-worker run:
 /// resident accounting, budget-driven evictions with spill, spill
 /// restores, and lineage recomputes after the spill volume is lost.
@@ -158,6 +265,7 @@ fn memory_governance_metrics_populate_in_four_worker_run() {
         executors_per_worker: 1,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     let registry = cluster.registry();
@@ -223,6 +331,7 @@ fn session_metrics_cover_every_admission_outcome() {
         executors_per_worker: 1,
         cores_per_executor: 2,
         max_task_attempts: 4,
+        skew_ratio: 2.0,
     });
     let ctx = Context::new(Arc::clone(&cluster));
     workloads::register_columnar(&ctx, "edges", edge_schema(), rows(1000, 20));

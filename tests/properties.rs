@@ -223,6 +223,7 @@ proptest! {
             executors_per_worker: 1,
             cores_per_executor: 1,
             max_task_attempts: 4,
+            skew_ratio: 2.0,
         }));
         let idf = IndexedDataFrame::from_rows(&ctx, schema, rows.clone(), "k").unwrap();
         idf.cache_index().unwrap();
@@ -374,6 +375,16 @@ proptest! {
         versions[0].get_rows(&Value::Int64(0)).unwrap();
         drop(versions);
         drop(idf);
+        // The *last* handle to a version can transiently live in a task
+        // closure still being torn down on a worker thread, in which case
+        // the drops above don't retire it synchronously — give the worker
+        // a bounded moment to finish.
+        for _ in 0..200 {
+            if registry.counter_value("memory.retired_versions") > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
         prop_assert!(
             registry.counter_value("memory.retired_versions") > 0,
             "dropping superseded handles retired dead versions"
