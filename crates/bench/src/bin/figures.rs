@@ -12,13 +12,14 @@
 //!   index_build — bulk-load + single-replay build vs row-at-a-time (regression record)
 //!   serve      — closed-loop multi-tenant SQL serving, 1/4/16 clients (regression record)
 //!   memory     — governed serving under a byte budget: spill vs recompute (regression record)
+//!   ivm        — standing queries: incremental maintenance vs recompute-per-version (regression record)
 //!   ablate-layout ablate-broadcast ablate-mvcc ablate-partitioning
 //!   all        — everything above
 //!   quick      — a fast subset (tab1 tab2 table3 fig7 fig8 fig11)
 //! ```
 
 use bench::{
-    ablations, figs_adaptive, figs_index, figs_memory, figs_micro, figs_real, figs_serve,
+    ablations, figs_adaptive, figs_index, figs_ivm, figs_memory, figs_micro, figs_real, figs_serve,
     figs_shuffle, figs_vectorized, figs_write, Opts,
 };
 
@@ -26,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures <experiment> [--scale N] [--reps N] [--workers N] [--out DIR]\n\
          experiments: tab1 tab2 table3 fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11\n\
-         fig12 fig13 fig14 fig15 shuffle vectorized index_build serve memory\n\
+         fig12 fig13 fig14 fig15 shuffle vectorized index_build serve memory ivm\n\
          ablate-layout ablate-broadcast ablate-mvcc ablate-partitioning all quick"
     );
     std::process::exit(2);
@@ -95,6 +96,7 @@ fn run(name: &str, opts: &Opts) {
         "index_build" => figs_index::index_build(opts),
         "serve" => figs_serve::serve(opts),
         "memory" => figs_memory::memory(opts),
+        "ivm" => figs_ivm::ivm(opts),
         "ablate-layout" => ablations::ablate_layout(opts),
         "ablate-broadcast" => ablations::ablate_broadcast(opts),
         "ablate-mvcc" => ablations::ablate_mvcc(opts),
@@ -126,6 +128,7 @@ const ALL: &[&str] = &[
     "index_build",
     "serve",
     "memory",
+    "ivm",
     "ablate-layout",
     "ablate-broadcast",
     "ablate-mvcc",

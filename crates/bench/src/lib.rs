@@ -18,6 +18,7 @@
 pub mod ablations;
 pub mod figs_adaptive;
 pub mod figs_index;
+pub mod figs_ivm;
 pub mod figs_memory;
 pub mod figs_micro;
 pub mod figs_real;

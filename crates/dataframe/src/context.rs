@@ -53,7 +53,7 @@ impl Default for ExecConfig {
 /// re-running similar queries get broadcast decisions based on what the
 /// table actually weighed, not on the provider's registration-time
 /// estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TableStats {
     pub rows: u64,
     pub bytes: u64,
@@ -62,11 +62,32 @@ pub struct TableStats {
     pub observations: u64,
 }
 
+/// What a runtime observation is keyed by. Bare scans record against the
+/// catalog name; join/aggregate outputs used as build sides record against
+/// a structural fingerprint of their logical subtree, tagged with the
+/// tables the subtree reads so re-registering any of them invalidates the
+/// observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsTarget {
+    /// A bare catalog scan (possibly behind pass-through operators).
+    Table(String),
+    /// A non-scan subtree (join/aggregate output) identified by the
+    /// fingerprint of its logical plan.
+    Plan {
+        fingerprint: u64,
+        /// Catalog tables the subtree scans; re-registering any of them
+        /// drops the observation.
+        tables: Vec<String>,
+    },
+}
+
 /// The cardinality-feedback catalog: per-table observed row counts and
-/// byte sizes, keyed by catalog name.
+/// byte sizes, keyed by catalog name — plus fingerprint-keyed observations
+/// for join/aggregate subtrees used as build sides.
 #[derive(Default)]
 pub struct RuntimeStats {
     tables: Mutex<HashMap<String, TableStats>>,
+    plans: Mutex<HashMap<u64, (Vec<String>, TableStats)>>,
 }
 
 impl RuntimeStats {
@@ -89,9 +110,38 @@ impl RuntimeStats {
         self.tables.lock().get(table).copied()
     }
 
-    /// Drop the observation for `table` (e.g. after re-registration).
+    /// Record an observation against either key kind.
+    pub fn record(&self, target: &StatsTarget, rows: u64, bytes: u64) {
+        match target {
+            StatsTarget::Table(name) => self.record_table(name, rows, bytes),
+            StatsTarget::Plan {
+                fingerprint,
+                tables,
+            } => {
+                let mut plans = self.plans.lock();
+                let e = plans
+                    .entry(*fingerprint)
+                    .or_insert_with(|| (tables.clone(), TableStats::default()));
+                e.0 = tables.clone();
+                e.1.rows = rows;
+                e.1.bytes = bytes;
+                e.1.observations += 1;
+            }
+        }
+    }
+
+    /// Observation for a fingerprinted (join/aggregate) subtree.
+    pub fn observed_plan(&self, fingerprint: u64) -> Option<TableStats> {
+        self.plans.lock().get(&fingerprint).map(|(_, s)| *s)
+    }
+
+    /// Drop the observation for `table` (e.g. after re-registration), plus
+    /// every fingerprinted observation whose subtree reads that table.
     pub fn forget(&self, table: &str) {
         self.tables.lock().remove(table);
+        self.plans
+            .lock()
+            .retain(|_, (tables, _)| !tables.iter().any(|t| t == table));
     }
 }
 
@@ -203,6 +253,11 @@ pub struct Context {
     /// touches the catalog — the pin exists so DDL gets a typed error
     /// instead of silently yanking a table out from under a session.
     pins: Mutex<HashMap<String, usize>>,
+    /// Session-scoped extension state, keyed by a static string the
+    /// extension owns. This is how out-of-crate subsystems (the Indexed
+    /// DataFrame's standing-view manager) hang per-session singletons off
+    /// the context without the engine crate knowing their types.
+    extensions: Mutex<HashMap<&'static str, Arc<dyn Any + Send + Sync>>>,
 }
 
 /// RAII pin over the tables a running query scans: created at submit,
@@ -239,6 +294,7 @@ impl Context {
             runtime_stats: RuntimeStats::default(),
             rules: RwLock::new(Vec::new()),
             pins: Mutex::new(HashMap::new()),
+            extensions: Mutex::new(HashMap::new()),
         })
     }
 
@@ -320,6 +376,22 @@ impl Context {
         let mut names: Vec<String> = self.catalog.lock().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Get-or-create session-scoped extension state under `key`. The
+    /// closure runs at most once per session per key; later callers get
+    /// the cached value. Returns `None` only if the stored value's type
+    /// doesn't match `T` (two extensions colliding on a key).
+    pub fn extension_state<T: Any + Send + Sync>(
+        &self,
+        key: &'static str,
+        init: impl FnOnce() -> Arc<T>,
+    ) -> Option<Arc<T>> {
+        let mut ext = self.extensions.lock();
+        let v = ext
+            .entry(key)
+            .or_insert_with(|| init() as Arc<dyn Any + Send + Sync>);
+        Arc::clone(v).downcast::<T>().ok()
     }
 
     /// Install an extension planning rule (consulted in registration order).

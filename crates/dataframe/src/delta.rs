@@ -1,0 +1,441 @@
+//! Delta-plan derivation for incremental view maintenance.
+//!
+//! A standing query over MVCC-append tables doesn't need recomputation
+//! when a small batch of rows arrives — for a restricted (but common)
+//! family of plans the *delta* of the result is a simple function of the
+//! delta of the input (the Differential-Dataflow observation, restricted
+//! to insert-only inputs):
+//!
+//! * filters and projections map delta rows row-by-row;
+//! * an equi-join's delta against an append to one side is the appended
+//!   rows joined against the *other* side's current contents — which an
+//!   indexed table answers with ctrie probes instead of a shuffle;
+//! * the accumulator aggregates (COUNT/SUM/MIN/MAX/AVG) absorb insert
+//!   deltas in place.
+//!
+//! The supported grammar, derived here from the logical plan:
+//!
+//! ```text
+//! View  := [Aggregate] [Project] Filter* Core
+//! Core  := Scan | Join(Chain, Chain)
+//! Chain := Filter* Scan
+//! ```
+//!
+//! Anything else — Sort, Limit, joins of non-scan subtrees, nested
+//! aggregates — yields `None`, and the standing-view layer falls back to
+//! full recomputation (counted, never wrong). The derivation lives in this
+//! crate because it is pure plan analysis; the probing/refresh machinery
+//! that consumes it lives with the indexed tables (`indexed-df`).
+
+use crate::expr::{BoundExpr, PlanError};
+use crate::physical::agg::{Acc, BoundAgg};
+use crate::physical::GroupKey;
+use crate::plan::LogicalPlan;
+use rowstore::{Row, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One side of the core: a base-table scan with conjunctive filters bound
+/// against the scan schema.
+pub struct ScanChain {
+    pub table: String,
+    pub schema: Arc<Schema>,
+    pub filters: Vec<BoundExpr>,
+}
+
+impl ScanChain {
+    /// Keep the delta rows that pass this chain's filters.
+    pub fn apply(&self, rows: &[Row]) -> Vec<Row> {
+        rows.iter()
+            .filter(|r| {
+                self.filters
+                    .iter()
+                    .all(|p| BoundExpr::is_true(&p.eval_row(r)))
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+/// The core of a supported view plan.
+pub enum CoreShape {
+    /// `Filter* Scan` — deltas map straight through.
+    Linear(ScanChain),
+    /// `Join(Chain, Chain)` — a delta to either side probes the other.
+    /// Keys are column indices in the respective chain schemas; output
+    /// column order is left ++ right (the engine's join schema).
+    Join {
+        left: ScanChain,
+        right: ScanChain,
+        left_key: usize,
+        right_key: usize,
+    },
+}
+
+/// Bound aggregate head: group-by columns and accumulator specs, both
+/// resolved against the aggregate's input schema.
+pub struct AggShape {
+    pub group_by: Vec<usize>,
+    pub aggs: Vec<BoundAgg>,
+}
+
+/// A derived delta plan: how to push an insert-only delta of one base
+/// table through the view without recomputing it.
+pub struct DeltaPlan {
+    pub core: CoreShape,
+    /// Output schema of the core (scan schema, or left ++ right).
+    pub core_schema: Arc<Schema>,
+    /// Filters sitting *above* a join core, bound against `core_schema`
+    /// (for a linear core they are folded into the chain instead).
+    pub post_filters: Vec<BoundExpr>,
+    /// Projection above the filters, bound against `core_schema`.
+    pub project: Option<Vec<BoundExpr>>,
+    /// Aggregate head, bound against the projection output (or core).
+    pub agg: Option<AggShape>,
+}
+
+impl DeltaPlan {
+    /// Derive the delta plan for `plan`, or `None` when the shape is
+    /// outside the supported grammar (the caller falls back to
+    /// recomputation — fallbacks are a counter, never a wrong answer).
+    pub fn derive(plan: &LogicalPlan) -> Option<DeltaPlan> {
+        Self::try_derive(plan).ok().flatten()
+    }
+
+    fn try_derive(plan: &LogicalPlan) -> Result<Option<DeltaPlan>, PlanError> {
+        let mut cur = plan;
+
+        // Optional aggregate head.
+        let mut agg = None;
+        if let LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } = cur
+        {
+            let in_schema = input.schema()?;
+            let mut group_idx = Vec::with_capacity(group_by.len());
+            for g in group_by {
+                match in_schema.index_of(g) {
+                    Some(i) => group_idx.push(i),
+                    None => return Ok(None),
+                }
+            }
+            let mut bound = Vec::with_capacity(aggs.len());
+            for a in aggs {
+                let input = match &a.input {
+                    None => None,
+                    Some(c) => match in_schema.index_of(c) {
+                        Some(i) => Some(i),
+                        None => return Ok(None),
+                    },
+                };
+                bound.push(BoundAgg {
+                    func: a.func,
+                    input,
+                });
+            }
+            agg = Some(AggShape {
+                group_by: group_idx,
+                aggs: bound,
+            });
+            cur = input;
+        }
+
+        // Optional projection.
+        let mut project = None;
+        if let LogicalPlan::Project { input, exprs } = cur {
+            let in_schema = input.schema()?;
+            let bound = exprs
+                .iter()
+                .map(|(e, _)| BoundExpr::bind(e, &in_schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            project = Some(bound);
+            cur = input;
+        }
+
+        // Filters between the projection and the core.
+        let mut filters = Vec::new();
+        while let LogicalPlan::Filter { input, predicate } = cur {
+            let in_schema = input.schema()?;
+            filters.push(BoundExpr::bind(predicate, &in_schema)?);
+            cur = input;
+        }
+
+        match cur {
+            LogicalPlan::Scan { table, schema } => Ok(Some(DeltaPlan {
+                core: CoreShape::Linear(ScanChain {
+                    table: table.clone(),
+                    schema: Arc::clone(schema),
+                    filters,
+                }),
+                core_schema: Arc::clone(schema),
+                post_filters: Vec::new(),
+                project,
+                agg,
+            })),
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let Some(lchain) = as_chain(left)? else {
+                    return Ok(None);
+                };
+                let Some(rchain) = as_chain(right)? else {
+                    return Ok(None);
+                };
+                let Some(lk) = lchain.schema.index_of(left_key) else {
+                    return Ok(None);
+                };
+                let Some(rk) = rchain.schema.index_of(right_key) else {
+                    return Ok(None);
+                };
+                let core_schema = lchain.schema.join(&rchain.schema);
+                Ok(Some(DeltaPlan {
+                    core: CoreShape::Join {
+                        left: lchain,
+                        right: rchain,
+                        left_key: lk,
+                        right_key: rk,
+                    },
+                    core_schema,
+                    post_filters: filters,
+                    project,
+                    agg,
+                }))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Apply the post-core pipeline — filters above a join core, then the
+    /// projection — to core-shaped rows (filtered scan rows for a linear
+    /// core, joined left ++ right rows for a join core). The result feeds
+    /// the view's materialized rows, or [`AggState::absorb`] when an
+    /// aggregate head exists.
+    pub fn apply_post(&self, rows: impl IntoIterator<Item = Row>) -> Vec<Row> {
+        rows.into_iter()
+            .filter(|r| {
+                self.post_filters
+                    .iter()
+                    .all(|p| BoundExpr::is_true(&p.eval_row(r)))
+            })
+            .map(|r| match &self.project {
+                Some(exprs) => exprs.iter().map(|e| e.eval_row(&r)).collect(),
+                None => r,
+            })
+            .collect()
+    }
+
+    /// Catalog tables this delta plan reads, left side first.
+    pub fn tables(&self) -> Vec<&str> {
+        match &self.core {
+            CoreShape::Linear(c) => vec![c.table.as_str()],
+            CoreShape::Join { left, right, .. } => {
+                vec![left.table.as_str(), right.table.as_str()]
+            }
+        }
+    }
+}
+
+/// `Filter* Scan`, with the filters bound against the scan schema
+/// (filters preserve schema, so every predicate binds against it).
+fn as_chain(plan: &LogicalPlan) -> Result<Option<ScanChain>, PlanError> {
+    let mut filters = Vec::new();
+    let mut cur = plan;
+    while let LogicalPlan::Filter { input, predicate } = cur {
+        let in_schema = input.schema()?;
+        filters.push(BoundExpr::bind(predicate, &in_schema)?);
+        cur = input;
+    }
+    match cur {
+        LogicalPlan::Scan { table, schema } => Ok(Some(ScanChain {
+            table: table.clone(),
+            schema: Arc::clone(schema),
+            filters,
+        })),
+        _ => Ok(None),
+    }
+}
+
+/// Live accumulator state of an aggregate view: one [`Acc`] vector per
+/// group, absorbing insert-only deltas via the exact accumulators the
+/// batch engine's `HashAggExec` uses — so a snapshot is bit-identical to
+/// what a full recompute would produce (modulo row order), including the
+/// engine's no-rows-no-groups behavior on empty input.
+pub struct AggState {
+    group_by: Vec<usize>,
+    aggs: Vec<BoundAgg>,
+    groups: HashMap<GroupKey, Vec<Acc>>,
+}
+
+impl AggState {
+    pub fn new(shape: &AggShape) -> AggState {
+        AggState {
+            group_by: shape.group_by.clone(),
+            aggs: shape.aggs.clone(),
+            groups: HashMap::new(),
+        }
+    }
+
+    /// Absorb a batch of post-pipeline rows into the accumulators.
+    pub fn absorb(&mut self, rows: &[Row]) {
+        for row in rows {
+            let key = GroupKey(self.group_by.iter().map(|&i| row[i].clone()).collect());
+            let accs = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(|a| Acc::new(a.func)).collect());
+            for (acc, spec) in accs.iter_mut().zip(&self.aggs) {
+                acc.update(spec.input.map(|i| &row[i]));
+            }
+        }
+    }
+
+    /// Emit the current result rows (group key columns, then one value per
+    /// aggregate — the engine's aggregate output layout).
+    pub fn snapshot(&self) -> Vec<Row> {
+        self.groups
+            .iter()
+            .map(|(key, accs)| {
+                let mut row = key.0.clone();
+                row.extend(accs.iter().map(|a| a.finish()));
+                row
+            })
+            .collect()
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::plan::{AggFunc, AggSpec};
+    use rowstore::{DataType, Field, Value};
+
+    fn scan(table: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+            schema: Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("v", DataType::Int64),
+            ]),
+        }
+    }
+
+    #[test]
+    fn filter_project_scan_is_linear() {
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("t")),
+                predicate: col("v").gt(lit(5i64)),
+            }),
+            exprs: vec![(col("k"), "k".into())],
+        };
+        let d = DeltaPlan::derive(&plan).expect("supported shape");
+        assert!(matches!(&d.core, CoreShape::Linear(c) if c.filters.len() == 1));
+        assert_eq!(d.tables(), vec!["t"]);
+
+        // Delta application: filter keeps v > 5, project keeps only k.
+        let chain = match &d.core {
+            CoreShape::Linear(c) => c,
+            _ => unreachable!(),
+        };
+        let delta = vec![
+            vec![Value::Int64(1), Value::Int64(10)],
+            vec![Value::Int64(2), Value::Int64(3)],
+        ];
+        let out = d.apply_post(chain.apply(&delta));
+        assert_eq!(out, vec![vec![Value::Int64(1)]]);
+    }
+
+    #[test]
+    fn join_of_chains_is_supported() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("a")),
+                predicate: col("v").lt(lit(100i64)),
+            }),
+            right: Box::new(scan("b")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let d = DeltaPlan::derive(&plan).expect("supported shape");
+        assert!(matches!(&d.core, CoreShape::Join { left, .. } if left.filters.len() == 1));
+        assert_eq!(d.tables(), vec!["a", "b"]);
+        assert_eq!(d.core_schema.arity(), 4);
+    }
+
+    #[test]
+    fn aggregate_head_binds_accumulators() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan("t")),
+            group_by: vec!["k".into()],
+            aggs: vec![
+                AggSpec {
+                    func: AggFunc::Count,
+                    input: None,
+                    out_name: "n".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    input: Some("v".into()),
+                    out_name: "s".into(),
+                },
+            ],
+        };
+        let d = DeltaPlan::derive(&plan).expect("supported shape");
+        let shape = d.agg.as_ref().expect("aggregate head");
+        let mut state = AggState::new(shape);
+        state.absorb(&[
+            vec![Value::Int64(1), Value::Int64(10)],
+            vec![Value::Int64(1), Value::Int64(5)],
+            vec![Value::Int64(2), Value::Int64(7)],
+        ]);
+        assert_eq!(state.num_groups(), 2);
+        let mut rows = state.snapshot();
+        rows.sort_by_key(|r| r[0].as_i64().unwrap());
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int64(1), Value::Int64(2), Value::Int64(15)],
+                vec![Value::Int64(2), Value::Int64(1), Value::Int64(7)],
+            ]
+        );
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected() {
+        // Sort on top.
+        let sorted = LogicalPlan::Sort {
+            input: Box::new(scan("t")),
+            keys: vec![("k".into(), false)],
+        };
+        assert!(DeltaPlan::derive(&sorted).is_none());
+        // Limit.
+        let limited = LogicalPlan::Limit {
+            input: Box::new(scan("t")),
+            n: 5,
+        };
+        assert!(DeltaPlan::derive(&limited).is_none());
+        // Join of a join (nested non-chain side).
+        let nested = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("a")),
+                right: Box::new(scan("b")),
+                left_key: "k".into(),
+                right_key: "k".into(),
+            }),
+            right: Box::new(scan("c")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        assert!(DeltaPlan::derive(&nested).is_none());
+    }
+}

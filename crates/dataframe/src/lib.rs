@@ -37,6 +37,7 @@
 mod api;
 mod column;
 mod context;
+pub mod delta;
 mod expr;
 mod optimizer;
 pub mod physical;
@@ -49,7 +50,10 @@ pub mod vector;
 
 pub use api::{DataFrame, GroupedFrame};
 pub use column::{ColumnVec, ColumnarPartition, ColumnarSource, ColumnarTable};
-pub use context::{Context, ExecConfig, PlannerRule, RuntimeStats, TableProvider, TableStats};
+pub use context::{
+    Context, ExecConfig, PlannerRule, RuntimeStats, StatsTarget, TableProvider, TableStats,
+};
+pub use delta::{AggShape, AggState, CoreShape, DeltaPlan, ScanChain};
 pub use expr::{col, eval_binary, lit, BinOp, BoundExpr, Expr, PlanError};
 pub use optimizer::optimize;
 pub use physical::adaptive::AdaptiveJoinExec;

@@ -21,11 +21,14 @@
 //!    ones.
 //!
 //! Observed input cardinalities are recorded in the session's
-//! [`crate::context::RuntimeStats`] when the inputs are bare table scans,
-//! so the *next* query's static plan starts from measured sizes.
+//! [`crate::context::RuntimeStats`] — keyed by catalog name for bare table
+//! scans and by plan fingerprint for join/aggregate inputs — so the *next*
+//! query's static plan starts from measured sizes.
 
-use crate::context::Context;
-use crate::physical::join::{broadcast_hash_core, keyed, parts_bytes_sampled, shuffled_probe_core};
+use crate::context::{Context, StatsTarget};
+use crate::physical::join::{
+    broadcast_hash_core, keyed, parts_bytes_sampled, shuffled_probe_core, sort_merge_probe_core,
+};
 use crate::physical::{
     count_rows, describe_node, observe_operator, ExecError, ExecPlan, Partitions,
 };
@@ -39,10 +42,17 @@ pub struct AdaptiveJoinExec {
     pub right: Arc<dyn ExecPlan>,
     pub left_key: usize,
     pub right_key: usize,
-    /// Catalog names of the inputs when they are bare table scans — the
+    /// Runtime-stats keys for the inputs — catalog names for bare table
+    /// scans, plan fingerprints for join/aggregate subtrees — the
     /// cardinality-feedback hook.
-    pub left_table: Option<String>,
-    pub right_table: Option<String>,
+    pub left_stats: Option<StatsTarget>,
+    pub right_stats: Option<StatsTarget>,
+    /// When no runtime opportunity applies (no demotion, no salting), fall
+    /// back to the sort-merge body instead of shuffled-hash — the flavor a
+    /// `prefer_sort_merge` session would have planned statically. Demotion
+    /// and salting still fire first, so sort-merge joins now re-decide at
+    /// runtime too.
+    pub sort_merge: bool,
     pub out_schema: Arc<Schema>,
 }
 
@@ -76,13 +86,11 @@ impl ExecPlan for AdaptiveJoinExec {
         let right_bytes = parts_bytes_sampled(&right_parts);
 
         // Cardinality feedback: record what the inputs actually weigh.
-        if let Some(name) = &self.left_table {
-            ctx.runtime_stats()
-                .record_table(name, left_rows, left_bytes);
+        if let Some(target) = &self.left_stats {
+            ctx.runtime_stats().record(target, left_rows, left_bytes);
         }
-        if let Some(name) = &self.right_table {
-            ctx.runtime_stats()
-                .record_table(name, right_rows, right_bytes);
+        if let Some(target) = &self.right_stats {
+            ctx.runtime_stats().record(target, right_rows, right_bytes);
         }
 
         // Build on the side that *measured* smaller (the static planner
@@ -224,8 +232,10 @@ impl ExecPlan for AdaptiveJoinExec {
                 return Ok(out);
             }
 
-            // 3. No runtime opportunity: shuffled-hash through the
-            // adaptive exchange (split/coalesce still applies).
+            // 3. No runtime opportunity: fall back through the adaptive
+            // exchange (split/coalesce still applies) to the statically
+            // preferred reduce body — sort-merge when the session prefers
+            // it, shuffled-hash otherwise.
             let (left_parts, right_parts) = if build_left {
                 (build_parts, probe_parts)
             } else {
@@ -243,21 +253,32 @@ impl ExecPlan for AdaptiveJoinExec {
                 keyed(right_parts, right_key),
                 p,
             )?;
-            shuffled_probe_core(
-                ctx,
-                Arc::new(ls),
-                Arc::new(rs),
-                left_key,
-                right_key,
-                build_left,
-            )
+            if self.sort_merge {
+                sort_merge_probe_core(ctx, Arc::new(ls), Arc::new(rs), left_key, right_key)
+            } else {
+                shuffled_probe_core(
+                    ctx,
+                    Arc::new(ls),
+                    Arc::new(rs),
+                    left_key,
+                    right_key,
+                    build_left,
+                )
+            }
         })
     }
 
     fn describe(&self, indent: usize) -> String {
         describe_node(
             indent,
-            "AdaptiveJoin [strategy decided at runtime]",
+            &format!(
+                "AdaptiveJoin [strategy decided at runtime, fallback={}]",
+                if self.sort_merge {
+                    "sortmerge"
+                } else {
+                    "shuffled"
+                }
+            ),
             &[self.left.as_ref(), self.right.as_ref()],
         )
     }
@@ -392,8 +413,9 @@ mod tests {
             right,
             left_key: 0,
             right_key: 0,
-            left_table: names.0.map(String::from),
-            right_table: names.1.map(String::from),
+            left_stats: names.0.map(|n| StatsTarget::Table(n.to_string())),
+            right_stats: names.1.map(|n| StatsTarget::Table(n.to_string())),
+            sort_merge: false,
             out_schema,
         }
     }
@@ -533,5 +555,99 @@ mod tests {
         assert_eq!(reg.counter("adaptive.join_demotions").get(), 0);
         assert_eq!(reg.counter("adaptive.salted_joins").get(), 0);
         assert!(reg.counter("shuffle.exchanges").get() >= 2);
+    }
+
+    #[test]
+    fn sort_merge_flavor_falls_back_to_sort_merge_body() {
+        // Uniform input, nothing broadcastable: the sort-merge flavor must
+        // run the sort-merge reduce body (visible via op.join.sortmerge's
+        // absence — the core runs inside join.adaptive's span — so assert
+        // on the result plus the absence of demotion/salting instead).
+        let ctx = ctx_with_threshold(1);
+        let build: Vec<Row> = (0..200)
+            .map(|k| vec![Value::Int64(k), Value::Int64(k * 10)])
+            .collect();
+        let probe: Vec<Row> = (0..400)
+            .map(|i| vec![Value::Int64(i % 200), Value::Int64(i)])
+            .collect();
+        let mut j = adaptive_join(
+            scan(&schema("bv"), build.clone(), 2),
+            scan(&schema("pv"), probe.clone(), 4),
+            (None, None),
+        );
+        j.sort_merge = true;
+        assert!(j.describe(0).contains("fallback=sortmerge"));
+        let got = gather(j.execute(&ctx).unwrap());
+        assert_eq!(sorted(got), sorted(reference(&build, &probe)));
+
+        let reg = ctx.cluster().registry();
+        assert_eq!(reg.counter("adaptive.join_demotions").get(), 0);
+        assert_eq!(reg.counter("adaptive.salted_joins").get(), 0);
+        assert!(reg.counter("shuffle.exchanges").get() >= 2);
+    }
+
+    #[test]
+    fn sort_merge_flavor_still_demotes_tiny_build_sides() {
+        // The sort-merge follow-up's point: a prefer_sort_merge session's
+        // join re-decides at runtime and skips the exchange when the build
+        // side turns out broadcastable.
+        let ctx = ctx_with_threshold(10 << 20);
+        let build: Vec<Row> = (0..10)
+            .map(|k| vec![Value::Int64(k), Value::Int64(k * 10)])
+            .collect();
+        let probe: Vec<Row> = (0..200)
+            .map(|i| vec![Value::Int64(i % 20), Value::Int64(i)])
+            .collect();
+        let mut j = adaptive_join(
+            scan(&schema("bv"), build.clone(), 2),
+            scan(&schema("pv"), probe.clone(), 4),
+            (None, None),
+        );
+        j.sort_merge = true;
+        let got = gather(j.execute(&ctx).unwrap());
+        assert_eq!(sorted(got), sorted(reference(&build, &probe)));
+
+        let reg = ctx.cluster().registry();
+        assert_eq!(reg.counter("adaptive.join_demotions").get(), 1);
+        assert_eq!(
+            reg.counter("shuffle.exchanges").get(),
+            0,
+            "sort-merge demotion must skip both exchanges"
+        );
+    }
+
+    #[test]
+    fn plan_keyed_stats_recorded_for_non_scan_inputs() {
+        // A join/aggregate input carries a Plan stats target; executing the
+        // adaptive join must record its materialized size under the
+        // fingerprint, and forgetting a referenced table must drop it.
+        let ctx = ctx_with_threshold(1);
+        let build: Vec<Row> = (0..50)
+            .map(|k| vec![Value::Int64(k), Value::Int64(k * 10)])
+            .collect();
+        let probe: Vec<Row> = (0..100)
+            .map(|i| vec![Value::Int64(i % 50), Value::Int64(i)])
+            .collect();
+        let mut j = adaptive_join(
+            scan(&schema("bv"), build, 2),
+            scan(&schema("pv"), probe, 4),
+            (None, None),
+        );
+        j.left_stats = Some(StatsTarget::Plan {
+            fingerprint: 0xfeed,
+            tables: vec!["base".into()],
+        });
+        j.execute(&ctx).unwrap();
+
+        let s = ctx.runtime_stats().observed_plan(0xfeed).unwrap();
+        assert_eq!(s.rows, 50);
+        assert!(s.bytes > 0);
+        ctx.runtime_stats().forget("unrelated");
+        assert!(ctx.runtime_stats().observed_plan(0xfeed).is_some());
+        ctx.runtime_stats().forget("base");
+        assert!(
+            ctx.runtime_stats().observed_plan(0xfeed).is_none(),
+            "re-registering a referenced table must invalidate the plan observation"
+        );
     }
 }

@@ -29,9 +29,12 @@ pub struct BoundAgg {
     pub input: Option<usize>,
 }
 
-/// Mergeable accumulator state.
+/// Mergeable accumulator state. Public so incremental view maintenance
+/// (the indexed-df standing-view layer) can absorb insert-only deltas into
+/// the exact accumulators the batch engine uses — COUNT/SUM/MIN/MAX/AVG
+/// all accept new rows in place via [`Acc::update`].
 #[derive(Debug, Clone)]
-enum Acc {
+pub enum Acc {
     Count(i64),
     Sum {
         int: i64,
@@ -48,7 +51,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(func: AggFunc) -> Acc {
+    pub fn new(func: AggFunc) -> Acc {
         match func {
             AggFunc::Count => Acc::Count(0),
             AggFunc::Sum => Acc::Sum {
@@ -63,7 +66,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) {
+    pub fn update(&mut self, v: Option<&Value>) {
         match self {
             Acc::Count(n) => {
                 // COUNT(*) counts rows; COUNT(col) counts non-nulls.
@@ -187,7 +190,7 @@ impl Acc {
         }
     }
 
-    fn merge(&mut self, other: &Acc) {
+    pub fn merge(&mut self, other: &Acc) {
         match (self, other) {
             (Acc::Count(a), Acc::Count(b)) => *a += b,
             (
@@ -241,7 +244,7 @@ impl Acc {
         }
     }
 
-    fn finish(&self) -> Value {
+    pub fn finish(&self) -> Value {
         match self {
             Acc::Count(n) => Value::Int64(*n),
             Acc::Sum {

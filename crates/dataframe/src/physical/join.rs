@@ -12,7 +12,7 @@
 //! its hash table (or re-sorts) on *every* execution — the per-query cost
 //! the Indexed DataFrame amortizes away (Fig. 1).
 
-use crate::context::Context;
+use crate::context::{Context, StatsTarget};
 use crate::physical::{
     count_rows, describe_node, observe_operator, ExecError, ExecPlan, KeyWrap, Partitions,
 };
@@ -156,11 +156,12 @@ pub struct BroadcastHashJoinExec {
     /// Whether the build side is the *left* input of the logical join
     /// (controls output column order).
     pub build_is_left: bool,
-    /// Catalog name of the build side when it is a bare table scan: its
-    /// actual materialized size is recorded in the session's
+    /// Runtime-stats key for the build side — the catalog name when it is
+    /// a bare table scan, or a plan fingerprint when it is a join/aggregate
+    /// output. Its actual materialized size is recorded in the session's
     /// [`crate::context::RuntimeStats`] so later broadcast decisions use
     /// the measured bytes, not the registration-time estimate.
-    pub build_table_name: Option<String>,
+    pub build_stats: Option<StatsTarget>,
     pub out_schema: Arc<Schema>,
 }
 
@@ -176,9 +177,9 @@ impl ExecPlan for BroadcastHashJoinExec {
         let probe_parts = self.probe.execute(ctx)?;
         let build_rows_in = count_rows(&build_parts);
         let rows_in = build_rows_in + count_rows(&probe_parts);
-        if let Some(name) = &self.build_table_name {
+        if let Some(target) = &self.build_stats {
             ctx.runtime_stats()
-                .record_table(name, build_rows_in, parts_bytes(&build_parts));
+                .record(target, build_rows_in, parts_bytes(&build_parts));
         }
         let (build_key, probe_key, build_is_left) =
             (self.build_key, self.probe_key, self.build_is_left);
@@ -345,6 +346,63 @@ fn cmp_vals(a: &Value, b: &Value) -> std::cmp::Ordering {
     a.sql_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
 }
 
+/// The sort-merge reduce body over already-shuffled sides: sort each
+/// partition by key and merge equal runs. Shared by [`SortMergeJoinExec`]
+/// and the adaptive join's sort-merge flavor (which re-decides strategy at
+/// runtime but falls back to this body when no demotion/salting applies).
+/// Output is always left ++ right.
+pub(crate) fn sort_merge_probe_core(
+    ctx: &Arc<Context>,
+    left_shuffled: Arc<Partitions>,
+    right_shuffled: Arc<Partitions>,
+    left_key: usize,
+    right_key: usize,
+) -> Result<Partitions, ExecError> {
+    let p = left_shuffled.len();
+    assert_eq!(p, right_shuffled.len());
+    let metrics = ctx.cluster().metrics();
+    Metrics::timed(&metrics.probe_ns, || {
+        let ls = Arc::clone(&left_shuffled);
+        let rs = Arc::clone(&right_shuffled);
+        ctx.cluster().run_stage_partitions(p, move |tc| {
+            // Sort both sides by key (the "build" analogue).
+            let mut left: Vec<&Row> = ls[tc.partition].iter().collect();
+            let mut right: Vec<&Row> = rs[tc.partition].iter().collect();
+            left.sort_by(|a, b| cmp_vals(&a[left_key], &b[left_key]));
+            right.sort_by(|a, b| cmp_vals(&a[right_key], &b[right_key]));
+
+            // Merge equal runs.
+            let mut out = Vec::new();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < left.len() && j < right.len() {
+                match cmp_vals(&left[i][left_key], &right[j][right_key]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        // Find the extent of the equal run on both sides.
+                        let key = &left[i][left_key];
+                        let i_end = (i..left.len())
+                            .find(|&x| !left[x][left_key].sql_eq(key))
+                            .unwrap_or(left.len());
+                        let j_end = (j..right.len())
+                            .find(|&x| !right[x][right_key].sql_eq(key))
+                            .unwrap_or(right.len());
+                        for l in &left[i..i_end] {
+                            for r in &right[j..j_end] {
+                                out.push(joined(l, r));
+                            }
+                        }
+                        i = i_end;
+                        j = j_end;
+                    }
+                }
+            }
+            out
+        })
+    })
+    .map_err(ExecError::from)
+}
+
 impl ExecPlan for SortMergeJoinExec {
     fn schema(&self) -> Arc<Schema> {
         Arc::clone(&self.out_schema)
@@ -371,46 +429,7 @@ impl ExecPlan for SortMergeJoinExec {
                 p,
             )?);
 
-            let metrics = ctx.cluster().metrics();
-            Ok(Metrics::timed(&metrics.probe_ns, || {
-                let ls = Arc::clone(&left_shuffled);
-                let rs = Arc::clone(&right_shuffled);
-                ctx.cluster().run_stage_partitions(p, move |tc| {
-                    // Sort both sides by key (the "build" analogue).
-                    let mut left: Vec<&Row> = ls[tc.partition].iter().collect();
-                    let mut right: Vec<&Row> = rs[tc.partition].iter().collect();
-                    left.sort_by(|a, b| cmp_vals(&a[left_key], &b[left_key]));
-                    right.sort_by(|a, b| cmp_vals(&a[right_key], &b[right_key]));
-
-                    // Merge equal runs.
-                    let mut out = Vec::new();
-                    let (mut i, mut j) = (0usize, 0usize);
-                    while i < left.len() && j < right.len() {
-                        match cmp_vals(&left[i][left_key], &right[j][right_key]) {
-                            std::cmp::Ordering::Less => i += 1,
-                            std::cmp::Ordering::Greater => j += 1,
-                            std::cmp::Ordering::Equal => {
-                                // Find the extent of the equal run on both sides.
-                                let key = &left[i][left_key];
-                                let i_end = (i..left.len())
-                                    .find(|&x| !left[x][left_key].sql_eq(key))
-                                    .unwrap_or(left.len());
-                                let j_end = (j..right.len())
-                                    .find(|&x| !right[x][right_key].sql_eq(key))
-                                    .unwrap_or(right.len());
-                                for l in &left[i..i_end] {
-                                    for r in &right[j..j_end] {
-                                        out.push(joined(l, r));
-                                    }
-                                }
-                                i = i_end;
-                                j = j_end;
-                            }
-                        }
-                    }
-                    out
-                })
-            })?)
+            sort_merge_probe_core(ctx, left_shuffled, right_shuffled, left_key, right_key)
         })
     }
 
@@ -509,7 +528,7 @@ mod tests {
             build_key: 0,
             probe_key: 0,
             build_is_left: false,
-            build_table_name: None,
+            build_stats: None,
             out_schema: schema,
         };
         let got = gather(j.execute(&ctx).unwrap());
@@ -529,7 +548,7 @@ mod tests {
             build_key: 0,
             probe_key: 0,
             build_is_left: true,
-            build_table_name: None,
+            build_stats: None,
             out_schema: schema,
         };
         let got = gather(j.execute(&ctx).unwrap());

@@ -108,6 +108,18 @@ impl LogicalPlan {
         walk(self, &mut out);
         out
     }
+
+    /// Structural fingerprint of this subtree, used to key runtime-stats
+    /// observations for non-scan build sides (join/aggregate outputs).
+    /// Derived from the full `Debug` rendering, so two plans collide only
+    /// if they are structurally identical — which is exactly when sharing
+    /// an observation is correct.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{self:?}").hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Infer the type an expression produces against `schema`.

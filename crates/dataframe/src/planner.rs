@@ -9,7 +9,7 @@
 //! shuffled-hash or sort-merge.
 
 use crate::column::ColumnarTable;
-use crate::context::Context;
+use crate::context::{Context, StatsTarget};
 use crate::expr::{BoundExpr, Expr, PlanError};
 use crate::physical::adaptive::AdaptiveJoinExec;
 use crate::physical::agg::{BoundAgg, HashAggExec};
@@ -352,21 +352,23 @@ impl Planner {
                 build_key,
                 probe_key,
                 build_is_left,
-                build_table_name: scan_table_name(build_plan),
+                build_stats: stats_target(build_plan),
                 out_schema,
             }));
         }
         if ctx.config().adaptive {
             // No side is estimated broadcastable — defer the strategy
             // decision to runtime, when materialized sizes and key
-            // frequencies are known (demotion / salting / plain shuffle).
+            // frequencies are known (demotion / salting / plain shuffle,
+            // with the sort-merge reduce body when the session prefers it).
             return Ok(Arc::new(AdaptiveJoinExec {
                 left: left_phys,
                 right: right_phys,
                 left_key: lk,
                 right_key: rk,
-                left_table: scan_table_name(left),
-                right_table: scan_table_name(right),
+                left_stats: stats_target(left),
+                right_stats: stats_target(right),
+                sort_merge: ctx.config().prefer_sort_merge,
                 out_schema,
             }));
         }
@@ -412,18 +414,27 @@ fn resolve_cols(names: &[String], schema: &rowstore::Schema) -> Result<Vec<usize
         .collect()
 }
 
-/// The catalog table name when the plan is a bare scan — the hook for
-/// runtime cardinality feedback (observed sizes are recorded against it).
-fn scan_table_name(plan: &LogicalPlan) -> Option<String> {
+/// Runtime-stats key for a join input: bare scans record against their
+/// catalog name; join/aggregate subtrees record against their plan
+/// fingerprint (tagged with the tables they read, so re-registering any of
+/// them invalidates the observation). Filters/projects/sorts/limits stay
+/// unkeyed — their output size depends on the predicate, and their input
+/// size already serves as the planning upper bound.
+fn stats_target(plan: &LogicalPlan) -> Option<StatsTarget> {
     match plan {
-        LogicalPlan::Scan { table, .. } => Some(table.clone()),
+        LogicalPlan::Scan { table, .. } => Some(StatsTarget::Table(table.clone())),
+        LogicalPlan::Join { .. } | LogicalPlan::Aggregate { .. } => Some(StatsTarget::Plan {
+            fingerprint: plan.fingerprint(),
+            tables: plan.referenced_tables(),
+        }),
         _ => None,
     }
 }
 
 /// Size estimation for join-strategy selection. `None` = unknown.
 /// Observed runtime statistics (recorded by an earlier query's join over
-/// the same table) take precedence over the provider's static estimate.
+/// the same table or the same join/aggregate subtree) take precedence over
+/// the provider's static estimate.
 pub fn estimate_bytes(plan: &LogicalPlan, ctx: &Arc<Context>) -> Option<usize> {
     match plan {
         LogicalPlan::Scan { table, .. } => ctx
@@ -440,7 +451,13 @@ pub fn estimate_bytes(plan: &LogicalPlan, ctx: &Arc<Context>) -> Option<usize> {
         LogicalPlan::Limit { input, n } => {
             estimate_bytes(input, ctx).map(|b| b.min(n.saturating_mul(64)))
         }
-        LogicalPlan::Join { .. } | LogicalPlan::Aggregate { .. } => None,
+        // Non-scan build sides: unknown until a query materializes the
+        // subtree once, after which its measured size is keyed by the plan
+        // fingerprint.
+        LogicalPlan::Join { .. } | LogicalPlan::Aggregate { .. } => ctx
+            .runtime_stats()
+            .observed_plan(plan.fingerprint())
+            .map(|s| s.bytes as usize),
     }
 }
 
@@ -600,6 +617,79 @@ mod tests {
         };
         let phys = Planner::new().plan(&plan, &ctx).unwrap();
         assert!(phys.describe(0).contains("SortMergeJoin"));
+    }
+
+    #[test]
+    fn sort_merge_preference_rides_the_adaptive_operator() {
+        // prefer_sort_merge with adaptive on: the join still re-decides at
+        // runtime, but its no-opportunity fallback is the sort-merge body.
+        let ctx = ctx_with_tables_cfg(ExecConfig {
+            broadcast_threshold_bytes: 1,
+            prefer_sort_merge: true,
+            ..ExecConfig::default()
+        });
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan(&ctx, "big")),
+            right: Box::new(scan(&ctx, "small")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let phys = Planner::new().plan(&plan, &ctx).unwrap();
+        let desc = phys.describe(0);
+        assert!(
+            desc.contains("AdaptiveJoin") && desc.contains("fallback=sortmerge"),
+            "{desc}"
+        );
+    }
+
+    #[test]
+    fn observed_join_output_promotes_nested_build_to_broadcast() {
+        // A join used as a build side has no static estimate; after one
+        // execution records its materialized size under the plan
+        // fingerprint, the next static plan broadcasts it.
+        let ctx = ctx_with_tables(256);
+        let inner = LogicalPlan::Join {
+            left: Box::new(scan(&ctx, "small")),
+            right: Box::new(scan(&ctx, "small")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let outer = LogicalPlan::Join {
+            left: Box::new(inner.clone()),
+            right: Box::new(scan(&ctx, "big")),
+            left_key: "k".into(),
+            right_key: "k".into(),
+        };
+        let phys = Planner::new().plan(&outer, &ctx).unwrap();
+        assert!(phys.describe(0).contains("AdaptiveJoin"));
+
+        // Simulate the runtime feedback an execution would record.
+        ctx.runtime_stats().record(
+            &StatsTarget::Plan {
+                fingerprint: inner.fingerprint(),
+                tables: inner.referenced_tables(),
+            },
+            10,
+            100,
+        );
+        let phys = Planner::new().plan(&outer, &ctx).unwrap();
+        assert!(
+            phys.describe(0).contains("BroadcastHashJoin"),
+            "{}",
+            phys.describe(0)
+        );
+
+        // Re-registering a referenced table invalidates the observation.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Utf8),
+        ]);
+        let rows: Vec<Row> = (0..10)
+            .map(|i| vec![Value::Int64(i), Value::Utf8(format!("s{i}"))])
+            .collect();
+        ctx.register_table("small", Arc::new(ColumnarTable::from_rows(schema, rows, 2)));
+        let phys = Planner::new().plan(&outer, &ctx).unwrap();
+        assert!(phys.describe(0).contains("AdaptiveJoin"));
     }
 
     #[test]

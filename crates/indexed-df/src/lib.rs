@@ -56,6 +56,7 @@ mod provider;
 pub mod rule;
 mod source;
 pub mod table;
+mod view;
 
 pub use columnar::{ColumnarIndexedPartition, ColumnarIndexedTable};
 pub use frame::{recompute_ns, IdfBuilder, IndexedDataFrame};
@@ -63,3 +64,4 @@ pub use partition::{BulkInsertStats, IndexedPartition};
 pub use rule::{install, IndexedRule};
 pub use source::{FileSource, InMemorySource, ReplayableSource};
 pub use table::{IndexedTable, PartitionHandle};
+pub use view::{ContextViewExt, ViewHandle, ViewManager};

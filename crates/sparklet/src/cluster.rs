@@ -275,6 +275,16 @@ impl Cluster {
         scheduler::with_ambient_query(query, f)
     }
 
+    /// Register a fresh query with the fair scheduler and run `f` under
+    /// it: a one-shot [`Cluster::scheduler`]`.new_query` +
+    /// [`Cluster::with_query`] for work that isn't session-driven, such
+    /// as standing-view refreshes riding the same fair queues as
+    /// interactive queries.
+    pub fn run_as_query<R>(&self, weight: u32, f: impl FnOnce() -> R) -> R {
+        let query = self.scheduler.new_query(weight);
+        self.with_query(&query, f)
+    }
+
     /// Serialize every metric — named registry, legacy phase counters and
     /// a trace summary — as one JSON object (`sparklet-metrics-v1`; schema
     /// documented in DESIGN.md).

@@ -160,8 +160,9 @@ proptest! {
             right: scan(&schema, probe),
             left_key: 0,
             right_key: 0,
-            left_table: None,
-            right_table: None,
+            left_stats: None,
+            right_stats: None,
+            sort_merge: false,
             out_schema,
         };
         let got = gather(j.execute(&ctx).unwrap());

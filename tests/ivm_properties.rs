@@ -1,0 +1,186 @@
+//! Property tests for incremental view maintenance: however the append
+//! stream is shaped, a standing view's incrementally maintained state must
+//! equal a from-scratch recompute of its plan — bit for bit, after every
+//! batch. A chaos variant kills workers mid-append to show that retried
+//! refreshes never double-apply a delta.
+
+use dataframe::{col, lit, AggFunc, Context, DataFrame};
+use indexed_df::{ContextViewExt, IndexedDataFrame, ViewHandle};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rowstore::{DataType, Field, Row, Schema, Value};
+use sparklet::{Cluster, ClusterConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn events_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("cat", DataType::Int64),
+        Field::nullable("v", DataType::Int64),
+    ])
+}
+
+fn dims_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("label", DataType::Int64),
+    ])
+}
+
+fn dim_rows(keys: i64) -> Vec<Row> {
+    (0..keys)
+        .map(|i| vec![Value::Int64(i), Value::Int64(i * 10)])
+        .collect()
+}
+
+/// Order-independent, bit-exact row rendering for multiset comparison.
+fn sorted_rows(rows: &[Row]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+/// Event rows keep keys dense (so joins hit) and values as moderate
+/// integers (so Sum/Avg accumulation is exact in f64 and bit-for-bit
+/// comparison is meaningful). `v` is nullable to exercise null-skipping
+/// accumulators and three-valued filter logic on both paths.
+fn event_row(keys: i64) -> impl Strategy<Value = Row> {
+    (
+        0..keys,
+        0i64..5,
+        prop_oneof![
+            7 => (-40i64..40).prop_map(Value::Int64),
+            1 => Just(Value::Null),
+        ],
+    )
+        .prop_map(|(k, cat, v)| vec![Value::Int64(k), Value::Int64(cat), v])
+}
+
+/// The three incrementally maintainable view shapes over a fresh context,
+/// each paired with its recompute reference plan.
+fn standing_views(
+    ctx: &Arc<Context>,
+    base: Vec<Row>,
+    keys: i64,
+) -> Vec<(&'static str, DataFrame, ViewHandle)> {
+    let e = IndexedDataFrame::from_rows(ctx, events_schema(), base, "k").unwrap();
+    e.cache_index().unwrap();
+    let events = ctx.track_indexed_table("events", &e).unwrap();
+    let d = IndexedDataFrame::from_rows(ctx, dims_schema(), dim_rows(keys), "k").unwrap();
+    d.cache_index().unwrap();
+    let dims = ctx.track_indexed_table("dims", &d).unwrap();
+    let plans: Vec<(&'static str, DataFrame)> = vec![
+        (
+            "hot",
+            events
+                .clone()
+                .filter(col("v").gt(lit(10i64)))
+                .select(&["k", "v"]),
+        ),
+        ("enriched", events.clone().join(dims, "k", "k")),
+        (
+            "by_cat",
+            events.group_by(&["cat"]).agg(vec![
+                (AggFunc::Count, None, "n"),
+                (AggFunc::Sum, Some("v"), "s"),
+                (AggFunc::Min, Some("v"), "lo"),
+                (AggFunc::Max, Some("v"), "hi"),
+                (AggFunc::Avg, Some("v"), "av"),
+            ]),
+        ),
+    ];
+    plans
+        .into_iter()
+        .map(|(name, df)| {
+            let handle = ctx.register_view(name, &df).unwrap();
+            assert!(handle.is_incremental(), "{name} must take the delta path");
+            (name, df, handle)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Incremental ≡ recompute across random append streams: after every
+    /// batch, each view's maintained rows equal a fresh collect of its
+    /// plan against the newest catalog version.
+    #[test]
+    fn incremental_views_equal_recompute(
+        base in pvec(event_row(16), 30..120),
+        batches in pvec(pvec(event_row(16), 1..24), 1..5),
+    ) {
+        let ctx = Context::new(Cluster::new(ClusterConfig::test_small()));
+        let views = standing_views(&ctx, base, 16);
+        for batch in batches {
+            ctx.append_table("events", batch).unwrap();
+            for (name, df, handle) in &views {
+                prop_assert_eq!(
+                    sorted_rows(&handle.rows()),
+                    sorted_rows(&df.clone().collect().unwrap()),
+                    "view {} diverged from recompute", name
+                );
+            }
+        }
+        // Every refresh above took the incremental path.
+        let registry = ctx.cluster().registry();
+        prop_assert_eq!(registry.counter_value("view.fallbacks"), 0);
+    }
+}
+
+/// Kill a worker while an append stream is in flight: refreshes retry
+/// (or fall back to recompute), but the final view state still equals a
+/// full recompute — a delta is never applied twice.
+#[test]
+fn killed_worker_mid_refresh_never_double_applies() {
+    for attempt in 0..4u64 {
+        let cluster = Cluster::new(ClusterConfig {
+            workers: 3,
+            executors_per_worker: 1,
+            cores_per_executor: 2,
+            max_task_attempts: 6,
+            skew_ratio: 2.0,
+        });
+        let ctx = Context::new(Arc::clone(&cluster));
+        let keys = 200i64;
+        let base: Vec<Row> = (0..2_000i64)
+            .map(|i| {
+                vec![
+                    Value::Int64(i % keys),
+                    Value::Int64(i % 5),
+                    Value::Int64(i % 37),
+                ]
+            })
+            .collect();
+        let views = standing_views(&ctx, base, keys);
+
+        let killer = Arc::clone(&cluster);
+        let chaos = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(1 + attempt));
+            killer.kill_worker((attempt % 3) as usize);
+        });
+        for b in 0..5i64 {
+            let batch: Vec<Row> = (0..40)
+                .map(|j| {
+                    let i = 2_000 + b * 40 + j;
+                    vec![
+                        Value::Int64(i % keys),
+                        Value::Int64(i % 5),
+                        Value::Int64(i % 37),
+                    ]
+                })
+                .collect();
+            ctx.append_table("events", batch).unwrap();
+        }
+        chaos.join().unwrap();
+
+        for (name, df, handle) in &views {
+            assert_eq!(
+                sorted_rows(&handle.rows()),
+                sorted_rows(&df.clone().collect().unwrap()),
+                "attempt {attempt}: view {name} lost or double-applied a delta"
+            );
+        }
+    }
+}

@@ -384,3 +384,80 @@ fn session_metrics_cover_every_admission_outcome() {
         assert!(json.contains(needle), "metrics_json missing {needle}");
     }
 }
+
+/// Standing-view maintenance records its counters and per-refresh trace
+/// spans in a 4-worker run: `view.refreshes` / `view.delta_rows` advance
+/// for the incremental view, `view.fallbacks` for the recomputed one, and
+/// every refresh leaves a `view.refresh[name]` span.
+#[test]
+fn view_maintenance_metrics_populate_in_four_worker_run() {
+    use indexed_df::ContextViewExt;
+
+    let cluster = Cluster::new(ClusterConfig {
+        workers: 4,
+        executors_per_worker: 1,
+        cores_per_executor: 2,
+        max_task_attempts: 4,
+        skew_ratio: 2.0,
+    });
+    let ctx = Context::new(Arc::clone(&cluster));
+    let registry = cluster.registry();
+
+    let e = IndexedDataFrame::from_rows(&ctx, edge_schema(), rows(2000, 50), "k").unwrap();
+    e.cache_index().unwrap();
+    let events = ctx.track_indexed_table("events", &e).unwrap();
+    let hot = ctx
+        .register_view(
+            "hot",
+            &events
+                .clone()
+                .filter(dataframe::col("v").gt(dataframe::lit(1000i64))),
+        )
+        .unwrap();
+    let latest = ctx
+        .register_view("latest", &events.sort(&[("v", true)]).limit(3))
+        .unwrap();
+    assert!(hot.is_incremental(), "filter view takes the delta path");
+    assert!(
+        !latest.is_incremental(),
+        "sort/limit is outside the grammar"
+    );
+
+    for b in 0..3i64 {
+        let batch: Vec<Row> = (0..20)
+            .map(|i| vec![Value::Int64(i % 50), Value::Int64(10_000 + b * 20 + i)])
+            .collect();
+        ctx.append_table("events", batch).unwrap();
+    }
+    // Base keeps v in 0..2000 (999 rows above 1000); all 60 appended rows
+    // land above the filter.
+    assert_eq!(hot.rows().len(), 999 + 60);
+    assert_eq!(latest.rows().len(), 3);
+    assert_eq!(latest.rows()[0][1], Value::Int64(10_059));
+
+    // 2 views × 3 appends; only `hot` absorbs deltas, `latest` recomputes.
+    assert_eq!(registry.counter_value("view.refreshes"), 6);
+    assert_eq!(registry.counter_value("view.delta_rows"), 60);
+    assert_eq!(registry.counter_value("view.fallbacks"), 3);
+
+    // Each refresh left its span in the trace...
+    let spans = cluster.trace().spans();
+    assert_eq!(
+        spans
+            .iter()
+            .filter(|s| s.name.starts_with("view.refresh["))
+            .count(),
+        6
+    );
+    assert!(spans.iter().any(|s| s.name == "view.refresh[hot]"));
+    assert!(spans.iter().any(|s| s.name == "view.refresh[latest]"));
+    // ...and the series travel in the metrics document.
+    let json = cluster.metrics_json();
+    for needle in [
+        "\"view.refreshes\"",
+        "\"view.delta_rows\"",
+        "\"view.fallbacks\"",
+    ] {
+        assert!(json.contains(needle), "metrics_json missing {needle}");
+    }
+}
